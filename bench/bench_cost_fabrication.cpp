@@ -1,0 +1,39 @@
+/// Eqs. 2-5 reproduction: NoI area, Poisson yield, and fabrication cost of
+/// the four NoIs at 100 chiplets, relative to Floret and to the AMD-class
+/// 864 mm^2 / 64-chiplet reference. Paper: Floret cuts fabrication cost by
+/// ~2.8x (Kite), ~2.1x (SIAM), ~1.89x (SWAP).
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/cost/models.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Eqs. 2-5: NoI area / yield / fabrication cost, 100 chiplets ===\n\n";
+
+    cost::CostParams p;
+    std::vector<bench::BuiltArch> archs;
+    for (const auto a : bench::kAllArchs) archs.push_back(bench::build_arch(a, 10, 10));
+    const auto& floret = archs.back().topology();
+
+    util::TextTable t({"NoI", "Router area (mm2)", "Link area (mm2)", "NoI area (mm2)",
+                       "Yield", "Cost vs ref (Eq.2)", "Cost vs Floret (Eq.5)"});
+    for (const auto& b : archs) {
+        const double ra = cost::router_area_mm2(b.topology(), p);
+        const double la = cost::link_area_mm2(b.topology(), p);
+        const double area = ra + la;
+        t.add_row({bench::arch_name(b.arch), util::TextTable::fmt(ra, 1),
+                   util::TextTable::fmt(la, 1), util::TextTable::fmt(area, 1),
+                   util::TextTable::fmt(cost::yield(area, p), 3),
+                   util::TextTable::fmt(cost::fabrication_cost(b.topology(), p), 3),
+                   util::TextTable::fmt(cost::relative_cost(b.topology(), floret, p), 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper cost ratios vs Floret: Kite 2.8x, SIAM 2.1x, SWAP 1.89x\n"
+              << "Defect density D0 = " << p.defect_density_per_mm2 * 100.0
+              << " /cm2; reference NoI " << p.ref_noi_area_mm2 << " mm2 / "
+              << p.ref_chiplets << " chiplets.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/// Fig. 2 reproduction: (a) router-port configuration and (b) total link
+/// count for Kite, SIAM, SWAP, and Floret on a 100-chiplet 2.5D system.
+/// Paper shape: Kite is dominated by 4-port routers; SIAM by 3/4-port;
+/// SWAP by 2/3-port; Floret is almost entirely 2-port. Floret has the
+/// fewest/shortest links, Kite mainly two-hop links.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Fig. 2(a): router-port configuration, 100 chiplets ===\n\n";
+
+    std::vector<bench::BuiltArch> archs;
+    for (const auto a : bench::kAllArchs) archs.push_back(bench::build_arch(a, 10, 10));
+
+    std::size_t max_ports = 0;
+    for (const auto& b : archs) max_ports = std::max(max_ports, b.topology().port_histogram().size());
+
+    std::vector<std::string> header{"Ports"};
+    for (const auto& b : archs) header.push_back(bench::arch_name(b.arch));
+    util::TextTable ports(header);
+    for (std::size_t p = 1; p < max_ports; ++p) {
+        std::vector<std::string> row{std::to_string(p)};
+        std::uint64_t total = 0;
+        for (const auto& b : archs) {
+            const auto c = b.topology().port_histogram().at(p);
+            total += c;
+            row.push_back(std::to_string(c));
+        }
+        if (total > 0) ports.add_row(std::move(row));
+    }
+    ports.print(std::cout);
+
+    std::cout << "\n=== Fig. 2(b): links, 100 chiplets ===\n\n";
+    util::TextTable links({"NoI", "Total links", "1-hop", "2-hop", ">=3-hop",
+                           "Mean length (mm)"});
+    for (const auto& b : archs) {
+        const auto spans = b.topology().link_span_histogram();
+        std::uint64_t ge3 = 0;
+        for (std::size_t s = 3; s < spans.size(); ++s) ge3 += spans.at(s);
+        double len = 0.0;
+        for (const auto& l : b.topology().links()) len += l.length_mm;
+        links.add_row({bench::arch_name(b.arch),
+                       std::to_string(b.topology().link_count()),
+                       std::to_string(spans.at(1)), std::to_string(spans.at(2)),
+                       std::to_string(ge3),
+                       util::TextTable::fmt(len / b.topology().link_count())});
+    }
+    links.print(std::cout);
+
+    std::cout << "\nPaper shape check: Kite mode=4 ports & 2-hop links; SIAM 3-4 "
+                 "ports, 1-hop; SWAP 2-3 ports, some long links; Floret ~all "
+                 "2-port, fewest links.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/// Fig. 3 reproduction: NoI latency of the 100-chiplet 2.5D system running
+/// the Table II concurrent mixes, for Kite / SIAM / SWAP / Floret.
+/// Latency = simulated cycles to drain one inference pass of all mapped
+/// tasks (flit-level wormhole simulation), normalized to Floret per mix as
+/// in the paper. Paper shape: Floret best; Kite/SIAM up to 2.24x worse.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Fig. 3: NoI latency, 100 chiplets (normalized to Floret) ===\n\n";
+
+    const auto cfg = bench::default_eval_config();
+    std::vector<bench::BuiltArch> archs;
+    for (const auto a : bench::kAllArchs)
+        archs.push_back(bench::build_arch(a, 10, 10, 13, /*greedy_max_gap=*/2));
+
+    util::TextTable t({"Mix", "Kite", "SIAM", "SWAP", "Floret", "Floret cycles"});
+    double worst_ratio = 0.0;
+    for (const auto& mix : workload::table2()) {
+        std::vector<double> latency;
+        for (auto& b : archs) {
+            const auto run = bench::run_mix_dynamic(b, mix, cfg);
+            if (!run.all_completed)
+                std::cerr << "warning: " << bench::arch_name(b.arch) << "/" << mix.name
+                          << " hit the cycle cap\n";
+            latency.push_back(run.total_cycles);
+        }
+        const double floret = latency[3];
+        for (int i = 0; i < 3; ++i) worst_ratio = std::max(worst_ratio, latency[i] / floret);
+        t.add_row({mix.name, util::TextTable::fmt(latency[0] / floret),
+                   util::TextTable::fmt(latency[1] / floret),
+                   util::TextTable::fmt(latency[2] / floret), "1.00",
+                   util::TextTable::fmt(floret, 0)});
+    }
+    t.print(std::cout);
+    std::cout << "\nWorst baseline/Floret ratio observed: "
+              << util::TextTable::fmt(worst_ratio)
+              << "  (paper: up to 2.24x vs Kite/SIAM)\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/// Fig. 5 reproduction: NoI energy for the Table II mixes on the
+/// 100-chiplet system, normalized to Floret. Energy prices every flit's
+/// router traversal by the router radix and every link traversal by the
+/// wire length. Paper shape: on average 1.65x lower than SIAM and 2.8x
+/// lower than Kite.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Fig. 5: NoI energy, 100 chiplets (normalized to Floret) ===\n\n";
+
+    const auto cfg = bench::default_eval_config();
+    std::vector<bench::BuiltArch> archs;
+    for (const auto a : bench::kAllArchs)
+        archs.push_back(bench::build_arch(a, 10, 10, 13, /*greedy_max_gap=*/2));
+
+    util::TextTable t({"Mix", "Kite", "SIAM", "SWAP", "Floret", "Floret uJ"});
+    double sum_kite = 0.0;
+    double sum_siam = 0.0;
+    double sum_swap = 0.0;
+    for (const auto& mix : workload::table2()) {
+        std::vector<double> energy;
+        for (auto& b : archs) {
+            const auto run = bench::run_mix_dynamic(b, mix, cfg);
+            energy.push_back(run.total_energy_pj);
+        }
+        const double floret = energy[3];
+        sum_kite += energy[0] / floret;
+        sum_siam += energy[1] / floret;
+        sum_swap += energy[2] / floret;
+        t.add_row({mix.name, util::TextTable::fmt(energy[0] / floret),
+                   util::TextTable::fmt(energy[1] / floret),
+                   util::TextTable::fmt(energy[2] / floret), "1.00",
+                   util::TextTable::fmt(floret / 1e6, 2)});
+    }
+    t.print(std::cout);
+    const double n = static_cast<double>(workload::table2().size());
+    std::cout << "\nMean energy vs Floret:  Kite " << util::TextTable::fmt(sum_kite / n)
+              << "x  SIAM " << util::TextTable::fmt(sum_siam / n) << "x  SWAP "
+              << util::TextTable::fmt(sum_swap / n)
+              << "x   (paper: Kite 2.8x, SIAM 1.65x)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/// Fig. 6 reproduction: on the 100-PE 3D (5x5x4) system running DNN1-DNN5,
+/// compare the Floret-enabled (performance-only) NoC mapping against the
+/// joint performance-thermal optimized mapping on (a) EDP, (b) peak
+/// temperature, and (c) inference accuracy under thermal noise.
+/// Paper shape: Floret ~9% better EDP on average, but ~13 K hotter peaks
+/// and up to 11% accuracy degradation; joint-opt stays accurate.
+
+#include <iostream>
+
+#include "src/core/moo.h"
+#include "src/dnn/model_zoo.h"
+#include "src/topo/mesh.h"
+#include "src/util/table.h"
+#include "src/workload/tables.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Fig. 6: 100-PE 3D NoC, perf-only (Floret) vs joint "
+                 "perf-thermal mapping ===\n\n";
+
+    const auto topo3d = topo::make_mesh3d(5, 5, 4);
+    const auto routes = noc::RouteTable::build(topo3d, noc::RoutingPolicy::kShortestPath);
+    thermal::ThermalConfig tcfg;
+    thermal::PowerParams pcfg;
+    pim::ReramConfig rcfg;
+    pim::ThermalAccuracyModel acc;
+    core::PerfParams perf;
+    core::MooConfig moo;
+    moo.iterations = 1500;
+    // The joint design targets the ReRAM-safe temperature (Section III):
+    // a strong thermal weight makes it trade EDP for accuracy headroom.
+    moo.w_thermal = 0.2;
+    moo.t_target_k = 331.0;
+
+    util::TextTable t({"DNN", "EDP gain of Floret", "Peak K (Floret)",
+                       "Peak K (joint)", "Delta K", "Acc drop (Floret)",
+                       "Acc drop (joint)"});
+    double edp_gain_sum = 0.0;
+    double delta_k_sum = 0.0;
+    double worst_acc = 0.0;
+    const auto& t1 = workload::table1();
+    for (std::size_t i = 0; i < 5; ++i) {  // DNN1..DNN5 as in the paper
+        const auto& w = t1[i];
+        const auto net = dnn::build_model(w.model, w.dataset);
+        const auto plan =
+            pim::partition_by_params(net, w.paper_params_m, w.paper_params_m / 88.0);
+        pcfg.inference_period_ns = pim::pipeline_period_ns(net, plan, rcfg);
+
+        const auto perf_only = core::optimize_perf_only(net, plan, routes, tcfg, pcfg,
+                                                        rcfg, acc, perf, moo);
+        const auto joint =
+            core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg, acc, perf, moo);
+
+        const double edp_gain =
+            100.0 * (joint.eval.edp - perf_only.eval.edp) / joint.eval.edp;
+        const double dk = perf_only.eval.peak_k - joint.eval.peak_k;
+        edp_gain_sum += edp_gain;
+        delta_k_sum += dk;
+        worst_acc = std::max(worst_acc, perf_only.eval.accuracy_drop);
+        t.add_row({w.id + " (" + w.model + ")",
+                   util::TextTable::fmt(edp_gain, 1) + "%",
+                   util::TextTable::fmt(perf_only.eval.peak_k, 1),
+                   util::TextTable::fmt(joint.eval.peak_k, 1),
+                   util::TextTable::fmt(dk, 1),
+                   util::TextTable::fmt(100.0 * perf_only.eval.accuracy_drop, 1) + "%",
+                   util::TextTable::fmt(100.0 * joint.eval.accuracy_drop, 1) + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "\nMeans: Floret EDP advantage "
+              << util::TextTable::fmt(edp_gain_sum / 5.0, 1) << "% (paper ~9%), peak-T "
+              << "excess " << util::TextTable::fmt(delta_k_sum / 5.0, 1)
+              << " K (paper ~13 K), worst Floret accuracy drop "
+              << util::TextTable::fmt(100.0 * worst_acc, 1) << "% (paper up to 11%).\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/// Section IV quantitative study: BERT encoder stacks on (a) the
+/// heterogeneous system — ReRAM SFC macro for static kernels + SRAM
+/// attention modules for dynamic matrices — versus (b) the naive all-PIM
+/// system that writes the attention matrices into crossbars every
+/// inference. Reports end-to-end latency, the write-stall share, and the
+/// macro footprint. The write wall is why "traditional NVM-based PIM
+/// architectures are unsuitable" for the dynamic kernels.
+
+#include <iostream>
+
+#include "src/core/hetero.h"
+#include "src/util/table.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Heterogeneous vs all-PIM Transformer acceleration ===\n\n";
+
+    util::TextTable t({"Model", "System", "ReRAM chiplets", "Compute (us)",
+                       "Write stalls (us)", "Latency (us)", "Slowdown"});
+    for (auto model : {dnn::bert_tiny(), dnn::bert_base()}) {
+        model.batch = 1;
+        core::HeteroConfig cfg;
+        cfg.macro_width = 10;
+        cfg.macro_height = 10;
+        cfg.lambda = 10;
+        const auto sys = core::build_hetero_system(cfg);
+
+        double hetero_latency = 0.0;
+        for (const bool all_pim : {false, true}) {
+            const auto mapping = core::map_transformer(sys, model, cfg, all_pim);
+            if (!mapping.fits) {
+                t.add_row({model.name, all_pim ? "all-PIM" : "heterogeneous",
+                           "overflow", "-", "-", "-", "-"});
+                continue;
+            }
+            const auto ev = core::evaluate_hetero(sys, mapping, model);
+            if (!all_pim) hetero_latency = ev.latency_ns;
+            t.add_row({model.name, all_pim ? "all-PIM" : "heterogeneous",
+                       std::to_string(mapping.reram_chiplets_used),
+                       util::TextTable::fmt(ev.compute_ns / 1e3, 1),
+                       util::TextTable::fmt(ev.write_ns / 1e3, 1),
+                       util::TextTable::fmt(ev.latency_ns / 1e3, 1),
+                       util::TextTable::fmt(ev.latency_ns /
+                                            std::max(1.0, hetero_latency)) +
+                           "x"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nThe all-PIM design pays ReRAM write latency on every score\n"
+                 "matrix (and would exhaust crossbar endurance in hours); the\n"
+                 "SFC macro + SRAM modules split avoids it (Section IV).\n";
+    return 0;
+}

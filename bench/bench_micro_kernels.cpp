@@ -1,0 +1,93 @@
+/// Micro-benchmarks (google-benchmark) for the hot kernels of the
+/// framework: SFC generation + placement optimization, route-table
+/// construction, flit simulation throughput, the steady-state thermal
+/// solve, and model-zoo graph construction.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+#include "src/dnn/model_zoo.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/thermal/grid_solver.h"
+#include "src/topo/mesh.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace floretsim;
+
+std::int32_t bench_lambda(std::int32_t side) { return side % 2 == 0 ? side / 2 : side; }
+
+void BM_SfcGeneration(benchmark::State& state) {
+    const auto side = static_cast<std::int32_t>(state.range(0));
+    for (auto _ : state) {
+        auto set = core::generate_sfc_set(side, side, bench_lambda(side));
+        benchmark::DoNotOptimize(set);
+    }
+}
+
+void BM_RouteTableUpDown(benchmark::State& state) {
+    const auto side = static_cast<std::int32_t>(state.range(0));
+    const auto t = topo::make_mesh(side, side);
+    for (auto _ : state) {
+        auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kUpDown);
+        benchmark::DoNotOptimize(rt);
+    }
+}
+
+void BM_SimulatorDrain(benchmark::State& state) {
+    const auto t = topo::make_mesh(10, 10);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kShortestPath);
+    std::int64_t flits = 0;
+    for (auto _ : state) {
+        noc::SimConfig cfg;
+        noc::Simulator sim(t, rt, cfg);
+        util::Rng rng(5);
+        for (int i = 0; i < 200; ++i) {
+            const auto s = static_cast<topo::NodeId>(rng.below(100));
+            const auto d = static_cast<topo::NodeId>(rng.below(100));
+            if (s != d) sim.add_demand({s, d, 256});
+        }
+        const auto res = sim.run();
+        flits += res.flits;
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(flits);
+}
+
+void BM_ThermalSolve(benchmark::State& state) {
+    thermal::ThermalConfig cfg;
+    std::vector<double> power(static_cast<std::size_t>(cfg.cells()), 0.8);
+    for (auto _ : state) {
+        auto res = thermal::solve_steady_state(cfg, power);
+        benchmark::DoNotOptimize(res);
+    }
+}
+
+void BM_ModelZooResNet50(benchmark::State& state) {
+    for (auto _ : state) {
+        auto net = dnn::build_resnet(50, dnn::Dataset::kImageNet);
+        benchmark::DoNotOptimize(net);
+    }
+}
+
+void BM_FloretTopologyBuild(benchmark::State& state) {
+    const auto set = core::generate_sfc_set(10, 10, 10);
+    for (auto _ : state) {
+        auto t = core::make_floret(set);
+        benchmark::DoNotOptimize(t);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SfcGeneration)->Arg(6)->Arg(10)->Arg(16);
+BENCHMARK(BM_RouteTableUpDown)->Arg(6)->Arg(10);
+BENCHMARK(BM_SimulatorDrain);
+BENCHMARK(BM_ThermalSolve);
+BENCHMARK(BM_ModelZooResNet50);
+BENCHMARK(BM_FloretTopologyBuild);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+/// Section II dynamic-mapping study: DNN tasks arrive and depart over
+/// time; chiplets are reclaimed and reassigned. Compares the SFC first-fit
+/// discipline (Floret) against scattered allocation on fragmentation and
+/// allocation quality — the paper's rationale for multiple SFCs with
+/// short tail-to-head jumps.
+
+#include <iostream>
+
+#include "src/core/scheduler.h"
+#include "src/util/table.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Dynamic multi-tenant allocation, 100-chiplet Floret ===\n\n";
+
+    const auto set = core::generate_sfc_set(10, 10, 10);
+    util::TextTable t({"Policy", "Load", "Accepted", "Rejected", "Mean util",
+                       "Fragments/task", "Mean intra-task gap"});
+    for (const double load : {0.2, 0.4, 0.7}) {
+        for (const auto policy :
+             {core::AllocationPolicy::kSfcFirstFit, core::AllocationPolicy::kScattered}) {
+            core::SchedulerConfig cfg;
+            cfg.slots = 4000;
+            cfg.arrival_prob = load;
+            const auto s = core::simulate_dynamic(set, policy, cfg);
+            t.add_row({policy == core::AllocationPolicy::kSfcFirstFit ? "SFC first-fit"
+                                                                      : "Scattered",
+                       util::TextTable::fmt(load, 1), std::to_string(s.accepted),
+                       std::to_string(s.rejected),
+                       util::TextTable::fmt(100.0 * s.mean_utilization, 1) + "%",
+                       util::TextTable::fmt(s.mean_fragments_per_task),
+                       util::TextTable::fmt(s.mean_intra_task_gap)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape: SFC first-fit keeps tasks near-contiguous (few "
+                 "fragments, small gaps) at identical acceptance.\n";
+    return 0;
+}

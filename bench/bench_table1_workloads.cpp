@@ -1,0 +1,32 @@
+/// Table I reproduction: the 13 DNN inference workloads with their
+/// parameter counts. Prints the paper's literal numbers next to the
+/// counts computed from our from-scratch layer graphs, plus graph stats.
+
+#include <iostream>
+
+#include "src/dnn/model_zoo.h"
+#include "src/util/table.h"
+#include "src/workload/tables.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Table I: DNN inference workloads ===\n"
+              << "(paper params as printed in Table I; computed params from the\n"
+              << " reconstructed architectures — several Table I entries disagree\n"
+              << " with the true model sizes, see EXPERIMENTS.md)\n\n";
+
+    util::TextTable t({"Name", "Model", "Dataset", "Paper params (M)",
+                       "Computed params (M)", "GMACs", "Layers", "Skip edges"});
+    for (const auto& w : workload::table1()) {
+        const auto net = dnn::build_model(w.model, w.dataset);
+        std::int64_t skip_edges = 0;
+        for (const auto& e : net.edges()) skip_edges += e.skip;
+        t.add_row({w.id, w.model, dnn::dataset_name(w.dataset),
+                   util::TextTable::fmt(w.paper_params_m),
+                   util::TextTable::fmt(static_cast<double>(net.total_params()) / 1e6),
+                   util::TextTable::fmt(static_cast<double>(net.total_macs()) / 1e9),
+                   std::to_string(net.size()), std::to_string(skip_edges)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/// Table II reproduction: the five concurrent DNN mixes for the
+/// 100-chiplet system, with their parameter totals and the chiplet demand
+/// they exert at the calibrated chiplet capacity.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/common.h"
+
+int main() {
+    using namespace floretsim;
+    std::cout << "=== Table II: concurrent DNN task mixes (100-chiplet system) ===\n"
+              << "chiplet capacity " << bench::kParamsPerChipletM
+              << "M params; demand = sum of per-task packed partitions\n\n";
+
+    util::TextTable t({"Name", "Tasks", "Table-I params (B)", "Paper total (B)",
+                       "Chiplet demand", "Fits 100?"});
+    for (const auto& mix : workload::table2()) {
+        std::vector<std::unique_ptr<dnn::Network>> owner;
+        const auto queue = workload::expand_mix(mix);
+        const auto tasks = core::make_tasks(queue, bench::kParamsPerChipletM, owner);
+        std::int32_t demand = 0;
+        for (const auto& task : tasks) demand += task.plan.total_chiplets;
+        t.add_row({mix.name, std::to_string(mix.total_instances()),
+                   util::TextTable::fmt(mix.table_params_m() / 1e3, 3),
+                   util::TextTable::fmt(mix.paper_total_params_b, 1),
+                   std::to_string(demand), demand <= 100 ? "yes" : "no (queue waits)"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMix composition:\n";
+    for (const auto& mix : workload::table2()) {
+        std::cout << "  " << mix.name << ": ";
+        for (std::size_t i = 0; i < mix.entries.size(); ++i) {
+            if (i) std::cout << " -> ";
+            std::cout << mix.entries[i].second << "x" << mix.entries[i].first;
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+#pragma once
+
+/// Shared harness for the paper-reproduction benches. The actual
+/// experiment infrastructure (architecture builders, dynamic multi-tenant
+/// runner) is library code in src/core/experiment.h — tested like
+/// everything else; this header only aliases it into the bench namespace
+/// and pulls in the table printer.
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+
+namespace floretsim::bench {
+using namespace floretsim::core::experiment;  // NOLINT: intentional alias
+}  // namespace floretsim::bench

@@ -1,0 +1,68 @@
+/// Topology explorer: build any of the four NoI architectures at a chosen
+/// size and print its structural profile — ports, links, hop distances,
+/// area, yield-driven fabrication cost. Useful for scoping a design before
+/// running full workload simulations.
+///
+///   $ ./examples/topology_explorer [width] [height]    (default 10 10)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/cost/models.h"
+#include "src/topo/butterfly.h"
+
+int main(int argc, char** argv) {
+    using namespace floretsim;
+    const std::int32_t w = argc > 1 ? std::atoi(argv[1]) : 10;
+    const std::int32_t h = argc > 2 ? std::atoi(argv[2]) : 10;
+    if (w < 2 || h < 2 || w > 32 || h > 32) {
+        std::cerr << "grid must be between 2x2 and 32x32\n";
+        return 1;
+    }
+
+    cost::CostParams cp;
+    std::cout << "=== NoI architectures at " << w << "x" << h << " ("
+              << w * h << " chiplets) ===\n\n";
+
+    util::TextTable t({"NoI", "Links", "Mean ports", "Max ports", "Mean hops",
+                       "Diameter", "Area (mm2)", "Leakage (mW)", "Cost vs ref"});
+    auto add_row = [&](const std::string& name, const topo::Topology& topo,
+                       const noc::RouteTable& routes) {
+        double ports_sum = 0.0;
+        std::int32_t ports_max = 0;
+        for (const auto& n : topo.nodes()) {
+            ports_sum += topo.ports(n.id);
+            ports_max = std::max(ports_max, topo.ports(n.id));
+        }
+        std::int32_t diameter = 0;
+        for (topo::NodeId n = 0; n < topo.node_count(); ++n)
+            for (const auto d : topo.hop_distances(n)) diameter = std::max(diameter, d);
+        t.add_row({name, std::to_string(topo.link_count()),
+                   util::TextTable::fmt(ports_sum / topo.node_count()),
+                   std::to_string(ports_max),
+                   util::TextTable::fmt(routes.mean_hops()),
+                   std::to_string(diameter),
+                   util::TextTable::fmt(cost::noi_area_mm2(topo, cp), 0),
+                   util::TextTable::fmt(cost::noi_leakage_mw(topo, cp), 0),
+                   util::TextTable::fmt(cost::fabrication_cost(topo, cp), 2)});
+    };
+    for (const auto arch : bench::kAllArchs) {
+        auto b = bench::build_arch(arch, w, h);
+        add_row(bench::arch_name(b.arch), b.topology(), b.routes());
+    }
+    // The extended family §II mentions (Floret generalizes to these too).
+    for (const auto* extra : {"ButterDonut", "DoubleButterfly"}) {
+        const auto topo = std::string(extra) == "ButterDonut"
+                              ? topo::make_butter_donut(w, h)
+                              : topo::make_double_butterfly(w, h);
+        const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+        add_row(extra, topo, routes);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFloret petal map:\n";
+    const auto set = core::generate_sfc_set(w, h, bench::default_lambda(w, h));
+    std::cout << set.render();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/// Section IV scenario: end-to-end Transformer acceleration needs a
+/// heterogeneous system — the static feed-forward/projection weights live
+/// on the ReRAM SFC macro, while the dynamically rewritten attention
+/// matrices (score MVMs) are unsuitable for NVM crossbars (write
+/// endurance, 8.98x intermediate storage for BERT-Base) and go to
+/// SRAM/tensor modules. This example walks a BERT encoder stack, splits
+/// the kernels by class, sizes the SFC macro, and reports the resulting
+/// storage and traffic budget.
+///
+///   $ ./examples/transformer_hetero [base|tiny] [batch]   (default base 6)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/core/hetero.h"
+#include "src/core/sfc.h"
+#include "src/dnn/transformer.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace floretsim;
+    const std::string which = argc > 1 ? argv[1] : "base";
+    auto cfg = which == "tiny" ? dnn::bert_tiny() : dnn::bert_base();
+    cfg.batch = argc > 2 ? std::atoi(argv[2]) : 6;
+
+    const auto storage = dnn::analyze_storage(cfg);
+    std::cout << "=== " << cfg.name << " (batch " << cfg.batch << ", seq "
+              << cfg.seq_len << ") ===\n"
+              << "encoder weights:      " << storage.weight_params / 1e6 << " M\n"
+              << "embeddings:           " << storage.embedding_params / 1e6 << " M\n"
+              << "intermediate matrices: " << storage.intermediate_elems / 1e6
+              << " M elems = " << storage.intermediate_over_weights()
+              << "x the weight storage (paper: 8.98x Base / 2.06x Tiny)\n\n";
+
+    // Split the kernel walk by hardware class.
+    std::int64_t static_weights = 0;
+    std::int64_t static_macs = 0;
+    std::int64_t dynamic_macs = 0;
+    std::int64_t cross_traffic = 0;  // activations crossing PIM <-> non-PIM
+    dnn::KernelClass prev = dnn::KernelClass::kStaticWeight;
+    std::int64_t prev_out = 0;
+    for (const auto& k : dnn::kernel_walk(cfg)) {
+        if (k.cls == dnn::KernelClass::kStaticWeight) {
+            static_weights += k.weight_params;
+            static_macs += k.work_macs;
+        } else if (k.cls == dnn::KernelClass::kDynamicMatrix) {
+            dynamic_macs += k.work_macs;
+        }
+        // Traffic between modules whenever the hardware class changes.
+        const bool was_pim = prev == dnn::KernelClass::kStaticWeight;
+        const bool is_pim = k.cls == dnn::KernelClass::kStaticWeight;
+        if (was_pim != is_pim) cross_traffic += prev_out;
+        prev = k.cls;
+        prev_out = k.activation_elems;
+    }
+
+    util::TextTable t({"Hardware module", "Weights (M)", "GMACs/inference"});
+    t.add_row({"ReRAM SFC macro (static FF/proj)",
+               util::TextTable::fmt(static_weights / 1e6, 1),
+               util::TextTable::fmt(static_macs / 1e9, 1)});
+    t.add_row({"SRAM/tensor module (dynamic attn)", "0.0",
+               util::TextTable::fmt(dynamic_macs / 1e9, 1)});
+    t.print(std::cout);
+
+    std::cout << "\nPIM <-> non-PIM boundary traffic: " << cross_traffic / 1e6
+              << " M activations per inference.\n\n";
+
+    // Build the actual heterogeneous system and compare against all-PIM.
+    core::HeteroConfig hcfg;
+    hcfg.macro_width = 10;
+    hcfg.macro_height = 10;
+    hcfg.lambda = 10;
+    const auto sys = core::build_hetero_system(hcfg);
+    std::cout << "Heterogeneous system: " << sys.macro_order.size()
+              << " ReRAM chiplets (SFC macro) + " << sys.attention_nodes.size()
+              << " attention modules\n"
+              << sys.macro_sfc.render() << '\n';
+
+    auto one_seq = cfg;
+    one_seq.batch = 1;
+    for (const bool all_pim : {false, true}) {
+        const auto mapping = core::map_transformer(sys, one_seq, hcfg, all_pim);
+        std::cout << (all_pim ? "all-PIM " : "hetero  ");
+        if (!mapping.fits) {
+            std::cout << "-> does not fit (intermediates exceed the macro: the "
+                         "paper's reticle-limit argument)\n";
+            continue;
+        }
+        const auto ev = core::evaluate_hetero(sys, mapping, one_seq);
+        std::cout << "-> latency " << ev.latency_ns / 1e3 << " us (compute "
+                  << ev.compute_ns / 1e3 << ", writes " << ev.write_ns / 1e3
+                  << ", " << mapping.reram_chiplets_used << " chiplets)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+
+#include "src/core/mapper.h"
+#include "src/cost/models.h"
+#include "src/dnn/traffic.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::core {
+
+/// End-to-end NoI evaluation settings for the 2.5D experiments.
+struct EvalConfig {
+    noc::SimConfig sim;
+    cost::CostParams cost;
+    std::int32_t bytes_per_elem = 1;  ///< int8 activations.
+    /// Fraction of the activation traffic injected into the flit
+    /// simulator. One full inference pass of a 100-chiplet mix is hundreds
+    /// of MB; sampling keeps simulated makespans tractable while
+    /// preserving the relative comparison (all architectures use the same
+    /// scale).
+    double traffic_scale = 1.0 / 256.0;
+    /// Also inject the SIAM-style weight-loading phase: every mapped
+    /// chiplet receives its stored weights (1 B per 8-bit parameter) from
+    /// the interposer I/O node before inference. Off by default — the
+    /// paper's steady-state inference serves many passes per load, but the
+    /// ablation bench quantifies its one-time cost.
+    bool include_weight_load = false;
+    topo::NodeId io_node = 0;  ///< Where weights enter the interposer.
+};
+
+/// Aggregate NoI metrics for one workload mapping (one Fig. 3/5 bar).
+struct EvalResult {
+    double latency_cycles = 0.0;        ///< Makespan to drain the traffic.
+    double mean_packet_latency = 0.0;   ///< Cycles, inject -> tail eject.
+    double energy_pj = 0.0;             ///< Radix/length-weighted NoI energy.
+    std::int64_t flit_hops = 0;
+    std::int64_t packets = 0;
+    bool completed = false;
+};
+
+/// Dataflow (pipeline) traffic of one mapped task, the paper's model:
+/// activations flow from layer i to layer i+1, i.e. from the *tail*
+/// chiplet of the producing segment to the *head* chiplet of the consuming
+/// segment (full edge volume), and stream through multi-chiplet segments
+/// chiplet-to-chiplet (each internal boundary carries the layer's input
+/// activations). Contiguous mappings therefore ride single-hop links,
+/// which is precisely the property Floret optimizes.
+[[nodiscard]] std::vector<dnn::Flow> pipeline_flows(const MappedTask& task,
+                                                    std::int32_t bytes_per_elem);
+
+/// Projects every mapped task's pipeline flows into demands, runs the
+/// wormhole simulator, and prices the traffic with the cost model.
+/// Unmapped tasks are skipped (they contribute no traffic).
+[[nodiscard]] EvalResult evaluate_noi(const topo::Topology& topo,
+                                      const noc::RouteTable& routes,
+                                      std::span<const MappedTask> tasks,
+                                      const EvalConfig& cfg);
+
+}  // namespace floretsim::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/floret.h"
+#include "src/core/mapper.h"
+#include "src/core/sfc.h"
+#include "src/noc/routing.h"
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::core::experiment {
+
+/// The experiment harness behind the paper's evaluation: builders for the
+/// four compared NoI architectures (with their mapping policies) and the
+/// dynamic multi-tenant workload runner used by the Fig. 3/4/5 studies.
+
+enum class Arch { kKite, kSiamMesh, kSwap, kFloret };
+
+[[nodiscard]] const char* arch_name(Arch a);
+
+constexpr std::array<Arch, 4> kAllArchs{Arch::kKite, Arch::kSiamMesh, Arch::kSwap,
+                                        Arch::kFloret};
+
+/// Chiplet weight capacity used by the mix experiments, in millions of
+/// 8-bit parameters. Matches pim::ReramConfig (128x128 crossbars, 2-bit
+/// cells, 16 IMAs x 16 crossbars ≈ 1.05M weights per chiplet) — the
+/// SIAM-class chiplet the paper assumes. Table II mixes therefore overload
+/// the 100-chiplet system and queue, exactly the multi-tenant pressure the
+/// paper's mapping study exercises.
+constexpr double kParamsPerChipletM = 1.0;
+
+/// One fully built architecture: topology, routes, and a mapper bound to
+/// its allocation policy (SFC-contiguous for Floret, nearest-hop greedy
+/// for the baselines). Topology and routes live on the heap because the
+/// mapper holds references to them — the struct must stay move-safe.
+struct BuiltArch {
+    Arch arch = Arch::kFloret;
+    std::unique_ptr<topo::Topology> topology_ptr;
+    std::unique_ptr<noc::RouteTable> routes_ptr;
+    std::unique_ptr<Mapper> mapper;
+    SfcSet sfc;  ///< Only meaningful for Floret.
+
+    [[nodiscard]] const topo::Topology& topology() const { return *topology_ptr; }
+    [[nodiscard]] const noc::RouteTable& routes() const { return *routes_ptr; }
+};
+
+/// Petal count for a Floret grid: aim for petals of ~10 chiplets while
+/// keeping a valid region tiling (mirrors Fig. 1's 6 petals for 36).
+[[nodiscard]] std::int32_t default_lambda(std::int32_t w, std::int32_t h);
+
+/// Builds one of the compared architectures at the given grid size.
+/// `greedy_max_gap` is the baselines' contiguity budget in hops (-1 =
+/// unbounded); `swap_seed` fixes the SWAP synthesis.
+[[nodiscard]] BuiltArch build_arch(Arch a, std::int32_t w, std::int32_t h,
+                                   std::uint64_t swap_seed = 13,
+                                   std::int32_t greedy_max_gap = -1);
+
+/// Evaluation defaults for the mix experiments: 1/64 traffic sampling and
+/// sources that offer traffic as fast as the NoI accepts it, so the drain
+/// makespan measures the network rather than the injection pacing.
+[[nodiscard]] EvalConfig default_eval_config();
+
+/// Per-inference PIM compute latency of a mapped task (layers in dataflow
+/// order on their allocated chiplet spans).
+[[nodiscard]] double task_compute_ns(const MappedTask& t, const pim::ReramConfig& rc);
+
+/// Outcome of the dynamic multi-tenant execution of one mix.
+struct DynamicResult {
+    /// Workload makespan: per round, the slowest resident task's PIM
+    /// compute time plus the NoI drain time. Rounds spent at low occupancy
+    /// (queue head blocked by fragmentation) inflate this — the paper's
+    /// utilization-to-latency causal chain.
+    double total_cycles = 0.0;
+    double total_energy_pj = 0.0;  ///< NoI energy: dynamic + leakage (Fig. 5).
+    std::int64_t flit_hops = 0;
+    std::int64_t rounds = 0;
+    std::int64_t task_rounds = 0;  ///< Sum of resident counts over rounds.
+    bool all_completed = true;
+};
+
+/// Executes a Table II mix the way the paper describes Section II's
+/// multi-tenant scenario: tasks are admitted strictly from the queue head
+/// while the mapper can place them, every resident task runs inference
+/// rounds, and tasks retire after a deterministic per-instance number of
+/// rounds, returning their chiplets. When the queue head cannot map the
+/// system keeps running at reduced occupancy; if the system is idle and
+/// the head still fails, placement constraints are relaxed so progress is
+/// always possible. Durations depend only on `seed` and queue position,
+/// so every architecture executes the identical work schedule.
+[[nodiscard]] DynamicResult run_mix_dynamic(BuiltArch& arch,
+                                            const workload::ConcurrentMix& mix,
+                                            const EvalConfig& cfg,
+                                            std::uint64_t seed = 1);
+
+}  // namespace floretsim::core::experiment

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "src/core/sfc.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::core {
+
+struct FloretOptions {
+    /// Tail-to-head express links are created only when the pair is within
+    /// this Manhattan span (the paper: "at most three hops").
+    std::int32_t max_tail_head_span = 3;
+    /// At most this many express links per tail (nearest heads win), so
+    /// the top-level network stays sparse and head/tail routers stay small
+    /// — the paper's Floret routers are 2-port except heads/tails.
+    std::int32_t max_express_per_tail = 2;
+    double pitch_mm = 4.0;
+};
+
+/// Builds the Floret NoI topology from an SFC decomposition: every SFC
+/// contributes its chain of single-hop links (2-port routers along the
+/// petal), and the top-level network connects each SFC's tail to the heads
+/// of other SFCs within `max_tail_head_span` hops. If the result would be
+/// disconnected (tiny or adversarial layouts), the closest tail-head pairs
+/// across components are bridged regardless of the span limit.
+[[nodiscard]] topo::Topology make_floret(const SfcSet& set,
+                                         const FloretOptions& opts = {});
+
+}  // namespace floretsim::core

@@ -1,0 +1,149 @@
+#include "src/core/hetero.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/floret.h"
+#include "src/noc/routing.h"
+
+namespace floretsim::core {
+
+HeteroSystem build_hetero_system(const HeteroConfig& cfg) {
+    if (cfg.attention_modules < 1) throw std::invalid_argument("need >= 1 module");
+
+    HeteroSystem sys{topo::Topology("Hetero", cfg.pitch_mm), {}, {}, {}};
+    sys.macro_sfc = generate_sfc_set(cfg.macro_width, cfg.macro_height, cfg.lambda);
+    FloretOptions opts;
+    opts.pitch_mm = cfg.pitch_mm;
+    sys.topology = make_floret(sys.macro_sfc, opts);
+    sys.macro_order = sys.macro_sfc.concatenated_order();
+
+    // Attention modules alternate along the macro's right and left edges,
+    // spread evenly in y; each links to the two nearest edge chiplets so
+    // dynamic kernels can sit close to their producers anywhere on the SFC.
+    for (std::int32_t m = 0; m < cfg.attention_modules; ++m) {
+        const bool right = (m % 2 == 0);
+        const std::int32_t slots = (cfg.attention_modules + 1) / 2;
+        const std::int32_t slot = m / 2;
+        const std::int32_t y = std::min(
+            (2 * slot + 1) * cfg.macro_height / (2 * std::max(1, slots)),
+            cfg.macro_height - 1);
+        const std::int32_t mx = right ? cfg.macro_width : -1;
+        const std::int32_t ex = right ? cfg.macro_width - 1 : 0;
+        const auto node = sys.topology.add_node(util::Point2{mx, y});
+        sys.attention_nodes.push_back(node);
+        sys.topology.add_link(node, util::to_index(util::Point2{ex, y}, cfg.macro_width));
+        const std::int32_t y2 = y > 0 ? y - 1 : std::min(y + 1, cfg.macro_height - 1);
+        const auto edge2 = util::to_index(util::Point2{ex, y2}, cfg.macro_width);
+        if (!sys.topology.has_link(node, edge2)) sys.topology.add_link(node, edge2);
+    }
+    return sys;
+}
+
+HeteroMapping map_transformer(const HeteroSystem& sys,
+                              const dnn::TransformerConfig& model,
+                              const HeteroConfig& cfg, bool force_all_pim) {
+    HeteroMapping out;
+    const auto kernels = dnn::kernel_walk(model);
+    const double capacity = cfg.params_per_chiplet_m * 1e6;
+
+    double cum_weights = 0.0;
+    std::vector<topo::NodeId> prev_nodes;
+
+    for (const auto& k : kernels) {
+        KernelPlacement p;
+        p.kernel = k.name;
+        p.cls = k.cls;
+
+        const bool on_pim =
+            k.cls == dnn::KernelClass::kStaticWeight ||
+            (force_all_pim && k.cls == dnn::KernelClass::kDynamicMatrix);
+        if (on_pim) {
+            // Pack onto the SFC order by weight volume; dynamic kernels
+            // (all-PIM mode) claim one chiplet's worth of crossbars for
+            // their intermediate matrix.
+            const double mass =
+                k.cls == dnn::KernelClass::kStaticWeight
+                    ? static_cast<double>(k.weight_params)
+                    : capacity;  // one chiplet per dynamic matrix
+            const auto first = static_cast<std::int32_t>(cum_weights / capacity);
+            cum_weights += mass;
+            const auto last = std::max(
+                first, static_cast<std::int32_t>(std::ceil(cum_weights / capacity)) - 1);
+            if (static_cast<std::size_t>(last) >= sys.macro_order.size()) {
+                out.fits = false;
+                return out;
+            }
+            for (std::int32_t c = first; c <= last; ++c)
+                p.nodes.push_back(sys.macro_order[static_cast<std::size_t>(c)]);
+            out.reram_chiplets_used = std::max(out.reram_chiplets_used, last + 1);
+            // PIM MVM throughput: 41 GMAC/s per crossbar-equivalent, one
+            // chiplet = 256 crossbars -> ~10.5 TMAC/s.
+            const double tmacs = 10.5e12 * static_cast<double>(p.nodes.size());
+            p.compute_ns = static_cast<double>(k.work_macs) / tmacs * 1e9;
+            if (force_all_pim && k.cls == dnn::KernelClass::kDynamicMatrix) {
+                // The score matrix must be written into the crossbars
+                // before every MVM pass — the §IV endurance/latency wall.
+                p.write_ns = static_cast<double>(k.activation_elems) *
+                             cfg.reram_write_ns_per_elem;
+                p.compute_ns += p.write_ns;
+            }
+        } else if (k.cls == dnn::KernelClass::kDynamicMatrix) {
+            // Dataflow-aware module choice: the one nearest the producer.
+            const auto anchor = prev_nodes.empty()
+                                    ? sys.macro_order.front()
+                                    : prev_nodes.back();
+            const auto apos = sys.topology.node(anchor).pos;
+            topo::NodeId best = sys.attention_nodes.front();
+            std::int32_t best_d = std::numeric_limits<std::int32_t>::max();
+            for (const auto mod : sys.attention_nodes) {
+                const auto d = util::manhattan(sys.topology.node(mod).pos, apos);
+                if (d < best_d) {
+                    best_d = d;
+                    best = mod;
+                }
+            }
+            p.nodes.push_back(best);
+            const double tmacs = 10.5e12 * cfg.sram_speedup;
+            p.compute_ns = static_cast<double>(k.work_macs) / tmacs * 1e9;
+        } else {
+            // Elementwise: runs where its producer finished.
+            p.nodes = prev_nodes.empty()
+                          ? std::vector<topo::NodeId>{sys.macro_order.front()}
+                          : prev_nodes;
+            p.compute_ns = 0.0;
+        }
+        prev_nodes = p.nodes;
+        out.placements.push_back(std::move(p));
+    }
+    return out;
+}
+
+HeteroEval evaluate_hetero(const HeteroSystem& sys, const HeteroMapping& mapping,
+                           const dnn::TransformerConfig& model) {
+    HeteroEval ev;
+    if (!mapping.fits) return ev;
+    const auto routes =
+        noc::RouteTable::build(sys.topology, noc::RoutingPolicy::kUpDown);
+    const auto kernels = dnn::kernel_walk(model);
+
+    for (std::size_t i = 0; i < mapping.placements.size(); ++i) {
+        const auto& p = mapping.placements[i];
+        ev.compute_ns += p.compute_ns;
+        ev.write_ns += p.write_ns;
+        if (i == 0) continue;
+        // Activations of kernel i-1 flow to kernel i: tail -> head.
+        const auto from = mapping.placements[i - 1].nodes.back();
+        const auto to = p.nodes.front();
+        if (from == to) continue;
+        ev.comm_hop_bytes += static_cast<double>(kernels[i - 1].activation_elems) *
+                             routes.hops(from, to);
+    }
+    // 8 B per flit-cycle at 1 GHz.
+    ev.latency_ns = ev.compute_ns + ev.comm_hop_bytes / 8.0;
+    return ev;
+}
+
+}  // namespace floretsim::core

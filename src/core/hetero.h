@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/sfc.h"
+#include "src/dnn/transformer.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::core {
+
+/// Section IV: end-to-end Transformer acceleration needs heterogeneous
+/// integration — the static FF/projection weights suit the ReRAM SFC
+/// macro, but the attention score matrices are rewritten per token, which
+/// NVM crossbars cannot sustain (write latency and endurance). This module
+/// builds a combined 2.5D system: a Floret SFC macro of ReRAM chiplets
+/// plus a column of SRAM/tensor "attention modules" integrated along its
+/// edge, maps an encoder stack across both, and evaluates the design
+/// against the naive all-PIM alternative.
+
+struct HeteroConfig {
+    std::int32_t macro_width = 8;    ///< ReRAM macro grid.
+    std::int32_t macro_height = 8;
+    std::int32_t lambda = 4;         ///< SFC petals in the macro.
+    std::int32_t attention_modules = 4;  ///< SRAM/tensor chiplets on the edge.
+    double params_per_chiplet_m = 1.0;   ///< ReRAM chiplet weight capacity.
+    double pitch_mm = 4.0;
+
+    /// SRAM module MVM throughput relative to a ReRAM chiplet (dynamic
+    /// matrices run on digital MACs; no write penalty).
+    double sram_speedup = 1.0;
+    /// ReRAM write cost per matrix element (ns) when forcing dynamic
+    /// matrices into crossbars (the all-PIM baseline): a 128-cell row
+    /// programs in ~500 ns -> ~4 ns/element.
+    double reram_write_ns_per_elem = 4.0;
+};
+
+/// The built heterogeneous system.
+struct HeteroSystem {
+    topo::Topology topology;      ///< Macro + attention modules.
+    SfcSet macro_sfc;             ///< Petals of the ReRAM macro.
+    std::vector<topo::NodeId> macro_order;   ///< SFC chiplet order.
+    std::vector<topo::NodeId> attention_nodes;  ///< The SRAM modules.
+};
+
+/// Builds the combined topology: Floret macro plus `attention_modules`
+/// nodes in a column at x = macro_width, each linked to its nearest macro
+/// chiplets (two links per module).
+[[nodiscard]] HeteroSystem build_hetero_system(const HeteroConfig& cfg);
+
+/// Where each kernel of the encoder stack executes.
+struct KernelPlacement {
+    std::string kernel;
+    dnn::KernelClass cls;
+    std::vector<topo::NodeId> nodes;  ///< Chiplets/modules executing it.
+    double compute_ns = 0.0;          ///< Execution time on those nodes.
+    double write_ns = 0.0;            ///< ReRAM programming stalls (all-PIM).
+};
+
+struct HeteroMapping {
+    std::vector<KernelPlacement> placements;
+    std::int32_t reram_chiplets_used = 0;
+    bool fits = true;  ///< False if the macro ran out of chiplets.
+};
+
+/// Maps the encoder stack: static-weight kernels consume the SFC order
+/// (packed by weight volume); dynamic kernels go to the *nearest*
+/// attention module (dataflow-aware choice); elementwise kernels ride
+/// with their producer. When
+/// `force_all_pim` is set, dynamic kernels are instead written into ReRAM
+/// crossbars each inference — the §IV anti-pattern — incurring the write
+/// cost on their intermediate matrices.
+[[nodiscard]] HeteroMapping map_transformer(const HeteroSystem& sys,
+                                            const dnn::TransformerConfig& model,
+                                            const HeteroConfig& cfg,
+                                            bool force_all_pim = false);
+
+struct HeteroEval {
+    double compute_ns = 0.0;       ///< Serial kernel execution (one token batch).
+    double comm_hop_bytes = 0.0;   ///< Sum of bytes x hops between kernels.
+    double latency_ns = 0.0;       ///< compute + comm at 8 B/cycle, 1 GHz.
+    double write_ns = 0.0;         ///< ReRAM write stalls (all-PIM only).
+};
+
+/// Analytical end-to-end evaluation of a mapping (hop-weighted traffic +
+/// serial kernel compute + write stalls).
+[[nodiscard]] HeteroEval evaluate_hetero(const HeteroSystem& sys,
+                                         const HeteroMapping& mapping,
+                                         const dnn::TransformerConfig& model);
+
+}  // namespace floretsim::core

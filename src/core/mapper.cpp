@@ -1,0 +1,192 @@
+#include "src/core/mapper.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/workload/tables.h"
+
+namespace floretsim::core {
+
+FloretMapper::FloretMapper(const SfcSet& set) : order_(set.concatenated_order()) {
+    pos_of_node_.assign(order_.size(), -1);
+    for (std::size_t p = 0; p < order_.size(); ++p)
+        pos_of_node_[static_cast<std::size_t>(order_[p])] = static_cast<std::int32_t>(p);
+    busy_.assign(order_.size(), false);
+}
+
+std::vector<MappedTask> FloretMapper::map_queue(std::span<const TaskSpec> tasks,
+                                                MappingStats* stats) {
+    std::vector<MappedTask> out;
+    out.reserve(tasks.size());
+
+    for (const TaskSpec& spec : tasks) {
+        MappedTask m;
+        m.name = spec.name;
+        m.net = spec.net;
+        m.plan = spec.plan;
+        const auto need = static_cast<std::size_t>(spec.plan.total_chiplets);
+
+        // Earliest free positions along the SFC order (first-fit with
+        // spillover across freed holes and SFC boundaries).
+        std::vector<std::size_t> positions;
+        for (std::size_t p = 0; p < order_.size() && positions.size() < need; ++p)
+            if (!busy_[p]) positions.push_back(p);
+        if (positions.size() == need) {
+            for (const auto p : positions) {
+                busy_[p] = true;
+                m.nodes.push_back(order_[p]);
+            }
+            m.layer_nodes = pim::assign_layers(*spec.net, spec.plan, m.nodes);
+            m.mapped = true;
+        }
+        out.push_back(std::move(m));
+    }
+
+    if (stats != nullptr) {
+        stats->nodes_total = static_cast<std::int32_t>(order_.size());
+        stats->nodes_used = static_cast<std::int32_t>(
+            std::count(busy_.begin(), busy_.end(), true));
+        stats->tasks_mapped = 0;
+        stats->tasks_failed = 0;
+        for (const auto& m : out) (m.mapped ? stats->tasks_mapped : stats->tasks_failed)++;
+    }
+    return out;
+}
+
+void FloretMapper::release(const MappedTask& task) {
+    for (const auto n : task.nodes)
+        busy_[static_cast<std::size_t>(pos_of_node_[static_cast<std::size_t>(n)])] = false;
+}
+
+void FloretMapper::reset() { std::fill(busy_.begin(), busy_.end(), false); }
+
+GreedyMapper::GreedyMapper(const topo::Topology& topo, const noc::RouteTable& routes,
+                           std::int32_t max_gap_hops)
+    : topo_(topo),
+      routes_(routes),
+      max_gap_hops_(max_gap_hops),
+      free_node_(static_cast<std::size_t>(topo.node_count()), true) {}
+
+std::vector<MappedTask> GreedyMapper::map_queue(std::span<const TaskSpec> tasks,
+                                                MappingStats* stats) {
+    std::int32_t free_count = static_cast<std::int32_t>(
+        std::count(free_node_.begin(), free_node_.end(), true));
+
+    std::vector<MappedTask> out;
+    out.reserve(tasks.size());
+
+    for (const TaskSpec& spec : tasks) {
+        MappedTask m;
+        m.name = spec.name;
+        m.net = spec.net;
+        m.plan = spec.plan;
+        const std::int32_t need = spec.plan.total_chiplets;
+
+        if (need <= free_count) {
+            std::vector<topo::NodeId> chosen;
+            chosen.reserve(static_cast<std::size_t>(need));
+            bool failed = false;
+            for (std::int32_t k = 0; k < need; ++k) {
+                topo::NodeId best = -1;
+                std::int32_t best_d = std::numeric_limits<std::int32_t>::max();
+                if (chosen.empty()) {
+                    // First chiplet of the task: lowest-id free node (the
+                    // deterministic variant of "next available chiplet").
+                    for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
+                        if (free_node_[static_cast<std::size_t>(n)]) {
+                            best = n;
+                            break;
+                        }
+                    }
+                } else {
+                    const topo::NodeId prev = chosen.back();
+                    for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
+                        if (!free_node_[static_cast<std::size_t>(n)]) continue;
+                        const auto d = routes_.hops(prev, n);
+                        if (d < best_d) {
+                            best_d = d;
+                            best = n;
+                        }
+                    }
+                    if (best >= 0 && max_gap_hops_ >= 0 && best_d > max_gap_hops_) {
+                        failed = true;  // no free chiplet close enough
+                        break;
+                    }
+                }
+                if (best < 0) {
+                    failed = true;
+                    break;
+                }
+                chosen.push_back(best);
+                free_node_[static_cast<std::size_t>(best)] = false;
+            }
+            if (failed) {
+                for (const auto n : chosen) free_node_[static_cast<std::size_t>(n)] = true;
+            } else {
+                m.nodes = std::move(chosen);
+                m.layer_nodes = pim::assign_layers(*spec.net, spec.plan, m.nodes);
+                m.mapped = true;
+                free_count -= need;
+            }
+        }
+        out.push_back(std::move(m));
+    }
+
+    if (stats != nullptr) {
+        stats->nodes_total = topo_.node_count();
+        stats->nodes_used = topo_.node_count() - free_count;
+        stats->tasks_mapped = 0;
+        stats->tasks_failed = 0;
+        for (const auto& m : out) (m.mapped ? stats->tasks_mapped : stats->tasks_failed)++;
+    }
+    return out;
+}
+
+void GreedyMapper::release(const MappedTask& task) {
+    for (const auto n : task.nodes) free_node_[static_cast<std::size_t>(n)] = true;
+}
+
+void GreedyMapper::reset() { std::fill(free_node_.begin(), free_node_.end(), true); }
+
+MappedTask Mapper::map_one_relaxed(const TaskSpec& task) {
+    const std::span<const TaskSpec> one(&task, 1);
+    auto mapped = map_queue(one, nullptr);
+    return std::move(mapped.front());
+}
+
+MappedTask GreedyMapper::map_one_relaxed(const TaskSpec& task) {
+    const std::int32_t saved = max_gap_hops_;
+    max_gap_hops_ = -1;
+    const std::span<const TaskSpec> one(&task, 1);
+    auto mapped = map_queue(one, nullptr);
+    max_gap_hops_ = saved;
+    return std::move(mapped.front());
+}
+
+std::vector<TaskSpec> make_tasks(std::span<const std::string> workload_ids,
+                                 double params_per_chiplet_m,
+                                 std::vector<std::unique_ptr<dnn::Network>>& networks) {
+    std::map<std::string, const dnn::Network*> cache;
+    std::vector<TaskSpec> specs;
+    std::int32_t instance = 0;
+    for (const auto& id : workload_ids) {
+        const workload::DnnWorkload& w = workload::workload_by_id(id);
+        auto it = cache.find(id);
+        if (it == cache.end()) {
+            networks.push_back(
+                std::make_unique<dnn::Network>(dnn::build_model(w.model, w.dataset)));
+            it = cache.emplace(id, networks.back().get()).first;
+        }
+        TaskSpec spec;
+        spec.name = id + "#" + std::to_string(instance++) + ":" + w.model;
+        spec.net = it->second;
+        spec.plan = pim::partition_by_params(*spec.net, w.paper_params_m,
+                                             params_per_chiplet_m);
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+}  // namespace floretsim::core

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/sfc.h"
+#include "src/dnn/network.h"
+#include "src/noc/routing.h"
+#include "src/pim/partitioner.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::core {
+
+/// One DNN inference task queued for mapping: the network, its chiplet
+/// partition plan, and a display name.
+struct TaskSpec {
+    std::string name;
+    const dnn::Network* net = nullptr;   ///< Owned by the caller.
+    pim::PartitionPlan plan;
+};
+
+/// The outcome of mapping one task.
+struct MappedTask {
+    std::string name;
+    const dnn::Network* net = nullptr;
+    pim::PartitionPlan plan;
+    /// Per-layer chiplet assignment (empty when !mapped).
+    std::vector<std::vector<topo::NodeId>> layer_nodes;
+    /// All chiplets the task occupies, in allocation order.
+    std::vector<topo::NodeId> nodes;
+    bool mapped = false;
+};
+
+struct MappingStats {
+    std::int32_t nodes_total = 0;
+    std::int32_t nodes_used = 0;
+    std::int32_t tasks_mapped = 0;
+    std::int32_t tasks_failed = 0;
+
+    /// Fraction of chiplets holding weights after mapping (Fig. 4's
+    /// mapped-vs-unmapped comparison).
+    [[nodiscard]] double utilization() const noexcept {
+        return nodes_total == 0 ? 0.0
+                                : static_cast<double>(nodes_used) / nodes_total;
+    }
+};
+
+/// Interface for the task-queue-to-chiplet mapping policies compared in
+/// the paper. Mapping consumes tasks strictly in queue order (the paper's
+/// deadlock-freedom argument rests on this sequential discipline).
+///
+/// Mappers are *stateful*: chiplets allocated by map_queue stay busy until
+/// release()d, so a sequence of map/release calls models the multi-tenant
+/// scenario where completed DNN tasks return their chiplets and new tasks
+/// claim the (possibly fragmented) free space.
+class Mapper {
+public:
+    virtual ~Mapper() = default;
+
+    /// Maps the queue onto currently-free chiplets; tasks that do not fit
+    /// are returned with mapped == false and consume nothing.
+    [[nodiscard]] virtual std::vector<MappedTask> map_queue(
+        std::span<const TaskSpec> tasks, MappingStats* stats) = 0;
+
+    /// Returns a mapped task's chiplets to the free pool.
+    virtual void release(const MappedTask& task) = 0;
+
+    /// Frees everything.
+    virtual void reset() = 0;
+
+    /// Maps one task with placement constraints relaxed (used when the
+    /// queue head could not map on an otherwise idle system — progress
+    /// must be possible; the paper's spillover argument). Default: same
+    /// as map_queue on a single task.
+    [[nodiscard]] virtual MappedTask map_one_relaxed(const TaskSpec& task);
+};
+
+/// The paper's dataflow-aware policy: chiplets are consumed contiguously
+/// along the SFC concatenated order (earliest free positions first), so
+/// consecutive neural layers land on path-adjacent chiplets; a task
+/// overflowing one SFC (or a freed hole) continues at the next free run —
+/// the spillover the tail-to-head express links serve.
+class FloretMapper final : public Mapper {
+public:
+    explicit FloretMapper(const SfcSet& set);
+
+    [[nodiscard]] std::vector<MappedTask> map_queue(std::span<const TaskSpec> tasks,
+                                                    MappingStats* stats) override;
+    void release(const MappedTask& task) override;
+    void reset() override;
+
+private:
+    std::vector<topo::NodeId> order_;
+    std::vector<std::int32_t> pos_of_node_;  ///< node id -> position in order_.
+    std::vector<bool> busy_;                 ///< per position in order_.
+};
+
+/// The baseline policy used for Kite/SIAM/SWAP: each successive chiplet of
+/// a task is placed on the free chiplet with the fewest hops from the
+/// previously placed one. With `max_gap_hops` >= 0 a task *fails* when no
+/// free chiplet lies within that many hops (the paper's Fig. 4 scenario
+/// that strands unmapped chiplets); with -1 the nearest free chiplet is
+/// always accepted (used for the latency/energy comparisons so every
+/// architecture runs the full workload).
+class GreedyMapper final : public Mapper {
+public:
+    GreedyMapper(const topo::Topology& topo, const noc::RouteTable& routes,
+                 std::int32_t max_gap_hops = -1);
+
+    [[nodiscard]] std::vector<MappedTask> map_queue(std::span<const TaskSpec> tasks,
+                                                    MappingStats* stats) override;
+    void release(const MappedTask& task) override;
+    void reset() override;
+    /// Retries with the hop-gap constraint lifted.
+    [[nodiscard]] MappedTask map_one_relaxed(const TaskSpec& task) override;
+
+private:
+    const topo::Topology& topo_;
+    const noc::RouteTable& routes_;
+    std::int32_t max_gap_hops_;
+    std::vector<bool> free_node_;
+};
+
+/// Builds TaskSpecs from workload ids using the paper-calibrated
+/// partitioner (Table I parameter counts over `params_per_chiplet_m`).
+/// `networks` receives ownership of the constructed networks (one shared
+/// instance per distinct workload id).
+[[nodiscard]] std::vector<TaskSpec> make_tasks(
+    std::span<const std::string> workload_ids, double params_per_chiplet_m,
+    std::vector<std::unique_ptr<dnn::Network>>& networks);
+
+}  // namespace floretsim::core

@@ -1,0 +1,102 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace floretsim::core {
+namespace {
+
+struct LiveTask {
+    std::int64_t finish_slot = 0;
+    std::vector<std::size_t> positions;  ///< Indices into the SFC order.
+};
+
+}  // namespace
+
+SchedulerStats simulate_dynamic(const SfcSet& set, AllocationPolicy policy,
+                                const SchedulerConfig& cfg) {
+    const auto order = set.concatenated_order();
+    const auto n = order.size();
+    std::vector<bool> busy(n, false);
+    std::size_t busy_count = 0;
+
+    // Separate streams so both policies see identical arrival sequences:
+    // the placement policy must not perturb arrivals.
+    util::Rng rng(cfg.seed);
+    util::Rng place_rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<LiveTask> live;
+    SchedulerStats stats;
+    double util_accum = 0.0;
+    double fragments_accum = 0.0;
+    double gap_accum = 0.0;
+    std::int64_t gap_samples = 0;
+
+    for (std::int64_t slot = 0; slot < cfg.slots; ++slot) {
+        // Departures.
+        for (auto it = live.begin(); it != live.end();) {
+            if (it->finish_slot <= slot) {
+                for (const auto p : it->positions) {
+                    busy[p] = false;
+                    --busy_count;
+                }
+                it = live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Arrival.
+        if (rng.chance(cfg.arrival_prob)) {
+            ++stats.arrived;
+            const auto need = static_cast<std::size_t>(
+                rng.range(cfg.min_chiplets, cfg.max_chiplets));
+            if (n - busy_count >= need) {
+                LiveTask task;
+                task.finish_slot = slot + rng.range(cfg.min_duration, cfg.max_duration);
+                if (policy == AllocationPolicy::kSfcFirstFit) {
+                    for (std::size_t p = 0; p < n && task.positions.size() < need; ++p)
+                        if (!busy[p]) task.positions.push_back(p);
+                } else {
+                    std::vector<std::size_t> free_list;
+                    for (std::size_t p = 0; p < n; ++p)
+                        if (!busy[p]) free_list.push_back(p);
+                    for (std::size_t k = 0; k < need; ++k) {
+                        const auto pick = place_rng.below(free_list.size());
+                        task.positions.push_back(free_list[pick]);
+                        free_list.erase(free_list.begin() +
+                                        static_cast<std::ptrdiff_t>(pick));
+                    }
+                    std::sort(task.positions.begin(), task.positions.end());
+                }
+                // Quality metrics on the allocation.
+                std::int32_t fragments = 1;
+                for (std::size_t k = 1; k < task.positions.size(); ++k) {
+                    if (task.positions[k] != task.positions[k - 1] + 1) ++fragments;
+                    const auto a = set.pos(order[task.positions[k - 1]]);
+                    const auto b = set.pos(order[task.positions[k]]);
+                    gap_accum += util::manhattan(a, b) - 1;  // 0 when adjacent
+                    ++gap_samples;
+                }
+                fragments_accum += fragments;
+                for (const auto p : task.positions) {
+                    busy[p] = true;
+                    ++busy_count;
+                }
+                live.push_back(std::move(task));
+                ++stats.accepted;
+            } else {
+                ++stats.rejected;
+            }
+        }
+        util_accum += static_cast<double>(busy_count) / static_cast<double>(n);
+    }
+
+    stats.mean_utilization = util_accum / static_cast<double>(cfg.slots);
+    stats.mean_fragments_per_task =
+        stats.accepted > 0 ? fragments_accum / static_cast<double>(stats.accepted) : 0.0;
+    stats.mean_intra_task_gap =
+        gap_samples > 0 ? gap_accum / static_cast<double>(gap_samples) : 0.0;
+    return stats;
+}
+
+}  // namespace floretsim::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+#include "src/util/geometry.h"
+
+namespace floretsim::core {
+
+/// One space-filling curve ("petal"): a Hamiltonian path over a contiguous
+/// region of the chiplet grid. Node ids are row-major grid indices. The
+/// *head* is where a task starts consuming chiplets (placed near the NoI
+/// center); the *tail* is where it spills over into the next SFC.
+struct Sfc {
+    std::vector<topo::NodeId> path;
+
+    [[nodiscard]] topo::NodeId head() const { return path.front(); }
+    [[nodiscard]] topo::NodeId tail() const { return path.back(); }
+};
+
+/// A full decomposition of a width x height grid into lambda SFCs — the
+/// Floret layout of the paper's Fig. 1.
+struct SfcSet {
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+    std::vector<Sfc> sfcs;
+
+    [[nodiscard]] std::int32_t lambda() const noexcept {
+        return static_cast<std::int32_t>(sfcs.size());
+    }
+    [[nodiscard]] util::Point2 pos(topo::NodeId n) const noexcept {
+        return util::from_index(n, width);
+    }
+
+    /// Eq. (1) of the paper: the mean Manhattan distance from the tail of
+    /// each SFC to the heads of all *other* SFCs,
+    ///   d = 1/(λ(λ-1)) · Σ_{i≠j} |t_i - h_j|.
+    [[nodiscard]] double tail_head_distance() const;
+
+    /// The global chiplet consumption order: SFCs chained greedily
+    /// (starting from the head nearest the grid center, each tail jumps to
+    /// the nearest unused head), concatenating their paths. This is the
+    /// sequence the Floret mapper allocates chiplets from.
+    [[nodiscard]] std::vector<topo::NodeId> concatenated_order() const;
+
+    /// True when the SFCs partition the grid: every node appears in
+    /// exactly one path position overall.
+    [[nodiscard]] bool covers_grid_exactly_once() const;
+
+    /// True when every SFC path is a valid Hamiltonian walk (consecutive
+    /// path nodes are 4-neighbors on the grid).
+    [[nodiscard]] bool paths_are_contiguous() const;
+
+    /// ASCII sketch of the petal decomposition (Fig. 1 style): each cell
+    /// shows its SFC index; heads are marked 'H', tails 'T'.
+    [[nodiscard]] std::string render() const;
+};
+
+struct SfcOptions {
+    /// When true (default) head/tail placement is optimized to minimize
+    /// Eq. (1); when false, every region uses its default serpentine
+    /// (top-left start) — the ablation baseline.
+    bool optimize_placement = true;
+};
+
+/// Decomposes the grid into `lambda` balanced rectangular regions and
+/// builds one serpentine SFC per region, choosing each region's serpentine
+/// variant (start corner x scan orientation) to minimize Eq. (1) with the
+/// head pulled toward the grid center. Throws std::invalid_argument when
+/// lambda cannot tile the grid (lambda < 1 or lambda > width*height).
+[[nodiscard]] SfcSet generate_sfc_set(std::int32_t width, std::int32_t height,
+                                      std::int32_t lambda, const SfcOptions& opts = {});
+
+}  // namespace floretsim::core

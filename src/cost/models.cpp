@@ -1,0 +1,75 @@
+#include "src/cost/models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace floretsim::cost {
+
+double router_area_mm2(const topo::Topology& t, const CostParams& p) {
+    double area = 0.0;
+    for (const auto& n : t.nodes()) {
+        // +1: the crossbar also serves the local NI port (Fig. 2a counts
+        // network ports only, but silicon pays for the injection port too).
+        const double ports = t.ports(n.id) + 1;
+        area += p.router_area_base_mm2 + p.router_area_per_port_mm2 * ports +
+                p.router_area_per_port2_mm2 * ports * ports;
+    }
+    return area;
+}
+
+double link_area_mm2(const topo::Topology& t, const CostParams& p) {
+    double area = 0.0;
+    for (const auto& l : t.links()) area += p.link_area_per_mm_mm2 * l.length_mm;
+    return area;
+}
+
+double noi_area_mm2(const topo::Topology& t, const CostParams& p) {
+    return router_area_mm2(t, p) + link_area_mm2(t, p);
+}
+
+double yield(double area_mm2, const CostParams& p) {
+    return std::exp(-p.defect_density_per_mm2 * area_mm2);
+}
+
+double fabrication_cost(const topo::Topology& t, const CostParams& p) {
+    const double area = noi_area_mm2(t, p);
+    const double chiplet_scale =
+        static_cast<double>(p.ref_chiplets) / static_cast<double>(t.node_count());
+    return chiplet_scale * std::exp(p.defect_density_per_mm2 * (area - p.ref_noi_area_mm2));
+}
+
+double relative_cost(const topo::Topology& a, const topo::Topology& b,
+                     const CostParams& p) {
+    return std::exp(p.defect_density_per_mm2 * (noi_area_mm2(a, p) - noi_area_mm2(b, p)));
+}
+
+double noi_energy_pj(const topo::Topology& t, const noc::SimResult& sim,
+                     const CostParams& p) {
+    if (sim.router_flits.size() != static_cast<std::size_t>(t.node_count()) ||
+        sim.link_flits.size() != static_cast<std::size_t>(t.link_count()))
+        throw std::invalid_argument("simulation result does not match topology");
+    double energy = 0.0;
+    for (const auto& n : t.nodes()) {
+        const double per_flit = p.router_energy_base_pj +
+                                p.router_energy_per_port_pj * t.ports(n.id);
+        energy += per_flit *
+                  static_cast<double>(sim.router_flits[static_cast<std::size_t>(n.id)]);
+    }
+    for (const auto& l : t.links()) {
+        energy += p.link_energy_per_mm_pj * l.length_mm *
+                  static_cast<double>(sim.link_flits[static_cast<std::size_t>(l.id)]);
+    }
+    return energy;
+}
+
+double noi_leakage_mw(const topo::Topology& t, const CostParams& p) {
+    double mw = 0.0;
+    for (const auto& n : t.nodes()) {
+        const double ports = t.ports(n.id) + 1;  // + local NI port
+        mw += p.router_leakage_base_mw + p.router_leakage_per_port2_mw * ports * ports;
+    }
+    for (const auto& l : t.links()) mw += p.link_leakage_per_mm_mw * l.length_mm;
+    return mw;
+}
+
+}  // namespace floretsim::cost

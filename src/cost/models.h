@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/noc/simulator.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::cost {
+
+/// Area, energy, and yield constants (32 nm ORION/SIAM-class; see
+/// DESIGN.md §5 — these drive the *relative* comparisons of Figs. 2/5 and
+/// the Eq. 2-5 cost ratios, which depend on port/link structure rather
+/// than absolute calibration).
+struct CostParams {
+    // Router area in mm²: base + per-port + crossbar (quadratic in ports).
+    double router_area_base_mm2 = 0.5;
+    double router_area_per_port_mm2 = 0.2;
+    double router_area_per_port2_mm2 = 0.35;
+    /// NoI routing-track area per mm of link (wide parallel bus, repeaters,
+    /// micro-bump fields).
+    double link_area_per_mm_mm2 = 0.8;
+
+    // Per-flit traversal energy in pJ: router (grows with radix) + wire.
+    double router_energy_base_pj = 0.6;
+    double router_energy_per_port_pj = 0.22;
+    double link_energy_per_mm_pj = 0.45;
+
+    // NoI static (leakage) power: buffers and crossbar grow quadratically
+    // with the radix (local NI port included), link repeaters with length.
+    // At inference duty cycles the NoI is idle most of the time, so
+    // leakage dominates total NoI energy — the main reason small-radix
+    // Floret routers win Fig. 5.
+    double router_leakage_base_mw = 0.3;
+    double router_leakage_per_port2_mw = 0.1;
+    double link_leakage_per_mm_mw = 0.05;
+
+    /// Wafer defect density D0 (per mm²; 0.10 /cm² default) for the
+    /// Poisson yield model of Eqs. 2-5.
+    double defect_density_per_mm2 = 0.0010;
+
+    /// Reference 2.5D system (the paper's AMD 864 mm² / 64-chiplet anchor).
+    double ref_noi_area_mm2 = 800.0;
+    std::int32_t ref_chiplets = 64;
+};
+
+/// Total router area of a topology (sum over nodes of the radix model).
+[[nodiscard]] double router_area_mm2(const topo::Topology& t, const CostParams& p);
+
+/// Total link area of a topology.
+[[nodiscard]] double link_area_mm2(const topo::Topology& t, const CostParams& p);
+
+/// NoI area = routers + links (the quantity entering Eqs. 3-5).
+[[nodiscard]] double noi_area_mm2(const topo::Topology& t, const CostParams& p);
+
+/// Poisson wafer yield for a NoI of the given area: Y = exp(-D0 * A).
+[[nodiscard]] double yield(double area_mm2, const CostParams& p);
+
+/// Eq. 2: normalized fabrication cost of a NoI,
+///   C = (N_ref / N) * exp(D0 * (A - A_ref)),
+/// i.e. inverse-yield relative to the reference system scaled by chiplet
+/// count. Ratios between two NoIs reduce to exp(D0 * (A1 - A2)) — Eq. 5.
+[[nodiscard]] double fabrication_cost(const topo::Topology& t, const CostParams& p);
+
+/// Eq. 5 directly: relative cost of NoI `a` with respect to NoI `b`.
+[[nodiscard]] double relative_cost(const topo::Topology& a, const topo::Topology& b,
+                                   const CostParams& p);
+
+/// NoI energy (pJ) of a finished simulation: every flit traversal charges
+/// the router's radix-dependent energy, every link traversal the
+/// length-dependent wire energy. Static energy is not included — combine
+/// with noi_leakage_mw() over the runtime for total NoI energy.
+[[nodiscard]] double noi_energy_pj(const topo::Topology& t, const noc::SimResult& sim,
+                                   const CostParams& p);
+
+/// Total NoI static power in mW (router radix-dependent leakage plus link
+/// repeater leakage). Multiply by nanoseconds for picojoules.
+[[nodiscard]] double noi_leakage_mw(const topo::Topology& t, const CostParams& p);
+
+}  // namespace floretsim::cost

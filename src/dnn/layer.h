@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace floretsim::dnn {
+
+/// Kinds of inference-time layers we model. Batch-norm and activation
+/// functions are folded into the preceding Conv/FC (standard practice for
+/// PIM inference accelerators); their parameters are accounted for via
+/// Layer::has_bn.
+enum class LayerKind {
+    kInput,       ///< Pseudo-layer holding the network input shape.
+    kConv,        ///< 2D convolution (optionally grouped).
+    kFc,          ///< Fully connected (dense) layer.
+    kPool,        ///< Max/avg pooling (no weights).
+    kGlobalPool,  ///< Global average pooling to 1x1.
+    kAdd,         ///< Elementwise residual add (joins two branches).
+    kConcat,      ///< Channel concatenation (DenseNet/Inception joins).
+};
+
+/// CHW tensor shape of a feature map.
+struct Shape {
+    std::int32_t c = 0;
+    std::int32_t h = 0;
+    std::int32_t w = 0;
+
+    [[nodiscard]] constexpr std::int64_t elems() const noexcept {
+        return static_cast<std::int64_t>(c) * h * w;
+    }
+    friend constexpr bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// One layer of a DNN. Weight and activation volumes are derived from the
+/// shape arithmetic, so parameter totals can be validated against the
+/// published model sizes (see tests/test_dnn_zoo.cpp).
+struct Layer {
+    std::int32_t id = -1;
+    std::string name;
+    LayerKind kind = LayerKind::kInput;
+    Shape in;   ///< Input feature-map shape (of one branch for Add/Concat).
+    Shape out;  ///< Output feature-map shape.
+
+    // Conv-specific geometry (ignored for other kinds).
+    std::int32_t kernel = 0;
+    std::int32_t stride = 1;
+    std::int32_t padding = 0;
+    std::int32_t groups = 1;
+
+    bool has_bias = false;
+    bool has_bn = false;  ///< Folded batch-norm contributes 2*out.c params.
+
+    /// Trainable parameters of this layer (weights + bias + folded BN).
+    [[nodiscard]] std::int64_t weight_params() const noexcept {
+        std::int64_t p = 0;
+        switch (kind) {
+            case LayerKind::kConv:
+                p = static_cast<std::int64_t>(kernel) * kernel *
+                    (in.c / groups) * out.c;
+                break;
+            case LayerKind::kFc:
+                p = static_cast<std::int64_t>(in.elems()) * out.c;
+                break;
+            default:
+                return 0;
+        }
+        if (has_bias) p += out.c;
+        if (has_bn) p += 2LL * out.c;
+        return p;
+    }
+
+    /// Multiply-accumulate operations for one inference pass.
+    [[nodiscard]] std::int64_t macs() const noexcept {
+        switch (kind) {
+            case LayerKind::kConv:
+                return static_cast<std::int64_t>(out.h) * out.w * out.c *
+                       kernel * kernel * (in.c / groups);
+            case LayerKind::kFc:
+                return static_cast<std::int64_t>(in.elems()) * out.c;
+            default:
+                return 0;
+        }
+    }
+
+    /// Activation elements this layer produces.
+    [[nodiscard]] std::int64_t output_activations() const noexcept {
+        return out.elems();
+    }
+};
+
+/// Directed activation flow between two layers. `elems` is the number of
+/// activation elements transferred per inference. `skip` marks edges that
+/// bypass at least one intermediate layer (residual/dense shortcuts) — the
+/// non-contiguous traffic the paper singles out for ResNet-class models.
+struct Edge {
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+    std::int64_t elems = 0;
+    bool skip = false;
+};
+
+}  // namespace floretsim::dnn

@@ -1,0 +1,270 @@
+#include "src/dnn/model_zoo.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace floretsim::dnn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResNet
+// ---------------------------------------------------------------------------
+
+/// Basic residual block (two 3x3 convs). Returns the id of the Add node.
+std::int32_t basic_block(Network& net, std::int32_t from, std::int32_t out_c,
+                         std::int32_t stride, const std::string& tag) {
+    const std::int32_t c1 =
+        net.add_conv(from, out_c, 3, stride, 1, /*bias=*/false, /*bn=*/true, 1, tag + ".conv1");
+    const std::int32_t c2 =
+        net.add_conv(c1, out_c, 3, 1, 1, false, true, 1, tag + ".conv2");
+    std::int32_t shortcut = from;
+    if (stride != 1 || net.layer(from).out.c != out_c) {
+        shortcut = net.add_conv(from, out_c, 1, stride, 0, false, true, 1, tag + ".down");
+    }
+    return net.add_add(c2, shortcut, tag + ".add");
+}
+
+/// Bottleneck residual block (1x1 -> 3x3 -> 1x1, expansion 4). The stride
+/// sits on the 3x3 conv (torchvision "ResNet v1.5").
+std::int32_t bottleneck_block(Network& net, std::int32_t from, std::int32_t mid_c,
+                              std::int32_t stride, const std::string& tag) {
+    const std::int32_t out_c = mid_c * 4;
+    const std::int32_t c1 = net.add_conv(from, mid_c, 1, 1, 0, false, true, 1, tag + ".conv1");
+    const std::int32_t c2 = net.add_conv(c1, mid_c, 3, stride, 1, false, true, 1, tag + ".conv2");
+    const std::int32_t c3 = net.add_conv(c2, out_c, 1, 1, 0, false, true, 1, tag + ".conv3");
+    std::int32_t shortcut = from;
+    if (stride != 1 || net.layer(from).out.c != out_c) {
+        shortcut = net.add_conv(from, out_c, 1, stride, 0, false, true, 1, tag + ".down");
+    }
+    return net.add_add(c3, shortcut, tag + ".add");
+}
+
+Network build_resnet_imagenet_style(std::int32_t depth, Dataset dataset) {
+    struct StageCfg {
+        std::array<std::int32_t, 4> blocks;
+        bool bottleneck;
+    };
+    StageCfg cfg{};
+    switch (depth) {
+        case 18: cfg = {{2, 2, 2, 2}, false}; break;
+        case 34: cfg = {{3, 4, 6, 3}, false}; break;
+        case 50: cfg = {{3, 4, 6, 3}, true}; break;
+        case 101: cfg = {{3, 4, 23, 3}, true}; break;
+        case 152: cfg = {{3, 8, 36, 3}, true}; break;
+        default: throw std::invalid_argument("unsupported ResNet depth");
+    }
+    Network net("ResNet" + std::to_string(depth) + "@" + dataset_name(dataset));
+    std::int32_t cur = net.add_input(input_shape(dataset));
+    cur = net.add_conv(cur, 64, 7, 2, 3, false, true, 1, "stem.conv");
+    cur = net.add_pool(cur, 3, 2, 1, "stem.pool");
+
+    constexpr std::array<std::int32_t, 4> kStageChannels{64, 128, 256, 512};
+    for (std::size_t s = 0; s < 4; ++s) {
+        for (std::int32_t b = 0; b < cfg.blocks[s]; ++b) {
+            const std::int32_t stride = (s > 0 && b == 0) ? 2 : 1;
+            const std::string tag =
+                "stage" + std::to_string(s + 1) + ".block" + std::to_string(b + 1);
+            cur = cfg.bottleneck
+                      ? bottleneck_block(net, cur, kStageChannels[s], stride, tag)
+                      : basic_block(net, cur, kStageChannels[s], stride, tag);
+        }
+    }
+    cur = net.add_global_pool(cur, "gap");
+    net.add_fc(cur, num_classes(dataset), true, "fc");
+    return net;
+}
+
+/// CIFAR-style 6n+2 ResNet (He et al. 2015, Section 4.2): thin 3x3 stem,
+/// three stages of n basic blocks with 16/32/64 channels.
+Network build_resnet_cifar_style(std::int32_t depth, Dataset dataset) {
+    if ((depth - 2) % 6 != 0)
+        throw std::invalid_argument("CIFAR ResNet depth must be 6n+2");
+    const std::int32_t n = (depth - 2) / 6;
+    Network net("ResNet" + std::to_string(depth) + "@" + dataset_name(dataset));
+    std::int32_t cur = net.add_input(input_shape(dataset));
+    cur = net.add_conv(cur, 16, 3, 1, 1, false, true, 1, "stem.conv");
+
+    constexpr std::array<std::int32_t, 3> kStageChannels{16, 32, 64};
+    for (std::size_t s = 0; s < 3; ++s) {
+        for (std::int32_t b = 0; b < n; ++b) {
+            const std::int32_t stride = (s > 0 && b == 0) ? 2 : 1;
+            const std::string tag =
+                "stage" + std::to_string(s + 1) + ".block" + std::to_string(b + 1);
+            cur = basic_block(net, cur, kStageChannels[s], stride, tag);
+        }
+    }
+    cur = net.add_global_pool(cur, "gap");
+    net.add_fc(cur, num_classes(dataset), true, "fc");
+    return net;
+}
+
+// ---------------------------------------------------------------------------
+// VGG
+// ---------------------------------------------------------------------------
+
+Network build_vgg_impl(std::int32_t depth, Dataset dataset) {
+    // Stage configs: convs per stage for VGG-11/16/19 (channels are fixed).
+    std::array<std::int32_t, 5> convs{};
+    switch (depth) {
+        case 11: convs = {1, 1, 2, 2, 2}; break;
+        case 16: convs = {2, 2, 3, 3, 3}; break;
+        case 19: convs = {2, 2, 4, 4, 4}; break;
+        default: throw std::invalid_argument("unsupported VGG depth");
+    }
+    constexpr std::array<std::int32_t, 5> kChannels{64, 128, 256, 512, 512};
+
+    Network net("VGG" + std::to_string(depth) + "@" + dataset_name(dataset));
+    std::int32_t cur = net.add_input(input_shape(dataset));
+    for (std::size_t s = 0; s < 5; ++s) {
+        for (std::int32_t c = 0; c < convs[s]; ++c) {
+            const std::string tag =
+                "stage" + std::to_string(s + 1) + ".conv" + std::to_string(c + 1);
+            cur = net.add_conv(cur, kChannels[s], 3, 1, 1, /*bias=*/true,
+                               /*bn=*/false, 1, tag);
+        }
+        cur = net.add_pool(cur, 2, 2, 0, "stage" + std::to_string(s + 1) + ".pool");
+    }
+    if (dataset == Dataset::kImageNet) {
+        cur = net.add_fc(cur, 4096, true, "fc1");
+        cur = net.add_fc(cur, 4096, true, "fc2");
+    } else {
+        cur = net.add_fc(cur, 512, true, "fc1");
+        cur = net.add_fc(cur, 512, true, "fc2");
+    }
+    net.add_fc(cur, num_classes(dataset), true, "fc3");
+    return net;
+}
+
+// ---------------------------------------------------------------------------
+// DenseNet-169
+// ---------------------------------------------------------------------------
+
+Network build_densenet_impl(Dataset dataset) {
+    constexpr std::int32_t kGrowth = 32;
+    constexpr std::array<std::int32_t, 4> kBlocks{6, 12, 32, 32};
+
+    Network net(std::string("DenseNet169@") + dataset_name(dataset));
+    std::int32_t cur = net.add_input(input_shape(dataset));
+    cur = net.add_conv(cur, 2 * kGrowth, 7, 2, 3, false, true, 1, "stem.conv");
+    cur = net.add_pool(cur, 3, 2, 1, "stem.pool");
+
+    for (std::size_t blk = 0; blk < kBlocks.size(); ++blk) {
+        // Dense connectivity, expressed as *accumulated streaming*: each
+        // layer consumes the running concatenation and appends its growth
+        // channels. Functionally identical to DenseNet's "concat of all
+        // previous outputs", and faithful to how a pipelined dataflow
+        // implementation moves the data: the accumulated feature map is
+        // forwarded layer to layer instead of re-sent from every producer.
+        for (std::int32_t l = 0; l < kBlocks[blk]; ++l) {
+            const std::string tag = "block" + std::to_string(blk + 1) + ".layer" +
+                                    std::to_string(l + 1);
+            const std::int32_t b1 =
+                net.add_conv(cur, 4 * kGrowth, 1, 1, 0, false, true, 1, tag + ".conv1");
+            const std::int32_t b2 =
+                net.add_conv(b1, kGrowth, 3, 1, 1, false, true, 1, tag + ".conv2");
+            const std::array<std::int32_t, 2> feeds{cur, b2};
+            cur = net.add_concat(std::span<const std::int32_t>(feeds), tag + ".cat");
+        }
+        if (blk + 1 < kBlocks.size()) {
+            const std::int32_t half = net.layer(cur).out.c / 2;
+            const std::string tag = "trans" + std::to_string(blk + 1);
+            cur = net.add_conv(cur, half, 1, 1, 0, false, true, 1, tag + ".conv");
+            cur = net.add_pool(cur, 2, 2, 0, tag + ".pool");
+        }
+    }
+    cur = net.add_global_pool(cur, "gap");
+    net.add_fc(cur, num_classes(dataset), true, "fc");
+    return net;
+}
+
+// ---------------------------------------------------------------------------
+// GoogLeNet (Inception v1, torchvision variant)
+// ---------------------------------------------------------------------------
+
+struct InceptionCfg {
+    std::int32_t b1;          // 1x1 branch
+    std::int32_t b2_reduce;   // 1x1 before the 3x3
+    std::int32_t b2;          // 3x3 branch
+    std::int32_t b3_reduce;   // 1x1 before the "5x5" (3x3 in torchvision)
+    std::int32_t b3;          // "5x5" branch
+    std::int32_t b4;          // pool-projection branch
+};
+
+std::int32_t inception(Network& net, std::int32_t from, const InceptionCfg& cfg,
+                       const std::string& tag) {
+    const std::int32_t b1 = net.add_conv(from, cfg.b1, 1, 1, 0, false, true, 1, tag + ".b1");
+    const std::int32_t b2r =
+        net.add_conv(from, cfg.b2_reduce, 1, 1, 0, false, true, 1, tag + ".b2r");
+    const std::int32_t b2 = net.add_conv(b2r, cfg.b2, 3, 1, 1, false, true, 1, tag + ".b2");
+    const std::int32_t b3r =
+        net.add_conv(from, cfg.b3_reduce, 1, 1, 0, false, true, 1, tag + ".b3r");
+    const std::int32_t b3 = net.add_conv(b3r, cfg.b3, 3, 1, 1, false, true, 1, tag + ".b3");
+    const std::int32_t b4p = net.add_pool(from, 3, 1, 1, tag + ".b4pool");
+    const std::int32_t b4 = net.add_conv(b4p, cfg.b4, 1, 1, 0, false, true, 1, tag + ".b4");
+    const std::array<std::int32_t, 4> branches{b1, b2, b3, b4};
+    return net.add_concat(std::span<const std::int32_t>(branches), tag + ".cat");
+}
+
+Network build_googlenet_impl(Dataset dataset) {
+    Network net(std::string("GoogLeNet@") + dataset_name(dataset));
+    std::int32_t cur = net.add_input(input_shape(dataset));
+    cur = net.add_conv(cur, 64, 7, 2, 3, false, true, 1, "stem.conv1");
+    cur = net.add_pool(cur, 3, 2, 1, "stem.pool1");
+    cur = net.add_conv(cur, 64, 1, 1, 0, false, true, 1, "stem.conv2");
+    cur = net.add_conv(cur, 192, 3, 1, 1, false, true, 1, "stem.conv3");
+    cur = net.add_pool(cur, 3, 2, 1, "stem.pool2");
+
+    cur = inception(net, cur, {64, 96, 128, 16, 32, 32}, "inc3a");
+    cur = inception(net, cur, {128, 128, 192, 32, 96, 64}, "inc3b");
+    cur = net.add_pool(cur, 3, 2, 1, "pool3");
+    cur = inception(net, cur, {192, 96, 208, 16, 48, 64}, "inc4a");
+    cur = inception(net, cur, {160, 112, 224, 24, 64, 64}, "inc4b");
+    cur = inception(net, cur, {128, 128, 256, 24, 64, 64}, "inc4c");
+    cur = inception(net, cur, {112, 144, 288, 32, 64, 64}, "inc4d");
+    cur = inception(net, cur, {256, 160, 320, 32, 128, 128}, "inc4e");
+    cur = net.add_pool(cur, 3, 2, 1, "pool4");
+    cur = inception(net, cur, {256, 160, 320, 32, 128, 128}, "inc5a");
+    cur = inception(net, cur, {384, 192, 384, 48, 128, 128}, "inc5b");
+    cur = net.add_global_pool(cur, "gap");
+    net.add_fc(cur, num_classes(dataset), true, "fc");
+    return net;
+}
+
+}  // namespace
+
+const char* dataset_name(Dataset d) noexcept {
+    return d == Dataset::kImageNet ? "ImageNet" : "CIFAR-10";
+}
+
+Network build_resnet(std::int32_t depth, Dataset dataset) {
+    if (depth == 110) return build_resnet_cifar_style(depth, dataset);
+    return build_resnet_imagenet_style(depth, dataset);
+}
+
+Network build_vgg(std::int32_t depth, Dataset dataset) { return build_vgg_impl(depth, dataset); }
+
+Network build_densenet169(Dataset dataset) { return build_densenet_impl(dataset); }
+
+Network build_googlenet(Dataset dataset) { return build_googlenet_impl(dataset); }
+
+Network build_model(const std::string& model, Dataset dataset) {
+    if (model == "ResNet18") return build_resnet(18, dataset);
+    if (model == "ResNet34") return build_resnet(34, dataset);
+    if (model == "ResNet50") return build_resnet(50, dataset);
+    if (model == "ResNet101") return build_resnet(101, dataset);
+    if (model == "ResNet110") return build_resnet(110, dataset);
+    if (model == "ResNet152") return build_resnet(152, dataset);
+    if (model == "VGG11") return build_vgg(11, dataset);
+    if (model == "VGG16") return build_vgg(16, dataset);
+    if (model == "VGG19") return build_vgg(19, dataset);
+    if (model == "DenseNet169") return build_densenet169(dataset);
+    if (model == "GoogLeNet") return build_googlenet(dataset);
+    throw std::invalid_argument("unknown model: " + model);
+}
+
+std::vector<std::string> available_models() {
+    return {"ResNet18",  "ResNet34", "ResNet50",    "ResNet101", "ResNet110", "ResNet152",
+            "VGG11",     "VGG16",    "VGG19",       "DenseNet169", "GoogLeNet"};
+}
+
+}  // namespace floretsim::dnn

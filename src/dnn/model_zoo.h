@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dnn/network.h"
+
+namespace floretsim::dnn {
+
+/// Dataset determines the input resolution and classifier width.
+enum class Dataset { kImageNet, kCifar10 };
+
+[[nodiscard]] constexpr Shape input_shape(Dataset d) noexcept {
+    return d == Dataset::kImageNet ? Shape{3, 224, 224} : Shape{3, 32, 32};
+}
+[[nodiscard]] constexpr std::int32_t num_classes(Dataset d) noexcept {
+    return d == Dataset::kImageNet ? 1000 : 10;
+}
+[[nodiscard]] const char* dataset_name(Dataset d) noexcept;
+
+/// ResNet builders. Depths 18/34 use basic blocks, 50/101/152 bottleneck
+/// blocks (ImageNet-style stem). Depth 110 is the CIFAR-style 6n+2
+/// architecture (n = 18, 16/32/64 channels) as published by He et al.;
+/// with Dataset::kImageNet it keeps that thin-stem structure at 224x224,
+/// matching the paper's (unusual) "ResNet110 on ImageNet" entry.
+[[nodiscard]] Network build_resnet(std::int32_t depth, Dataset dataset);
+
+/// VGG-11/16/19. ImageNet uses the standard 4096-4096 classifier; CIFAR-10
+/// uses the common compact 512-512 classifier (the paper's Table I CIFAR
+/// parameter counts are consistent with a compact classifier).
+[[nodiscard]] Network build_vgg(std::int32_t depth, Dataset dataset);
+
+/// DenseNet-169: growth 32, blocks {6,12,32,32}, compression 0.5,
+/// bottleneck (1x1 to 4k, then 3x3 to k) layers, full dense connectivity
+/// expressed through per-layer concat nodes (these become the dense skip
+/// edges in the traffic model).
+[[nodiscard]] Network build_densenet169(Dataset dataset);
+
+/// GoogLeNet (Inception v1, torchvision variant: batch-norm, 3x3 in the
+/// "5x5" branch, no auxiliary classifiers).
+[[nodiscard]] Network build_googlenet(Dataset dataset);
+
+/// Dispatch by model name: "ResNet18", "ResNet34", "ResNet50", "ResNet101",
+/// "ResNet110", "ResNet152", "VGG11", "VGG16", "VGG19", "DenseNet169",
+/// "GoogLeNet". Throws std::invalid_argument for unknown names.
+[[nodiscard]] Network build_model(const std::string& model, Dataset dataset);
+
+/// All model names accepted by build_model().
+[[nodiscard]] std::vector<std::string> available_models();
+
+}  // namespace floretsim::dnn

@@ -1,0 +1,181 @@
+#include "src/dnn/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace floretsim::dnn {
+namespace {
+
+constexpr std::int32_t conv_out_dim(std::int32_t in, std::int32_t kernel,
+                                    std::int32_t stride, std::int32_t padding) noexcept {
+    return (in + 2 * padding - kernel) / stride + 1;
+}
+
+}  // namespace
+
+std::int32_t Network::push_layer(Layer l) {
+    l.id = static_cast<std::int32_t>(layers_.size());
+    layers_.push_back(std::move(l));
+    return layers_.back().id;
+}
+
+void Network::push_edge(std::int32_t src, std::int32_t dst) {
+    if (src < 0 || src >= static_cast<std::int32_t>(layers_.size()))
+        throw std::out_of_range("Network edge: bad source layer id");
+    Edge e;
+    e.src = src;
+    e.dst = dst;
+    e.elems = layers_[static_cast<std::size_t>(src)].output_activations();
+    // A shortcut that bypasses at least one layer inserted in between is
+    // "skip" traffic: it connects non-consecutive points of the dataflow.
+    e.skip = (dst - src) > 1;
+    edges_.push_back(e);
+}
+
+std::int32_t Network::add_input(Shape s) {
+    if (!layers_.empty()) throw std::logic_error("add_input must be called first");
+    Layer l;
+    l.name = "input";
+    l.kind = LayerKind::kInput;
+    l.in = s;
+    l.out = s;
+    return push_layer(std::move(l));
+}
+
+std::int32_t Network::add_conv(std::int32_t from, std::int32_t out_c, std::int32_t kernel,
+                               std::int32_t stride, std::int32_t padding, bool has_bias,
+                               bool has_bn, std::int32_t groups, const std::string& name) {
+    const Layer& src = layer(from);
+    Layer l;
+    l.name = name.empty() ? "conv" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kConv;
+    l.in = src.out;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.padding = padding;
+    l.groups = groups;
+    l.has_bias = has_bias;
+    l.has_bn = has_bn;
+    l.out = Shape{out_c, conv_out_dim(src.out.h, kernel, stride, padding),
+                  conv_out_dim(src.out.w, kernel, stride, padding)};
+    if (l.out.h <= 0 || l.out.w <= 0)
+        throw std::invalid_argument("conv collapses spatial dims: " + l.name);
+    const std::int32_t id = push_layer(std::move(l));
+    push_edge(from, id);
+    return id;
+}
+
+std::int32_t Network::add_pool(std::int32_t from, std::int32_t kernel, std::int32_t stride,
+                               std::int32_t padding, const std::string& name) {
+    const Layer& src = layer(from);
+    Layer l;
+    l.name = name.empty() ? "pool" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kPool;
+    l.in = src.out;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.padding = padding;
+    l.out = Shape{src.out.c, conv_out_dim(src.out.h, kernel, stride, padding),
+                  conv_out_dim(src.out.w, kernel, stride, padding)};
+    const std::int32_t id = push_layer(std::move(l));
+    push_edge(from, id);
+    return id;
+}
+
+std::int32_t Network::add_global_pool(std::int32_t from, const std::string& name) {
+    const Layer& src = layer(from);
+    Layer l;
+    l.name = name.empty() ? "gap" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kGlobalPool;
+    l.in = src.out;
+    l.out = Shape{src.out.c, 1, 1};
+    const std::int32_t id = push_layer(std::move(l));
+    push_edge(from, id);
+    return id;
+}
+
+std::int32_t Network::add_fc(std::int32_t from, std::int32_t out_features, bool has_bias,
+                             const std::string& name) {
+    const Layer& src = layer(from);
+    Layer l;
+    l.name = name.empty() ? "fc" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kFc;
+    l.in = src.out;
+    l.has_bias = has_bias;
+    l.out = Shape{out_features, 1, 1};
+    const std::int32_t id = push_layer(std::move(l));
+    push_edge(from, id);
+    return id;
+}
+
+std::int32_t Network::add_add(std::int32_t a, std::int32_t b, const std::string& name) {
+    const Layer& la = layer(a);
+    const Layer& lb = layer(b);
+    if (la.out != lb.out)
+        throw std::invalid_argument("residual add with mismatched shapes: " +
+                                    la.name + " vs " + lb.name);
+    Layer l;
+    l.name = name.empty() ? "add" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kAdd;
+    l.in = la.out;
+    l.out = la.out;
+    const std::int32_t id = push_layer(std::move(l));
+    push_edge(a, id);
+    push_edge(b, id);
+    return id;
+}
+
+std::int32_t Network::add_concat(std::span<const std::int32_t> from, const std::string& name) {
+    if (from.empty()) throw std::invalid_argument("concat of zero branches");
+    const Layer& first = layer(from.front());
+    Shape out = first.out;
+    out.c = 0;
+    for (const std::int32_t src : from) {
+        const Layer& ls = layer(src);
+        if (ls.out.h != first.out.h || ls.out.w != first.out.w)
+            throw std::invalid_argument("concat with mismatched spatial dims");
+        out.c += ls.out.c;
+    }
+    Layer l;
+    l.name = name.empty() ? "concat" + std::to_string(layers_.size()) : name;
+    l.kind = LayerKind::kConcat;
+    l.in = first.out;
+    l.out = out;
+    const std::int32_t id = push_layer(std::move(l));
+    for (const std::int32_t src : from) push_edge(src, id);
+    return id;
+}
+
+std::int64_t Network::total_params() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l.weight_params();
+    return total;
+}
+
+std::int64_t Network::total_macs() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l.macs();
+    return total;
+}
+
+std::int64_t Network::total_edge_activations() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& e : edges_) total += e.elems;
+    return total;
+}
+
+std::int64_t Network::skip_edge_activations() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& e : edges_)
+        if (e.skip) total += e.elems;
+    return total;
+}
+
+std::vector<std::int32_t> Network::weight_layer_ids() const {
+    std::vector<std::int32_t> ids;
+    for (const auto& l : layers_)
+        if (l.kind == LayerKind::kConv || l.kind == LayerKind::kFc) ids.push_back(l.id);
+    return ids;
+}
+
+}  // namespace floretsim::dnn

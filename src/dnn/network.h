@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/dnn/layer.h"
+
+namespace floretsim::dnn {
+
+/// A DNN inference graph: layers plus directed activation edges.
+///
+/// Networks are built through the add_* methods, which perform the shape
+/// arithmetic (conv output sizes, pooling, concat channel sums) and record
+/// activation edges automatically. The graph is a DAG whose topological
+/// order is the insertion order — the "dataflow" that the paper's mapping
+/// exploits.
+class Network {
+public:
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    /// Registers the input pseudo-layer. Must be called exactly once,
+    /// first. Returns its layer id.
+    std::int32_t add_input(Shape s);
+
+    /// Conv with square kernel. `has_bn` folds batch-norm parameters in.
+    /// Returns the new layer id; adds edge from `from`.
+    std::int32_t add_conv(std::int32_t from, std::int32_t out_c, std::int32_t kernel,
+                          std::int32_t stride, std::int32_t padding, bool has_bias,
+                          bool has_bn, std::int32_t groups = 1,
+                          const std::string& name = {});
+
+    /// Max/avg pooling (treated identically for traffic purposes).
+    std::int32_t add_pool(std::int32_t from, std::int32_t kernel, std::int32_t stride,
+                          std::int32_t padding = 0, const std::string& name = {});
+
+    /// Global average pool to 1x1 spatial.
+    std::int32_t add_global_pool(std::int32_t from, const std::string& name = {});
+
+    /// Fully connected layer over the flattened input.
+    std::int32_t add_fc(std::int32_t from, std::int32_t out_features, bool has_bias = true,
+                        const std::string& name = {});
+
+    /// Residual elementwise add joining branches `a` and `b` (same shape).
+    /// The edge from the earlier-id branch is marked as a skip edge when it
+    /// bypasses intermediate layers.
+    std::int32_t add_add(std::int32_t a, std::int32_t b, const std::string& name = {});
+
+    /// Channel-wise concatenation of the given branches (equal H/W).
+    std::int32_t add_concat(std::span<const std::int32_t> from,
+                            const std::string& name = {});
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Layer>& layers() const noexcept { return layers_; }
+    [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+    [[nodiscard]] const Layer& layer(std::int32_t id) const { return layers_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+
+    /// Total trainable parameters (validated against published counts).
+    [[nodiscard]] std::int64_t total_params() const noexcept;
+
+    /// Total MACs per inference.
+    [[nodiscard]] std::int64_t total_macs() const noexcept;
+
+    /// Sum of activation elements over all edges (one inference pass).
+    [[nodiscard]] std::int64_t total_edge_activations() const noexcept;
+
+    /// Sum of activation elements over skip edges only.
+    [[nodiscard]] std::int64_t skip_edge_activations() const noexcept;
+
+    /// Layers that hold weights (Conv/FC) in topological order — the units
+    /// the PIM partitioner maps onto chiplets.
+    [[nodiscard]] std::vector<std::int32_t> weight_layer_ids() const;
+
+private:
+    std::int32_t push_layer(Layer l);
+    void push_edge(std::int32_t src, std::int32_t dst);
+
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace floretsim::dnn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/dnn/network.h"
+
+namespace floretsim::dnn {
+
+/// A point-to-point traffic demand between two NoI/NoC nodes, produced by
+/// projecting a network's activation edges through a layer->node mapping.
+struct Flow {
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+    std::int64_t bytes = 0;
+    bool skip = false;  ///< Originates from a residual/dense skip edge.
+};
+
+/// Projects the activation edges of `net` onto inter-node flows, given the
+/// set of nodes each layer occupies (`layer_nodes[id]`; every layer id must
+/// have at least one node). Each edge's byte volume is split uniformly over
+/// all (src node, dst node) pairs; pairs on the same node are dropped (no
+/// on-chip network traffic).
+inline std::vector<Flow> extract_flows(
+    const Network& net, std::span<const std::vector<std::int32_t>> layer_nodes,
+    std::int32_t bytes_per_elem) {
+    if (layer_nodes.size() != net.size())
+        throw std::invalid_argument("layer_nodes must cover every layer");
+    std::vector<Flow> flows;
+    for (const Edge& e : net.edges()) {
+        const auto& src_nodes = layer_nodes[static_cast<std::size_t>(e.src)];
+        const auto& dst_nodes = layer_nodes[static_cast<std::size_t>(e.dst)];
+        if (src_nodes.empty() || dst_nodes.empty())
+            throw std::invalid_argument("unmapped layer in flow extraction");
+        const double pair_bytes =
+            static_cast<double>(e.elems) * bytes_per_elem /
+            (static_cast<double>(src_nodes.size()) * static_cast<double>(dst_nodes.size()));
+        for (const std::int32_t s : src_nodes) {
+            for (const std::int32_t d : dst_nodes) {
+                if (s == d) continue;
+                flows.push_back(Flow{s, d, static_cast<std::int64_t>(pair_bytes + 0.5),
+                                     e.skip});
+            }
+        }
+    }
+    return flows;
+}
+
+/// Sum of all flow bytes (the NoI traffic volume of one inference pass).
+inline std::int64_t total_flow_bytes(std::span<const Flow> flows) noexcept {
+    std::int64_t total = 0;
+    for (const auto& f : flows) total += f.bytes;
+    return total;
+}
+
+}  // namespace floretsim::dnn

@@ -1,0 +1,83 @@
+#include "src/dnn/transformer.h"
+
+namespace floretsim::dnn {
+
+TransformerConfig bert_base() {
+    TransformerConfig cfg;
+    cfg.name = "BERT-Base";
+    cfg.layers = 12;
+    cfg.hidden = 768;
+    cfg.heads = 12;
+    cfg.ff_dim = 3072;
+    cfg.seq_len = 512;
+    cfg.vocab = 30522;
+    return cfg;
+}
+
+TransformerConfig bert_tiny() {
+    TransformerConfig cfg;
+    cfg.name = "BERT-Tiny";
+    cfg.layers = 2;
+    cfg.hidden = 128;
+    cfg.heads = 2;
+    cfg.ff_dim = 512;
+    cfg.seq_len = 128;
+    cfg.vocab = 30522;
+    return cfg;
+}
+
+TransformerStorage analyze_storage(const TransformerConfig& cfg) {
+    const auto d = static_cast<std::int64_t>(cfg.hidden);
+    const auto n = static_cast<std::int64_t>(cfg.seq_len);
+    const auto a = static_cast<std::int64_t>(cfg.heads);
+    const auto ff = static_cast<std::int64_t>(cfg.ff_dim);
+    const auto b = static_cast<std::int64_t>(cfg.batch);
+
+    TransformerStorage s;
+    // Per-encoder weights: Q,K,V,O projections (d x d + bias each) plus the
+    // two FF matrices (d x ff and ff x d with biases) plus layer-norm gains.
+    const std::int64_t attn_w = 4 * (d * d + d);
+    const std::int64_t ff_w = d * ff + ff + ff * d + d;
+    const std::int64_t ln_w = 2 * 2 * d;
+    s.weight_params = cfg.layers * (attn_w + ff_w + ln_w);
+    s.embedding_params = cfg.vocab * d + n * d;
+
+    // Intermediates stored per layer, per sequence: Q, K, V (n x d each),
+    // pre-softmax scores and post-softmax probabilities (A x n x n each),
+    // attention context (n x d), attention output (n x d), FF hidden
+    // (n x ff) and FF output (n x d).
+    const std::int64_t per_layer =
+        3 * n * d + 2 * a * n * n + n * d + n * d + n * ff + n * d;
+    s.intermediate_elems = b * cfg.layers * per_layer;
+    return s;
+}
+
+std::vector<TransformerKernel> kernel_walk(const TransformerConfig& cfg) {
+    const auto d = static_cast<std::int64_t>(cfg.hidden);
+    const auto n = static_cast<std::int64_t>(cfg.seq_len);
+    const auto a = static_cast<std::int64_t>(cfg.heads);
+    const auto ff = static_cast<std::int64_t>(cfg.ff_dim);
+    const auto b = static_cast<std::int64_t>(cfg.batch);
+
+    std::vector<TransformerKernel> ks;
+    ks.reserve(static_cast<std::size_t>(cfg.layers) * 7);
+    for (std::int32_t l = 0; l < cfg.layers; ++l) {
+        const std::string tag = "enc" + std::to_string(l + 1);
+        ks.push_back({tag + ".qkv_proj", KernelClass::kStaticWeight, 3 * d * d,
+                      b * 3 * n * d * d, b * 3 * n * d});
+        ks.push_back({tag + ".scores", KernelClass::kDynamicMatrix, 0,
+                      b * a * n * n * (d / a), b * a * n * n});
+        ks.push_back({tag + ".softmax", KernelClass::kElementwise, 0, 0, b * a * n * n});
+        ks.push_back({tag + ".context", KernelClass::kDynamicMatrix, 0,
+                      b * a * n * n * (d / a), b * n * d});
+        ks.push_back({tag + ".out_proj", KernelClass::kStaticWeight, d * d,
+                      b * n * d * d, b * n * d});
+        ks.push_back({tag + ".ff1", KernelClass::kStaticWeight, d * ff,
+                      b * n * d * ff, b * n * ff});
+        ks.push_back({tag + ".ff2", KernelClass::kStaticWeight, ff * d,
+                      b * n * ff * d, b * n * d});
+    }
+    return ks;
+}
+
+}  // namespace floretsim::dnn

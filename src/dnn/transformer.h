@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace floretsim::dnn {
+
+/// Section IV of the paper: Transformer encoders mix *static* kernels
+/// (feed-forward / FC weights — PIM-friendly, mapped along the SFC macro)
+/// with *dynamic* kernels (attention score matrices that are rewritten for
+/// every token — unsuitable for NVM crossbars due to write endurance).
+/// This module provides the storage model behind the paper's BERT
+/// intermediate-vs-weight storage observation and a kernel walk used by the
+/// heterogeneous-mapping example.
+
+struct TransformerConfig {
+    std::string name;
+    std::int32_t layers = 12;     ///< Encoder blocks.
+    std::int32_t hidden = 768;    ///< Model dimension d.
+    std::int32_t heads = 12;      ///< Attention heads A.
+    std::int32_t ff_dim = 3072;   ///< Feed-forward inner dimension.
+    std::int32_t seq_len = 512;   ///< Tokens per sequence n.
+    std::int32_t batch = 1;       ///< Concurrent sequences (intermediates scale).
+    std::int32_t vocab = 30522;   ///< Embedding vocabulary.
+};
+
+/// BERT-Base (L=12, d=768, A=12, FF=3072, n=512).
+[[nodiscard]] TransformerConfig bert_base();
+/// BERT-Tiny (L=2, d=128, A=2, FF=512, n=128).
+[[nodiscard]] TransformerConfig bert_tiny();
+
+struct TransformerStorage {
+    std::int64_t weight_params = 0;        ///< Encoder weights (no embeddings).
+    std::int64_t embedding_params = 0;     ///< Token + position embeddings.
+    std::int64_t intermediate_elems = 0;   ///< Stored intermediate matrix elements.
+    /// The paper's metric: intermediate matrix storage over (encoder)
+    /// weight matrix storage.
+    [[nodiscard]] double intermediate_over_weights() const noexcept {
+        return weight_params == 0
+                   ? 0.0
+                   : static_cast<double>(intermediate_elems) /
+                         static_cast<double>(weight_params);
+    }
+};
+
+/// Computes encoder weight storage and the intermediate matrices that must
+/// be buffered (or written into crossbars) per inference:
+/// Q/K/V projections, pre- and post-softmax score matrices (A·n² each),
+/// attention context, attention output, FF hidden and FF output, per layer,
+/// scaled by batch. See EXPERIMENTS.md for the calibration against the
+/// paper's 8.98x (BERT-Base) and 2.06x (BERT-Tiny) figures.
+[[nodiscard]] TransformerStorage analyze_storage(const TransformerConfig& cfg);
+
+/// One schedulable kernel of an encoder stack.
+enum class KernelClass {
+    kStaticWeight,   ///< Fixed weight matrix (QKV/output projection, FF) — PIM-friendly.
+    kDynamicMatrix,  ///< Rewritten per input (score MVMs) — needs SRAM/tensor cores.
+    kElementwise,    ///< Softmax / layer-norm / residual — lightweight.
+};
+
+struct TransformerKernel {
+    std::string name;
+    KernelClass cls = KernelClass::kStaticWeight;
+    std::int64_t weight_params = 0;   ///< 0 for dynamic/elementwise kernels.
+    std::int64_t work_macs = 0;       ///< MACs per inference (batch-scaled).
+    std::int64_t activation_elems = 0;  ///< Output activations to the next kernel.
+};
+
+/// Kernel-by-kernel walk of the encoder stack in dataflow order. The
+/// heterogeneous-mapping example assigns kStaticWeight kernels to the
+/// ReRAM SFC macro and kDynamicMatrix kernels to non-PIM modules.
+[[nodiscard]] std::vector<TransformerKernel> kernel_walk(const TransformerConfig& cfg);
+
+}  // namespace floretsim::dnn

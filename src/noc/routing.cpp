@@ -1,0 +1,223 @@
+#include "src/noc/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace floretsim::noc {
+namespace {
+
+using topo::NodeId;
+
+/// Node nearest the centroid of all node positions (tie: lowest id).
+NodeId central_node(const topo::Topology& t) {
+    double cx = 0.0;
+    double cy = 0.0;
+    for (const auto& n : t.nodes()) {
+        cx += n.pos.x;
+        cy += n.pos.y;
+    }
+    cx /= std::max(1, t.node_count());
+    cy /= std::max(1, t.node_count());
+    NodeId best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (const auto& n : t.nodes()) {
+        const double dx = n.pos.x - cx;
+        const double dy = n.pos.y - cy;
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {
+            best_d = d;
+            best = n.id;
+        }
+    }
+    return best;
+}
+
+/// BFS levels from the root (spanning-tree depth for up*/down*).
+std::vector<std::int32_t> bfs_levels(const topo::Topology& t, NodeId root) {
+    return t.hop_distances(root);
+}
+
+/// "Up" direction: toward (lower level, lower id). Every link has exactly
+/// one up end, so the orientation is a DAG and up-then-down paths exist
+/// between all pairs (via the root in the worst case).
+bool is_up_move(const std::vector<std::int32_t>& level, NodeId from, NodeId to) {
+    const auto lf = level[static_cast<std::size_t>(from)];
+    const auto lt = level[static_cast<std::size_t>(to)];
+    return lt < lf || (lt == lf && to < from);
+}
+
+std::vector<NodeId> reverse_path(std::vector<NodeId> p) {
+    std::reverse(p.begin(), p.end());
+    return p;
+}
+
+}  // namespace
+
+RouteTable RouteTable::build(const topo::Topology& t, RoutingPolicy policy,
+                             topo::NodeId root) {
+    RouteTable rt;
+    rt.n_ = t.node_count();
+    rt.routes_.assign(static_cast<std::size_t>(rt.n_) * static_cast<std::size_t>(rt.n_), {});
+
+    if (policy == RoutingPolicy::kXY) {
+        // Node lookup by (x, y, tier).
+        std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, NodeId> at;
+        for (const auto& node : t.nodes())
+            at[{node.pos.x, node.pos.y, node.tier}] = node.id;
+        auto step = [&](NodeId cur, std::int32_t dx, std::int32_t dy,
+                        std::int32_t dz) -> NodeId {
+            const auto& n = t.node(cur);
+            const auto it = at.find({n.pos.x + dx, n.pos.y + dy, n.tier + dz});
+            if (it == at.end() || !t.has_link(cur, it->second))
+                throw std::invalid_argument(
+                    "XY routing requires a mesh-structured topology: missing link at "
+                    "node " + std::to_string(cur));
+            return it->second;
+        };
+        for (NodeId src = 0; src < rt.n_; ++src) {
+            for (NodeId dst = 0; dst < rt.n_; ++dst) {
+                auto& route = rt.routes_[rt.index(src, dst)];
+                route = {src};
+                NodeId cur = src;
+                while (cur != dst) {
+                    const auto& c = t.node(cur);
+                    const auto& d = t.node(dst);
+                    if (c.pos.x != d.pos.x)
+                        cur = step(cur, c.pos.x < d.pos.x ? 1 : -1, 0, 0);
+                    else if (c.pos.y != d.pos.y)
+                        cur = step(cur, 0, c.pos.y < d.pos.y ? 1 : -1, 0);
+                    else
+                        cur = step(cur, 0, 0, c.tier < d.tier ? 1 : -1);
+                    route.push_back(cur);
+                }
+            }
+        }
+        return rt;
+    }
+
+    if (policy == RoutingPolicy::kShortestPath) {
+        // BFS from every destination, recording parent pointers toward it;
+        // ties broken toward the lowest neighbor id for determinism.
+        for (NodeId dst = 0; dst < rt.n_; ++dst) {
+            std::vector<NodeId> parent(static_cast<std::size_t>(rt.n_), -1);
+            std::vector<std::int32_t> dist(static_cast<std::size_t>(rt.n_), -1);
+            std::queue<NodeId> q;
+            dist[static_cast<std::size_t>(dst)] = 0;
+            q.push(dst);
+            while (!q.empty()) {
+                const NodeId cur = q.front();
+                q.pop();
+                auto nbrs = t.adjacency(cur);
+                std::sort(nbrs.begin(), nbrs.end());
+                for (const auto& [nbr, lid] : nbrs) {
+                    if (dist[static_cast<std::size_t>(nbr)] < 0) {
+                        dist[static_cast<std::size_t>(nbr)] =
+                            dist[static_cast<std::size_t>(cur)] + 1;
+                        parent[static_cast<std::size_t>(nbr)] = cur;
+                        q.push(nbr);
+                    }
+                }
+            }
+            for (NodeId src = 0; src < rt.n_; ++src) {
+                auto& route = rt.routes_[rt.index(src, dst)];
+                if (src == dst) {
+                    route = {src};
+                    continue;
+                }
+                if (dist[static_cast<std::size_t>(src)] < 0) continue;  // unreachable
+                NodeId cur = src;
+                route.push_back(cur);
+                while (cur != dst) {
+                    cur = parent[static_cast<std::size_t>(cur)];
+                    route.push_back(cur);
+                }
+            }
+        }
+        return rt;
+    }
+
+    // Up*/down*: BFS over the state graph (node, has-gone-down).
+    const NodeId r = root >= 0 ? root : central_node(t);
+    const auto level = bfs_levels(t, r);
+    const auto n = static_cast<std::size_t>(rt.n_);
+    for (NodeId src = 0; src < rt.n_; ++src) {
+        // State: node * 2 + phase (0 = still ascending, 1 = descending).
+        std::vector<std::int32_t> dist(n * 2, -1);
+        std::vector<std::int32_t> prev(n * 2, -1);  // previous state index
+        std::queue<std::int32_t> q;
+        const std::int32_t start = static_cast<std::int32_t>(src) * 2;
+        dist[static_cast<std::size_t>(start)] = 0;
+        q.push(start);
+        while (!q.empty()) {
+            const std::int32_t st = q.front();
+            q.pop();
+            const NodeId cur = st / 2;
+            const std::int32_t phase = st % 2;
+            auto nbrs = t.adjacency(cur);
+            std::sort(nbrs.begin(), nbrs.end());
+            for (const auto& [nbr, lid] : nbrs) {
+                const bool up = is_up_move(level, cur, nbr);
+                if (phase == 1 && up) continue;  // down -> up forbidden
+                const std::int32_t nphase = up ? phase : 1;
+                const std::int32_t nst = static_cast<std::int32_t>(nbr) * 2 + nphase;
+                if (dist[static_cast<std::size_t>(nst)] < 0) {
+                    dist[static_cast<std::size_t>(nst)] =
+                        dist[static_cast<std::size_t>(st)] + 1;
+                    prev[static_cast<std::size_t>(nst)] = st;
+                    q.push(nst);
+                }
+            }
+        }
+        for (NodeId dst = 0; dst < rt.n_; ++dst) {
+            auto& route = rt.routes_[rt.index(src, dst)];
+            if (src == dst) {
+                route = {src};
+                continue;
+            }
+            // Prefer the shorter of the two terminal phases.
+            std::int32_t best_state = -1;
+            for (const std::int32_t phase : {0, 1}) {
+                const std::int32_t st = static_cast<std::int32_t>(dst) * 2 + phase;
+                if (dist[static_cast<std::size_t>(st)] < 0) continue;
+                if (best_state < 0 || dist[static_cast<std::size_t>(st)] <
+                                          dist[static_cast<std::size_t>(best_state)])
+                    best_state = st;
+            }
+            if (best_state < 0) continue;  // unreachable
+            std::vector<NodeId> rev;
+            for (std::int32_t st = best_state; st >= 0;
+                 st = prev[static_cast<std::size_t>(st)])
+                rev.push_back(st / 2);
+            route = reverse_path(std::move(rev));
+        }
+    }
+    return rt;
+}
+
+double RouteTable::mean_hops() const {
+    double total = 0.0;
+    std::int64_t pairs = 0;
+    for (std::int32_t s = 0; s < n_; ++s) {
+        for (std::int32_t d = 0; d < n_; ++d) {
+            if (s == d) continue;
+            const auto& r = routes_[index(s, d)];
+            if (r.empty()) continue;
+            total += static_cast<double>(r.size()) - 1.0;
+            ++pairs;
+        }
+    }
+    return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+bool RouteTable::complete() const {
+    for (std::int32_t s = 0; s < n_; ++s)
+        for (std::int32_t d = 0; d < n_; ++d)
+            if (routes_[index(s, d)].empty()) return false;
+    return true;
+}
+
+}  // namespace floretsim::noc

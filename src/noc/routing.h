@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace floretsim::noc {
+
+/// Routing policy for table construction.
+enum class RoutingPolicy {
+    /// Plain BFS shortest paths with deterministic tie-breaking (lowest
+    /// neighbor id). Minimal, but cyclic channel dependencies are possible
+    /// on irregular graphs.
+    kShortestPath,
+    /// Up*/down* routing over a BFS spanning tree rooted at the node
+    /// closest to the grid center: a packet may only turn from "down" to
+    /// "down" after its first down move, which provably breaks channel
+    /// dependency cycles (deadlock-free wormhole on arbitrary graphs) at
+    /// the price of occasionally non-minimal paths.
+    kUpDown,
+    /// Dimension-order (X, then Y, then tier): minimal and deadlock-free,
+    /// but only valid on mesh-structured topologies (every unit step along
+    /// a dimension must be a link). Throws std::invalid_argument when the
+    /// topology lacks a required link.
+    kXY,
+};
+
+/// Precomputed source routes for every (src, dst) pair of a topology.
+/// Routes are node-id sequences including both endpoints; the simulator
+/// source-routes packets along them, so per-hop lookup is O(1).
+class RouteTable {
+public:
+    /// Builds the table. For kUpDown, `root` < 0 selects the node nearest
+    /// the grid centroid.
+    static RouteTable build(const topo::Topology& t, RoutingPolicy policy,
+                            topo::NodeId root = -1);
+
+    /// The route from src to dst ([src] when src == dst). Lifetime: valid
+    /// while the table lives.
+    [[nodiscard]] const std::vector<topo::NodeId>& route(topo::NodeId src,
+                                                         topo::NodeId dst) const {
+        return routes_[index(src, dst)];
+    }
+
+    /// Route length in hops.
+    [[nodiscard]] std::int32_t hops(topo::NodeId src, topo::NodeId dst) const {
+        return static_cast<std::int32_t>(routes_[index(src, dst)].size()) - 1;
+    }
+
+    /// Mean hop count over all distinct pairs.
+    [[nodiscard]] double mean_hops() const;
+
+    [[nodiscard]] std::int32_t node_count() const noexcept { return n_; }
+
+    /// Checks that a route exists between all pairs (graph connected &
+    /// policy complete).
+    [[nodiscard]] bool complete() const;
+
+private:
+    [[nodiscard]] std::size_t index(topo::NodeId src, topo::NodeId dst) const {
+        return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(dst);
+    }
+
+    std::int32_t n_ = 0;
+    std::vector<std::vector<topo::NodeId>> routes_;
+};
+
+}  // namespace floretsim::noc

@@ -1,0 +1,314 @@
+#include "src/noc/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace floretsim::noc {
+namespace {
+
+using topo::LinkId;
+using topo::NodeId;
+
+struct Packet {
+    std::int32_t id = -1;
+    NodeId src = -1;
+    NodeId dst = -1;
+    std::int32_t flits = 0;
+    std::int64_t inject_cycle = 0;
+    const std::vector<NodeId>* path = nullptr;
+};
+
+struct Flit {
+    std::int32_t packet = -1;
+    std::int32_t hop = 0;  ///< Index into the packet path of the current node.
+    bool head = false;
+    bool tail = false;
+};
+
+/// One directed channel (half of a bidirectional link) with its pipeline
+/// and the input FIFO at its downstream router.
+struct Channel {
+    NodeId from = -1;
+    NodeId to = -1;
+    LinkId link = -1;
+    std::int32_t delay = 1;
+    std::int32_t credits = 0;                      ///< Space left downstream.
+    std::deque<std::pair<Flit, std::int64_t>> pipe;  ///< (flit, arrival cycle).
+    std::deque<Flit> fifo;                         ///< Downstream input buffer.
+};
+
+}  // namespace
+
+Simulator::Simulator(const topo::Topology& topo, const RouteTable& routes, SimConfig cfg)
+    : topo_(topo), routes_(routes), cfg_(cfg) {
+    if (topo.node_count() != routes.node_count())
+        throw std::invalid_argument("route table built for a different topology");
+}
+
+void Simulator::add_demand(const Demand& d) {
+    if (d.src < 0 || d.dst < 0 || d.src >= topo_.node_count() ||
+        d.dst >= topo_.node_count())
+        throw std::out_of_range("demand endpoint out of range");
+    if (d.src == d.dst || d.bytes <= 0) return;  // local or empty: no traffic
+    demands_.push_back(d);
+}
+
+void Simulator::add_demands(const std::vector<Demand>& ds) {
+    for (const auto& d : ds) add_demand(d);
+}
+
+SimResult Simulator::run() {
+    const auto n_nodes = static_cast<std::size_t>(topo_.node_count());
+
+    // --- Build directed channels: 2 per link, plus per-node injection
+    // queues (unbounded source FIFO) and ejection sinks.
+    std::vector<Channel> channels;
+    channels.reserve(topo_.links().size() * 2);
+    // in_channels[n] = indices of channels whose downstream FIFO sits at n.
+    std::vector<std::vector<std::int32_t>> in_channels(n_nodes);
+
+    for (const auto& l : topo_.links()) {
+        const auto delay = std::max<std::int32_t>(
+            1, static_cast<std::int32_t>(std::lround(l.length_mm / cfg_.mm_per_cycle))) +
+                           cfg_.router_delay_cycles;
+        for (const auto& [from, to] : {std::pair{l.a, l.b}, std::pair{l.b, l.a}}) {
+            Channel c;
+            c.from = from;
+            c.to = to;
+            c.link = l.id;
+            c.delay = delay;
+            c.credits = cfg_.input_buffer_flits;
+            const auto idx = static_cast<std::int32_t>(channels.size());
+            channels.push_back(std::move(c));
+            in_channels[static_cast<std::size_t>(to)].push_back(idx);
+        }
+    }
+
+    // --- Packetize demands and build per-node injection schedules.
+    std::vector<Packet> packets;
+    for (const auto& d : demands_) {
+        const auto total_flits = std::max<std::int64_t>(
+            1, (d.bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes);
+        std::int64_t remaining = total_flits;
+        while (remaining > 0) {
+            const auto take =
+                static_cast<std::int32_t>(std::min<std::int64_t>(remaining, cfg_.max_packet_flits));
+            Packet p;
+            p.id = static_cast<std::int32_t>(packets.size());
+            p.src = d.src;
+            p.dst = d.dst;
+            p.flits = take;
+            p.path = &routes_.route(d.src, d.dst);
+            if (p.path->size() < 2)
+                throw std::logic_error("no route for demand " + std::to_string(d.src) +
+                                       "->" + std::to_string(d.dst));
+            packets.push_back(p);
+            remaining -= take;
+        }
+    }
+    demands_.clear();
+
+    // Round-robin interleave packets of each source across the injection
+    // window implied by the configured injection rate.
+    std::vector<std::vector<std::int32_t>> per_src(n_nodes);
+    for (const auto& p : packets) per_src[static_cast<std::size_t>(p.src)].push_back(p.id);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        const double rate = std::max(1e-9, cfg_.injection_rate);
+        double cursor = 0.0;
+        for (const auto pid : per_src[n]) {
+            packets[static_cast<std::size_t>(pid)].inject_cycle =
+                static_cast<std::int64_t>(cursor);
+            cursor += static_cast<double>(packets[static_cast<std::size_t>(pid)].flits) / rate;
+        }
+    }
+
+    // Per-node injection FIFO of flits, pre-expanded lazily: we keep a
+    // cursor into the packet list sorted by inject time.
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        std::sort(per_src[n].begin(), per_src[n].end(),
+                  [&](std::int32_t a, std::int32_t b) {
+                      return packets[static_cast<std::size_t>(a)].inject_cycle <
+                             packets[static_cast<std::size_t>(b)].inject_cycle;
+                  });
+    }
+    std::vector<std::size_t> inj_cursor(n_nodes, 0);
+    std::vector<std::deque<Flit>> inj_fifo(n_nodes);
+
+    // --- Arbiter state.
+    // Output lock: which packet currently owns each channel (wormhole).
+    std::vector<std::int32_t> lock(channels.size(), -1);
+    // Round-robin pointer per channel over its router's input sources.
+    std::vector<std::uint32_t> rr(channels.size(), 0);
+
+    SimResult res;
+    res.router_flits.assign(n_nodes, 0);
+    res.link_flits.assign(topo_.links().size(), 0);
+
+    std::int64_t now = 0;
+    std::int64_t delivered_packets = 0;
+    const auto total_packets = static_cast<std::int64_t>(packets.size());
+    std::vector<std::int32_t> flits_left(packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i) flits_left[i] = packets[i].flits;
+
+    std::int64_t in_flight_flits = 0;
+
+    while (delivered_packets < total_packets && now < cfg_.max_cycles) {
+        // 1. Injection: move due packets into their source FIFO as flits.
+        for (std::size_t n = 0; n < n_nodes; ++n) {
+            while (inj_cursor[n] < per_src[n].size()) {
+                const auto pid = per_src[n][inj_cursor[n]];
+                const auto& p = packets[static_cast<std::size_t>(pid)];
+                if (p.inject_cycle > now) break;
+                for (std::int32_t f = 0; f < p.flits; ++f) {
+                    Flit fl;
+                    fl.packet = pid;
+                    fl.hop = 0;
+                    fl.head = (f == 0);
+                    fl.tail = (f == p.flits - 1);
+                    inj_fifo[n].push_back(fl);
+                    ++in_flight_flits;
+                }
+                ++inj_cursor[n];
+            }
+        }
+
+        // 2. Link pipelines: deliver arrived flits into downstream FIFOs.
+        for (auto& c : channels) {
+            while (!c.pipe.empty() && c.pipe.front().second <= now) {
+                c.fifo.push_back(c.pipe.front().first);
+                c.pipe.pop_front();
+            }
+        }
+
+        // 3. Ejection: flits at their destination leave the network (one
+        // per input port per cycle), returning credit to the channel that
+        // delivered them.
+        for (auto& c : channels) {
+            if (c.fifo.empty()) continue;
+            const Flit& f = c.fifo.front();
+            const auto& p = packets[static_cast<std::size_t>(f.packet)];
+            const auto& path = *p.path;
+            if (path[static_cast<std::size_t>(f.hop)] != p.dst) continue;
+            if (f.tail) {
+                ++delivered_packets;
+                res.packet_latency.add(static_cast<double>(now - p.inject_cycle));
+            }
+            ++res.flits;
+            --in_flight_flits;
+            c.fifo.pop_front();
+            ++c.credits;
+        }
+
+        // 4. Switch allocation: for every output channel pick one flit.
+        // `channel_drained` / `inj_drained` enforce one flit per input
+        // port per cycle across all outputs of a router.
+        std::vector<std::int8_t> channel_drained(channels.size(), 0);
+        std::vector<std::int8_t> inj_drained(n_nodes, 0);
+        for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+            Channel& out = channels[ci];
+            if (out.credits <= 0) continue;
+            const auto node = static_cast<std::size_t>(out.from);
+
+            // Candidate input sources at this router: injection FIFO (-1)
+            // plus each incoming channel's FIFO.
+            const auto& ins = in_channels[node];
+            const auto n_sources = ins.size() + 1;
+
+            auto head_wants = [&](std::deque<Flit>& fifo) -> bool {
+                if (fifo.empty()) return false;
+                const Flit& f = fifo.front();
+                const auto& p = packets[static_cast<std::size_t>(f.packet)];
+                const auto& path = *p.path;
+                const auto pos = static_cast<std::size_t>(f.hop);
+                if (path[pos] == p.dst) return false;  // wants ejection
+                return path[pos + 1] == out.to;
+            };
+            auto fifo_of = [&](std::size_t source) -> std::deque<Flit>& {
+                return source == 0
+                           ? inj_fifo[node]
+                           : channels[static_cast<std::size_t>(ins[source - 1])].fifo;
+            };
+            auto source_free = [&](std::size_t source) -> bool {
+                return source == 0
+                           ? inj_drained[node] == 0
+                           : channel_drained[static_cast<std::size_t>(ins[source - 1])] == 0;
+            };
+
+            std::int32_t chosen = -1;  // source index
+            if (lock[ci] >= 0) {
+                // Wormhole continuation: only the owner packet may use the
+                // output; find the source whose head flit belongs to it.
+                for (std::size_t s = 0; s < n_sources; ++s) {
+                    auto& fifo = fifo_of(s);
+                    if (source_free(s) && !fifo.empty() &&
+                        fifo.front().packet == lock[ci] && head_wants(fifo)) {
+                        chosen = static_cast<std::int32_t>(s);
+                        break;
+                    }
+                }
+            } else {
+                // New allocation: round-robin over head flits requesting us.
+                for (std::size_t k = 0; k < n_sources; ++k) {
+                    const std::size_t s = (rr[ci] + k) % n_sources;
+                    auto& fifo = fifo_of(s);
+                    if (source_free(s) && !fifo.empty() && fifo.front().head &&
+                        head_wants(fifo)) {
+                        chosen = static_cast<std::int32_t>(s);
+                        rr[ci] = static_cast<std::uint32_t>(s + 1);
+                        break;
+                    }
+                }
+            }
+            if (chosen < 0) continue;
+
+            auto& fifo = fifo_of(static_cast<std::size_t>(chosen));
+            Flit f = fifo.front();
+            fifo.pop_front();
+            if (chosen > 0) {
+                // Credit back to the upstream channel we drained.
+                const auto up = static_cast<std::size_t>(ins[static_cast<std::size_t>(chosen) - 1]);
+                ++channels[up].credits;
+                channel_drained[up] = 1;
+            } else {
+                inj_drained[node] = 1;
+            }
+            lock[ci] = f.tail ? -1 : f.packet;
+            --out.credits;
+            ++f.hop;
+            out.pipe.emplace_back(f, now + out.delay);
+            ++res.router_flits[node];
+            ++res.link_flits[static_cast<std::size_t>(out.link)];
+            ++res.flit_hops;
+        }
+
+        ++now;
+
+        // Fast-forward across idle gaps (no flits in flight anywhere and
+        // the next injection is in the future).
+        if (in_flight_flits == 0) {
+            std::int64_t next_inject = std::numeric_limits<std::int64_t>::max();
+            for (std::size_t n = 0; n < n_nodes; ++n) {
+                if (inj_cursor[n] < per_src[n].size()) {
+                    next_inject = std::min(
+                        next_inject,
+                        packets[static_cast<std::size_t>(per_src[n][inj_cursor[n]])]
+                            .inject_cycle);
+                }
+            }
+            if (next_inject == std::numeric_limits<std::int64_t>::max()) {
+                break;  // nothing left anywhere
+            }
+            now = std::max(now, next_inject);
+        }
+    }
+
+    res.cycles = now;
+    res.packets = delivered_packets;
+    res.completed = delivered_packets == total_packets;
+    return res;
+}
+
+}  // namespace floretsim::noc

@@ -1,0 +1,31 @@
+#include "src/pim/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace floretsim::pim {
+
+double ThermalAccuracyModel::conductance_window(double temp_k) const noexcept {
+    if (temp_k <= t_safe_k) return 1.0;
+    return std::exp(-window_decay_per_k * (temp_k - t_safe_k));
+}
+
+double ThermalAccuracyModel::accuracy_drop(std::span<const double> pe_temp_k,
+                                           std::span<const double> pe_weight_frac) const {
+    if (pe_temp_k.size() != pe_weight_frac.size())
+        throw std::invalid_argument("temperature/weight spans differ in size");
+    double weight_total = 0.0;
+    for (const double w : pe_weight_frac) weight_total += w;
+    if (weight_total <= 0.0) return 0.0;
+
+    double min_window = 1.0;
+    for (std::size_t i = 0; i < pe_temp_k.size(); ++i) {
+        if (pe_weight_frac[i] / weight_total < min_weight_share) continue;
+        min_window = std::min(min_window, conductance_window(pe_temp_k[i]));
+    }
+    const double drop = degradation_at_zero_window * (1.0 - min_window);
+    return std::clamp(drop, 0.0, degradation_at_zero_window);
+}
+
+}  // namespace floretsim::pim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+namespace floretsim::pim {
+
+/// Thermal impact on ReRAM inference accuracy (Shin et al., ICCAD'20 — the
+/// paper's reference [20]): weights are stored as conductance states, and
+/// the usable conductance window (gap between G_on and G_off) shrinks
+/// exponentially once the cell temperature exceeds ~330 K. A narrower
+/// window means output levels are more easily misread, degrading accuracy.
+struct ThermalAccuracyModel {
+    double t_safe_k = 330.0;          ///< Below this, no degradation.
+    double window_decay_per_k = 0.04; ///< Exponential shrink rate above t_safe.
+    /// Fraction of baseline accuracy lost when the window fully collapses.
+    /// Calibrated so that the paper's "up to 11 %" band is reached at the
+    /// hotspot temperatures its Fig. 6 mappings produce (~345-350 K).
+    double degradation_at_zero_window = 0.25;
+
+    /// Relative conductance window in (0, 1]; 1 below t_safe_k.
+    [[nodiscard]] double conductance_window(double temp_k) const noexcept;
+
+    /// PEs storing less than this share of the model's weights are ignored
+    /// when looking for the binding (hottest) cell.
+    double min_weight_share = 1e-3;
+
+    /// Accuracy drop (fraction of baseline, in [0, degradation_at_zero_window])
+    /// for a set of PEs with temperatures `pe_temp_k` and per-PE stored
+    /// weight shares `pe_weight_frac`. DNN inference has no redundancy
+    /// across layers: the layer whose weights drift the most bounds the
+    /// network's accuracy, and its errors cascade. The model is therefore
+    /// weakest-link: the smallest conductance window among PEs holding a
+    /// non-negligible weight share sets the degradation.
+    [[nodiscard]] double accuracy_drop(std::span<const double> pe_temp_k,
+                                       std::span<const double> pe_weight_frac) const;
+};
+
+}  // namespace floretsim::pim

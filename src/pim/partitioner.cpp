@@ -1,0 +1,110 @@
+#include "src/pim/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace floretsim::pim {
+
+PartitionPlan partition_network(const dnn::Network& net, const ReramConfig& cfg) {
+    PartitionPlan plan;
+    std::int32_t cursor = 0;
+    for (const std::int32_t id : net.weight_layer_ids()) {
+        const dnn::Layer& l = net.layer(id);
+        const std::int32_t need = std::max<std::int32_t>(1, chiplets_for_layer(l, cfg));
+        LayerSegment seg;
+        seg.layer_id = id;
+        seg.first = cursor;
+        seg.last = cursor + need - 1;
+        seg.weights = l.weight_params();
+        cursor += need;
+        plan.segments.push_back(seg);
+    }
+    plan.total_chiplets = cursor;
+    return plan;
+}
+
+PartitionPlan partition_by_params(const dnn::Network& net, double total_params_millions,
+                                  double params_per_chiplet_millions) {
+    if (params_per_chiplet_millions <= 0.0)
+        throw std::invalid_argument("params_per_chiplet must be positive");
+    const double capacity = params_per_chiplet_millions * 1e6;
+    const double true_total = static_cast<double>(net.total_params());
+
+    PartitionPlan plan;
+    double cum = 0.0;
+    for (const std::int32_t id : net.weight_layer_ids()) {
+        const dnn::Layer& l = net.layer(id);
+        const double frac =
+            true_total > 0.0 ? static_cast<double>(l.weight_params()) / true_total : 0.0;
+        const double layer_params = frac * total_params_millions * 1e6;
+        LayerSegment seg;
+        seg.layer_id = id;
+        seg.first = static_cast<std::int32_t>(cum / capacity);
+        cum += layer_params;
+        // Last chiplet touched by this layer's parameter mass (ceil - 1,
+        // guarded so zero-width layers still own one chiplet).
+        seg.last = std::max(seg.first,
+                            static_cast<std::int32_t>(std::ceil(cum / capacity)) - 1);
+        seg.weights = static_cast<std::int64_t>(layer_params);
+        plan.segments.push_back(seg);
+    }
+    plan.total_chiplets =
+        plan.segments.empty() ? 0 : plan.segments.back().last + 1;
+    return plan;
+}
+
+double pipeline_period_ns(const dnn::Network& net, const PartitionPlan& plan,
+                          const ReramConfig& cfg) {
+    double period = 0.0;
+    for (const LayerSegment& seg : plan.segments) {
+        period = std::max(period, layer_compute_latency_ns(net.layer(seg.layer_id),
+                                                           seg.chiplets(), cfg));
+    }
+    return period;
+}
+
+std::vector<std::vector<std::int32_t>> assign_layers(
+    const dnn::Network& net, const PartitionPlan& plan,
+    std::span<const std::int32_t> node_sequence) {
+    std::vector<std::vector<std::int32_t>> assignment(net.size());
+
+    for (const LayerSegment& seg : plan.segments) {
+        if (static_cast<std::size_t>(seg.last) >= node_sequence.size())
+            throw std::length_error("node sequence shorter than partition demand");
+        auto& nodes = assignment[static_cast<std::size_t>(seg.layer_id)];
+        nodes.assign(node_sequence.begin() + seg.first,
+                     node_sequence.begin() + seg.last + 1);
+    }
+
+    // Weightless layers ride along with their nearest mapped predecessor:
+    // the chiplet that produced their input performs the pool/add/concat.
+    // Repeated sweeps resolve chains (pool feeding pool etc.).
+    if (!plan.segments.empty()) {
+        const auto first_weight_layer =
+            static_cast<std::size_t>(plan.segments.front().layer_id);
+        if (assignment[0].empty() && !assignment[first_weight_layer].empty())
+            assignment[0].push_back(assignment[first_weight_layer].front());
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t id = 0; id < net.size(); ++id) {
+            if (!assignment[id].empty()) continue;
+            std::int32_t best_src = -1;
+            for (const dnn::Edge& e : net.edges()) {
+                if (e.dst != static_cast<std::int32_t>(id)) continue;
+                if (!assignment[static_cast<std::size_t>(e.src)].empty())
+                    best_src = std::max(best_src, e.src);
+            }
+            if (best_src >= 0) {
+                assignment[id].push_back(
+                    assignment[static_cast<std::size_t>(best_src)].back());
+                changed = true;
+            }
+        }
+    }
+    return assignment;
+}
+
+}  // namespace floretsim::pim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/dnn/network.h"
+#include "src/pim/reram.h"
+
+namespace floretsim::pim {
+
+/// One weight layer's slice of a task's chiplet sequence: it occupies
+/// positions [first, last] (inclusive) of the sequence the mapper
+/// allocates. Consecutive segments may share a boundary chiplet in packed
+/// plans (several small layers on one chiplet).
+struct LayerSegment {
+    std::int32_t layer_id = -1;
+    std::int32_t first = 0;
+    std::int32_t last = 0;
+    std::int64_t weights = 0;  ///< Parameters stored by this layer.
+
+    [[nodiscard]] std::int32_t chiplets() const noexcept { return last - first + 1; }
+};
+
+/// A network partitioned into per-layer chiplet spans, in dataflow order.
+struct PartitionPlan {
+    std::vector<LayerSegment> segments;
+    std::int32_t total_chiplets = 0;  ///< Length of the required sequence.
+};
+
+/// Exact (exclusive) partition: each Conv/FC layer gets its own
+/// ceil(crossbar demand / chiplet capacity) chiplets, at least one; no
+/// sharing. Faithful to crossbar geometry.
+[[nodiscard]] PartitionPlan partition_network(const dnn::Network& net, const ReramConfig& cfg);
+
+/// Paper-calibrated *packed* partition: distributes a given total
+/// parameter count (e.g. the literal Table I value) over the weight layers
+/// proportionally to their true weight volume, then packs them onto
+/// chiplets of `params_per_chiplet_millions` capacity cumulatively, so
+/// small consecutive layers share chiplets. Reproduces the paper's mapping
+/// pressure even where Table I disagrees with the true architecture size.
+[[nodiscard]] PartitionPlan partition_by_params(const dnn::Network& net,
+                                                double total_params_millions,
+                                                double params_per_chiplet_millions);
+
+/// Pipeline initiation interval of a partitioned network: the compute
+/// latency of the slowest segment (its chiplets work in parallel; a new
+/// inference can enter the pipeline only as fast as the bottleneck stage
+/// finishes). Used to convert per-inference energies into sustained power
+/// for the thermal study.
+[[nodiscard]] double pipeline_period_ns(const dnn::Network& net, const PartitionPlan& plan,
+                                        const ReramConfig& cfg);
+
+/// Expands a plan into a per-layer node assignment, reading node ids from
+/// `node_sequence` (produced by a mapper: SFC order for Floret, greedy
+/// order for baselines). Weight layers take the nodes of their [first,
+/// last] span; weightless layers (pool/add/concat/input) inherit the last
+/// node of their nearest mapped predecessor. Returns one node list per
+/// layer id. Throws std::length_error if the sequence is too short.
+[[nodiscard]] std::vector<std::vector<std::int32_t>> assign_layers(
+    const dnn::Network& net, const PartitionPlan& plan,
+    std::span<const std::int32_t> node_sequence);
+
+}  // namespace floretsim::pim

@@ -1,0 +1,89 @@
+#include "src/pim/reram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace floretsim::pim {
+namespace {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+    return (a + b - 1) / b;
+}
+
+/// Rows of the unrolled weight matrix (the MVM input dimension).
+std::int64_t matrix_rows(const dnn::Layer& layer) noexcept {
+    switch (layer.kind) {
+        case dnn::LayerKind::kConv:
+            return static_cast<std::int64_t>(layer.kernel) * layer.kernel *
+                   (layer.in.c / layer.groups);
+        case dnn::LayerKind::kFc:
+            return layer.in.elems();
+        default:
+            return 0;
+    }
+}
+
+/// Columns of the unrolled weight matrix (the MVM output dimension).
+std::int64_t matrix_cols(const dnn::Layer& layer) noexcept {
+    switch (layer.kind) {
+        case dnn::LayerKind::kConv:
+        case dnn::LayerKind::kFc:
+            return layer.out.c;
+        default:
+            return 0;
+    }
+}
+
+/// MVM activations per inference: one per output spatial position (and one
+/// total for FC layers).
+std::int64_t mvm_count(const dnn::Layer& layer) noexcept {
+    switch (layer.kind) {
+        case dnn::LayerKind::kConv:
+            return static_cast<std::int64_t>(layer.out.h) * layer.out.w;
+        case dnn::LayerKind::kFc:
+            return 1;
+        default:
+            return 0;
+    }
+}
+
+}  // namespace
+
+std::int64_t xbars_for_layer(const dnn::Layer& layer, const ReramConfig& cfg) {
+    const std::int64_t rows = matrix_rows(layer);
+    const std::int64_t cols = matrix_cols(layer);
+    if (rows == 0 || cols == 0) return 0;
+    const std::int64_t row_tiles = ceil_div(rows, cfg.xbar_rows);
+    const std::int64_t usable_cols = cfg.xbar_cols / cfg.cells_per_weight();
+    const std::int64_t col_tiles = ceil_div(cols, usable_cols);
+    return row_tiles * col_tiles * layer.groups;
+}
+
+std::int32_t chiplets_for_layer(const dnn::Layer& layer, const ReramConfig& cfg) {
+    const std::int64_t xbars = xbars_for_layer(layer, cfg);
+    if (xbars == 0) return 0;
+    return static_cast<std::int32_t>(ceil_div(xbars, cfg.xbars_per_chiplet()));
+}
+
+double layer_compute_latency_ns(const dnn::Layer& layer, std::int32_t chiplets,
+                                const ReramConfig& cfg) {
+    const std::int64_t xbars = xbars_for_layer(layer, cfg);
+    if (xbars == 0 || chiplets <= 0) return 0.0;
+    // Total sequential MVM slots per crossbar: output pixels are streamed
+    // through each crossbar tile. Extra chiplets replicate column tiles,
+    // splitting the output-pixel stream.
+    const std::int64_t available = cfg.xbars_per_chiplet() * chiplets;
+    const double replication =
+        std::max(1.0, static_cast<double>(available) / static_cast<double>(xbars));
+    const double serial_mvms =
+        std::ceil(static_cast<double>(mvm_count(layer)) / replication);
+    return serial_mvms * cfg.mvm_latency_ns;
+}
+
+double layer_compute_energy_pj(const dnn::Layer& layer, const ReramConfig& cfg) {
+    const std::int64_t xbars = xbars_for_layer(layer, cfg);
+    return static_cast<double>(xbars) * static_cast<double>(mvm_count(layer)) *
+           cfg.mvm_energy_pj;
+}
+
+}  // namespace floretsim::pim

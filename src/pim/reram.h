@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/dnn/layer.h"
+
+namespace floretsim::pim {
+
+/// ReRAM crossbar / chiplet organization and first-order timing-energy
+/// model (SIAM/NeuroSim-class constants; see DESIGN.md §5 for the
+/// substitution rationale). A chiplet is a tile of IMAs (in-memory
+/// accelerators), each holding a set of crossbar arrays. Weights are
+/// bit-sliced over cells: an 8-bit weight at 2 bits/cell spans 4 columns.
+struct ReramConfig {
+    std::int32_t xbar_rows = 128;
+    std::int32_t xbar_cols = 128;
+    std::int32_t bits_per_cell = 2;
+    std::int32_t weight_bits = 8;
+    std::int32_t xbars_per_ima = 16;
+    std::int32_t imas_per_chiplet = 16;
+
+    double mvm_latency_ns = 100.0;   ///< One full-array analog MVM (incl. ADC).
+    double mvm_energy_pj = 180.0;    ///< Energy per crossbar MVM (incl. periphery).
+    double write_latency_ns = 500.0; ///< One row programming pass.
+    double leakage_mw_per_chiplet = 15.0;
+
+    /// Columns consumed by one multi-bit weight.
+    [[nodiscard]] constexpr std::int32_t cells_per_weight() const noexcept {
+        return (weight_bits + bits_per_cell - 1) / bits_per_cell;
+    }
+    /// Weights storable in one crossbar.
+    [[nodiscard]] constexpr std::int64_t weights_per_xbar() const noexcept {
+        return static_cast<std::int64_t>(xbar_rows) * (xbar_cols / cells_per_weight());
+    }
+    [[nodiscard]] constexpr std::int64_t xbars_per_chiplet() const noexcept {
+        return static_cast<std::int64_t>(xbars_per_ima) * imas_per_chiplet;
+    }
+    /// Weight capacity of one chiplet.
+    [[nodiscard]] constexpr std::int64_t weights_per_chiplet() const noexcept {
+        return weights_per_xbar() * xbars_per_chiplet();
+    }
+};
+
+/// Crossbars needed to hold one layer's weight matrix: the unrolled
+/// (k·k·Cin) x Cout matrix is tiled over (rows x usable-cols) crossbars.
+[[nodiscard]] std::int64_t xbars_for_layer(const dnn::Layer& layer, const ReramConfig& cfg);
+
+/// Chiplets needed for a layer (ceil of crossbar demand over capacity).
+[[nodiscard]] std::int32_t chiplets_for_layer(const dnn::Layer& layer, const ReramConfig& cfg);
+
+/// Compute latency (ns) for one inference pass of `layer` spread across
+/// `chiplets` chiplets: each output pixel requires one MVM per row-tile;
+/// crossbars within the allocation operate in parallel, MVMs for different
+/// output pixels are serialized per crossbar.
+[[nodiscard]] double layer_compute_latency_ns(const dnn::Layer& layer,
+                                              std::int32_t chiplets,
+                                              const ReramConfig& cfg);
+
+/// Compute energy (pJ) for one inference pass of `layer` (MVM count times
+/// per-MVM energy; independent of the chiplet spread).
+[[nodiscard]] double layer_compute_energy_pj(const dnn::Layer& layer, const ReramConfig& cfg);
+
+}  // namespace floretsim::pim

@@ -1,0 +1,58 @@
+#include "src/thermal/power.h"
+
+#include <stdexcept>
+
+namespace floretsim::thermal {
+
+std::vector<double> pe_power_map(const dnn::Network& net,
+                                 std::span<const std::vector<std::int32_t>> layer_nodes,
+                                 std::int32_t pe_count, const PowerParams& params) {
+    if (layer_nodes.size() != net.size())
+        throw std::invalid_argument("layer_nodes must cover every layer");
+    std::vector<double> power(static_cast<std::size_t>(pe_count), params.leakage_w);
+    std::vector<double> compute(static_cast<std::size_t>(pe_count), 0.0);
+
+    const double seconds = params.inference_period_ns * 1e-9;
+
+    // Compute power: layer MACs spread across the PEs hosting the layer,
+    // clamped at the PE's hardware peak (crossbars are time-shared; excess
+    // demand stalls the pipeline rather than burning more power).
+    for (const auto& layer : net.layers()) {
+        const auto& nodes = layer_nodes[static_cast<std::size_t>(layer.id)];
+        if (nodes.empty() || layer.macs() == 0) continue;
+        const double gmacs_per_s = static_cast<double>(layer.macs()) /
+                                   static_cast<double>(nodes.size()) / seconds / 1e9;
+        for (const auto n : nodes) {
+            if (n < 0 || n >= pe_count) throw std::out_of_range("PE id out of range");
+            compute[static_cast<std::size_t>(n)] += params.compute_w_per_gmacs * gmacs_per_s;
+        }
+    }
+    for (std::size_t i = 0; i < compute.size(); ++i)
+        power[i] += std::min(compute[i], params.max_compute_w);
+
+    // Router power: each edge charges its endpoints' PEs for the traffic,
+    // saturating at the port bandwidth bound. Edges whose producer tail
+    // and consumer head share a chiplet move no NoI data (consistent with
+    // core::pipeline_flows) and burn no router power.
+    std::vector<double> router(static_cast<std::size_t>(pe_count), 0.0);
+    for (const auto& e : net.edges()) {
+        const auto& src = layer_nodes[static_cast<std::size_t>(e.src)];
+        const auto& dst = layer_nodes[static_cast<std::size_t>(e.dst)];
+        if (src.empty() || dst.empty()) continue;
+        if (src.back() == dst.front()) continue;  // chiplet-internal
+        const double gbits =
+            static_cast<double>(e.elems) * params.bytes_per_elem * 8.0 / 1e9;
+        const double gbps = gbits / seconds;
+        for (const auto n : src)
+            router[static_cast<std::size_t>(n)] +=
+                params.router_w_per_gbps * gbps / static_cast<double>(src.size());
+        for (const auto n : dst)
+            router[static_cast<std::size_t>(n)] +=
+                params.router_w_per_gbps * gbps / static_cast<double>(dst.size());
+    }
+    for (std::size_t i = 0; i < router.size(); ++i)
+        power[i] += std::min(router[i], params.max_router_w);
+    return power;
+}
+
+}  // namespace floretsim::thermal

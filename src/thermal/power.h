@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/dnn/network.h"
+#include "src/pim/reram.h"
+
+namespace floretsim::thermal {
+
+/// First-order PE power model for the 3D study. A PE's power is leakage
+/// plus compute power proportional to the MAC throughput of the layers it
+/// hosts plus router power proportional to the activation traffic it
+/// forwards. The paper's observation that "PEs executing the initial
+/// neural layers consume more power as they process more activations"
+/// emerges naturally: early conv layers have far more MVM activations.
+struct PowerParams {
+    double leakage_w = 0.05;
+    /// Watts per sustained GMAC/s — 2e-4 W/(GMAC/s) == 0.2 pJ/MAC dynamic,
+    /// ISAAC-class ReRAM PIM including ADC/DAC periphery.
+    double compute_w_per_gmacs = 2.0e-4;
+    /// Watts per Gbit/s forwarded (~4 pJ/bit NoC+SerDes energy).
+    double router_w_per_gbps = 0.004;
+    /// Pipeline initiation interval: one inference enters (and its
+    /// activations move) every period. Set this from
+    /// pim::pipeline_period_ns(...) so power reflects a fully utilized
+    /// pipeline bounded by the crossbar MVM rate.
+    double inference_period_ns = 5.0e4;
+    /// Hardware ceiling on a PE's compute power (all crossbars + periphery
+    /// active). Demand beyond this stalls the pipeline instead of burning
+    /// more power.
+    double max_compute_w = 1.5;
+    /// Hardware ceiling on a PE's router power: the NI/port bandwidth is
+    /// finite (~64 Gbps x a few ports), so forwarded-traffic power
+    /// saturates too.
+    double max_router_w = 1.0;
+    std::int32_t bytes_per_elem = 1;
+};
+
+/// Computes per-PE power for a network mapped onto `pe_count` PEs.
+/// `layer_nodes[layer_id]` lists the PEs hosting each layer (as produced
+/// by pim::assign_layers). MACs of a layer split evenly across its PEs;
+/// each activation edge charges router power to every PE of its source and
+/// destination sets.
+[[nodiscard]] std::vector<double> pe_power_map(
+    const dnn::Network& net, std::span<const std::vector<std::int32_t>> layer_nodes,
+    std::int32_t pe_count, const PowerParams& params);
+
+}  // namespace floretsim::thermal

@@ -1,0 +1,48 @@
+#include "src/topo/butterfly.h"
+
+namespace floretsim::topo {
+
+Topology make_butter_donut(std::int32_t width, std::int32_t height, double pitch_mm) {
+    Topology t("ButterDonut" + std::to_string(width) + "x" + std::to_string(height),
+               pitch_mm);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+    auto id = [width](std::int32_t x, std::int32_t y) { return y * width + x; };
+
+    // Rows: single-hop chain plus distance-2 express links.
+    for (std::int32_t y = 0; y < height; ++y) {
+        for (std::int32_t x = 0; x + 1 < width; ++x) t.add_link(id(x, y), id(x + 1, y));
+        for (std::int32_t x = 0; x + 2 < width; x += 2)
+            t.add_link(id(x, y), id(x + 2, y));
+    }
+    // Columns: folded wrap (the "donut" dimension).
+    for (std::int32_t x = 0; x < width; ++x) {
+        for (std::int32_t y = 0; y + 1 < height; ++y) t.add_link(id(x, y), id(x, y + 1));
+        if (height > 2) t.add_link(id(x, height - 1), id(x, 0), 2.0 * pitch_mm);
+    }
+    return t;
+}
+
+Topology make_double_butterfly(std::int32_t width, std::int32_t height, double pitch_mm) {
+    Topology t("DoubleButterfly" + std::to_string(width) + "x" + std::to_string(height),
+               pitch_mm);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+    auto id = [width](std::int32_t x, std::int32_t y) { return y * width + x; };
+
+    const std::int32_t half = std::max<std::int32_t>(1, width / 2);
+    for (std::int32_t y = 0; y < height; ++y) {
+        for (std::int32_t x = 0; x + 1 < width; ++x) t.add_link(id(x, y), id(x + 1, y));
+        // Butterfly stage: jump half the row (skip when it would duplicate
+        // the single-hop link on narrow grids).
+        for (std::int32_t x = 0; x + half < width; ++x) {
+            if (half > 1 && !t.has_link(id(x, y), id(x + half, y)))
+                t.add_link(id(x, y), id(x + half, y));
+        }
+    }
+    for (std::int32_t x = 0; x < width; ++x)
+        for (std::int32_t y = 0; y + 1 < height; ++y) t.add_link(id(x, y), id(x, y + 1));
+    return t;
+}
+
+}  // namespace floretsim::topo

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/topo/topology.h"
+
+namespace floretsim::topo {
+
+/// Butter Donut (Kannan et al., MICRO'15 interposer family): a torus-like
+/// NoI whose rows carry distance-2 express links and whose columns wrap,
+/// trading slightly longer wires for a smaller diameter. The paper lists
+/// it (with Double Butterfly) among the symmetric topologies the Floret
+/// methodology generalizes to.
+[[nodiscard]] Topology make_butter_donut(std::int32_t width, std::int32_t height,
+                                         double pitch_mm = 4.0);
+
+/// Double Butterfly: each row hosts two interleaved butterfly stages —
+/// every node links to the nodes 1 and width/2 columns away in its row,
+/// plus single-hop column links. Low diameter, high-radix rows.
+[[nodiscard]] Topology make_double_butterfly(std::int32_t width, std::int32_t height,
+                                             double pitch_mm = 4.0);
+
+}  // namespace floretsim::topo

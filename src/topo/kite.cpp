@@ -1,0 +1,27 @@
+#include "src/topo/kite.h"
+
+namespace floretsim::topo {
+
+Topology make_kite(std::int32_t width, std::int32_t height, double pitch_mm) {
+    Topology t("Kite" + std::to_string(width) + "x" + std::to_string(height), pitch_mm);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+    auto id = [width](std::int32_t x, std::int32_t y) { return y * width + x; };
+
+    // Stride-2 express chains along rows and columns.
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x + 2 < width; ++x) t.add_link(id(x, y), id(x + 2, y));
+    for (std::int32_t x = 0; x < width; ++x)
+        for (std::int32_t y = 0; y + 2 < height; ++y) t.add_link(id(x, y), id(x, y + 2));
+
+    // Parity bridges: single-hop links along the left column and top row
+    // join the even/odd stride-2 classes.
+    for (std::int32_t y = 0; y < height; ++y)
+        if (width > 1 && !t.has_link(id(0, y), id(1, y))) t.add_link(id(0, y), id(1, y));
+    for (std::int32_t x = 0; x < width; ++x)
+        if (height > 1 && !t.has_link(id(x, 0), id(x, 1))) t.add_link(id(x, 0), id(x, 1));
+
+    return t;
+}
+
+}  // namespace floretsim::topo

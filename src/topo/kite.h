@@ -1,0 +1,18 @@
+#pragma once
+
+#include "src/topo/topology.h"
+
+namespace floretsim::topo {
+
+/// Kite-family NoI (Bharadwaj et al., DAC'20): torus-class connectivity
+/// built predominantly from two-hop express links, giving mostly 4-port
+/// routers and "mainly two-hop links" (the paper's Fig. 2 characterization).
+///
+/// Construction: every row and column carries two interleaved stride-2
+/// chains (even- and odd-offset), so interior routers see two row links and
+/// two column links; single-hop bridge links at the grid border join the
+/// two parity classes and keep the graph connected.
+[[nodiscard]] Topology make_kite(std::int32_t width, std::int32_t height,
+                                 double pitch_mm = 4.0);
+
+}  // namespace floretsim::topo

@@ -1,0 +1,65 @@
+#include "src/topo/mesh.h"
+
+namespace floretsim::topo {
+
+Topology make_mesh(std::int32_t width, std::int32_t height, double pitch_mm) {
+    Topology t("Mesh" + std::to_string(width) + "x" + std::to_string(height), pitch_mm);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+    auto id = [width](std::int32_t x, std::int32_t y) { return y * width + x; };
+    for (std::int32_t y = 0; y < height; ++y) {
+        for (std::int32_t x = 0; x < width; ++x) {
+            if (x + 1 < width) t.add_link(id(x, y), id(x + 1, y));
+            if (y + 1 < height) t.add_link(id(x, y), id(x, y + 1));
+        }
+    }
+    return t;
+}
+
+Topology make_torus(std::int32_t width, std::int32_t height, double pitch_mm) {
+    Topology t("Torus" + std::to_string(width) + "x" + std::to_string(height), pitch_mm);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+    auto id = [width](std::int32_t x, std::int32_t y) { return y * width + x; };
+    for (std::int32_t y = 0; y < height; ++y) {
+        for (std::int32_t x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                t.add_link(id(x, y), id(x + 1, y));
+            else if (width > 2)
+                // Folded-torus wrap: physical length ~2 pitches.
+                t.add_link(id(x, y), id(0, y), 2.0 * pitch_mm);
+            if (y + 1 < height)
+                t.add_link(id(x, y), id(x, y + 1));
+            else if (height > 2)
+                t.add_link(id(x, y), id(x, 0), 2.0 * pitch_mm);
+        }
+    }
+    return t;
+}
+
+Topology make_mesh3d(std::int32_t width, std::int32_t height, std::int32_t depth,
+                     double pitch_mm, double tier_pitch_mm) {
+    Topology t("Mesh3D" + std::to_string(width) + "x" + std::to_string(height) + "x" +
+                   std::to_string(depth),
+               pitch_mm);
+    for (std::int32_t z = 0; z < depth; ++z)
+        for (std::int32_t y = 0; y < height; ++y)
+            for (std::int32_t x = 0; x < width; ++x)
+                t.add_node(util::Point2{x, y}, z);
+    auto id = [width, height](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return (z * height + y) * width + x;
+    };
+    for (std::int32_t z = 0; z < depth; ++z) {
+        for (std::int32_t y = 0; y < height; ++y) {
+            for (std::int32_t x = 0; x < width; ++x) {
+                if (x + 1 < width) t.add_link(id(x, y, z), id(x + 1, y, z));
+                if (y + 1 < height) t.add_link(id(x, y, z), id(x, y + 1, z));
+                if (z + 1 < depth)
+                    t.add_link(id(x, y, z), id(x, y, z + 1), tier_pitch_mm);
+            }
+        }
+    }
+    return t;
+}
+
+}  // namespace floretsim::topo

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "src/topo/topology.h"
+
+namespace floretsim::topo {
+
+/// SIAM-class 2D mesh NoI: every chiplet links to its 4-neighborhood.
+/// Interior routers have 4 ports, edges 3, corners 2 — the port profile the
+/// paper reports for SIAM in Fig. 2(a).
+[[nodiscard]] Topology make_mesh(std::int32_t width, std::int32_t height,
+                                 double pitch_mm = 4.0);
+
+/// 2D folded torus: mesh plus wrap-around links. Folding keeps wrap link
+/// length at ~2 pitches instead of the full row span.
+[[nodiscard]] Topology make_torus(std::int32_t width, std::int32_t height,
+                                  double pitch_mm = 4.0);
+
+/// 3D mesh NoC for the 3D-integration study: `depth` stacked tiers of
+/// width x height PEs with vertical (TSV/MIV) links of `tier_pitch_mm`.
+[[nodiscard]] Topology make_mesh3d(std::int32_t width, std::int32_t height,
+                                   std::int32_t depth, double pitch_mm = 1.0,
+                                   double tier_pitch_mm = 0.05);
+
+}  // namespace floretsim::topo

@@ -1,0 +1,151 @@
+#include "src/topo/swap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace floretsim::topo {
+namespace {
+
+/// Serpentine (boustrophedon) order over the grid: consecutive ids are
+/// grid neighbors, so the backbone links are all single-hop.
+std::vector<NodeId> serpentine_order(std::int32_t width, std::int32_t height) {
+    std::vector<NodeId> order;
+    order.reserve(static_cast<std::size_t>(width) * height);
+    for (std::int32_t y = 0; y < height; ++y) {
+        if (y % 2 == 0)
+            for (std::int32_t x = 0; x < width; ++x) order.push_back(y * width + x);
+        else
+            for (std::int32_t x = width - 1; x >= 0; --x) order.push_back(y * width + x);
+    }
+    return order;
+}
+
+/// Mean hop distance between serpentine-consecutive nodes (pipeline
+/// traffic proxy) plus a small all-pairs term; the SA objective.
+double comm_cost(const Topology& t, const std::vector<NodeId>& order) {
+    double pipeline = 0.0;
+    double all_pairs = 0.0;
+    std::int64_t pair_count = 0;
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+        const auto dist = t.hop_distances(n);
+        for (std::int32_t d : dist) {
+            if (d > 0) {
+                all_pairs += d;
+                ++pair_count;
+            }
+        }
+        (void)order;
+    }
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const auto dist = t.hop_distances(order[i - 1]);
+        pipeline += dist[static_cast<std::size_t>(order[i])];
+    }
+    const double mean_all =
+        pair_count > 0 ? all_pairs / static_cast<double>(pair_count) : 0.0;
+    return pipeline / static_cast<double>(order.size() - 1) + 0.2 * mean_all;
+}
+
+struct Shortcut {
+    NodeId a;
+    NodeId b;
+};
+
+/// Samples a shortcut respecting the degree budget; length ~ l^-alpha.
+bool sample_shortcut(const Topology& t, util::Rng& rng, const SwapConfig& cfg,
+                     const std::vector<std::int32_t>& degree, Shortcut& out) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto a = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(t.node_count())));
+        if (degree[static_cast<std::size_t>(a)] >= cfg.max_degree) continue;
+        // Sample a target length from the truncated power law, then a node
+        // at (approximately) that Manhattan radius.
+        const double u = rng.uniform();
+        const double lmax = static_cast<double>(t.node_count());
+        const double length =
+            std::pow((std::pow(lmax, 1.0 - cfg.alpha) - 1.0) * u + 1.0,
+                     1.0 / (1.0 - cfg.alpha));
+        const auto radius = std::max<std::int32_t>(2, static_cast<std::int32_t>(length));
+        std::vector<NodeId> candidates;
+        for (NodeId b = 0; b < t.node_count(); ++b) {
+            if (b == a || t.has_link(a, b)) continue;
+            if (degree[static_cast<std::size_t>(b)] >= cfg.max_degree) continue;
+            const auto span = util::manhattan(t.node(a).pos, t.node(b).pos);
+            if (span == radius || span == radius + 1) candidates.push_back(b);
+        }
+        if (candidates.empty()) continue;
+        out = Shortcut{a, candidates[rng.below(candidates.size())]};
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+Topology make_swap(std::int32_t width, std::int32_t height, util::Rng& rng,
+                   const SwapConfig& cfg, double pitch_mm) {
+    const auto order = serpentine_order(width, height);
+
+    auto build = [&](const std::vector<Shortcut>& shortcuts) {
+        Topology t("SWAP" + std::to_string(width) + "x" + std::to_string(height),
+                   pitch_mm);
+        for (std::int32_t y = 0; y < height; ++y)
+            for (std::int32_t x = 0; x < width; ++x) t.add_node(util::Point2{x, y});
+        for (std::size_t i = 1; i < order.size(); ++i)
+            t.add_link(order[i - 1], order[i]);
+        for (const auto& s : shortcuts)
+            if (!t.has_link(s.a, s.b)) t.add_link(s.a, s.b);
+        return t;
+    };
+
+    // Seed shortcut set.
+    const auto n_extra = static_cast<std::size_t>(
+        std::max(1.0, cfg.extra_link_frac * width * height));
+    std::vector<Shortcut> shortcuts;
+    {
+        Topology backbone = build({});
+        std::vector<std::int32_t> degree(static_cast<std::size_t>(backbone.node_count()));
+        for (NodeId n = 0; n < backbone.node_count(); ++n)
+            degree[static_cast<std::size_t>(n)] = backbone.ports(n);
+        while (shortcuts.size() < n_extra) {
+            Shortcut s{};
+            Topology cur = build(shortcuts);
+            for (NodeId n = 0; n < cur.node_count(); ++n)
+                degree[static_cast<std::size_t>(n)] = cur.ports(n);
+            if (!sample_shortcut(cur, rng, cfg, degree, s)) break;
+            shortcuts.push_back(s);
+        }
+    }
+
+    // Simulated-annealing refinement: swap one shortcut for a re-sampled
+    // one; accept improvements (and occasional regressions, cooling).
+    Topology best = build(shortcuts);
+    double best_cost = comm_cost(best, order);
+    double temperature = 0.3 * best_cost;
+    for (std::int32_t it = 0; it < cfg.sa_iters && !shortcuts.empty(); ++it) {
+        auto proposal = shortcuts;
+        const std::size_t victim = rng.below(proposal.size());
+        proposal.erase(proposal.begin() + static_cast<std::ptrdiff_t>(victim));
+        Topology base = build(proposal);
+        std::vector<std::int32_t> degree(static_cast<std::size_t>(base.node_count()));
+        for (NodeId n = 0; n < base.node_count(); ++n)
+            degree[static_cast<std::size_t>(n)] = base.ports(n);
+        Shortcut s{};
+        if (!sample_shortcut(base, rng, cfg, degree, s)) continue;
+        proposal.push_back(s);
+        Topology cand = build(proposal);
+        const double cost = comm_cost(cand, order);
+        const double delta = cost - best_cost;
+        if (delta < 0.0 || rng.chance(std::exp(-delta / std::max(1e-9, temperature)))) {
+            shortcuts = std::move(proposal);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = std::move(cand);
+            }
+        }
+        temperature *= 0.995;
+    }
+    return best;
+}
+
+}  // namespace floretsim::topo

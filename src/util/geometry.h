@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+
+namespace floretsim::util {
+
+/// Integer coordinate on the 2D interposer grid (chiplet pitch units).
+struct Point2 {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+
+    friend constexpr auto operator<=>(const Point2&, const Point2&) = default;
+};
+
+/// Integer coordinate in a 3D-stacked PE array. z == 0 is the tier
+/// *farthest* from the heat sink (bottom tier); the sink sits above the
+/// top tier z == depth-1.
+struct Point3 {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+    std::int32_t z = 0;
+
+    friend constexpr auto operator<=>(const Point3&, const Point3&) = default;
+};
+
+/// L1 (hop) distance on the 2D grid — the distance measure used by the
+/// paper's Eq. (1) for SFC tail-to-head separation.
+[[nodiscard]] constexpr std::int32_t manhattan(Point2 a, Point2 b) noexcept {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// L1 distance in 3D (vertical hops cost one like lateral hops).
+[[nodiscard]] constexpr std::int32_t manhattan(Point3 a, Point3 b) noexcept {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z);
+}
+
+/// Euclidean distance in grid-pitch units (used for link lengths in mm
+/// after scaling by the physical pitch).
+[[nodiscard]] inline double euclidean(Point2 a, Point2 b) noexcept {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Row-major linearization of a 2D grid position.
+[[nodiscard]] constexpr std::int32_t to_index(Point2 p, std::int32_t width) noexcept {
+    return p.y * width + p.x;
+}
+
+/// Inverse of to_index().
+[[nodiscard]] constexpr Point2 from_index(std::int32_t i, std::int32_t width) noexcept {
+    return Point2{i % width, i / width};
+}
+
+}  // namespace floretsim::util

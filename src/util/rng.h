@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace floretsim::util {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** by Blackman & Vigna).
+///
+/// Every stochastic component in FloretSim (SWAP topology synthesis,
+/// simulated annealing, traffic jitter, thermal-noise sampling) takes an
+/// explicit Rng so that experiments are reproducible bit-for-bit from a
+/// seed. Satisfies the C++ UniformRandomBitGenerator concept so it can be
+/// used with <random> distributions.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four 64-bit lanes from a single seed via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    /// Raw 64 random bits.
+    [[nodiscard]] std::uint64_t next() noexcept;
+
+    /// UniformRandomBitGenerator interface.
+    std::uint64_t operator()() noexcept { return next(); }
+    static constexpr std::uint64_t min() noexcept { return 0; }
+    static constexpr std::uint64_t max() noexcept {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling
+    /// to avoid modulo bias.
+    [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Standard normal variate (Box-Muller, cached spare).
+    [[nodiscard]] double normal() noexcept;
+
+    /// Normal variate with the given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+    /// Bernoulli trial with probability p of returning true.
+    [[nodiscard]] bool chance(double p) noexcept;
+
+private:
+    std::uint64_t state_[4];
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+}  // namespace floretsim::util

@@ -1,0 +1,71 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace floretsim::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double combined = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / combined;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / combined;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(samples.begin(), samples.end());
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+void Histogram::add(std::size_t key, std::uint64_t weight) {
+    if (key >= bins_.size()) bins_.resize(key + 1, 0);
+    bins_[key] += weight;
+    total_ += weight;
+}
+
+std::uint64_t Histogram::at(std::size_t key) const noexcept {
+    return key < bins_.size() ? bins_[key] : 0;
+}
+
+}  // namespace floretsim::util

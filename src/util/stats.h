@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace floretsim::util {
+
+/// Streaming accumulator for mean / variance / min / max (Welford's
+/// algorithm). Used by the NoC simulator for packet-latency statistics and
+/// by the benches for run-to-run aggregation.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+    /// Mean of the added samples; 0 if empty.
+    [[nodiscard]] double mean() const noexcept;
+    /// Unbiased sample variance; 0 if fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other) noexcept;
+
+    void reset() noexcept { *this = RunningStats{}; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics). `q` in [0, 1]. Sorts a copy; intended for end-of-run
+/// reporting, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Histogram over non-negative integer keys (e.g. router port counts,
+/// hop counts). Dense up to the largest key observed.
+class Histogram {
+public:
+    void add(std::size_t key, std::uint64_t weight = 1);
+
+    [[nodiscard]] std::uint64_t at(std::size_t key) const noexcept;
+    /// One past the largest key with nonzero count.
+    [[nodiscard]] std::size_t size() const noexcept { return bins_.size(); }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace floretsim::util

@@ -1,0 +1,70 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace floretsim::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::fmt(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&] {
+        os << '+';
+        for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : std::string{};
+            os << ' ';
+            if (c == 0)
+                os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+            else
+                os << std::right << std::setw(static_cast<int>(widths[c])) << cell;
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    line();
+    emit(header_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace floretsim::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace floretsim::util {
+
+/// Minimal fixed-column text table used by the bench harnesses to print
+/// paper-style rows (and optionally dump CSV next to them). Columns are
+/// right-aligned except the first, mirroring the tables in the paper.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends one row; missing cells print empty, extra cells are kept
+    /// (the table widens).
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    [[nodiscard]] static std::string fmt(double v, int precision = 2);
+
+    /// Render with box-drawing separators to the stream.
+    void print(std::ostream& os) const;
+
+    /// Render as comma-separated values (header first).
+    void print_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace floretsim::util

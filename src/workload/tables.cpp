@@ -1,0 +1,94 @@
+#include "src/workload/tables.h"
+
+#include <stdexcept>
+
+namespace floretsim::workload {
+
+const std::vector<DnnWorkload>& table1() {
+    static const std::vector<DnnWorkload> kTable = {
+        {"DNN1", "ResNet18", dnn::Dataset::kImageNet, 24.76},
+        {"DNN2", "ResNet34", dnn::Dataset::kImageNet, 36.5},
+        {"DNN3", "ResNet50", dnn::Dataset::kImageNet, 25.94},
+        {"DNN4", "ResNet101", dnn::Dataset::kImageNet, 9.42},
+        {"DNN5", "ResNet110", dnn::Dataset::kImageNet, 43.6},
+        {"DNN6", "ResNet152", dnn::Dataset::kImageNet, 54.84},
+        {"DNN7", "VGG19", dnn::Dataset::kImageNet, 93.4},
+        {"DNN8", "DenseNet169", dnn::Dataset::kImageNet, 54.84},
+        {"DNN9", "ResNet18", dnn::Dataset::kCifar10, 11.22},
+        {"DNN10", "ResNet34", dnn::Dataset::kCifar10, 21.34},
+        {"DNN11", "VGG11", dnn::Dataset::kCifar10, 9.62},
+        {"DNN12", "VGG19", dnn::Dataset::kCifar10, 20.42},
+        {"DNN13", "GoogLeNet", dnn::Dataset::kCifar10, 6.16},
+    };
+    return kTable;
+}
+
+const DnnWorkload& workload_by_id(const std::string& id) {
+    for (const auto& w : table1())
+        if (w.id == id) return w;
+    throw std::invalid_argument("unknown workload id: " + id);
+}
+
+std::int32_t ConcurrentMix::total_instances() const noexcept {
+    std::int32_t total = 0;
+    for (const auto& [id, count] : entries) total += count;
+    return total;
+}
+
+double ConcurrentMix::table_params_m() const {
+    double total = 0.0;
+    for (const auto& [id, count] : entries)
+        total += workload_by_id(id).paper_params_m * count;
+    return total;
+}
+
+const std::vector<ConcurrentMix>& table2() {
+    // Table II of the paper: ordered queues of concurrent DNN tasks for the
+    // 100-chiplet system (dataset = ImageNet).
+    static const std::vector<ConcurrentMix> kTable = {
+        {"WL1",
+         {{"DNN1", 16}, {"DNN2", 1}, {"DNN3", 3}, {"DNN4", 4}, {"DNN5", 2}, {"DNN6", 1},
+          {"DNN7", 1}},
+         1.1},
+        {"WL2",
+         {{"DNN3", 2}, {"DNN8", 1}, {"DNN4", 7}, {"DNN7", 4}, {"DNN8", 2}, {"DNN1", 1},
+          {"DNN5", 1}},
+         1.4},
+        {"WL3",
+         {{"DNN1", 12}, {"DNN2", 9}, {"DNN4", 3}, {"DNN5", 10}, {"DNN1", 12}, {"DNN7", 5},
+          {"DNN8", 1}},
+         8.8},
+        {"WL4",
+         {{"DNN6", 1}, {"DNN2", 3}, {"DNN3", 5}, {"DNN6", 4}, {"DNN1", 3}, {"DNN7", 4},
+          {"DNN8", 2}},
+         3.8},
+        {"WL5",
+         {{"DNN3", 1}, {"DNN8", 3}, {"DNN7", 4}, {"DNN2", 6}, {"DNN3", 4}, {"DNN7", 3},
+          {"DNN8", 2}},
+         1.8},
+    };
+    return kTable;
+}
+
+std::vector<std::string> expand_mix(const ConcurrentMix& mix) {
+    std::vector<std::string> queue;
+    for (const auto& [id, count] : mix.entries)
+        for (std::int32_t i = 0; i < count; ++i) queue.push_back(id);
+    return queue;
+}
+
+ConcurrentMix random_mix(util::Rng& rng, std::int32_t tasks, const std::string& name) {
+    ConcurrentMix mix;
+    mix.name = name;
+    const auto& t1 = table1();
+    for (std::int32_t i = 0; i < tasks; ++i) {
+        const auto& w = t1[rng.below(t1.size())];
+        if (!mix.entries.empty() && mix.entries.back().first == w.id)
+            ++mix.entries.back().second;
+        else
+            mix.entries.emplace_back(w.id, 1);
+    }
+    return mix;
+}
+
+}  // namespace floretsim::workload

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dnn/model_zoo.h"
+#include "src/util/rng.h"
+
+namespace floretsim::workload {
+
+/// One row of the paper's Table I: a DNN inference workload.
+/// `paper_params_m` is the *literal* parameter count printed in Table I
+/// (several entries disagree with the true architectures; we keep both —
+/// see DESIGN.md substitutions).
+struct DnnWorkload {
+    std::string id;      ///< "DNN1" ... "DNN13".
+    std::string model;   ///< Model zoo name, e.g. "ResNet50".
+    dnn::Dataset dataset = dnn::Dataset::kImageNet;
+    double paper_params_m = 0.0;
+};
+
+/// The 13 workloads of Table I.
+[[nodiscard]] const std::vector<DnnWorkload>& table1();
+
+/// Lookup by id ("DNN3"); throws std::invalid_argument if unknown.
+[[nodiscard]] const DnnWorkload& workload_by_id(const std::string& id);
+
+/// One of Table II's concurrent inference mixes: an ordered queue of
+/// (workload id, instance count) entries, executed simultaneously on the
+/// 100-chiplet system.
+struct ConcurrentMix {
+    std::string name;  ///< "WL1" ... "WL5".
+    std::vector<std::pair<std::string, std::int32_t>> entries;
+    double paper_total_params_b = 0.0;  ///< Table II's printed total.
+
+    /// Total instances across all entries.
+    [[nodiscard]] std::int32_t total_instances() const noexcept;
+    /// Sum of Table I paper params over all instances (millions).
+    [[nodiscard]] double table_params_m() const;
+};
+
+/// The five mixes of Table II.
+[[nodiscard]] const std::vector<ConcurrentMix>& table2();
+
+/// Expands a mix into the flat task queue (one workload id per instance,
+/// in mix order) that the mappers consume.
+[[nodiscard]] std::vector<std::string> expand_mix(const ConcurrentMix& mix);
+
+/// Random mix generator for sweeps/property tests: `tasks` instances drawn
+/// uniformly from Table I.
+[[nodiscard]] ConcurrentMix random_mix(util::Rng& rng, std::int32_t tasks,
+                                       const std::string& name = "RND");
+
+}  // namespace floretsim::workload

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+#include "src/cost/models.h"
+#include "src/noc/simulator.h"
+#include "src/topo/kite.h"
+#include "src/topo/mesh.h"
+#include "src/topo/swap.h"
+
+namespace floretsim::cost {
+namespace {
+
+TEST(CostModel, RouterAreaGrowsWithPorts) {
+    CostParams p;
+    topo::Topology two("two");
+    two.add_node({0, 0});
+    two.add_node({1, 0});
+    two.add_link(0, 1);
+    const double area2 = router_area_mm2(two, p);  // two 1-port routers
+
+    topo::Topology star("star");
+    for (int i = 0; i < 5; ++i) star.add_node({i, 0});
+    for (int i = 1; i < 5; ++i) star.add_link(0, i);
+    const double area_star = router_area_mm2(star, p);
+    EXPECT_GT(area_star / 5.0, area2 / 2.0);  // higher mean radix
+}
+
+TEST(CostModel, LinkAreaProportionalToLength) {
+    CostParams p;
+    topo::Topology t("t");
+    t.add_node({0, 0});
+    t.add_node({1, 0});
+    t.add_node({5, 0});
+    t.add_link(0, 1, 4.0);
+    t.add_link(0, 2, 20.0);
+    EXPECT_DOUBLE_EQ(link_area_mm2(t, p), p.link_area_per_mm_mm2 * 24.0);
+}
+
+TEST(CostModel, YieldDecaysExponentially) {
+    CostParams p;
+    EXPECT_DOUBLE_EQ(yield(0.0, p), 1.0);
+    EXPECT_GT(yield(100.0, p), yield(200.0, p));
+    EXPECT_NEAR(yield(100.0, p) * yield(100.0, p), yield(200.0, p), 1e-12);
+}
+
+TEST(CostModel, Eq5RelativeCostIdentity) {
+    // Eq. 5: C_a / C_b == exp(D0 * (A_a - A_b)) — relative_cost must agree
+    // with the ratio of Eq. 2 fabrication costs at equal chiplet count.
+    CostParams p;
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto kite = topo::make_kite(10, 10);
+    const double direct = relative_cost(kite, mesh, p);
+    const double via_eq2 = fabrication_cost(kite, p) / fabrication_cost(mesh, p);
+    EXPECT_NEAR(direct, via_eq2, 1e-9);
+    EXPECT_GT(direct, 1.0);  // Kite's NoI is bigger than the mesh's
+}
+
+TEST(CostModel, FloretCheapestAmongTheFourNois) {
+    CostParams p;
+    util::Rng rng(13);
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto kite = topo::make_kite(10, 10);
+    const auto swap = topo::make_swap(10, 10, rng);
+    const auto floret = core::make_floret(core::generate_sfc_set(10, 10, 10));
+    const double cf = fabrication_cost(floret, p);
+    EXPECT_LT(cf, fabrication_cost(swap, p));
+    EXPECT_LT(cf, fabrication_cost(mesh, p));
+    EXPECT_LT(cf, fabrication_cost(kite, p));
+}
+
+TEST(CostModel, NoiAreaOrderingMatchesPaper) {
+    // Fig. 2 structure implies area ordering Kite > SIAM(mesh) > SWAP >
+    // Floret for 100 chiplets.
+    CostParams p;
+    util::Rng rng(13);
+    const double a_kite = noi_area_mm2(topo::make_kite(10, 10), p);
+    const double a_mesh = noi_area_mm2(topo::make_mesh(10, 10), p);
+    const double a_swap = noi_area_mm2(topo::make_swap(10, 10, rng), p);
+    const double a_floret =
+        noi_area_mm2(core::make_floret(core::generate_sfc_set(10, 10, 10)), p);
+    EXPECT_GT(a_kite, a_mesh);
+    EXPECT_GT(a_mesh, a_swap);
+    EXPECT_GT(a_swap, a_floret);
+}
+
+TEST(CostModel, MoreChipletsLowerPerSystemCostScale) {
+    CostParams p;
+    const auto small = topo::make_mesh(8, 8);   // 64 = reference count
+    const auto large = topo::make_mesh(10, 10);
+    // The (N_ref / N) prefactor favors larger systems per chiplet.
+    const double c_small = fabrication_cost(small, p);
+    const double c_large = fabrication_cost(large, p);
+    EXPECT_GT(c_small * 100.0 / 64.0 * 2.0, c_large);  // sanity band
+}
+
+TEST(CostModel, EnergyAccountingMatchesManualSum) {
+    CostParams p;
+    const auto t = topo::make_mesh(2, 2);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kShortestPath);
+    noc::SimConfig cfg;
+    noc::Simulator sim(t, rt, cfg);
+    sim.add_demand({0, 3, 80});  // 10 flits, 2 hops each
+    const auto res = sim.run();
+    ASSERT_TRUE(res.completed);
+    const double e = noi_energy_pj(t, res, p);
+    double manual = 0.0;
+    for (const auto& n : t.nodes())
+        manual += (p.router_energy_base_pj + p.router_energy_per_port_pj * t.ports(n.id)) *
+                  static_cast<double>(res.router_flits[static_cast<std::size_t>(n.id)]);
+    for (const auto& l : t.links())
+        manual += p.link_energy_per_mm_pj * l.length_mm *
+                  static_cast<double>(res.link_flits[static_cast<std::size_t>(l.id)]);
+    EXPECT_NEAR(e, manual, 1e-9);
+    EXPECT_GT(e, 0.0);
+}
+
+TEST(CostModel, EnergyRejectsMismatchedResult) {
+    CostParams p;
+    const auto t = topo::make_mesh(2, 2);
+    noc::SimResult bogus;
+    bogus.router_flits.assign(3, 0);
+    bogus.link_flits.assign(4, 0);
+    EXPECT_THROW(noi_energy_pj(t, bogus, p), std::invalid_argument);
+}
+
+TEST(CostModel, LeakageOrderingFavorsSmallRouters) {
+    // Fig. 5's energy advantage is leakage-dominated: big-radix NoIs burn
+    // more static power. Kite/SIAM (4-port heavy) > SWAP (2-3) > Floret.
+    CostParams p;
+    util::Rng rng(13);
+    const double kite = noi_leakage_mw(topo::make_kite(10, 10), p);
+    const double mesh = noi_leakage_mw(topo::make_mesh(10, 10), p);
+    const double swap = noi_leakage_mw(topo::make_swap(10, 10, rng), p);
+    const double floret =
+        noi_leakage_mw(core::make_floret(core::generate_sfc_set(10, 10, 10)), p);
+    EXPECT_GT(kite, mesh);   // longer links leak more
+    EXPECT_GT(mesh, swap);
+    EXPECT_GT(swap, floret);
+    EXPECT_GT(floret, 0.0);
+}
+
+TEST(CostModel, LeakageMatchesManualFormula) {
+    CostParams p;
+    topo::Topology t("pair");
+    t.add_node({0, 0});
+    t.add_node({1, 0});
+    t.add_link(0, 1, 4.0);
+    // Two routers with 1 network port (+1 NI) and one 4 mm link.
+    const double expect = 2 * (p.router_leakage_base_mw +
+                               p.router_leakage_per_port2_mw * 4.0) +
+                          p.link_leakage_per_mm_mw * 4.0;
+    EXPECT_NEAR(noi_leakage_mw(t, p), expect, 1e-12);
+}
+
+TEST(CostModel, PaperCostRatiosInBand) {
+    // The paper: Floret reduces fabrication cost ~2.8x vs Kite, ~2.1x vs
+    // SIAM, ~1.89x vs SWAP (100 chiplets). Our reproduction must get the
+    // ordering right and land within a factor-of-two band of each ratio.
+    CostParams p;
+    util::Rng rng(13);
+    const auto kite = topo::make_kite(10, 10);
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto swap = topo::make_swap(10, 10, rng);
+    const auto floret = core::make_floret(core::generate_sfc_set(10, 10, 10));
+    const double r_kite = relative_cost(kite, floret, p);
+    const double r_mesh = relative_cost(mesh, floret, p);
+    const double r_swap = relative_cost(swap, floret, p);
+    EXPECT_GT(r_kite, r_mesh);
+    EXPECT_GT(r_mesh, r_swap);
+    EXPECT_GT(r_swap, 1.0);
+    EXPECT_NEAR(r_kite, 2.8, 1.5);
+    EXPECT_NEAR(r_mesh, 2.1, 1.1);
+    EXPECT_NEAR(r_swap, 1.89, 1.0);
+}
+
+}  // namespace
+}  // namespace floretsim::cost

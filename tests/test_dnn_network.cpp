@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/dnn/network.h"
+#include "src/dnn/traffic.h"
+
+namespace floretsim::dnn {
+namespace {
+
+Network tiny() {
+    Network net("tiny");
+    const auto in = net.add_input({3, 8, 8});
+    const auto c1 = net.add_conv(in, 4, 3, 1, 1, /*bias=*/true, /*bn=*/false);
+    const auto p = net.add_pool(c1, 2, 2);
+    const auto c2 = net.add_conv(p, 8, 3, 1, 1, true, false);
+    const auto g = net.add_global_pool(c2);
+    net.add_fc(g, 10);
+    return net;
+}
+
+TEST(Network, ConvShapeArithmetic) {
+    Network net("n");
+    const auto in = net.add_input({3, 224, 224});
+    const auto c = net.add_conv(in, 64, 7, 2, 3, false, true);
+    EXPECT_EQ(net.layer(c).out, (Shape{64, 112, 112}));
+    const auto p = net.add_pool(c, 3, 2, 1);
+    EXPECT_EQ(net.layer(p).out, (Shape{64, 56, 56}));
+}
+
+TEST(Network, ConvParamCount) {
+    Network net("n");
+    const auto in = net.add_input({3, 32, 32});
+    const auto c = net.add_conv(in, 16, 3, 1, 1, /*bias=*/true, /*bn=*/false);
+    // 3*3*3*16 + 16 bias = 448.
+    EXPECT_EQ(net.layer(c).weight_params(), 448);
+}
+
+TEST(Network, ConvWithBnParams) {
+    Network net("n");
+    const auto in = net.add_input({3, 32, 32});
+    const auto c = net.add_conv(in, 16, 3, 1, 1, /*bias=*/false, /*bn=*/true);
+    // 432 weights + 2*16 folded BN.
+    EXPECT_EQ(net.layer(c).weight_params(), 464);
+}
+
+TEST(Network, GroupedConvParams) {
+    Network net("n");
+    const auto in = net.add_input({8, 16, 16});
+    const auto c = net.add_conv(in, 8, 3, 1, 1, false, false, /*groups=*/8);
+    EXPECT_EQ(net.layer(c).weight_params(), 3 * 3 * 1 * 8);
+}
+
+TEST(Network, FcParamsAndMacs) {
+    Network net("n");
+    const auto in = net.add_input({512, 1, 1});
+    const auto f = net.add_fc(in, 1000);
+    EXPECT_EQ(net.layer(f).weight_params(), 512 * 1000 + 1000);
+    EXPECT_EQ(net.layer(f).macs(), 512 * 1000);
+}
+
+TEST(Network, ConvMacs) {
+    Network net("n");
+    const auto in = net.add_input({3, 8, 8});
+    const auto c = net.add_conv(in, 4, 3, 1, 1, false, false);
+    EXPECT_EQ(net.layer(c).macs(), 8LL * 8 * 4 * 3 * 3 * 3);
+}
+
+TEST(Network, InputMustComeFirst) {
+    Network net("n");
+    net.add_input({3, 4, 4});
+    EXPECT_THROW(net.add_input({3, 4, 4}), std::logic_error);
+}
+
+TEST(Network, AddRequiresMatchingShapes) {
+    Network net("n");
+    const auto in = net.add_input({3, 8, 8});
+    const auto a = net.add_conv(in, 4, 3, 1, 1, false, false);
+    const auto b = net.add_conv(in, 8, 3, 1, 1, false, false);
+    EXPECT_THROW(net.add_add(a, b), std::invalid_argument);
+}
+
+TEST(Network, ResidualAddMarksSkipEdge) {
+    Network net("n");
+    const auto in = net.add_input({4, 8, 8});
+    const auto c1 = net.add_conv(in, 4, 3, 1, 1, false, false);
+    const auto c2 = net.add_conv(c1, 4, 3, 1, 1, false, false);
+    const auto add = net.add_add(c2, in);
+    bool found_skip = false;
+    for (const auto& e : net.edges()) {
+        if (e.src == in && e.dst == add) {
+            EXPECT_TRUE(e.skip);
+            found_skip = true;
+        }
+        if (e.src == c2 && e.dst == add) {
+            EXPECT_FALSE(e.skip);
+        }
+    }
+    EXPECT_TRUE(found_skip);
+}
+
+TEST(Network, ConcatSumsChannels) {
+    Network net("n");
+    const auto in = net.add_input({4, 8, 8});
+    const auto a = net.add_conv(in, 6, 1, 1, 0, false, false);
+    const auto b = net.add_conv(in, 10, 3, 1, 1, false, false);
+    const std::array<std::int32_t, 2> branches{a, b};
+    const auto cat = net.add_concat(branches);
+    EXPECT_EQ(net.layer(cat).out, (Shape{16, 8, 8}));
+}
+
+TEST(Network, ConcatRejectsMismatchedSpatial) {
+    Network net("n");
+    const auto in = net.add_input({4, 8, 8});
+    const auto a = net.add_conv(in, 6, 1, 1, 0, false, false);
+    const auto b = net.add_conv(in, 6, 3, 2, 1, false, false);
+    const std::array<std::int32_t, 2> branches{a, b};
+    EXPECT_THROW(net.add_concat(branches), std::invalid_argument);
+}
+
+TEST(Network, EdgeVolumesMatchProducerActivations) {
+    const Network net = tiny();
+    for (const auto& e : net.edges())
+        EXPECT_EQ(e.elems, net.layer(e.src).output_activations());
+}
+
+TEST(Network, WeightLayerIdsInTopoOrder) {
+    const Network net = tiny();
+    const auto ids = net.weight_layer_ids();
+    ASSERT_EQ(ids.size(), 3u);  // two convs + fc
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    for (const auto id : ids) {
+        const auto k = net.layer(id).kind;
+        EXPECT_TRUE(k == LayerKind::kConv || k == LayerKind::kFc);
+    }
+}
+
+TEST(Network, TotalsAreSums) {
+    const Network net = tiny();
+    std::int64_t params = 0;
+    std::int64_t macs = 0;
+    for (const auto& l : net.layers()) {
+        params += l.weight_params();
+        macs += l.macs();
+    }
+    EXPECT_EQ(net.total_params(), params);
+    EXPECT_EQ(net.total_macs(), macs);
+}
+
+TEST(Network, CollapsedSpatialThrows) {
+    Network net("n");
+    const auto in = net.add_input({3, 4, 4});
+    EXPECT_THROW(net.add_conv(in, 8, 7, 1, 0, false, false), std::invalid_argument);
+}
+
+TEST(Traffic, FlowsSplitAcrossNodes) {
+    Network net("n");
+    const auto in = net.add_input({1, 4, 4});  // 16 elems
+    const auto c = net.add_conv(in, 1, 3, 1, 1, false, false);
+    net.add_global_pool(c);
+    // input on node 0; conv split over nodes 1,2; gap inherits node 2.
+    std::vector<std::vector<std::int32_t>> nodes{{0}, {1, 2}, {2}};
+    const auto flows = extract_flows(net, nodes, 1);
+    // edge input->conv: 16 bytes over pairs (0,1),(0,2) -> 8 each.
+    // edge conv->gap: 16 bytes over pairs (1,2),(2,2); the latter is local.
+    std::int64_t total = 0;
+    for (const auto& f : flows) {
+        EXPECT_NE(f.src, f.dst);
+        total += f.bytes;
+    }
+    EXPECT_EQ(total, 8 + 8 + 8);
+}
+
+TEST(Traffic, RejectsBadAssignment) {
+    Network net("n");
+    const auto in = net.add_input({1, 4, 4});
+    net.add_conv(in, 1, 3, 1, 1, false, false);
+    std::vector<std::vector<std::int32_t>> too_short{{0}};
+    EXPECT_THROW(extract_flows(net, too_short, 1), std::invalid_argument);
+    std::vector<std::vector<std::int32_t>> empty_entry{{0}, {}};
+    EXPECT_THROW(extract_flows(net, empty_entry, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace floretsim::dnn

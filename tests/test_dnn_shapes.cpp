@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/dnn/model_zoo.h"
+
+namespace floretsim::dnn {
+namespace {
+
+/// Finds the first layer whose name contains `needle`.
+const Layer* find_layer(const Network& net, const std::string& needle) {
+    for (const auto& l : net.layers())
+        if (l.name.find(needle) != std::string::npos) return &l;
+    return nullptr;
+}
+
+TEST(ResNetShapes, ImageNetStemProgression) {
+    const auto net = build_resnet(50, Dataset::kImageNet);
+    const auto* stem = find_layer(net, "stem.conv");
+    ASSERT_NE(stem, nullptr);
+    EXPECT_EQ(stem->out, (Shape{64, 112, 112}));
+    const auto* pool = find_layer(net, "stem.pool");
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->out, (Shape{64, 56, 56}));
+}
+
+TEST(ResNetShapes, StageSpatialHalving) {
+    const auto net = build_resnet(18, Dataset::kImageNet);
+    EXPECT_EQ(find_layer(net, "stage1.block1.conv1")->out.h, 56);
+    EXPECT_EQ(find_layer(net, "stage2.block1.conv1")->out.h, 28);
+    EXPECT_EQ(find_layer(net, "stage3.block1.conv1")->out.h, 14);
+    EXPECT_EQ(find_layer(net, "stage4.block1.conv1")->out.h, 7);
+}
+
+TEST(ResNetShapes, BottleneckExpansion) {
+    const auto net = build_resnet(50, Dataset::kImageNet);
+    // Stage 1 bottleneck: 64 -> 64 -> 256 channels.
+    EXPECT_EQ(find_layer(net, "stage1.block1.conv1")->out.c, 64);
+    EXPECT_EQ(find_layer(net, "stage1.block1.conv3")->out.c, 256);
+    // Final stage ends at 2048 channels.
+    EXPECT_EQ(find_layer(net, "stage4.block1.conv3")->out.c, 2048);
+}
+
+TEST(ResNetShapes, DownsampleShortcutsOnlyAtStageBoundaries) {
+    const auto net = build_resnet(34, Dataset::kImageNet);
+    EXPECT_NE(find_layer(net, "stage2.block1.down"), nullptr);
+    EXPECT_EQ(find_layer(net, "stage2.block2.down"), nullptr);
+    EXPECT_NE(find_layer(net, "stage3.block1.down"), nullptr);
+    EXPECT_EQ(find_layer(net, "stage1.block1.down"), nullptr);  // 64 == 64
+}
+
+TEST(ResNetShapes, Cifar110ThinStem) {
+    const auto net = build_resnet(110, Dataset::kCifar10);
+    const auto* stem = find_layer(net, "stem.conv");
+    ASSERT_NE(stem, nullptr);
+    EXPECT_EQ(stem->out, (Shape{16, 32, 32}));
+    // 3 stages x 18 blocks x 2 convs + stem + downsample shortcuts + fc.
+    std::int32_t convs = 0;
+    for (const auto& l : net.layers())
+        if (l.kind == LayerKind::kConv) ++convs;
+    EXPECT_EQ(convs, 1 + 108 + 2);  // stem + block convs + 2 projections
+}
+
+TEST(ResNetMacs, MatchPublishedGMacs) {
+    // Published multiply-add counts (torchvision, 224x224): ResNet-18
+    // 1.82 G, ResNet-34 3.68 G, ResNet-50 4.12 G.
+    EXPECT_NEAR(static_cast<double>(build_resnet(18, Dataset::kImageNet).total_macs()),
+                1.82e9, 0.05e9);
+    EXPECT_NEAR(static_cast<double>(build_resnet(34, Dataset::kImageNet).total_macs()),
+                3.68e9, 0.08e9);
+    EXPECT_NEAR(static_cast<double>(build_resnet(50, Dataset::kImageNet).total_macs()),
+                4.12e9, 0.12e9);
+}
+
+TEST(VggShapes, ChannelDoublingPerStage) {
+    const auto net = build_vgg(16, Dataset::kImageNet);
+    EXPECT_EQ(find_layer(net, "stage1.conv1")->out.c, 64);
+    EXPECT_EQ(find_layer(net, "stage2.conv1")->out.c, 128);
+    EXPECT_EQ(find_layer(net, "stage3.conv1")->out.c, 256);
+    EXPECT_EQ(find_layer(net, "stage4.conv1")->out.c, 512);
+    EXPECT_EQ(find_layer(net, "stage5.conv1")->out.c, 512);
+}
+
+TEST(VggShapes, ClassifierDominatesParams) {
+    // The famous VGG property: fc1 (25088 x 4096) alone holds ~100M of the
+    // 138M parameters.
+    const auto net = build_vgg(16, Dataset::kImageNet);
+    const auto* fc1 = find_layer(net, "fc1");
+    ASSERT_NE(fc1, nullptr);
+    EXPECT_EQ(fc1->weight_params(), 25088LL * 4096 + 4096);
+    EXPECT_GT(static_cast<double>(fc1->weight_params()),
+              0.7 * static_cast<double>(net.total_params()) * 0.99 -
+                  static_cast<double>(net.total_params()) * 0.0);
+    EXPECT_GT(fc1->weight_params(), net.total_params() / 2);
+}
+
+TEST(VggShapes, MacsMatchPublished) {
+    // VGG-16: ~15.5 G multiply-adds at 224x224.
+    EXPECT_NEAR(static_cast<double>(build_vgg(16, Dataset::kImageNet).total_macs()),
+                15.5e9, 0.4e9);
+}
+
+TEST(DenseNetShapes, TransitionChannelArithmetic) {
+    const auto net = build_densenet169(Dataset::kImageNet);
+    // After block1 (6 layers x growth 32 on 64): 256 -> transition halves
+    // to 128; block2 (+12x32=384+...): 512 -> 256.
+    EXPECT_EQ(find_layer(net, "trans1.conv")->out.c, 128);
+    EXPECT_EQ(find_layer(net, "trans2.conv")->out.c, 256);
+    EXPECT_EQ(find_layer(net, "trans3.conv")->out.c, 640);
+    // Final feature count entering the classifier: 1664.
+    const auto* fc = find_layer(net, "fc");
+    ASSERT_NE(fc, nullptr);
+    EXPECT_EQ(fc->in.c, 1664);
+}
+
+TEST(DenseNetShapes, BottleneckWidths) {
+    const auto net = build_densenet169(Dataset::kImageNet);
+    EXPECT_EQ(find_layer(net, "block1.layer1.conv1")->out.c, 128);  // 4 x growth
+    EXPECT_EQ(find_layer(net, "block1.layer1.conv2")->out.c, 32);   // growth
+}
+
+TEST(GoogLeNetShapes, InceptionOutputWidths) {
+    const auto net = build_googlenet(Dataset::kImageNet);
+    // Published concat widths: 3a=256, 3b=480, 4a=512, 4e=832, 5b=1024.
+    EXPECT_EQ(find_layer(net, "inc3a.cat")->out.c, 256);
+    EXPECT_EQ(find_layer(net, "inc3b.cat")->out.c, 480);
+    EXPECT_EQ(find_layer(net, "inc4a.cat")->out.c, 512);
+    EXPECT_EQ(find_layer(net, "inc4e.cat")->out.c, 832);
+    EXPECT_EQ(find_layer(net, "inc5b.cat")->out.c, 1024);
+}
+
+TEST(GoogLeNetShapes, PoolBranchKeepsSpatial) {
+    const auto net = build_googlenet(Dataset::kImageNet);
+    const auto* pool = find_layer(net, "inc3a.b4pool");
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->in.h, pool->out.h);
+    EXPECT_EQ(pool->in.w, pool->out.w);
+}
+
+TEST(ActivationVolumes, DecreaseThroughTheNetwork) {
+    // Total activation volume early in the network far exceeds the tail —
+    // the basis of the paper's "initial layers process more activations"
+    // power argument.
+    const auto net = build_resnet(34, Dataset::kImageNet);
+    const auto& layers = net.layers();
+    std::int64_t first_quarter = 0;
+    std::int64_t last_quarter = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (i < layers.size() / 4) first_quarter += layers[i].output_activations();
+        if (i >= 3 * layers.size() / 4) last_quarter += layers[i].output_activations();
+    }
+    EXPECT_GT(first_quarter, 4 * last_quarter);
+}
+
+class AllModelsShapes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModelsShapes, SpatialDimsNeverCollapsePrematurely) {
+    const auto net = build_model(GetParam(), Dataset::kImageNet);
+    for (const auto& l : net.layers()) {
+        EXPECT_GT(l.out.c, 0) << l.name;
+        EXPECT_GT(l.out.h, 0) << l.name;
+        EXPECT_GT(l.out.w, 0) << l.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllModelsShapes,
+                         ::testing::Values("ResNet18", "ResNet34", "ResNet50",
+                                           "ResNet101", "ResNet110", "ResNet152",
+                                           "VGG11", "VGG16", "VGG19", "DenseNet169",
+                                           "GoogLeNet"));
+
+}  // namespace
+}  // namespace floretsim::dnn

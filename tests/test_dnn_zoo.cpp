@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/dnn/model_zoo.h"
+
+namespace floretsim::dnn {
+namespace {
+
+/// Published torchvision parameter counts (weights + biases + batch-norm).
+/// Our builders reconstruct the architectures from shape arithmetic, so
+/// totals must land within a small tolerance of the reference counts.
+struct Reference {
+    const char* model;
+    Dataset dataset;
+    double params;
+    double tol;  // relative
+};
+
+class ZooParams : public ::testing::TestWithParam<Reference> {};
+
+TEST_P(ZooParams, MatchesPublishedCount) {
+    const auto& ref = GetParam();
+    const Network net = build_model(ref.model, ref.dataset);
+    const auto params = static_cast<double>(net.total_params());
+    EXPECT_NEAR(params / ref.params, 1.0, ref.tol)
+        << ref.model << " computed " << params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImageNet, ZooParams,
+    ::testing::Values(
+        Reference{"ResNet18", Dataset::kImageNet, 11.69e6, 0.01},
+        Reference{"ResNet34", Dataset::kImageNet, 21.80e6, 0.01},
+        Reference{"ResNet50", Dataset::kImageNet, 25.56e6, 0.01},
+        Reference{"ResNet101", Dataset::kImageNet, 44.55e6, 0.01},
+        Reference{"ResNet152", Dataset::kImageNet, 60.19e6, 0.01},
+        Reference{"VGG11", Dataset::kImageNet, 132.86e6, 0.01},
+        Reference{"VGG16", Dataset::kImageNet, 138.36e6, 0.01},
+        Reference{"VGG19", Dataset::kImageNet, 143.67e6, 0.01},
+        Reference{"DenseNet169", Dataset::kImageNet, 14.15e6, 0.015},
+        Reference{"GoogLeNet", Dataset::kImageNet, 6.62e6, 0.03}));
+
+TEST(Zoo, ResNet110IsCifarStyle) {
+    const Network net = build_resnet(110, Dataset::kCifar10);
+    // He et al.: ~1.7M parameters for ResNet-110 on CIFAR-10.
+    EXPECT_NEAR(static_cast<double>(net.total_params()), 1.73e6, 0.06e6);
+}
+
+TEST(Zoo, Cifar10VariantsShrinkClassifier) {
+    const Network imagenet = build_vgg(19, Dataset::kImageNet);
+    const Network cifar = build_vgg(19, Dataset::kCifar10);
+    EXPECT_GT(imagenet.total_params(), 6 * cifar.total_params());
+    // ~20.55M computed vs the paper's Table I value of 20.42M for
+    // VGG19@CIFAR-10 — consistent with a compact 512-512 classifier.
+    EXPECT_NEAR(static_cast<double>(cifar.total_params()), 20.55e6, 0.5e6);
+}
+
+TEST(Zoo, UnknownModelThrows) {
+    EXPECT_THROW(build_model("AlexNet", Dataset::kImageNet), std::invalid_argument);
+}
+
+TEST(Zoo, AvailableModelsAllBuild) {
+    for (const auto& name : available_models()) {
+        const Network net = build_model(name, Dataset::kCifar10);
+        EXPECT_GT(net.total_params(), 0) << name;
+        EXPECT_GT(net.total_macs(), 0) << name;
+        EXPECT_GE(net.size(), 10u) << name;
+    }
+}
+
+TEST(Zoo, ResNet34SkipTrafficShare) {
+    // §II of the paper: in ResNet34, skip-connection activations are about
+    // 19% of total propagated activations (linear traffic ~4.5x higher).
+    const Network net = build_resnet(34, Dataset::kImageNet);
+    const auto skip = static_cast<double>(net.skip_edge_activations());
+    const auto total = static_cast<double>(net.total_edge_activations());
+    const double share = skip / total;
+    EXPECT_GT(share, 0.10);
+    EXPECT_LT(share, 0.30);
+    const double linear_over_skip = (total - skip) / skip;
+    EXPECT_GT(linear_over_skip, 2.5);
+    EXPECT_LT(linear_over_skip, 8.0);
+}
+
+TEST(Zoo, ResNetDepthsOrdered) {
+    const auto p18 = build_resnet(18, Dataset::kImageNet).total_params();
+    const auto p34 = build_resnet(34, Dataset::kImageNet).total_params();
+    const auto p50 = build_resnet(50, Dataset::kImageNet).total_params();
+    const auto p101 = build_resnet(101, Dataset::kImageNet).total_params();
+    const auto p152 = build_resnet(152, Dataset::kImageNet).total_params();
+    EXPECT_LT(p18, p34);
+    EXPECT_LT(p34, p50);
+    EXPECT_LT(p50, p101);
+    EXPECT_LT(p101, p152);
+}
+
+TEST(Zoo, DenseNetHasDenseSkipEdges) {
+    const Network net = build_densenet169(Dataset::kImageNet);
+    std::int64_t skip_edges = 0;
+    for (const auto& e : net.edges()) skip_edges += e.skip;
+    // Accumulated-streaming representation: every dense layer forwards the
+    // running concatenation past its two convs — one skip edge per layer
+    // (82 dense layers across the four blocks).
+    EXPECT_GE(skip_edges, 80);
+    // Dense skips carry a large share of the activation traffic (the
+    // accumulated feature map), far above ResNet's ~19%.
+    const double share = static_cast<double>(net.skip_edge_activations()) /
+                         static_cast<double>(net.total_edge_activations());
+    EXPECT_GT(share, 0.25);
+}
+
+TEST(Zoo, GoogLeNetInceptionWidths) {
+    const Network net = build_googlenet(Dataset::kImageNet);
+    // Find the final concat before global pooling: 384+384+128+128 = 1024.
+    const auto& layers = net.layers();
+    const Layer* gap = nullptr;
+    for (const auto& l : layers)
+        if (l.kind == LayerKind::kGlobalPool) gap = &l;
+    ASSERT_NE(gap, nullptr);
+    EXPECT_EQ(gap->in.c, 1024);
+}
+
+TEST(Zoo, VggIsPureChain) {
+    const Network net = build_vgg(16, Dataset::kImageNet);
+    for (const auto& e : net.edges()) EXPECT_FALSE(e.skip);
+}
+
+TEST(Zoo, InputShapesFollowDataset) {
+    EXPECT_EQ(input_shape(Dataset::kImageNet), (Shape{3, 224, 224}));
+    EXPECT_EQ(input_shape(Dataset::kCifar10), (Shape{3, 32, 32}));
+    EXPECT_EQ(num_classes(Dataset::kImageNet), 1000);
+    EXPECT_EQ(num_classes(Dataset::kCifar10), 10);
+}
+
+TEST(Zoo, MacsScaleWithResolution) {
+    const auto cifar = build_resnet(18, Dataset::kCifar10).total_macs();
+    const auto imagenet = build_resnet(18, Dataset::kImageNet).total_macs();
+    EXPECT_GT(imagenet, 10 * cifar);
+}
+
+class ZooStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooStructure, GraphInvariants) {
+    const Network net = build_model(GetParam(), Dataset::kImageNet);
+    // Edges reference valid, forward-ordered layers.
+    for (const auto& e : net.edges()) {
+        ASSERT_GE(e.src, 0);
+        ASSERT_LT(static_cast<std::size_t>(e.dst), net.size());
+        EXPECT_LT(e.src, e.dst);
+        EXPECT_GT(e.elems, 0);
+    }
+    // Every non-input layer has at least one incoming edge.
+    std::vector<int> indeg(net.size(), 0);
+    for (const auto& e : net.edges()) ++indeg[static_cast<std::size_t>(e.dst)];
+    for (std::size_t i = 1; i < net.size(); ++i) EXPECT_GT(indeg[i], 0) << i;
+    // The final layer is the classifier.
+    EXPECT_EQ(net.layers().back().kind, LayerKind::kFc);
+    EXPECT_EQ(net.layers().back().out.c, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ZooStructure,
+                         ::testing::Values("ResNet18", "ResNet50", "ResNet110",
+                                           "VGG19", "DenseNet169", "GoogLeNet"));
+
+}  // namespace
+}  // namespace floretsim::dnn

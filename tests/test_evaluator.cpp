@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/core/evaluator.h"
+#include "src/core/floret.h"
+#include "src/core/mapper.h"
+#include "src/core/sfc.h"
+#include "src/topo/mesh.h"
+
+namespace floretsim::core {
+namespace {
+
+/// A pure chain network (conv -> conv -> conv -> fc) for flow checks.
+dnn::Network chain_net() {
+    dnn::Network net("chain");
+    const auto in = net.add_input({3, 16, 16});
+    const auto c1 = net.add_conv(in, 8, 3, 1, 1, false, true);
+    const auto c2 = net.add_conv(c1, 8, 3, 1, 1, false, true);
+    const auto c3 = net.add_conv(c2, 16, 3, 2, 1, false, true);
+    const auto g = net.add_global_pool(c3);
+    net.add_fc(g, 10);
+    return net;
+}
+
+MappedTask map_on_floret(const dnn::Network& net, const SfcSet& set,
+                         double params_per_chiplet_m) {
+    TaskSpec spec;
+    spec.name = "t";
+    spec.net = &net;
+    spec.plan = pim::partition_by_params(
+        net, static_cast<double>(net.total_params()) / 1e6, params_per_chiplet_m);
+    FloretMapper mapper(set);
+    auto mapped = mapper.map_queue(std::span<const TaskSpec>(&spec, 1), nullptr);
+    return std::move(mapped.front());
+}
+
+TEST(PipelineFlows, UnmappedTaskHasNoFlows) {
+    const auto net = chain_net();
+    MappedTask task;
+    task.net = &net;
+    task.mapped = false;
+    EXPECT_TRUE(pipeline_flows(task, 1).empty());
+}
+
+TEST(PipelineFlows, ChainOnFloretIsAllSingleHop) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto topo = make_floret(set);
+    const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+    // Force multiple chiplets: tiny capacity.
+    const auto task = map_on_floret(net, set, 0.0005);
+    ASSERT_TRUE(task.mapped);
+    ASSERT_GT(task.nodes.size(), 3u);
+    const auto flows = pipeline_flows(task, 1);
+    ASSERT_FALSE(flows.empty());
+    for (const auto& f : flows) {
+        EXPECT_LE(routes.hops(f.src, f.dst), 2)
+            << "pipeline flow " << f.src << "->" << f.dst << " is long-range";
+    }
+}
+
+TEST(PipelineFlows, SharedChipletProducesNoTraffic) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    // Huge capacity: the whole net packs onto one chiplet.
+    const auto task = map_on_floret(net, set, 1000.0);
+    ASSERT_TRUE(task.mapped);
+    EXPECT_EQ(task.plan.total_chiplets, 1);
+    EXPECT_TRUE(pipeline_flows(task, 1).empty());
+}
+
+TEST(PipelineFlows, InterLayerVolumeIsFullEdgeVolume) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto task = map_on_floret(net, set, 0.0005);
+    ASSERT_TRUE(task.mapped);
+    const auto flows = pipeline_flows(task, /*bytes_per_elem=*/2);
+    // Find the flow for the c1 -> c2 edge: its bytes must equal
+    // c1's output activations x bytes_per_elem (not split across pairs).
+    const auto& c1 = net.layer(net.weight_layer_ids()[0]);
+    bool found = false;
+    for (const auto& f : flows) {
+        if (f.bytes == 2 * c1.output_activations()) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PipelineFlows, SkipEdgesMarked) {
+    dnn::Network net("res");
+    const auto in = net.add_input({8, 8, 8});
+    const auto c1 = net.add_conv(in, 8, 3, 1, 1, false, true);
+    const auto c2 = net.add_conv(c1, 8, 3, 1, 1, false, true);
+    net.add_add(c2, in);
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto task = map_on_floret(net, set, 0.0002);
+    ASSERT_TRUE(task.mapped);
+    bool has_skip = false;
+    for (const auto& f : pipeline_flows(task, 1)) has_skip |= f.skip;
+    EXPECT_TRUE(has_skip);
+}
+
+TEST(PipelineFlows, BytesScaleWithElementWidth) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto task = map_on_floret(net, set, 0.0005);
+    const auto f1 = pipeline_flows(task, 1);
+    const auto f4 = pipeline_flows(task, 4);
+    ASSERT_EQ(f1.size(), f4.size());
+    for (std::size_t i = 0; i < f1.size(); ++i) EXPECT_EQ(4 * f1[i].bytes, f4[i].bytes);
+}
+
+TEST(EvaluateNoi, EmptyTaskListIsFreeAndComplete) {
+    const auto set = generate_sfc_set(4, 4, 2);
+    const auto topo = make_floret(set);
+    const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+    const std::vector<MappedTask> none;
+    const auto res = evaluate_noi(topo, routes, none, EvalConfig{});
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, 0);
+    EXPECT_DOUBLE_EQ(res.energy_pj, 0.0);
+}
+
+TEST(EvaluateNoi, MoreTrafficScaleMeansMoreEnergy) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto topo = make_floret(set);
+    const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+    const auto task = map_on_floret(net, set, 0.0005);
+    std::vector<MappedTask> tasks{task};
+    EvalConfig lo;
+    lo.traffic_scale = 1.0 / 64.0;
+    EvalConfig hi;
+    hi.traffic_scale = 1.0 / 8.0;
+    const auto rl = evaluate_noi(topo, routes, tasks, lo);
+    const auto rh = evaluate_noi(topo, routes, tasks, hi);
+    ASSERT_TRUE(rl.completed);
+    ASSERT_TRUE(rh.completed);
+    EXPECT_GT(rh.energy_pj, rl.energy_pj);
+    EXPECT_GT(rh.packets, rl.packets);
+}
+
+TEST(EvaluateNoi, WeightLoadAddsTraffic) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto topo = make_floret(set);
+    const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+    const auto task = map_on_floret(net, set, 0.0005);
+    std::vector<MappedTask> tasks{task};
+    EvalConfig off;
+    off.traffic_scale = 1.0 / 16.0;
+    EvalConfig on = off;
+    on.include_weight_load = true;
+    const auto r_off = evaluate_noi(topo, routes, tasks, off);
+    const auto r_on = evaluate_noi(topo, routes, tasks, on);
+    ASSERT_TRUE(r_off.completed);
+    ASSERT_TRUE(r_on.completed);
+    EXPECT_GT(r_on.packets, r_off.packets);
+    EXPECT_GT(r_on.energy_pj, r_off.energy_pj);
+}
+
+TEST(EvaluateNoi, WeightLoadOffByDefault) {
+    EvalConfig cfg;
+    EXPECT_FALSE(cfg.include_weight_load);
+}
+
+TEST(EvaluateNoi, MapperReleaseAllowsRemapping) {
+    // The dynamic scenario's core loop: map, release, map again — the
+    // second mapping reuses the freed chiplets.
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    FloretMapper mapper(set);
+    TaskSpec spec;
+    spec.name = "t";
+    spec.net = &net;
+    spec.plan = pim::partition_by_params(
+        net, static_cast<double>(net.total_params()) / 1e6, 0.0005);
+    auto first = mapper.map_queue(std::span<const TaskSpec>(&spec, 1), nullptr);
+    ASSERT_TRUE(first.front().mapped);
+    mapper.release(first.front());
+    auto second = mapper.map_queue(std::span<const TaskSpec>(&spec, 1), nullptr);
+    ASSERT_TRUE(second.front().mapped);
+    EXPECT_EQ(first.front().nodes, second.front().nodes);
+}
+
+TEST(EvaluateNoi, WithoutReleaseSecondMappingMovesOn) {
+    const auto net = chain_net();
+    const auto set = generate_sfc_set(6, 6, 6);
+    FloretMapper mapper(set);
+    TaskSpec spec;
+    spec.name = "t";
+    spec.net = &net;
+    spec.plan = pim::partition_by_params(
+        net, static_cast<double>(net.total_params()) / 1e6, 0.0005);
+    auto first = mapper.map_queue(std::span<const TaskSpec>(&spec, 1), nullptr);
+    auto second = mapper.map_queue(std::span<const TaskSpec>(&spec, 1), nullptr);
+    ASSERT_TRUE(first.front().mapped);
+    ASSERT_TRUE(second.front().mapped);
+    EXPECT_NE(first.front().nodes.front(), second.front().nodes.front());
+}
+
+}  // namespace
+}  // namespace floretsim::core

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/hetero.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/butterfly.h"
+#include "src/topo/mesh.h"
+#include "src/util/rng.h"
+
+namespace floretsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Butter Donut / Double Butterfly (the symmetric topologies §II says the
+// Floret methodology extends to).
+// ---------------------------------------------------------------------------
+
+TEST(ButterDonut, ConnectedWithExpressRows) {
+    const auto t = topo::make_butter_donut(8, 8);
+    EXPECT_TRUE(t.connected());
+    // Express row links exist alongside the single-hop chain.
+    const auto spans = t.link_span_histogram();
+    EXPECT_GT(spans.at(2), 0u);
+    EXPECT_GT(spans.at(1), 0u);
+}
+
+TEST(ButterDonut, ColumnWrapPresent) {
+    const auto t = topo::make_butter_donut(6, 6);
+    EXPECT_TRUE(t.has_link(0, 30));  // (0,0) <-> (0,5)
+}
+
+TEST(ButterDonut, SmallerDiameterThanMesh) {
+    const auto donut = topo::make_butter_donut(8, 8);
+    const auto mesh = topo::make_mesh(8, 8);
+    auto diameter = [](const topo::Topology& t) {
+        std::int32_t d = 0;
+        for (topo::NodeId n = 0; n < t.node_count(); ++n)
+            for (const auto h : t.hop_distances(n)) d = std::max(d, h);
+        return d;
+    };
+    EXPECT_LT(diameter(donut), diameter(mesh));
+}
+
+TEST(DoubleButterfly, ConnectedWithHalfRowJumps) {
+    const auto t = topo::make_double_butterfly(8, 8);
+    EXPECT_TRUE(t.connected());
+    EXPECT_TRUE(t.has_link(0, 4));  // (0,0) <-> (4,0), half-row jump
+    const auto spans = t.link_span_histogram();
+    EXPECT_GT(spans.at(4), 0u);
+}
+
+TEST(DoubleButterfly, RoutableWithUpDown) {
+    const auto t = topo::make_double_butterfly(6, 6);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kUpDown);
+    EXPECT_TRUE(rt.complete());
+}
+
+// ---------------------------------------------------------------------------
+// XY (dimension-order) routing.
+// ---------------------------------------------------------------------------
+
+TEST(XyRouting, MinimalOnMesh) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kXY);
+    ASSERT_TRUE(rt.complete());
+    for (topo::NodeId s = 0; s < t.node_count(); ++s)
+        for (topo::NodeId d = 0; d < t.node_count(); ++d)
+            EXPECT_EQ(rt.hops(s, d), util::manhattan(t.node(s).pos, t.node(d).pos));
+}
+
+TEST(XyRouting, XBeforeY) {
+    const auto t = topo::make_mesh(5, 5);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kXY);
+    // Route (0,0) -> (3,2): x moves first.
+    const auto& route = rt.route(0, 2 * 5 + 3);
+    ASSERT_EQ(route.size(), 6u);
+    EXPECT_EQ(route[1], 1);  // (1,0)
+    EXPECT_EQ(route[2], 2);  // (2,0)
+    EXPECT_EQ(route[3], 3);  // (3,0)
+    EXPECT_EQ(route[4], 8);  // (3,1)
+}
+
+TEST(XyRouting, WorksOn3dMesh) {
+    const auto t = topo::make_mesh3d(4, 4, 3);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kXY);
+    EXPECT_TRUE(rt.complete());
+    // X, then Y, then tier.
+    EXPECT_EQ(rt.hops(0, t.node_count() - 1), 3 + 3 + 2);
+}
+
+TEST(XyRouting, RejectsIrregularTopology) {
+    topo::Topology t("broken");
+    t.add_node({0, 0});
+    t.add_node({1, 0});
+    t.add_node({2, 0});
+    t.add_link(0, 2, 8.0);  // skip link only; no (0,0)-(1,0) link
+    t.add_link(1, 2);
+    EXPECT_THROW(noc::RouteTable::build(t, noc::RoutingPolicy::kXY),
+                 std::invalid_argument);
+}
+
+TEST(XyRouting, SimulatesDeadlockFreeOnMesh) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kXY);
+    noc::SimConfig cfg;
+    cfg.input_buffer_flits = 2;
+    noc::Simulator sim(t, rt, cfg);
+    util::Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const auto s = static_cast<topo::NodeId>(rng.below(36));
+        const auto d = static_cast<topo::NodeId>(rng.below(36));
+        if (s != d) sim.add_demand(noc::Demand{s, d, 240});
+    }
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+}
+
+// ---------------------------------------------------------------------------
+// Section IV heterogeneous integration.
+// ---------------------------------------------------------------------------
+
+core::HeteroConfig small_hetero() {
+    core::HeteroConfig cfg;
+    cfg.macro_width = 6;
+    cfg.macro_height = 6;
+    cfg.lambda = 6;
+    cfg.attention_modules = 2;
+    return cfg;
+}
+
+TEST(Hetero, SystemStructure) {
+    const auto cfg = small_hetero();
+    const auto sys = core::build_hetero_system(cfg);
+    EXPECT_EQ(sys.topology.node_count(), 36 + 2);
+    EXPECT_TRUE(sys.topology.connected());
+    EXPECT_EQ(sys.attention_nodes.size(), 2u);
+    EXPECT_EQ(sys.macro_order.size(), 36u);
+}
+
+TEST(Hetero, StaticKernelsOnMacroDynamicOnModules) {
+    const auto cfg = small_hetero();
+    const auto sys = core::build_hetero_system(cfg);
+    const auto mapping = core::map_transformer(sys, dnn::bert_tiny(), cfg, false);
+    ASSERT_TRUE(mapping.fits);
+    for (const auto& p : mapping.placements) {
+        if (p.cls == dnn::KernelClass::kDynamicMatrix) {
+            ASSERT_EQ(p.nodes.size(), 1u);
+            EXPECT_TRUE(std::find(sys.attention_nodes.begin(), sys.attention_nodes.end(),
+                                  p.nodes.front()) != sys.attention_nodes.end());
+            EXPECT_DOUBLE_EQ(p.write_ns, 0.0);
+        }
+        if (p.cls == dnn::KernelClass::kStaticWeight) {
+            for (const auto n : p.nodes)
+                EXPECT_TRUE(std::find(sys.attention_nodes.begin(),
+                                      sys.attention_nodes.end(),
+                                      n) == sys.attention_nodes.end());
+        }
+    }
+}
+
+TEST(Hetero, AllPimPaysWriteStalls) {
+    const auto cfg = small_hetero();
+    const auto sys = core::build_hetero_system(cfg);
+    const auto model = dnn::bert_tiny();
+    const auto hetero = core::map_transformer(sys, model, cfg, false);
+    const auto all_pim = core::map_transformer(sys, model, cfg, true);
+    ASSERT_TRUE(hetero.fits);
+    ASSERT_TRUE(all_pim.fits);
+    const auto ev_h = core::evaluate_hetero(sys, hetero, model);
+    const auto ev_p = core::evaluate_hetero(sys, all_pim, model);
+    EXPECT_DOUBLE_EQ(ev_h.write_ns, 0.0);
+    EXPECT_GT(ev_p.write_ns, 0.0);
+    EXPECT_GT(ev_p.latency_ns, ev_h.latency_ns);
+}
+
+TEST(Hetero, BertBaseOverflowsSmallMacro) {
+    // §IV: intermediate matrices cannot be stored "within the reticle
+    // limit" — BERT-Base in all-PIM mode must overflow a modest macro.
+    const auto cfg = small_hetero();
+    const auto sys = core::build_hetero_system(cfg);
+    const auto mapping = core::map_transformer(sys, dnn::bert_base(), cfg, true);
+    EXPECT_FALSE(mapping.fits);
+}
+
+TEST(Hetero, StaticWeightsPackContiguously) {
+    const auto cfg = small_hetero();
+    const auto sys = core::build_hetero_system(cfg);
+    const auto mapping = core::map_transformer(sys, dnn::bert_tiny(), cfg, false);
+    ASSERT_TRUE(mapping.fits);
+    // Successive static kernels occupy non-decreasing SFC positions.
+    std::map<topo::NodeId, std::size_t> pos;
+    for (std::size_t i = 0; i < sys.macro_order.size(); ++i)
+        pos[sys.macro_order[i]] = i;
+    std::size_t last = 0;
+    for (const auto& p : mapping.placements) {
+        if (p.cls != dnn::KernelClass::kStaticWeight) continue;
+        EXPECT_GE(pos.at(p.nodes.front()), last > 0 ? last - 1 : 0);
+        last = pos.at(p.nodes.back());
+    }
+}
+
+TEST(Hetero, RejectsZeroModules) {
+    auto cfg = small_hetero();
+    cfg.attention_modules = 0;
+    EXPECT_THROW(core::build_hetero_system(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace floretsim

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+
+namespace floretsim::core {
+namespace {
+
+TEST(FloretTopo, ConnectedAndCoversGrid) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto t = make_floret(set);
+    EXPECT_EQ(t.node_count(), 100);
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(FloretTopo, MostRoutersAreTwoPort) {
+    // The paper: "all the routers in Floret except the heads and tails
+    // have only two ports."
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto t = make_floret(set);
+    const auto ports = t.port_histogram();
+    std::uint64_t le2 = ports.at(1) + ports.at(2);
+    EXPECT_GE(le2, 85u);
+}
+
+TEST(FloretTopo, FarFewerLinksThanMesh) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto t = make_floret(set);
+    // Mesh has 180; Floret: 96 intra-SFC + a handful of express links.
+    EXPECT_LT(t.link_count(), 120);
+    EXPECT_GE(t.link_count(), 99);  // at least a spanning structure
+}
+
+TEST(FloretTopo, IntraSfcLinksAreSingleHop) {
+    const auto set = generate_sfc_set(12, 12, 6);
+    const auto t = make_floret(set);
+    for (const auto& sfc : set.sfcs)
+        for (std::size_t i = 1; i < sfc.path.size(); ++i)
+            EXPECT_TRUE(t.has_link(sfc.path[i - 1], sfc.path[i]));
+}
+
+TEST(FloretTopo, ExpressLinksRespectSpanLimitOnEvenRegions) {
+    // 8x8 split into 4x4 quadrants: U-comb petals put heads and tails on
+    // the center-facing sides, so every express link honors the 3-hop cap.
+    const auto set = generate_sfc_set(8, 8, 4);
+    FloretOptions opts;
+    opts.max_tail_head_span = 3;
+    const auto t = make_floret(set, opts);
+    for (const auto& l : t.links()) EXPECT_LE(l.hop_span, 3);
+}
+
+TEST(FloretTopo, EveryTailHasASpilloverLink) {
+    // The mapping algorithm requires a tail -> next-head path for every
+    // SFC; make_floret guarantees one even when the span limit is tight.
+    for (const auto& [w, h, lambda] :
+         {std::tuple{10, 10, 4}, std::tuple{8, 8, 4}, std::tuple{6, 6, 6}}) {
+        const auto set = generate_sfc_set(w, h, lambda);
+        const auto t = make_floret(set);
+        for (const auto& si : set.sfcs) {
+            bool has_express = false;
+            for (const auto& sj : set.sfcs) {
+                if (&si == &sj) continue;
+                if (t.has_link(si.tail(), sj.head())) has_express = true;
+            }
+            EXPECT_TRUE(has_express) << w << "x" << h << " l" << lambda;
+        }
+    }
+}
+
+TEST(FloretTopo, UCombPetalsTightenEq1Distance) {
+    // With even quadrants the optimizer should find the petal layout whose
+    // tails sit within a few hops of the other heads.
+    const auto set = generate_sfc_set(8, 8, 4);
+    EXPECT_LE(set.tail_head_distance(), 4.0);
+    const auto naive =
+        generate_sfc_set(8, 8, 4, {.optimize_placement = false});
+    EXPECT_LT(set.tail_head_distance(), naive.tail_head_distance());
+}
+
+TEST(FloretTopo, Fig1ThirtySixChipletSystem) {
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto t = make_floret(set);
+    EXPECT_EQ(t.node_count(), 36);
+    EXPECT_TRUE(t.connected());
+    // 6 petals x 5 chain links = 30 intra-SFC links; express links on top.
+    EXPECT_GE(t.link_count(), 35);
+    EXPECT_LE(t.link_count(), 60);
+}
+
+TEST(FloretTopo, DegradedLayoutStillConnected) {
+    // Stripes with distant heads force the connectivity-repair path.
+    const auto set = generate_sfc_set(16, 2, 2, {.optimize_placement = false});
+    FloretOptions opts;
+    opts.max_tail_head_span = 1;  // too tight: bridges kick in
+    const auto t = make_floret(set, opts);
+    EXPECT_TRUE(t.connected());
+}
+
+class FloretSizes
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t, std::int32_t>> {};
+
+TEST_P(FloretSizes, AlwaysConnectedTwoPortDominated) {
+    const auto [w, h, lambda] = GetParam();
+    const auto set = generate_sfc_set(w, h, lambda);
+    const auto t = make_floret(set);
+    EXPECT_TRUE(t.connected());
+    const auto ports = t.port_histogram();
+    const double frac_le2 =
+        static_cast<double>(ports.at(1) + ports.at(2)) / t.node_count();
+    EXPECT_GT(frac_le2, 0.6) << w << "x" << h << " l" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FloretSizes,
+                         ::testing::Values(std::tuple{6, 6, 6}, std::tuple{8, 8, 4},
+                                           std::tuple{10, 10, 4}, std::tuple{10, 10, 5},
+                                           std::tuple{12, 12, 6}, std::tuple{12, 12, 9},
+                                           std::tuple{16, 16, 8}));
+
+}  // namespace
+}  // namespace floretsim::core

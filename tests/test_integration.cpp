@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/evaluator.h"
+#include "src/core/floret.h"
+#include "src/core/mapper.h"
+#include "src/core/sfc.h"
+#include "src/topo/kite.h"
+#include "src/topo/mesh.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::core {
+namespace {
+
+/// Shared end-to-end harness: map a mix on an architecture and run the
+/// flit simulator. Mirrors what the Fig. 3/5 benches do at smaller scale.
+EvalResult run_arch(const topo::Topology& topo, Mapper& mapper,
+                    std::span<const TaskSpec> tasks) {
+    const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
+    const auto mapped = mapper.map_queue(tasks, nullptr);
+    EvalConfig cfg;
+    cfg.traffic_scale = 1.0 / 2048.0;  // keep the test fast
+    cfg.sim.max_cycles = 5'000'000;
+    return evaluate_noi(topo, routes, mapped, cfg);
+}
+
+TEST(Integration, FloretBeatsMeshOnLatencyAndEnergy) {
+    // The headline 2.5D claim at reduced scale: a 36-chiplet system running
+    // a queue of small DNNs. Floret's contiguous mapping must beat the
+    // greedy-mapped mesh on both drain latency and NoI energy.
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const std::vector<std::string> queue{"DNN9", "DNN10", "DNN11", "DNN13"};
+    const auto tasks = make_tasks(queue, 1.2, owner);
+
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto floret = make_floret(set);
+    FloretMapper floret_mapper(set);
+    const auto floret_res = run_arch(floret, floret_mapper, tasks);
+
+    const auto mesh = topo::make_mesh(6, 6);
+    const auto mesh_routes = noc::RouteTable::build(mesh, noc::RoutingPolicy::kUpDown);
+    GreedyMapper mesh_mapper(mesh, mesh_routes, -1);
+    const auto mesh_res = run_arch(mesh, mesh_mapper, tasks);
+
+    ASSERT_TRUE(floret_res.completed);
+    ASSERT_TRUE(mesh_res.completed);
+    EXPECT_LT(floret_res.energy_pj, mesh_res.energy_pj);
+    EXPECT_LT(floret_res.latency_cycles, 1.3 * mesh_res.latency_cycles);
+}
+
+TEST(Integration, ContiguousMappingShortensFlitHops) {
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const std::vector<std::string> queue{"DNN9", "DNN12"};
+    const auto tasks = make_tasks(queue, 1.2, owner);
+
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto floret = make_floret(set);
+    FloretMapper fm(set);
+    const auto fr = run_arch(floret, fm, tasks);
+
+    const auto kite = topo::make_kite(6, 6);
+    const auto kite_routes = noc::RouteTable::build(kite, noc::RoutingPolicy::kUpDown);
+    GreedyMapper km(kite, kite_routes, -1);
+    const auto kr = run_arch(kite, km, tasks);
+
+    ASSERT_TRUE(fr.completed);
+    ASSERT_TRUE(kr.completed);
+    // Most Floret traffic rides single-hop SFC links.
+    EXPECT_LT(fr.flit_hops, kr.flit_hops * 2);
+    EXPECT_GT(fr.packets, 0);
+}
+
+TEST(Integration, EvaluatorSkipsUnmappedTasks) {
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    // Overload a tiny system so later tasks fail to map.
+    const std::vector<std::string> queue{"DNN7", "DNN7", "DNN7", "DNN7"};
+    const auto tasks = make_tasks(queue, 8.0, owner);
+    const auto set = generate_sfc_set(4, 4, 4);
+    const auto floret = make_floret(set);
+    FloretMapper mapper(set);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    EXPECT_GT(stats.tasks_failed, 0);
+    const auto routes = noc::RouteTable::build(floret, noc::RoutingPolicy::kUpDown);
+    EvalConfig cfg;
+    cfg.traffic_scale = 1.0 / 4096.0;
+    const auto res = evaluate_noi(floret, routes, mapped, cfg);
+    EXPECT_TRUE(res.completed);  // the mapped prefix still simulates
+}
+
+TEST(Integration, Table2MixMapsOn100Chiplets) {
+    // WL1 at the calibrated chiplet capacity fits a 100-chiplet Floret
+    // (the paper's headline configuration).
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto queue = workload::expand_mix(workload::table2().front());
+    const auto tasks = make_tasks(queue, 10.0, owner);
+    const auto set = generate_sfc_set(10, 10, 10);
+    FloretMapper mapper(set);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    EXPECT_EQ(stats.tasks_failed, 0) << "WL1 must fit at 10M params/chiplet";
+    EXPECT_GT(stats.utilization(), 0.80);
+}
+
+TEST(Integration, EndToEndDeterminism) {
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const std::vector<std::string> queue{"DNN9", "DNN13"};
+    const auto tasks = make_tasks(queue, 1.2, owner);
+    const auto set = generate_sfc_set(6, 6, 6);
+    const auto floret = make_floret(set);
+    FloretMapper m1(set);
+    FloretMapper m2(set);
+    const auto r1 = run_arch(floret, m1, tasks);
+    const auto r2 = run_arch(floret, m2, tasks);
+    EXPECT_EQ(r1.latency_cycles, r2.latency_cycles);
+    EXPECT_DOUBLE_EQ(r1.energy_pj, r2.energy_pj);
+    EXPECT_EQ(r1.flit_hops, r2.flit_hops);
+}
+
+}  // namespace
+}  // namespace floretsim::core

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/core/floret.h"
+#include "src/core/mapper.h"
+#include "src/core/sfc.h"
+#include "src/topo/mesh.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::core {
+namespace {
+
+std::vector<TaskSpec> wl_tasks(const std::string& mix_name, double params_per_chiplet,
+                               std::vector<std::unique_ptr<dnn::Network>>& owner) {
+    for (const auto& mix : workload::table2()) {
+        if (mix.name == mix_name) {
+            const auto queue = workload::expand_mix(mix);
+            return make_tasks(queue, params_per_chiplet, owner);
+        }
+    }
+    throw std::invalid_argument("unknown mix " + mix_name);
+}
+
+TEST(FloretMapper, ContiguousAllocationAlongSfcOrder) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto order = set.concatenated_order();
+    std::map<topo::NodeId, std::size_t> pos;
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL1", 8.0, owner);
+    FloretMapper mapper(set);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+
+    std::size_t expected_next = 0;
+    for (const auto& m : mapped) {
+        if (!m.mapped) continue;
+        for (const auto n : m.nodes) {
+            EXPECT_EQ(pos.at(n), expected_next) << "non-contiguous allocation";
+            ++expected_next;
+        }
+    }
+    EXPECT_EQ(stats.nodes_used, static_cast<std::int32_t>(expected_next));
+}
+
+TEST(FloretMapper, NoChipletAssignedTwice) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL2", 8.0, owner);
+    FloretMapper mapper(set);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    std::set<topo::NodeId> used;
+    for (const auto& m : mapped) {
+        for (const auto n : m.nodes) {
+            EXPECT_TRUE(used.insert(n).second) << "chiplet " << n << " double-assigned";
+        }
+    }
+}
+
+TEST(FloretMapper, FullUtilizationUnderOverload) {
+    // WL3 demands far more than 100 chiplets; Floret must consume the
+    // entire grid before failing tasks (the paper's full-utilization claim).
+    const auto set = generate_sfc_set(10, 10, 4);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL3", 8.0, owner);
+    FloretMapper mapper(set);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    EXPECT_GT(stats.tasks_failed, 0);
+    // Everything that fits was placed: remaining gap is smaller than the
+    // smallest failed task.
+    std::int32_t smallest_failed = 1000;
+    for (const auto& m : mapped)
+        if (!m.mapped) smallest_failed = std::min(smallest_failed, m.plan.total_chiplets);
+    EXPECT_GT(smallest_failed + stats.nodes_used, stats.nodes_total);
+}
+
+TEST(FloretMapper, QueueOrderRespected) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL1", 8.0, owner);
+    FloretMapper mapper(set);
+    const auto mapped = mapper.map_queue(tasks, nullptr);
+    ASSERT_EQ(mapped.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) EXPECT_EQ(mapped[i].name, tasks[i].name);
+}
+
+TEST(FloretMapper, LayerNodesCoverEveryLayerOfMappedTasks) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL5", 8.0, owner);
+    FloretMapper mapper(set);
+    const auto mapped = mapper.map_queue(tasks, nullptr);
+    for (const auto& m : mapped) {
+        if (!m.mapped) continue;
+        ASSERT_EQ(m.layer_nodes.size(), m.net->size());
+        for (const auto& nodes : m.layer_nodes) EXPECT_FALSE(nodes.empty());
+    }
+}
+
+TEST(GreedyMapper, UnboundedMapsEverythingThatFits) {
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto rt = noc::RouteTable::build(mesh, noc::RoutingPolicy::kShortestPath);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL1", 8.0, owner);
+    GreedyMapper mapper(mesh, rt, /*max_gap_hops=*/-1);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    std::int32_t total_demand = 0;
+    for (const auto& t : tasks) total_demand += t.plan.total_chiplets;
+    if (total_demand <= 100) {
+        EXPECT_EQ(stats.tasks_failed, 0);
+        EXPECT_EQ(stats.nodes_used, total_demand);
+    }
+}
+
+TEST(GreedyMapper, StrictGapStrandsChiplets) {
+    // With a tight hop constraint, fragmentation strands free chiplets
+    // (Fig. 4's NM chiplets): utilization drops below Floret's.
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto rt = noc::RouteTable::build(mesh, noc::RoutingPolicy::kShortestPath);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL3", 8.0, owner);  // overload
+
+    GreedyMapper strict(mesh, rt, /*max_gap_hops=*/1);
+    MappingStats strict_stats;
+    (void)strict.map_queue(tasks, &strict_stats);
+
+    const auto set = generate_sfc_set(10, 10, 4);
+    FloretMapper floret(set);
+    MappingStats floret_stats;
+    (void)floret.map_queue(tasks, &floret_stats);
+
+    EXPECT_LE(strict_stats.utilization(), floret_stats.utilization());
+}
+
+TEST(GreedyMapper, ChipletsNeverDoubleAssigned) {
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto rt = noc::RouteTable::build(mesh, noc::RoutingPolicy::kShortestPath);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL4", 8.0, owner);
+    GreedyMapper mapper(mesh, rt, -1);
+    const auto mapped = mapper.map_queue(tasks, nullptr);
+    std::set<topo::NodeId> used;
+    for (const auto& m : mapped)
+        for (const auto n : m.nodes) EXPECT_TRUE(used.insert(n).second);
+}
+
+TEST(GreedyMapper, FailedTasksConsumeNothing) {
+    const auto mesh = topo::make_mesh(4, 4);  // tiny system
+    const auto rt = noc::RouteTable::build(mesh, noc::RoutingPolicy::kShortestPath);
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto tasks = wl_tasks("WL1", 8.0, owner);  // far too big for 16
+    GreedyMapper mapper(mesh, rt, -1);
+    MappingStats stats;
+    const auto mapped = mapper.map_queue(tasks, &stats);
+    EXPECT_GT(stats.tasks_failed, 0);
+    for (const auto& m : mapped)
+        if (!m.mapped) EXPECT_TRUE(m.nodes.empty());
+    EXPECT_LE(stats.nodes_used, 16);
+}
+
+TEST(MakeTasks, SharesNetworksAcrossInstances) {
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const std::vector<std::string> ids{"DNN1", "DNN1", "DNN3", "DNN1"};
+    const auto tasks = make_tasks(ids, 8.0, owner);
+    ASSERT_EQ(tasks.size(), 4u);
+    EXPECT_EQ(owner.size(), 2u);  // one network per distinct id
+    EXPECT_EQ(tasks[0].net, tasks[1].net);
+    EXPECT_EQ(tasks[0].net, tasks[3].net);
+    EXPECT_NE(tasks[0].net, tasks[2].net);
+}
+
+TEST(MakeTasks, ChipletDemandTracksPaperParams) {
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const std::vector<std::string> ids{"DNN7"};  // VGG19, 93.4M
+    const auto tasks = make_tasks(ids, 8.0, owner);
+    EXPECT_GE(tasks[0].plan.total_chiplets, 12);  // ceil(93.4/8)
+    EXPECT_LE(tasks[0].plan.total_chiplets, 15);
+}
+
+TEST(MappingStats, UtilizationFormula) {
+    MappingStats s;
+    s.nodes_total = 100;
+    s.nodes_used = 73;
+    EXPECT_DOUBLE_EQ(s.utilization(), 0.73);
+    MappingStats zero;
+    EXPECT_DOUBLE_EQ(zero.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace floretsim::core

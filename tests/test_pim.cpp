@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "src/dnn/model_zoo.h"
+#include "src/pim/accuracy.h"
+#include "src/pim/partitioner.h"
+#include "src/pim/reram.h"
+
+namespace floretsim::pim {
+namespace {
+
+dnn::Network small_net() {
+    dnn::Network net("small");
+    const auto in = net.add_input({3, 16, 16});
+    const auto c1 = net.add_conv(in, 16, 3, 1, 1, false, true);
+    const auto p = net.add_pool(c1, 2, 2);
+    const auto c2 = net.add_conv(p, 32, 3, 1, 1, false, true);
+    const auto g = net.add_global_pool(c2);
+    net.add_fc(g, 10);
+    return net;
+}
+
+TEST(Reram, CellAndCapacityMath) {
+    ReramConfig cfg;
+    EXPECT_EQ(cfg.cells_per_weight(), 4);        // 8-bit weights, 2 bits/cell
+    EXPECT_EQ(cfg.weights_per_xbar(), 128 * 32); // 4096
+    EXPECT_EQ(cfg.xbars_per_chiplet(), 256);
+    EXPECT_EQ(cfg.weights_per_chiplet(), 4096 * 256);
+}
+
+TEST(Reram, XbarsForConvLayer) {
+    ReramConfig cfg;
+    dnn::Network net("n");
+    const auto in = net.add_input({64, 28, 28});
+    const auto c = net.add_conv(in, 64, 3, 1, 1, false, false);
+    // Unrolled matrix: rows 3*3*64 = 576 -> 5 row tiles; cols 64 -> 2 col
+    // tiles (32 weights/col-tile) -> 10 crossbars.
+    EXPECT_EQ(xbars_for_layer(net.layer(c), cfg), 10);
+}
+
+TEST(Reram, XbarsForFcLayer) {
+    ReramConfig cfg;
+    dnn::Network net("n");
+    const auto in = net.add_input({512, 1, 1});
+    const auto f = net.add_fc(in, 1000);
+    // rows 512 -> 4 tiles; cols 1000/32 -> 32 tiles -> 128 crossbars.
+    EXPECT_EQ(xbars_for_layer(net.layer(f), cfg), 128);
+}
+
+TEST(Reram, WeightlessLayersNeedNothing) {
+    ReramConfig cfg;
+    const auto net = small_net();
+    for (const auto& l : net.layers()) {
+        if (l.kind == dnn::LayerKind::kPool || l.kind == dnn::LayerKind::kInput ||
+            l.kind == dnn::LayerKind::kGlobalPool) {
+            EXPECT_EQ(xbars_for_layer(l, cfg), 0);
+            EXPECT_EQ(chiplets_for_layer(l, cfg), 0);
+        }
+    }
+}
+
+TEST(Reram, LatencyDropsWithMoreChiplets) {
+    ReramConfig cfg;
+    dnn::Network net("n");
+    const auto in = net.add_input({256, 56, 56});
+    const auto c = net.add_conv(in, 256, 3, 1, 1, false, false);
+    const auto& layer = net.layer(c);
+    const double l1 = layer_compute_latency_ns(layer, 1, cfg);
+    const double l4 = layer_compute_latency_ns(layer, 4, cfg);
+    EXPECT_GT(l1, 0.0);
+    EXPECT_LE(l4, l1);
+}
+
+TEST(Reram, EnergyIndependentOfSpread) {
+    ReramConfig cfg;
+    dnn::Network net("n");
+    const auto in = net.add_input({64, 28, 28});
+    const auto c = net.add_conv(in, 64, 3, 1, 1, false, false);
+    EXPECT_GT(layer_compute_energy_pj(net.layer(c), cfg), 0.0);
+}
+
+TEST(Partitioner, ExactPlanCoversWeightLayers) {
+    ReramConfig cfg;
+    const auto net = small_net();
+    const auto plan = partition_network(net, cfg);
+    ASSERT_EQ(plan.segments.size(), 3u);  // conv, conv, fc
+    std::int32_t cursor = 0;
+    for (const auto& seg : plan.segments) {
+        EXPECT_EQ(seg.first, cursor);       // exclusive allocation
+        EXPECT_GE(seg.chiplets(), 1);
+        cursor = seg.last + 1;
+    }
+    EXPECT_EQ(plan.total_chiplets, cursor);
+}
+
+TEST(Partitioner, PackedPlanSharesChiplets) {
+    const auto net = dnn::build_resnet(110, dnn::Dataset::kImageNet);
+    // 110 weight layers packed onto ~90 chiplets: sharing must occur.
+    const auto plan = partition_by_params(net, 43.6, 43.6 / 90.0);
+    EXPECT_LE(plan.total_chiplets, 100);
+    EXPECT_GE(plan.total_chiplets, 60);
+    bool shared = false;
+    for (std::size_t i = 1; i < plan.segments.size(); ++i)
+        if (plan.segments[i].first <= plan.segments[i - 1].last) shared = true;
+    EXPECT_TRUE(shared);
+}
+
+TEST(Partitioner, PackedPlanMatchesBudget) {
+    const auto net = dnn::build_vgg(19, dnn::Dataset::kImageNet);
+    const auto plan = partition_by_params(net, 93.4, 8.0);
+    // ceil(93.4 / 8) = 12 chiplets, plus packing slack of at most a few.
+    EXPECT_GE(plan.total_chiplets, 12);
+    EXPECT_LE(plan.total_chiplets, 15);
+}
+
+TEST(Partitioner, SegmentsAreMonotone) {
+    const auto net = dnn::build_resnet(18, dnn::Dataset::kImageNet);
+    const auto plan = partition_by_params(net, 24.76, 1.0);
+    for (std::size_t i = 1; i < plan.segments.size(); ++i) {
+        EXPECT_GE(plan.segments[i].first, plan.segments[i - 1].first);
+        EXPECT_GE(plan.segments[i].last, plan.segments[i - 1].last - 0);
+        EXPECT_LE(plan.segments[i].first, plan.segments[i].last);
+    }
+}
+
+TEST(Partitioner, BadCapacityThrows) {
+    const auto net = small_net();
+    EXPECT_THROW(partition_by_params(net, 10.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(partition_by_params(net, 10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Partitioner, AssignLayersCoversEveryLayer) {
+    ReramConfig cfg;
+    const auto net = small_net();
+    const auto plan = partition_network(net, cfg);
+    std::vector<std::int32_t> seq(static_cast<std::size_t>(plan.total_chiplets));
+    for (std::size_t i = 0; i < seq.size(); ++i) seq[i] = static_cast<std::int32_t>(i) + 100;
+    const auto assign = assign_layers(net, plan, seq);
+    ASSERT_EQ(assign.size(), net.size());
+    for (std::size_t i = 0; i < assign.size(); ++i)
+        EXPECT_FALSE(assign[i].empty()) << "layer " << i << " unassigned";
+}
+
+TEST(Partitioner, WeightlessLayersInheritPredecessor) {
+    ReramConfig cfg;
+    const auto net = small_net();
+    const auto plan = partition_network(net, cfg);
+    std::vector<std::int32_t> seq(static_cast<std::size_t>(plan.total_chiplets));
+    for (std::size_t i = 0; i < seq.size(); ++i) seq[i] = static_cast<std::int32_t>(i);
+    const auto assign = assign_layers(net, plan, seq);
+    // The pool (layer 2) inherits the last chiplet of conv1 (layer 1).
+    EXPECT_EQ(assign[2].size(), 1u);
+    EXPECT_EQ(assign[2].front(), assign[1].back());
+}
+
+TEST(Partitioner, ShortSequenceThrows) {
+    ReramConfig cfg;
+    const auto net = small_net();
+    const auto plan = partition_network(net, cfg);
+    std::vector<std::int32_t> seq(static_cast<std::size_t>(plan.total_chiplets - 1));
+    EXPECT_THROW(assign_layers(net, plan, seq), std::length_error);
+}
+
+TEST(Accuracy, WindowIsOneBelowThreshold) {
+    ThermalAccuracyModel m;
+    EXPECT_DOUBLE_EQ(m.conductance_window(300.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.conductance_window(330.0), 1.0);
+}
+
+TEST(Accuracy, WindowShrinksExponentially) {
+    ThermalAccuracyModel m;
+    const double w340 = m.conductance_window(340.0);
+    const double w350 = m.conductance_window(350.0);
+    EXPECT_LT(w340, 1.0);
+    EXPECT_LT(w350, w340);
+    EXPECT_NEAR(w350 / w340, m.conductance_window(340.0) / 1.0, 1e-9);  // memoryless
+}
+
+TEST(Accuracy, DropWeightedByStoredWeights) {
+    ThermalAccuracyModel m;
+    const std::vector<double> temps{320.0, 350.0};
+    const std::vector<double> all_cool{1.0, 0.0};
+    const std::vector<double> all_hot{0.0, 1.0};
+    EXPECT_DOUBLE_EQ(m.accuracy_drop(temps, all_cool), 0.0);
+    EXPECT_GT(m.accuracy_drop(temps, all_hot), 0.05);
+}
+
+TEST(Accuracy, DropBounded) {
+    ThermalAccuracyModel m;
+    const std::vector<double> temps{500.0};
+    const std::vector<double> w{1.0};
+    const double drop = m.accuracy_drop(temps, w);
+    EXPECT_LE(drop, m.degradation_at_zero_window);
+    EXPECT_GT(drop, 0.9 * m.degradation_at_zero_window);
+}
+
+TEST(Accuracy, MismatchedSpansThrow) {
+    ThermalAccuracyModel m;
+    const std::vector<double> temps{320.0, 330.0};
+    const std::vector<double> w{1.0};
+    EXPECT_THROW(m.accuracy_drop(temps, w), std::invalid_argument);
+}
+
+TEST(Accuracy, PaperBandElevenPercentNearFiftyDegreesExcess) {
+    // The paper reports up to 11% accuracy degradation for the
+    // performance-only 3D mapping whose hotspots reach ~345-350 K.
+    ThermalAccuracyModel m;
+    const std::vector<double> temps{347.0};
+    const std::vector<double> w{1.0};
+    const double drop = m.accuracy_drop(temps, w);
+    EXPECT_GT(drop, 0.08);
+    EXPECT_LT(drop, 0.14);
+}
+
+}  // namespace
+}  // namespace floretsim::pim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/kite.h"
+#include "src/topo/mesh.h"
+#include "src/topo/swap.h"
+
+namespace floretsim::noc {
+namespace {
+
+using topo::NodeId;
+
+/// A route must be a walk along existing links from src to dst.
+void expect_valid_route(const topo::Topology& t, const std::vector<NodeId>& route,
+                        NodeId src, NodeId dst) {
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.front(), src);
+    EXPECT_EQ(route.back(), dst);
+    for (std::size_t i = 1; i < route.size(); ++i)
+        EXPECT_TRUE(t.has_link(route[i - 1], route[i]))
+            << route[i - 1] << "->" << route[i];
+}
+
+TEST(Routing, ShortestPathOnMeshMatchesManhattan) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    ASSERT_TRUE(rt.complete());
+    for (NodeId s = 0; s < t.node_count(); ++s) {
+        for (NodeId d = 0; d < t.node_count(); ++d) {
+            const auto hops = rt.hops(s, d);
+            const auto expect = util::manhattan(t.node(s).pos, t.node(d).pos);
+            EXPECT_EQ(hops, expect) << s << "->" << d;
+        }
+    }
+}
+
+TEST(Routing, RoutesAreValidWalks) {
+    const auto t = topo::make_mesh(5, 5);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    for (NodeId s = 0; s < t.node_count(); ++s)
+        for (NodeId d = 0; d < t.node_count(); ++d)
+            if (s != d) expect_valid_route(t, rt.route(s, d), s, d);
+}
+
+TEST(Routing, SelfRouteIsTrivial) {
+    const auto t = topo::make_mesh(3, 3);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+        EXPECT_EQ(rt.route(n, n).size(), 1u);
+        EXPECT_EQ(rt.hops(n, n), 0);
+    }
+}
+
+TEST(Routing, UpDownCompleteOnIrregularGraphs) {
+    util::Rng rng(5);
+    const auto swap = topo::make_swap(8, 8, rng);
+    const auto rt = RouteTable::build(swap, RoutingPolicy::kUpDown);
+    EXPECT_TRUE(rt.complete());
+    for (NodeId s = 0; s < swap.node_count(); s += 7)
+        for (NodeId d = 0; d < swap.node_count(); d += 5)
+            if (s != d) expect_valid_route(swap, rt.route(s, d), s, d);
+}
+
+TEST(Routing, UpDownNeverTurnsBackUp) {
+    // Validate the up*/down* invariant: once a route takes a "down" move
+    // (toward higher BFS level from the root), it never goes "up" again.
+    const auto t = topo::make_kite(8, 8);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown, /*root=*/0);
+    const auto level = t.hop_distances(0);
+    for (NodeId s = 0; s < t.node_count(); ++s) {
+        for (NodeId d = 0; d < t.node_count(); ++d) {
+            const auto& route = rt.route(s, d);
+            bool went_down = false;
+            for (std::size_t i = 1; i < route.size(); ++i) {
+                const auto from = route[i - 1];
+                const auto to = route[i];
+                const bool up =
+                    level[static_cast<std::size_t>(to)] < level[static_cast<std::size_t>(from)] ||
+                    (level[static_cast<std::size_t>(to)] == level[static_cast<std::size_t>(from)] &&
+                     to < from);
+                if (up) EXPECT_FALSE(went_down) << "up after down " << s << "->" << d;
+                if (!up) went_down = true;
+            }
+        }
+    }
+}
+
+TEST(Routing, UpDownAtMostModeratelyLongerThanShortest) {
+    const auto t = topo::make_mesh(8, 8);
+    const auto sp = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    const auto ud = RouteTable::build(t, RoutingPolicy::kUpDown);
+    EXPECT_GE(ud.mean_hops(), sp.mean_hops());
+    EXPECT_LT(ud.mean_hops(), 1.8 * sp.mean_hops());
+}
+
+TEST(Routing, MeanHopsReasonableOnMesh) {
+    const auto t = topo::make_mesh(10, 10);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    // Mean Manhattan distance on a 10x10 grid = 2*(n^2-1)/(3n) = 6.6.
+    EXPECT_NEAR(rt.mean_hops(), 6.6667, 0.05);
+}
+
+TEST(Routing, FloretRoutesComplete) {
+    const auto set = core::generate_sfc_set(10, 10, 4);
+    const auto t = core::make_floret(set);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    EXPECT_TRUE(rt.complete());
+    for (NodeId s = 0; s < t.node_count(); s += 9)
+        for (NodeId d = 0; d < t.node_count(); d += 11)
+            if (s != d) expect_valid_route(t, rt.route(s, d), s, d);
+}
+
+TEST(Routing, FloretConsecutiveSfcNodesAreOneHop) {
+    const auto set = core::generate_sfc_set(10, 10, 4);
+    const auto t = core::make_floret(set);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    for (const auto& sfc : set.sfcs)
+        for (std::size_t i = 1; i < sfc.path.size(); ++i)
+            EXPECT_EQ(rt.hops(sfc.path[i - 1], sfc.path[i]), 1);
+}
+
+TEST(Routing, MismatchedTopologyRejectedBySimulator) {
+    const auto t1 = topo::make_mesh(3, 3);
+    const auto t2 = topo::make_mesh(4, 4);
+    const auto rt = RouteTable::build(t1, RoutingPolicy::kShortestPath);
+    EXPECT_THROW(Simulator(t2, rt, SimConfig{}), std::invalid_argument);
+}
+
+class RoutingBothPolicies : public ::testing::TestWithParam<RoutingPolicy> {};
+
+TEST_P(RoutingBothPolicies, CompleteOnAllArchitectures) {
+    util::Rng rng(11);
+    const auto mesh = topo::make_mesh(6, 6);
+    const auto kite = topo::make_kite(6, 6);
+    const auto swap = topo::make_swap(6, 6, rng);
+    const auto floret = core::make_floret(core::generate_sfc_set(6, 6, 6));
+    for (const auto* t : {&mesh, &kite, &swap, &floret}) {
+        const auto rt = RouteTable::build(*t, GetParam());
+        EXPECT_TRUE(rt.complete()) << t->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RoutingBothPolicies,
+                         ::testing::Values(RoutingPolicy::kShortestPath,
+                                           RoutingPolicy::kUpDown));
+
+}  // namespace
+}  // namespace floretsim::noc

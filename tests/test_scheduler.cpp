@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.h"
+
+namespace floretsim::core {
+namespace {
+
+SchedulerConfig quick_cfg() {
+    SchedulerConfig cfg;
+    cfg.slots = 800;
+    return cfg;
+}
+
+TEST(Scheduler, DeterministicForSeed) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto a = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    const auto b = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_DOUBLE_EQ(a.mean_utilization, b.mean_utilization);
+}
+
+TEST(Scheduler, CountsAreConsistent) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto s = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    EXPECT_EQ(s.arrived, s.accepted + s.rejected);
+    EXPECT_GT(s.arrived, 0);
+    EXPECT_GE(s.acceptance_rate(), 0.0);
+    EXPECT_LE(s.acceptance_rate(), 1.0);
+}
+
+TEST(Scheduler, UtilizationWithinBounds) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto s = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    EXPECT_GT(s.mean_utilization, 0.05);
+    EXPECT_LT(s.mean_utilization, 1.0);
+}
+
+TEST(Scheduler, SfcPolicyKeepsAllocationsMoreContiguous) {
+    // The dataflow-aware first-fit along the SFC order fragments far less
+    // than scattered allocation — this is the redundancy/reassignment
+    // claim of Section II.
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto sfc = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    const auto scat = simulate_dynamic(set, AllocationPolicy::kScattered, quick_cfg());
+    EXPECT_LT(sfc.mean_fragments_per_task, scat.mean_fragments_per_task);
+    EXPECT_LT(sfc.mean_intra_task_gap, scat.mean_intra_task_gap);
+}
+
+TEST(Scheduler, AcceptanceSimilarAcrossPolicies) {
+    // Both policies accept a task iff enough chiplets are free, so
+    // acceptance rates should be identical for identical arrivals.
+    const auto set = generate_sfc_set(10, 10, 4);
+    const auto sfc = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, quick_cfg());
+    const auto scat = simulate_dynamic(set, AllocationPolicy::kScattered, quick_cfg());
+    EXPECT_EQ(sfc.arrived, scat.arrived);
+    EXPECT_EQ(sfc.accepted, scat.accepted);
+}
+
+TEST(Scheduler, HigherLoadLowersAcceptance) {
+    const auto set = generate_sfc_set(10, 10, 4);
+    SchedulerConfig light = quick_cfg();
+    light.arrival_prob = 0.1;
+    SchedulerConfig heavy = quick_cfg();
+    heavy.arrival_prob = 0.9;
+    heavy.min_chiplets = 20;
+    heavy.max_chiplets = 40;
+    const auto l = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, light);
+    const auto h = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, heavy);
+    EXPECT_GT(l.acceptance_rate(), h.acceptance_rate());
+    EXPECT_GT(h.mean_utilization, l.mean_utilization);
+}
+
+TEST(Scheduler, TasksEventuallyRelease) {
+    // With arrivals stopped after a while (short run, short durations),
+    // utilization stays bounded away from saturation.
+    const auto set = generate_sfc_set(6, 6, 6);
+    SchedulerConfig cfg = quick_cfg();
+    cfg.min_chiplets = 2;
+    cfg.max_chiplets = 6;
+    cfg.min_duration = 5;
+    cfg.max_duration = 10;
+    cfg.arrival_prob = 0.2;
+    const auto s = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, cfg);
+    EXPECT_LT(s.mean_utilization, 0.8);
+    EXPECT_GT(s.acceptance_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace floretsim::core

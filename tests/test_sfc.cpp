@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/core/sfc.h"
+
+namespace floretsim::core {
+namespace {
+
+TEST(SfcSet, Fig1LayoutSixPetalsOn6x6) {
+    const SfcSet set = generate_sfc_set(6, 6, 6);
+    ASSERT_EQ(set.lambda(), 6);
+    EXPECT_TRUE(set.covers_grid_exactly_once());
+    EXPECT_TRUE(set.paths_are_contiguous());
+    // Each petal of the 36-chiplet system holds 6 chiplets (Fig. 1).
+    for (const auto& s : set.sfcs) EXPECT_EQ(s.path.size(), 6u);
+}
+
+TEST(SfcSet, SingleSfcIsFullSerpentine) {
+    const SfcSet set = generate_sfc_set(5, 4, 1);
+    ASSERT_EQ(set.lambda(), 1);
+    EXPECT_EQ(set.sfcs.front().path.size(), 20u);
+    EXPECT_TRUE(set.paths_are_contiguous());
+    EXPECT_DOUBLE_EQ(set.tail_head_distance(), 0.0);  // no other SFCs
+}
+
+TEST(SfcSet, InvalidLambdaThrows) {
+    EXPECT_THROW(generate_sfc_set(4, 4, 0), std::invalid_argument);
+    EXPECT_THROW(generate_sfc_set(4, 4, 17), std::invalid_argument);
+    EXPECT_THROW(generate_sfc_set(0, 4, 2), std::invalid_argument);
+    // 5 does not factor into a <= 4 columns x b <= 4 rows of regions.
+    EXPECT_THROW(generate_sfc_set(4, 4, 5), std::invalid_argument);
+}
+
+TEST(SfcSet, OptimizedPlacementNoWorseThanNaive) {
+    for (const auto& [w, h, l] : {std::tuple{6, 6, 6}, std::tuple{10, 10, 4},
+                                  std::tuple{8, 8, 4}, std::tuple{12, 6, 6}}) {
+        const SfcSet opt = generate_sfc_set(w, h, l, {.optimize_placement = true});
+        const SfcSet naive = generate_sfc_set(w, h, l, {.optimize_placement = false});
+        EXPECT_LE(opt.tail_head_distance(), naive.tail_head_distance() + 1e-9)
+            << w << "x" << h << " lambda=" << l;
+    }
+}
+
+TEST(SfcSet, ConcatenatedOrderIsAPermutation) {
+    const SfcSet set = generate_sfc_set(10, 10, 4);
+    const auto order = set.concatenated_order();
+    ASSERT_EQ(order.size(), 100u);
+    std::set<topo::NodeId> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 100u);
+    EXPECT_EQ(*unique.begin(), 0);
+    EXPECT_EQ(*unique.rbegin(), 99);
+}
+
+TEST(SfcSet, ConcatenatedOrderStartsNearCenter) {
+    const SfcSet set = generate_sfc_set(10, 10, 4);
+    const auto order = set.concatenated_order();
+    const auto start = set.pos(order.front());
+    // The first consumed chiplet is a head pulled toward the grid center.
+    EXPECT_GE(start.x, 2);
+    EXPECT_LE(start.x, 7);
+    EXPECT_GE(start.y, 2);
+    EXPECT_LE(start.y, 7);
+}
+
+TEST(SfcSet, RenderMarksHeadsAndTails) {
+    const SfcSet set = generate_sfc_set(6, 6, 6);
+    const std::string art = set.render();
+    std::size_t heads = 0;
+    std::size_t tails = 0;
+    for (std::size_t i = 0; i + 1 < art.size(); ++i) {
+        if (art[i] == 'H') ++heads;
+        if (art[i] == 'T') ++tails;
+    }
+    EXPECT_EQ(heads, 6u);
+    EXPECT_EQ(tails, 6u);
+}
+
+TEST(SfcEq1, MatchesHandComputedLayout) {
+    // Two vertical stripes on a 2x2 grid: SFC0 = column x=0 (path (0,0)->
+    // (0,1)), SFC1 = column x=1. d = mean over (t0,h1) and (t1,h0).
+    SfcSet set;
+    set.width = 2;
+    set.height = 2;
+    set.sfcs.push_back(Sfc{{0, 2}});  // head (0,0), tail (0,1)
+    set.sfcs.push_back(Sfc{{1, 3}});  // head (1,0), tail (1,1)
+    // manhattan((0,1),(1,0)) = 2 and manhattan((1,1),(0,0)) = 2 -> d = 2.
+    EXPECT_DOUBLE_EQ(set.tail_head_distance(), 2.0);
+}
+
+TEST(SfcEq1, HeadTailIdentity) {
+    const SfcSet set = generate_sfc_set(6, 6, 6);
+    for (const auto& s : set.sfcs) {
+        EXPECT_EQ(s.head(), s.path.front());
+        EXPECT_EQ(s.tail(), s.path.back());
+    }
+}
+
+// Property sweep: every (grid, lambda) combination yields a partition of
+// the grid into contiguous Hamiltonian petals.
+class SfcProperty
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t, std::int32_t>> {};
+
+TEST_P(SfcProperty, PartitionIsExactAndContiguous) {
+    const auto [w, h, lambda] = GetParam();
+    const SfcSet set = generate_sfc_set(w, h, lambda);
+    EXPECT_EQ(set.lambda(), lambda);
+    EXPECT_TRUE(set.covers_grid_exactly_once()) << w << "x" << h << " l" << lambda;
+    EXPECT_TRUE(set.paths_are_contiguous()) << w << "x" << h << " l" << lambda;
+    const auto order = set.concatenated_order();
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(w) * h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SfcProperty,
+    ::testing::Values(std::tuple{4, 4, 2}, std::tuple{4, 4, 4}, std::tuple{6, 6, 2},
+                      std::tuple{6, 6, 3}, std::tuple{6, 6, 6}, std::tuple{6, 6, 9},
+                      std::tuple{8, 8, 4}, std::tuple{10, 10, 1}, std::tuple{10, 10, 2},
+                      std::tuple{10, 10, 4}, std::tuple{10, 10, 5}, std::tuple{10, 10, 10},
+                      std::tuple{12, 12, 6}, std::tuple{12, 12, 9}, std::tuple{7, 5, 1},
+                      std::tuple{9, 6, 6}, std::tuple{5, 9, 3}, std::tuple{16, 16, 8},
+                      std::tuple{3, 3, 3}, std::tuple{2, 2, 2}));
+
+TEST(SfcEq1, MoreSfcsChangeDistanceSensibly) {
+    // With everything optimized, a 10x10 grid split into more petals keeps
+    // d bounded by the grid diameter.
+    for (const std::int32_t lambda : {2, 4, 5, 10}) {
+        const SfcSet set = generate_sfc_set(10, 10, lambda);
+        EXPECT_GT(set.tail_head_distance(), 0.0);
+        EXPECT_LE(set.tail_head_distance(), 18.0);
+    }
+}
+
+}  // namespace
+}  // namespace floretsim::core

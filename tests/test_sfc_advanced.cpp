@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/core/floret.h"
+#include "src/core/scheduler.h"
+#include "src/core/sfc.h"
+
+namespace floretsim::core {
+namespace {
+
+/// Walk validity: every consecutive pair is a grid 4-neighbor.
+bool is_hamiltonian_walk(const std::vector<topo::NodeId>& path, std::int32_t width) {
+    std::set<topo::NodeId> seen(path.begin(), path.end());
+    if (seen.size() != path.size()) return false;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        if (util::manhattan(util::from_index(path[i - 1], width),
+                            util::from_index(path[i], width)) != 1)
+            return false;
+    }
+    return true;
+}
+
+TEST(UCombPetals, EvenHeightRegionsPutEndpointsOnOneSide) {
+    // 6x6 lambda=6 -> 3x2 regions (height 2): U-comb walks exist, and the
+    // optimizer should exploit them: head and tail of each petal end up in
+    // the same column band (the side facing the grid center).
+    const auto set = generate_sfc_set(6, 6, 6);
+    for (const auto& s : set.sfcs) {
+        const auto h = set.pos(s.head());
+        const auto t = set.pos(s.tail());
+        EXPECT_LE(std::abs(h.x - t.x), 1) << "petal endpoints far apart in x";
+        EXPECT_LE(util::manhattan(h, t), 2);
+    }
+}
+
+TEST(UCombPetals, WalksAreHamiltonianForAllParities) {
+    // Regions with even width, even height, and mixed parities.
+    for (const auto& [w, h, l] :
+         {std::tuple{8, 8, 4}, std::tuple{8, 6, 4}, std::tuple{6, 8, 4},
+          std::tuple{9, 8, 4}, std::tuple{8, 9, 4}, std::tuple{10, 4, 4}}) {
+        const auto set = generate_sfc_set(w, h, l);
+        for (const auto& s : set.sfcs)
+            EXPECT_TRUE(is_hamiltonian_walk(s.path, w))
+                << w << "x" << h << " lambda " << l;
+    }
+}
+
+TEST(PlacementOptimizer, MatchesBruteForceOnTinyGrid) {
+    // 4x4 lambda=2: two 2x4 regions, few candidates each — check the
+    // coordinate-descent result against exhaustive search over the same
+    // candidate space by verifying it attains the minimum d.
+    const auto opt = generate_sfc_set(4, 4, 2);
+    // Exhaustive floor: two 4x2 regions with U-comb endpoints on one side.
+    // One tail can sit adjacent to the other head (distance 1), but the
+    // return pair then spans the stripe height (distance 3): d* = 2.
+    EXPECT_LE(opt.tail_head_distance(), 2.0 + 1e-9);
+}
+
+TEST(PlacementOptimizer, DeterministicOutput) {
+    const auto a = generate_sfc_set(10, 10, 10);
+    const auto b = generate_sfc_set(10, 10, 10);
+    ASSERT_EQ(a.sfcs.size(), b.sfcs.size());
+    for (std::size_t i = 0; i < a.sfcs.size(); ++i)
+        EXPECT_EQ(a.sfcs[i].path, b.sfcs[i].path);
+}
+
+TEST(ConcatenatedOrder, ConsecutiveJumpsAreShort) {
+    // The spillover chain: each SFC boundary in the consumption order
+    // should jump at most a few hops (tails link to nearby heads).
+    const auto set = generate_sfc_set(10, 10, 10);
+    const auto order = set.concatenated_order();
+    std::int32_t worst_jump = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const auto d = util::manhattan(set.pos(order[i - 1]), set.pos(order[i]));
+        if (d > 1) worst_jump = std::max(worst_jump, d);
+    }
+    // The greedy chain's late jumps (few heads left) stay bounded well
+    // below the grid diameter (18 on 10x10).
+    EXPECT_LE(worst_jump, 6);
+}
+
+TEST(ConcatenatedOrder, VisitsEverySfcExactlyOnce) {
+    const auto set = generate_sfc_set(12, 12, 9);
+    const auto order = set.concatenated_order();
+    // Identify which SFC each position belongs to; transitions must be
+    // exactly lambda - 1.
+    std::map<topo::NodeId, std::size_t> sfc_of;
+    for (std::size_t s = 0; s < set.sfcs.size(); ++s)
+        for (const auto n : set.sfcs[s].path) sfc_of[n] = s;
+    std::int32_t transitions = 0;
+    for (std::size_t i = 1; i < order.size(); ++i)
+        if (sfc_of[order[i]] != sfc_of[order[i - 1]]) ++transitions;
+    EXPECT_EQ(transitions, set.lambda() - 1);
+}
+
+TEST(FloretExpress, HeadTailRoutersStaySmall) {
+    // With the per-tail express cap, even lambda=20 keeps every router at
+    // a bounded port count (the paper's "small routers" claim).
+    const auto set = generate_sfc_set(10, 10, 20);
+    const auto t = make_floret(set);
+    for (const auto& n : t.nodes()) EXPECT_LE(t.ports(n.id), 7);
+}
+
+TEST(FloretExpress, TighterCapMeansFewerLinks) {
+    const auto set = generate_sfc_set(10, 10, 10);
+    FloretOptions one;
+    one.max_express_per_tail = 1;
+    FloretOptions three;
+    three.max_express_per_tail = 3;
+    EXPECT_LT(make_floret(set, one).link_count(),
+              make_floret(set, three).link_count());
+}
+
+TEST(Eq1Metric, InvariantUnderSfcRelabeling) {
+    auto set = generate_sfc_set(8, 8, 4);
+    const double d1 = set.tail_head_distance();
+    std::swap(set.sfcs[0], set.sfcs[3]);
+    EXPECT_DOUBLE_EQ(set.tail_head_distance(), d1);
+}
+
+TEST(Eq1Metric, StripeDecompositionForPrimeLambda) {
+    // lambda = 7 on a 14x10 grid can only tile as 7x1 stripes.
+    const auto set = generate_sfc_set(14, 10, 7);
+    EXPECT_TRUE(set.covers_grid_exactly_once());
+    EXPECT_TRUE(set.paths_are_contiguous());
+    // Stripes are 2 columns wide.
+    for (const auto& s : set.sfcs) EXPECT_EQ(s.path.size(), 20u);
+}
+
+TEST(Scheduler, ReleasedRunsAreReusedFrontFirst) {
+    // After heavy churn the first-fit allocator should still be issuing
+    // from the earliest free positions: utilization concentrates at the
+    // head of the SFC order.
+    const auto set = generate_sfc_set(10, 10, 10);
+    SchedulerConfig cfg;
+    cfg.slots = 1500;
+    cfg.arrival_prob = 0.5;
+    const auto sfc = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, cfg);
+    EXPECT_GT(sfc.mean_utilization, 0.3);
+    EXPECT_LT(sfc.mean_fragments_per_task, 6.0);
+}
+
+}  // namespace
+}  // namespace floretsim::core

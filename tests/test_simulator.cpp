@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/mesh.h"
+#include "src/topo/swap.h"
+#include "src/util/rng.h"
+
+namespace floretsim::noc {
+namespace {
+
+SimConfig fast_cfg() {
+    SimConfig cfg;
+    cfg.max_cycles = 2'000'000;
+    return cfg;
+}
+
+TEST(Simulator, SinglePacketUncontendedLatency) {
+    const auto t = topo::make_mesh(4, 1, 4.0);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 1.0;
+    Simulator sim(t, rt, cfg);
+    sim.add_demand({0, 3, 8});  // exactly one flit
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, 1);
+    EXPECT_EQ(res.flits, 1);
+    EXPECT_EQ(res.flit_hops, 3);
+    // 3 hops x (1 link cycle + 2 router cycles) plus arbitration cycles:
+    // latency must be close to the pipeline lower bound.
+    EXPECT_GE(res.packet_latency.mean(), 9.0);
+    EXPECT_LE(res.packet_latency.mean(), 14.0);
+}
+
+TEST(Simulator, MultiFlitPacketSerialization) {
+    const auto t = topo::make_mesh(2, 1, 4.0);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 1.0;
+    Simulator sim(t, rt, cfg);
+    sim.add_demand({0, 1, 64});  // 8 flits, one packet
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, 1);
+    EXPECT_EQ(res.flits, 8);
+    EXPECT_EQ(res.flit_hops, 8);
+}
+
+TEST(Simulator, LargeDemandSegmentsIntoPackets) {
+    const auto t = topo::make_mesh(2, 1);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    Simulator sim(t, rt, cfg);
+    sim.add_demand({0, 1, 8 * 16 * 5});  // 5 max-size packets
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, 5);
+    EXPECT_EQ(res.flits, 80);
+}
+
+TEST(Simulator, LocalAndEmptyDemandsIgnored) {
+    const auto t = topo::make_mesh(2, 2);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, fast_cfg());
+    sim.add_demand({1, 1, 100});
+    sim.add_demand({0, 1, 0});
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, 0);
+    EXPECT_EQ(res.cycles, 0);
+}
+
+TEST(Simulator, RejectsOutOfRangeEndpoints) {
+    const auto t = topo::make_mesh(2, 2);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, fast_cfg());
+    EXPECT_THROW(sim.add_demand({0, 9, 10}), std::out_of_range);
+    EXPECT_THROW(sim.add_demand({-1, 0, 10}), std::out_of_range);
+}
+
+TEST(Simulator, ConservationUnderRandomTraffic) {
+    const auto t = topo::make_mesh(5, 5);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, fast_cfg());
+    util::Rng rng(3);
+    std::int64_t expect_packets = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto s = static_cast<topo::NodeId>(rng.below(25));
+        const auto d = static_cast<topo::NodeId>(rng.below(25));
+        if (s == d) continue;
+        const std::int64_t bytes = 8 * (1 + static_cast<std::int64_t>(rng.below(40)));
+        expect_packets += (bytes / 8 + 15) / 16;
+        sim.add_demand({s, d, bytes});
+    }
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.packets, expect_packets);
+}
+
+TEST(Simulator, FlitHopCountersConsistent) {
+    const auto t = topo::make_mesh(4, 4);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, fast_cfg());
+    sim.add_demand({0, 15, 800});
+    const auto res = sim.run();
+    ASSERT_TRUE(res.completed);
+    std::int64_t router_total = 0;
+    for (const auto f : res.router_flits) router_total += f;
+    std::int64_t link_total = 0;
+    for (const auto f : res.link_flits) link_total += f;
+    EXPECT_EQ(router_total, res.flit_hops);
+    EXPECT_EQ(link_total, res.flit_hops);
+    // 100 flits x 6 hops.
+    EXPECT_EQ(res.flit_hops, 600);
+}
+
+TEST(Simulator, BackpressureWithTinyBuffersStillDrains) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    SimConfig cfg = fast_cfg();
+    cfg.input_buffer_flits = 1;  // stress credit flow control
+    Simulator sim(t, rt, cfg);
+    util::Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const auto s = static_cast<topo::NodeId>(rng.below(36));
+        const auto d = static_cast<topo::NodeId>(rng.below(36));
+        if (s != d) sim.add_demand({s, d, 160});
+    }
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed) << "deadlock or starvation with 1-flit buffers";
+}
+
+TEST(Simulator, HotspotContentionSlowsDelivery) {
+    const auto t = topo::make_mesh(5, 5);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    // All nodes send to node 12 (center) -> serialization at its inputs.
+    SimConfig cfg = fast_cfg();
+    Simulator hot(t, rt, cfg);
+    for (topo::NodeId n = 0; n < 25; ++n)
+        if (n != 12) hot.add_demand({n, 12, 400});
+    const auto res_hot = hot.run();
+
+    // Same volume as neighbor-to-neighbor traffic drains much faster.
+    Simulator cool(t, rt, cfg);
+    for (topo::NodeId n = 0; n + 1 < 25; ++n) cool.add_demand({n, n + 1, 400});
+    const auto res_cool = cool.run();
+
+    ASSERT_TRUE(res_hot.completed);
+    ASSERT_TRUE(res_cool.completed);
+    EXPECT_GT(res_hot.packet_latency.mean(), 1.5 * res_cool.packet_latency.mean());
+}
+
+TEST(Simulator, LongLinksIncreaseLatency) {
+    // Two-node topologies with 4mm vs 20mm links.
+    topo::Topology short_t("short", 4.0);
+    short_t.add_node({0, 0});
+    short_t.add_node({1, 0});
+    short_t.add_link(0, 1, 4.0);
+    topo::Topology long_t("long", 4.0);
+    long_t.add_node({0, 0});
+    long_t.add_node({1, 0});
+    long_t.add_link(0, 1, 20.0);
+
+    for (const auto* t : {&short_t, &long_t}) {
+        const auto rt = RouteTable::build(*t, RoutingPolicy::kShortestPath);
+        Simulator sim(*t, rt, fast_cfg());
+        sim.add_demand({0, 1, 8});
+        const auto res = sim.run();
+        ASSERT_TRUE(res.completed);
+    }
+    const auto rts = RouteTable::build(short_t, RoutingPolicy::kShortestPath);
+    Simulator s1(short_t, rts, fast_cfg());
+    s1.add_demand({0, 1, 8});
+    const auto r1 = s1.run();
+    const auto rtl = RouteTable::build(long_t, RoutingPolicy::kShortestPath);
+    Simulator s2(long_t, rtl, fast_cfg());
+    s2.add_demand({0, 1, 8});
+    const auto r2 = s2.run();
+    EXPECT_GT(r2.packet_latency.mean(), r1.packet_latency.mean());
+}
+
+TEST(Simulator, DeadlockFreeOnIrregularTopologiesWithUpDown) {
+    util::Rng rng(31);
+    const auto swap = topo::make_swap(8, 8, rng);
+    const auto floret = core::make_floret(core::generate_sfc_set(8, 8, 4));
+    for (const auto* t : {&swap, &floret}) {
+        const auto rt = RouteTable::build(*t, RoutingPolicy::kUpDown);
+        SimConfig cfg = fast_cfg();
+        cfg.input_buffer_flits = 2;
+        Simulator sim(*t, rt, cfg);
+        util::Rng traffic_rng(7);
+        for (int i = 0; i < 300; ++i) {
+            const auto s = static_cast<topo::NodeId>(traffic_rng.below(64));
+            const auto d = static_cast<topo::NodeId>(traffic_rng.below(64));
+            if (s != d) sim.add_demand({s, d, 320});
+        }
+        const auto res = sim.run();
+        EXPECT_TRUE(res.completed) << t->name() << " failed to drain (deadlock?)";
+    }
+}
+
+TEST(Simulator, ReusableAfterRun) {
+    const auto t = topo::make_mesh(3, 3);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, fast_cfg());
+    sim.add_demand({0, 8, 80});
+    const auto r1 = sim.run();
+    EXPECT_TRUE(r1.completed);
+    sim.add_demand({8, 0, 80});
+    const auto r2 = sim.run();
+    EXPECT_TRUE(r2.completed);
+    EXPECT_EQ(r2.packets, r1.packets);
+}
+
+TEST(Simulator, InjectionRateThrottlesMakespan) {
+    const auto t = topo::make_mesh(4, 4);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig slow = fast_cfg();
+    slow.injection_rate = 0.01;
+    SimConfig fast = fast_cfg();
+    fast.injection_rate = 0.5;
+    Simulator sim_slow(t, rt, slow);
+    Simulator sim_fast(t, rt, fast);
+    for (topo::NodeId n = 0; n < 16; ++n) {
+        if (n != 5) {
+            sim_slow.add_demand({n, 5, 160});
+            sim_fast.add_demand({n, 5, 160});
+        }
+    }
+    const auto rs = sim_slow.run();
+    const auto rf = sim_fast.run();
+    ASSERT_TRUE(rs.completed);
+    ASSERT_TRUE(rf.completed);
+    EXPECT_GT(rs.cycles, rf.cycles);
+}
+
+}  // namespace
+}  // namespace floretsim::noc

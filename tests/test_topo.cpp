@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/topo/kite.h"
+#include "src/topo/mesh.h"
+#include "src/topo/swap.h"
+#include "src/topo/topology.h"
+
+namespace floretsim::topo {
+namespace {
+
+TEST(Topology, AddNodeAndLink) {
+    Topology t("t", 4.0);
+    const auto a = t.add_node({0, 0});
+    const auto b = t.add_node({1, 0});
+    const auto l = t.add_link(a, b);
+    EXPECT_EQ(t.node_count(), 2);
+    EXPECT_EQ(t.link_count(), 1);
+    EXPECT_TRUE(t.has_link(a, b));
+    EXPECT_TRUE(t.has_link(b, a));
+    EXPECT_DOUBLE_EQ(t.link(l).length_mm, 4.0);
+    EXPECT_EQ(t.link(l).hop_span, 1);
+}
+
+TEST(Topology, RejectsSelfLoopAndDuplicates) {
+    Topology t("t");
+    const auto a = t.add_node({0, 0});
+    const auto b = t.add_node({1, 0});
+    EXPECT_THROW(t.add_link(a, a), std::invalid_argument);
+    t.add_link(a, b);
+    EXPECT_THROW(t.add_link(b, a), std::invalid_argument);
+    EXPECT_THROW(t.add_link(a, static_cast<NodeId>(5)), std::out_of_range);
+}
+
+TEST(Topology, PortsExcludeLocalNi) {
+    const Topology t = make_mesh(3, 3);
+    // Corner router: 2 network ports; edge: 3; center: 4.
+    EXPECT_EQ(t.ports(0), 2);
+    EXPECT_EQ(t.ports(1), 3);
+    EXPECT_EQ(t.ports(4), 4);
+}
+
+TEST(Topology, HopDistancesOnPath) {
+    Topology t("chain");
+    for (int i = 0; i < 5; ++i) t.add_node({i, 0});
+    for (int i = 0; i + 1 < 5; ++i) t.add_link(i, i + 1);
+    const auto d = t.hop_distances(0);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Mesh, CountsAndConnectivity) {
+    const Topology t = make_mesh(10, 10);
+    EXPECT_EQ(t.node_count(), 100);
+    EXPECT_EQ(t.link_count(), 180);  // 2*w*h - w - h
+    EXPECT_TRUE(t.connected());
+    const auto ports = t.port_histogram();
+    EXPECT_EQ(ports.at(2), 4u);    // corners
+    EXPECT_EQ(ports.at(3), 32u);   // edges
+    EXPECT_EQ(ports.at(4), 64u);   // interior
+}
+
+TEST(Mesh, AllLinksSingleHop) {
+    const Topology t = make_mesh(6, 6);
+    for (const auto& l : t.links()) EXPECT_EQ(l.hop_span, 1);
+}
+
+TEST(Torus, WrapLinksExist) {
+    const Topology t = make_torus(5, 5);
+    EXPECT_EQ(t.node_count(), 25);
+    EXPECT_EQ(t.link_count(), 50);  // 2 per node on a torus
+    EXPECT_TRUE(t.connected());
+    // All routers are 4-ported on a torus.
+    EXPECT_EQ(t.port_histogram().at(4), 25u);
+    EXPECT_TRUE(t.has_link(0, 4));  // row wrap
+    EXPECT_TRUE(t.has_link(0, 20));  // column wrap
+}
+
+TEST(Torus, FoldedWrapLength) {
+    const Topology t = make_torus(5, 5, 4.0);
+    for (const auto& l : t.links()) {
+        if (l.hop_span > 1) {
+            EXPECT_DOUBLE_EQ(l.length_mm, 8.0);
+        }
+    }
+}
+
+TEST(Kite, MostlyFourPortRoutersAndTwoHopLinks) {
+    const Topology t = make_kite(10, 10);
+    EXPECT_TRUE(t.connected());
+    const auto ports = t.port_histogram();
+    // Fig. 2(a): four-port routers are the most frequent with Kite.
+    std::size_t mode = 0;
+    for (std::size_t p = 1; p < ports.size(); ++p)
+        if (ports.at(p) > ports.at(mode)) mode = p;
+    EXPECT_EQ(mode, 4u);
+    // Fig. 2(b): mainly two-hop links.
+    const auto spans = t.link_span_histogram();
+    EXPECT_GT(spans.at(2), spans.at(1));
+}
+
+TEST(Kite, SmallGridsConnected) {
+    for (const int n : {3, 4, 5, 7}) {
+        const Topology t = make_kite(n, n);
+        EXPECT_TRUE(t.connected()) << n;
+    }
+}
+
+TEST(Swap, RespectsDegreeBudgetMostly) {
+    util::Rng rng(17);
+    const Topology t = make_swap(10, 10, rng);
+    EXPECT_TRUE(t.connected());
+    const auto ports = t.port_histogram();
+    // SWAP profile: 2-3 port routers dominate (serpentine backbone plus a
+    // bounded number of shortcuts).
+    EXPECT_GT(ports.at(2) + ports.at(3), 80u);
+    for (const auto& n : t.nodes()) EXPECT_LE(t.ports(n.id), 4);
+}
+
+TEST(Swap, HasSomeLongLinks) {
+    util::Rng rng(17);
+    const Topology t = make_swap(10, 10, rng);
+    std::int32_t longest = 0;
+    for (const auto& l : t.links()) longest = std::max(longest, l.hop_span);
+    EXPECT_GE(longest, 3);  // the paper notes 4-5 hop links; at least long-range
+}
+
+TEST(Swap, FewerLinksThanMesh) {
+    util::Rng rng(7);
+    const Topology swap = make_swap(10, 10, rng);
+    const Topology mesh = make_mesh(10, 10);
+    EXPECT_LT(swap.link_count(), mesh.link_count());
+}
+
+TEST(Swap, DeterministicForSeed) {
+    util::Rng r1(42);
+    util::Rng r2(42);
+    const Topology a = make_swap(8, 8, r1);
+    const Topology b = make_swap(8, 8, r2);
+    ASSERT_EQ(a.link_count(), b.link_count());
+    for (std::int32_t i = 0; i < a.link_count(); ++i) {
+        EXPECT_EQ(a.link(i).a, b.link(i).a);
+        EXPECT_EQ(a.link(i).b, b.link(i).b);
+    }
+}
+
+TEST(Mesh3d, StructureAndVerticalLinks) {
+    const Topology t = make_mesh3d(5, 5, 4);
+    EXPECT_EQ(t.node_count(), 100);
+    EXPECT_TRUE(t.connected());
+    // links: per tier 2*5*5-5-5=40, x4 tiers = 160; vertical 25*3 = 75.
+    EXPECT_EQ(t.link_count(), 235);
+    // Vertical links are much shorter than lateral ones (MIV/TSV).
+    std::int32_t vertical = 0;
+    for (const auto& l : t.links()) {
+        if (t.node(l.a).tier != t.node(l.b).tier) {
+            ++vertical;
+            EXPECT_LT(l.length_mm, 0.1);
+        }
+    }
+    EXPECT_EQ(vertical, 75);
+}
+
+TEST(PathTopology, BuildsChainsAndExpress) {
+    const std::vector<std::vector<NodeId>> paths{{0, 1, 2}, {3, 4, 5}};
+    const std::vector<std::pair<NodeId, NodeId>> express{{2, 3}};
+    const Topology t = make_path_topology("p", 3, 2, paths, express);
+    EXPECT_EQ(t.node_count(), 6);
+    EXPECT_EQ(t.link_count(), 5);
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(PathTopology, DeduplicatesSharedEdges) {
+    const std::vector<std::vector<NodeId>> paths{{0, 1, 2}, {2, 1}};
+    const Topology t = make_path_topology("p", 3, 1, paths, {});
+    EXPECT_EQ(t.link_count(), 2);
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>> {};
+
+TEST_P(MeshSizes, LinkCountFormulaAndConnectivity) {
+    const auto [w, h] = GetParam();
+    const Topology t = make_mesh(w, h);
+    EXPECT_EQ(t.link_count(), 2 * w * h - w - h);
+    EXPECT_TRUE(t.connected());
+    for (const auto& n : t.nodes()) {
+        EXPECT_GE(t.ports(n.id), (w == 1 || h == 1) ? 1 : 2);
+        EXPECT_LE(t.ports(n.id), 4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizes,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{3, 5},
+                                           std::tuple{6, 6}, std::tuple{10, 10},
+                                           std::tuple{12, 8}, std::tuple{1, 7}));
+
+class SwapSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwapSeeds, AlwaysConnectedWithinBudget) {
+    util::Rng rng(GetParam());
+    SwapConfig cfg;
+    cfg.sa_iters = 50;  // keep the sweep fast
+    const Topology t = make_swap(8, 8, rng, cfg);
+    EXPECT_TRUE(t.connected());
+    EXPECT_LT(t.link_count(), 2 * 64 - 16);  // fewer links than the mesh
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwapSeeds, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace floretsim::topo

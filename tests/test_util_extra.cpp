@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/dnn/model_zoo.h"
+#include "src/pim/partitioner.h"
+#include "src/util/table.h"
+
+namespace floretsim {
+namespace {
+
+TEST(TextTable, PrintsAlignedBox) {
+    util::TextTable t({"Name", "Value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"bee", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const auto s = os.str();
+    // Header, separator lines, and both rows present.
+    EXPECT_NE(s.find("| Name"), std::string::npos);
+    EXPECT_NE(s.find("| alpha"), std::string::npos);
+    EXPECT_NE(s.find("| bee"), std::string::npos);
+    // Box corners.
+    EXPECT_EQ(s.front(), '+');
+    // Every line has the same width (aligned box).
+    std::istringstream is(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+    util::TextTable t({"A", "B"});
+    t.add_row({"only-one"});
+    t.add_row({"x", "y", "extra"});
+    std::ostringstream os;
+    t.print(os);  // must not throw or misalign
+    EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+    util::TextTable t({"h1", "h2"});
+    t.add_row({"a", "1.5"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "h1,h2\na,1.5\n");
+}
+
+TEST(TextTable, FmtPrecision) {
+    EXPECT_EQ(util::TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(util::TextTable::fmt(3.14159, 0), "3");
+    EXPECT_EQ(util::TextTable::fmt(-1.005, 1), "-1.0");
+}
+
+TEST(PipelinePeriod, BottleneckIsTheMaxSegment) {
+    const auto net = dnn::build_resnet(18, dnn::Dataset::kImageNet);
+    const pim::ReramConfig rc;
+    const auto plan = pim::partition_by_params(net, 11.69, 1.0);
+    const double period = pim::pipeline_period_ns(net, plan, rc);
+    EXPECT_GT(period, 0.0);
+    double max_seg = 0.0;
+    for (const auto& seg : plan.segments)
+        max_seg = std::max(max_seg, pim::layer_compute_latency_ns(
+                                        net.layer(seg.layer_id), seg.chiplets(), rc));
+    EXPECT_DOUBLE_EQ(period, max_seg);
+}
+
+TEST(PipelinePeriod, MoreChipletsShortenThePeriod) {
+    const auto net = dnn::build_vgg(11, dnn::Dataset::kImageNet);
+    const pim::ReramConfig rc;
+    // Smaller capacity -> more chiplets per layer -> more parallelism.
+    const auto coarse = pim::partition_by_params(net, 132.9, 8.0);
+    const auto fine = pim::partition_by_params(net, 132.9, 0.5);
+    EXPECT_LE(pim::pipeline_period_ns(net, fine, rc),
+              pim::pipeline_period_ns(net, coarse, rc));
+}
+
+}  // namespace
+}  // namespace floretsim

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/tables.h"
+
+namespace floretsim::workload {
+namespace {
+
+TEST(Table1, ThirteenWorkloads) {
+    const auto& t = table1();
+    ASSERT_EQ(t.size(), 13u);
+    EXPECT_EQ(t.front().id, "DNN1");
+    EXPECT_EQ(t.back().id, "DNN13");
+}
+
+TEST(Table1, DatasetSplitMatchesPaper) {
+    // DNN1-8 on ImageNet, DNN9-13 on CIFAR-10.
+    const auto& t = table1();
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(t[i].dataset, dnn::Dataset::kImageNet) << t[i].id;
+    for (std::size_t i = 8; i < 13; ++i)
+        EXPECT_EQ(t[i].dataset, dnn::Dataset::kCifar10) << t[i].id;
+}
+
+TEST(Table1, PaperParamsAsPrinted) {
+    EXPECT_DOUBLE_EQ(workload_by_id("DNN1").paper_params_m, 24.76);
+    EXPECT_DOUBLE_EQ(workload_by_id("DNN7").paper_params_m, 93.4);
+    EXPECT_DOUBLE_EQ(workload_by_id("DNN13").paper_params_m, 6.16);
+}
+
+TEST(Table1, AllModelsBuildable) {
+    for (const auto& w : table1()) {
+        const auto net = dnn::build_model(w.model, w.dataset);
+        EXPECT_GT(net.total_params(), 0) << w.id;
+    }
+}
+
+TEST(Table1, UnknownIdThrows) {
+    EXPECT_THROW(workload_by_id("DNN99"), std::invalid_argument);
+}
+
+TEST(Table2, FiveMixes) {
+    const auto& t = table2();
+    ASSERT_EQ(t.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t[i].name, "WL" + std::to_string(i + 1));
+}
+
+TEST(Table2, Wl1StructureMatchesPaper) {
+    // WL1 = 16xDNN1 -> DNN2 -> 3xDNN3 -> 4xDNN4 -> 2xDNN5 -> DNN6 -> DNN7.
+    const auto& wl1 = table2().front();
+    ASSERT_EQ(wl1.entries.size(), 7u);
+    EXPECT_EQ(wl1.entries[0], (std::pair<std::string, std::int32_t>{"DNN1", 16}));
+    EXPECT_EQ(wl1.entries[3], (std::pair<std::string, std::int32_t>{"DNN4", 4}));
+    EXPECT_EQ(wl1.total_instances(), 28);
+}
+
+TEST(Table2, ExpansionPreservesOrderAndCount) {
+    const auto& wl5 = table2().back();
+    const auto queue = expand_mix(wl5);
+    EXPECT_EQ(static_cast<std::int32_t>(queue.size()), wl5.total_instances());
+    EXPECT_EQ(queue.front(), "DNN3");
+    EXPECT_EQ(queue.back(), "DNN8");
+    // First four after DNN3 are the 3xDNN8 then DNN7 block starts.
+    EXPECT_EQ(queue[1], "DNN8");
+    EXPECT_EQ(queue[3], "DNN8");
+    EXPECT_EQ(queue[4], "DNN7");
+}
+
+TEST(Table2, TableParamsSumConsistent) {
+    // Sum over entries of Table I params; independent hand check for WL5:
+    // 1x25.94 + 3x54.84 + 4x93.4 + 6x36.5 + 4x25.94 + 3x93.4 + 2x54.84.
+    const auto& wl5 = table2().back();
+    const double expect = 25.94 + 3 * 54.84 + 4 * 93.4 + 6 * 36.5 + 4 * 25.94 +
+                          3 * 93.4 + 2 * 54.84;
+    EXPECT_NEAR(wl5.table_params_m(), expect, 1e-9);
+}
+
+TEST(Table2, PaperTotalsRecorded) {
+    EXPECT_DOUBLE_EQ(table2()[0].paper_total_params_b, 1.1);
+    EXPECT_DOUBLE_EQ(table2()[2].paper_total_params_b, 8.8);
+}
+
+TEST(RandomMix, DeterministicAndSized) {
+    util::Rng r1(5);
+    util::Rng r2(5);
+    const auto a = random_mix(r1, 20);
+    const auto b = random_mix(r2, 20);
+    EXPECT_EQ(a.total_instances(), 20);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) EXPECT_EQ(a.entries[i], b.entries[i]);
+}
+
+TEST(RandomMix, AllIdsValid) {
+    util::Rng r(9);
+    const auto mix = random_mix(r, 50);
+    for (const auto& [id, count] : mix.entries) {
+        EXPECT_NO_THROW(workload_by_id(id));
+        EXPECT_GT(count, 0);
+    }
+}
+
+}  // namespace
+}  // namespace floretsim::workload
