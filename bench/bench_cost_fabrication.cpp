@@ -8,26 +8,30 @@
 #include "bench/common.h"
 #include "src/cost/models.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Eqs. 2-5: NoI area / yield / fabrication cost, 100 chiplets ===\n\n";
 
     cost::CostParams p;
-    std::vector<bench::BuiltArch> archs;
-    for (const auto a : bench::kAllArchs) archs.push_back(bench::build_arch(a, 10, 10));
-    const auto& floret = archs.back().topology();
+    bench::SweepEngine engine(opt.threads);
+    const auto fabrics =
+        engine.map(bench::kAllArchs.size(), [&](std::size_t i) {
+            return engine.cache().get(bench::kAllArchs[i], 10, 10);
+        });
+    const auto& floret = fabrics.back()->topology;
 
     util::TextTable t({"NoI", "Router area (mm2)", "Link area (mm2)", "NoI area (mm2)",
                        "Yield", "Cost vs ref (Eq.2)", "Cost vs Floret (Eq.5)"});
-    for (const auto& b : archs) {
-        const double ra = cost::router_area_mm2(b.topology(), p);
-        const double la = cost::link_area_mm2(b.topology(), p);
+    for (const auto& f : fabrics) {
+        const double ra = cost::router_area_mm2(f->topology, p);
+        const double la = cost::link_area_mm2(f->topology, p);
         const double area = ra + la;
-        t.add_row({bench::arch_name(b.arch), util::TextTable::fmt(ra, 1),
+        t.add_row({bench::arch_name(f->arch), util::TextTable::fmt(ra, 1),
                    util::TextTable::fmt(la, 1), util::TextTable::fmt(area, 1),
                    util::TextTable::fmt(cost::yield(area, p), 3),
-                   util::TextTable::fmt(cost::fabrication_cost(b.topology(), p), 3),
-                   util::TextTable::fmt(cost::relative_cost(b.topology(), floret, p), 2)});
+                   util::TextTable::fmt(cost::fabrication_cost(f->topology, p), 3),
+                   util::TextTable::fmt(cost::relative_cost(f->topology, floret, p), 2)});
     }
     t.print(std::cout);
 
@@ -35,5 +39,9 @@ int main() {
               << "Defect density D0 = " << p.defect_density_per_mm2 * 100.0
               << " /cm2; reference NoI " << p.ref_noi_area_mm2 << " mm2 / "
               << p.ref_chiplets << " chiplets.\n";
+
+    bench::JsonReport report("cost_fabrication");
+    report.add_table("cost", t);
+    report.write(opt);
     return 0;
 }

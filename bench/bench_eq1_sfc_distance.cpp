@@ -5,11 +5,12 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/core/sfc.h"
-#include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Eq. (1): mean tail->head distance d (placement ablation) ===\n\n";
 
     struct Case {
@@ -18,21 +19,40 @@ int main() {
     const std::vector<Case> cases{{6, 6, 6},   {8, 8, 4},   {10, 10, 4}, {10, 10, 5},
                                   {10, 10, 10}, {12, 12, 6}, {12, 12, 9}, {16, 16, 8}};
 
+    // Each case runs the placement optimizer twice — independent work,
+    // fanned out on the engine.
+    struct Row {
+        double d_opt = 0.0;
+        double d_naive = 0.0;
+    };
+    bench::SweepEngine engine(opt.threads);
+    const auto rows = engine.map(cases.size(), [&](std::size_t i) {
+        const auto& c = cases[i];
+        Row r;
+        r.d_opt = core::generate_sfc_set(c.w, c.h, c.lambda).tail_head_distance();
+        r.d_naive =
+            core::generate_sfc_set(c.w, c.h, c.lambda, {.optimize_placement = false})
+                .tail_head_distance();
+        return r;
+    });
+
     util::TextTable t({"Grid", "lambda", "d optimized", "d naive", "Improvement"});
-    for (const auto& c : cases) {
-        const auto opt = core::generate_sfc_set(c.w, c.h, c.lambda);
-        const auto naive =
-            core::generate_sfc_set(c.w, c.h, c.lambda, {.optimize_placement = false});
-        const double dopt = opt.tail_head_distance();
-        const double dnaive = naive.tail_head_distance();
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& c = cases[i];
         t.add_row({std::to_string(c.w) + "x" + std::to_string(c.h),
-                   std::to_string(c.lambda), util::TextTable::fmt(dopt),
-                   util::TextTable::fmt(dnaive),
-                   util::TextTable::fmt(dnaive / std::max(1e-9, dopt)) + "x"});
+                   std::to_string(c.lambda), util::TextTable::fmt(rows[i].d_opt),
+                   util::TextTable::fmt(rows[i].d_naive),
+                   util::TextTable::fmt(rows[i].d_naive /
+                                        std::max(1e-9, rows[i].d_opt)) +
+                       "x"});
     }
     t.print(std::cout);
 
     std::cout << "\nPetal map for 10x10, lambda = 10 (100-chiplet bench config):\n"
               << core::generate_sfc_set(10, 10, 10).render();
+
+    bench::JsonReport report("eq1_sfc_distance");
+    report.add_table("distance", t);
+    report.write(opt);
     return 0;
 }

@@ -5,21 +5,23 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/core/floret.h"
 #include "src/core/sfc.h"
-#include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Fig. 1: Floret layout, 36-chiplet system, lambda = 6 ===\n\n";
 
     const auto set = core::generate_sfc_set(6, 6, 6);
     std::cout << set.render() << '\n';
-    std::cout << "Eq.(1) mean tail->head distance d = " << set.tail_head_distance()
-              << "  (naive placement: "
-              << core::generate_sfc_set(6, 6, 6, {.optimize_placement = false})
-                     .tail_head_distance()
-              << ")\n\n";
+    const double d_opt = set.tail_head_distance();
+    const double d_naive =
+        core::generate_sfc_set(6, 6, 6, {.optimize_placement = false})
+            .tail_head_distance();
+    std::cout << "Eq.(1) mean tail->head distance d = " << d_opt
+              << "  (naive placement: " << d_naive << ")\n\n";
 
     const auto t = core::make_floret(set);
     std::cout << "Topology: " << t.node_count() << " chiplets, " << t.link_count()
@@ -42,5 +44,12 @@ int main() {
     const auto order = set.concatenated_order();
     for (std::size_t i = 0; i < 12; ++i) std::cout << order[i] << ' ';
     std::cout << "...\n";
+
+    bench::JsonReport report("fig1_floret_layout");
+    report.add_table("ports", ports);
+    report.add_metric("tail_head_distance", d_opt);
+    report.add_metric("tail_head_distance_naive", d_naive);
+    report.add_metric("links", t.link_count());
+    report.write(opt);
     return 0;
 }

@@ -8,29 +8,34 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Fig. 3: NoI latency, 100 chiplets (normalized to Floret) ===\n\n";
 
-    const auto cfg = bench::default_eval_config();
-    std::vector<bench::BuiltArch> archs;
-    for (const auto a : bench::kAllArchs)
-        archs.push_back(bench::build_arch(a, 10, 10, 13, /*greedy_max_gap=*/2));
+    bench::SweepSpec spec;
+    spec.archs.assign(bench::kAllArchs.begin(), bench::kAllArchs.end());
+    spec.mixes = workload::table2();
+    spec.evals = {bench::default_eval_config()};
+    spec.greedy_max_gap = 2;
+
+    bench::SweepEngine engine(opt.threads);
+    const auto sweep = engine.run(spec);
 
     util::TextTable t({"Mix", "Kite", "SIAM", "SWAP", "Floret", "Floret cycles"});
     double worst_ratio = 0.0;
-    for (const auto& mix : workload::table2()) {
+    for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
         std::vector<double> latency;
-        for (auto& b : archs) {
-            const auto run = bench::run_mix_dynamic(b, mix, cfg);
-            if (!run.all_completed)
-                std::cerr << "warning: " << bench::arch_name(b.arch) << "/" << mix.name
-                          << " hit the cycle cap\n";
-            latency.push_back(run.total_cycles);
+        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+            const auto& row = sweep.at(a, 0, m);
+            if (!row.result.all_completed)
+                std::cerr << "warning: " << bench::arch_name(row.point.arch) << "/"
+                          << row.point.mix.name << " hit the cycle cap\n";
+            latency.push_back(row.result.total_cycles);
         }
         const double floret = latency[3];
         for (int i = 0; i < 3; ++i) worst_ratio = std::max(worst_ratio, latency[i] / floret);
-        t.add_row({mix.name, util::TextTable::fmt(latency[0] / floret),
+        t.add_row({spec.mixes[m].name, util::TextTable::fmt(latency[0] / floret),
                    util::TextTable::fmt(latency[1] / floret),
                    util::TextTable::fmt(latency[2] / floret), "1.00",
                    util::TextTable::fmt(floret, 0)});
@@ -38,6 +43,16 @@ int main() {
     t.print(std::cout);
     std::cout << "\nWorst baseline/Floret ratio observed: "
               << util::TextTable::fmt(worst_ratio)
-              << "  (paper: up to 2.24x vs Kite/SIAM)\n";
+              << "  (paper: up to 2.24x vs Kite/SIAM)\n"
+              << "Sweep: " << sweep.rows.size() << " points on "
+              << engine.thread_count() << " thread(s) in "
+              << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n";
+
+    bench::JsonReport report("fig3_latency");
+    report.add_table("latency_normalized", t);
+    report.add_metric("worst_ratio", worst_ratio);
+    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    report.add_metric("sweep_threads", engine.thread_count());
+    report.write(opt);
     return 0;
 }

@@ -9,14 +9,14 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/core/moo.h"
 #include "src/dnn/model_zoo.h"
 #include "src/topo/mesh.h"
-#include "src/util/table.h"
-#include "src/workload/tables.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== M3D vs TSV 3D integration (100 PEs, joint-optimized) ===\n\n";
 
     struct Variant {
@@ -24,10 +24,10 @@ int main() {
         double tier_pitch_mm;   // vertical wire length
         double g_vertical;      // inter-tier thermal conductance (W/K)
     };
-    const Variant variants[] = {
+    const std::array<Variant, 2> variants{{
         {"TSV", 0.30, 0.25},  // micro-bump + bond layer
         {"M3D", 0.02, 0.80},  // nano-MIV through thin ILD
-    };
+    }};
 
     pim::ReramConfig rcfg;
     pim::ThermalAccuracyModel acc;
@@ -37,32 +37,46 @@ int main() {
     moo.w_thermal = 0.2;
     moo.t_target_k = 331.0;
 
-    util::TextTable t({"DNN", "Variant", "EDP (norm)", "Peak K", "Acc drop"});
-    for (std::size_t i = 0; i < 3; ++i) {  // DNN1..DNN3 for brevity
-        const auto& w = workload::table1()[i];
-        const auto net = dnn::build_model(w.model, w.dataset);
-        const auto plan =
-            pim::partition_by_params(net, w.paper_params_m, w.paper_params_m / 88.0);
-        double edp_tsv = 0.0;
-        for (const auto& v : variants) {
+    // 3 DNNs x 2 integration variants, each a full joint optimization —
+    // six independent heavy points for the engine.
+    bench::SweepEngine engine(opt.threads);
+    const auto& t1 = workload::table1();
+    const auto evals =
+        engine.map(3 * variants.size(), [&](std::size_t i) {  // DNN1..DNN3 for brevity
+            const auto& w = t1[i / variants.size()];
+            const auto& v = variants[i % variants.size()];
+            const auto net = dnn::build_model(w.model, w.dataset);
+            const auto plan = pim::partition_by_params(net, w.paper_params_m,
+                                                       w.paper_params_m / 88.0);
             const auto topo3d = topo::make_mesh3d(5, 5, 4, 1.0, v.tier_pitch_mm);
-            const auto routes =
-                noc::RouteTable::build(topo3d, noc::RoutingPolicy::kXY);
+            const auto routes = noc::RouteTable::build(topo3d, noc::RoutingPolicy::kXY);
             thermal::ThermalConfig tcfg;
             tcfg.g_vertical_w_per_k = v.g_vertical;
             thermal::PowerParams pcfg;
             pcfg.inference_period_ns = pim::pipeline_period_ns(net, plan, rcfg);
-            const auto res = core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg,
-                                                  acc, perf, moo);
-            if (edp_tsv == 0.0) edp_tsv = res.eval.edp;
-            t.add_row({w.id + " (" + w.model + ")", v.name,
-                       util::TextTable::fmt(res.eval.edp / edp_tsv),
-                       util::TextTable::fmt(res.eval.peak_k, 1),
-                       util::TextTable::fmt(100.0 * res.eval.accuracy_drop, 1) + "%"});
+            return core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg, acc, perf,
+                                        moo)
+                .eval;
+        });
+
+    util::TextTable t({"DNN", "Variant", "EDP (norm)", "Peak K", "Acc drop"});
+    for (std::size_t d = 0; d < 3; ++d) {
+        const auto& w = t1[d];
+        const double edp_tsv = evals[d * variants.size()].edp;  // TSV is first
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const auto& res = evals[d * variants.size() + v];
+            t.add_row({w.id + " (" + w.model + ")", variants[v].name,
+                       util::TextTable::fmt(res.edp / edp_tsv),
+                       util::TextTable::fmt(res.peak_k, 1),
+                       util::TextTable::fmt(100.0 * res.accuracy_drop, 1) + "%"});
         }
     }
     t.print(std::cout);
     std::cout << "\nPaper (Section I): M3D's MIVs and thin ILD give better "
                  "performance/energy and fewer thermal hotspots than TSV 3D.\n";
+
+    bench::JsonReport report("m3d_vs_tsv");
+    report.add_table("comparison", t);
+    report.write(opt);
     return 0;
 }

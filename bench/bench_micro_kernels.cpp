@@ -57,6 +57,35 @@ void BM_SimulatorDrain(benchmark::State& state) {
     state.SetItemsProcessed(flits);
 }
 
+/// Sparse single-flit packets on slow interposer wires: most simulated
+/// cycles find every in-flight flit mid-pipe with all router FIFOs empty.
+/// With skip_idle the cycle loop jumps straight to the next arrival or
+/// injection; the reference loop steps each of them. Same SimResult
+/// either way.
+void BM_SimulatorSparse(benchmark::State& state) {
+    const bool skip = state.range(0) != 0;
+    const auto t = topo::make_mesh(10, 10);
+    const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kShortestPath);
+    std::int64_t cycles = 0;
+    for (auto _ : state) {
+        noc::SimConfig cfg;
+        cfg.injection_rate = 0.001;
+        cfg.mm_per_cycle = 0.25;  // 18-cycle hops: deep link pipelines
+        cfg.skip_idle = skip;
+        noc::Simulator sim(t, rt, cfg);
+        util::Rng rng(5);
+        for (int i = 0; i < 30; ++i) {
+            const auto s = static_cast<topo::NodeId>(rng.below(100));
+            const auto d = static_cast<topo::NodeId>(rng.below(100));
+            if (s != d) sim.add_demand({s, d, 8});  // one flit per packet
+        }
+        const auto res = sim.run();
+        cycles += res.cycles;
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(cycles);
+}
+
 void BM_ThermalSolve(benchmark::State& state) {
     thermal::ThermalConfig cfg;
     std::vector<double> power(static_cast<std::size_t>(cfg.cells()), 0.8);
@@ -86,6 +115,7 @@ void BM_FloretTopologyBuild(benchmark::State& state) {
 BENCHMARK(BM_SfcGeneration)->Arg(6)->Arg(10)->Arg(16);
 BENCHMARK(BM_RouteTableUpDown)->Arg(6)->Arg(10);
 BENCHMARK(BM_SimulatorDrain);
+BENCHMARK(BM_SimulatorSparse)->Arg(0)->Arg(1);
 BENCHMARK(BM_ThermalSolve);
 BENCHMARK(BM_ModelZooResNet50);
 BENCHMARK(BM_FloretTopologyBuild);

@@ -5,26 +5,43 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/dnn/model_zoo.h"
-#include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Skip vs linear activation traffic (one inference pass) ===\n\n";
+
+    const std::vector<const char*> models{"ResNet18", "ResNet34", "ResNet50",
+                                          "ResNet101", "ResNet152", "DenseNet169",
+                                          "VGG19"};
+    struct Row {
+        double total = 0.0;
+        double skip = 0.0;
+    };
+    bench::SweepEngine engine(opt.threads);
+    const auto rows = engine.map(models.size(), [&](std::size_t i) {
+        const auto net = dnn::build_model(models[i], dnn::Dataset::kImageNet);
+        return Row{static_cast<double>(net.total_edge_activations()),
+                   static_cast<double>(net.skip_edge_activations())};
+    });
 
     util::TextTable t({"Model", "Total acts (M)", "Skip acts (M)", "Skip share",
                        "Linear/skip"});
-    for (const char* name : {"ResNet18", "ResNet34", "ResNet50", "ResNet101",
-                             "ResNet152", "DenseNet169", "VGG19"}) {
-        const auto net = dnn::build_model(name, dnn::Dataset::kImageNet);
-        const double total = static_cast<double>(net.total_edge_activations());
-        const double skip = static_cast<double>(net.skip_edge_activations());
-        t.add_row({name, util::TextTable::fmt(total / 1e6, 1),
-                   util::TextTable::fmt(skip / 1e6, 1),
-                   util::TextTable::fmt(100.0 * skip / total, 1) + "%",
-                   skip > 0 ? util::TextTable::fmt((total - skip) / skip) + "x" : "-"});
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const auto& r = rows[i];
+        t.add_row({models[i], util::TextTable::fmt(r.total / 1e6, 1),
+                   util::TextTable::fmt(r.skip / 1e6, 1),
+                   util::TextTable::fmt(100.0 * r.skip / r.total, 1) + "%",
+                   r.skip > 0 ? util::TextTable::fmt((r.total - r.skip) / r.skip) + "x"
+                              : "-"});
     }
     t.print(std::cout);
     std::cout << "\nPaper (ResNet34): linear ~4.5x skip; skip ~19% of total.\n";
+
+    bench::JsonReport report("skip_traffic");
+    report.add_table("skip_traffic", t);
+    report.write(opt);
     return 0;
 }

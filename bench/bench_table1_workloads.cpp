@@ -4,29 +4,51 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/dnn/model_zoo.h"
-#include "src/util/table.h"
-#include "src/workload/tables.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Table I: DNN inference workloads ===\n"
               << "(paper params as printed in Table I; computed params from the\n"
               << " reconstructed architectures — several Table I entries disagree\n"
               << " with the true model sizes, see EXPERIMENTS.md)\n\n";
 
+    const auto& t1 = workload::table1();
+    struct Row {
+        std::int64_t params = 0;
+        std::int64_t macs = 0;
+        std::size_t layers = 0;
+        std::int64_t skip_edges = 0;
+    };
+    // Model-graph construction fans out per workload.
+    bench::SweepEngine engine(opt.threads);
+    const auto rows = engine.map(t1.size(), [&](std::size_t i) {
+        const auto net = dnn::build_model(t1[i].model, t1[i].dataset);
+        Row r;
+        r.params = net.total_params();
+        r.macs = net.total_macs();
+        r.layers = net.size();
+        for (const auto& e : net.edges()) r.skip_edges += e.skip;
+        return r;
+    });
+
     util::TextTable t({"Name", "Model", "Dataset", "Paper params (M)",
                        "Computed params (M)", "GMACs", "Layers", "Skip edges"});
-    for (const auto& w : workload::table1()) {
-        const auto net = dnn::build_model(w.model, w.dataset);
-        std::int64_t skip_edges = 0;
-        for (const auto& e : net.edges()) skip_edges += e.skip;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        const auto& w = t1[i];
         t.add_row({w.id, w.model, dnn::dataset_name(w.dataset),
                    util::TextTable::fmt(w.paper_params_m),
-                   util::TextTable::fmt(static_cast<double>(net.total_params()) / 1e6),
-                   util::TextTable::fmt(static_cast<double>(net.total_macs()) / 1e9),
-                   std::to_string(net.size()), std::to_string(skip_edges)});
+                   util::TextTable::fmt(static_cast<double>(rows[i].params) / 1e6),
+                   util::TextTable::fmt(static_cast<double>(rows[i].macs) / 1e9),
+                   std::to_string(rows[i].layers),
+                   std::to_string(rows[i].skip_edges)});
     }
     t.print(std::cout);
+
+    bench::JsonReport report("table1_workloads");
+    report.add_table("workloads", t);
+    report.write(opt);
     return 0;
 }

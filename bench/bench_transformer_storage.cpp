@@ -7,11 +7,12 @@
 
 #include <iostream>
 
+#include "bench/common.h"
 #include "src/dnn/transformer.h"
-#include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace floretsim;
+    const auto opt = bench::Options::parse(argc, argv);
     std::cout << "=== Transformer intermediate-vs-weight storage (Section IV) ===\n\n";
 
     util::TextTable t({"Model", "Batch", "Weights (M)", "Intermediates (M)",
@@ -43,5 +44,10 @@ int main() {
                    util::TextTable::fmt(static_cast<double>(kn.work_macs) / 1e9, 2)});
     }
     k.print(std::cout);
+
+    bench::JsonReport report("transformer_storage");
+    report.add_table("storage", t);
+    report.add_table("kernels", k);
+    report.write(opt);
     return 0;
 }

@@ -1,0 +1,115 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace floretsim::bench {
+namespace {
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& msg) {
+    std::fprintf(stderr, "%s: %s\nusage: %s [--threads N] [--json PATH] [args...]\n",
+                 argv0, msg.c_str(), argv0);
+    std::exit(2);
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Options Options::parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads") {
+            if (i + 1 >= argc) usage_error(argv[0], "--threads needs a value");
+            opt.threads = static_cast<std::int32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) usage_error(argv[0], "--json needs a path");
+            opt.json_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error(argv[0], "help");
+        } else {
+            opt.positional.push_back(arg);
+        }
+    }
+    return opt;
+}
+
+void JsonReport::add_table(const std::string& key, const util::TextTable& table) {
+    tables_.push_back(Table{key, table.header(), table.data()});
+}
+
+void JsonReport::add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+}
+
+std::string JsonReport::to_json() const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (i) os << ',';
+        os << "\n    \"" << json_escape(metrics_[i].first)
+           << "\": " << metrics_[i].second;
+    }
+    os << (metrics_.empty() ? "},\n" : "\n  },\n");
+    os << "  \"tables\": {";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Table& tab = tables_[t];
+        if (t) os << ',';
+        os << "\n    \"" << json_escape(tab.key) << "\": {\n      \"columns\": [";
+        for (std::size_t c = 0; c < tab.header.size(); ++c) {
+            if (c) os << ", ";
+            os << '"' << json_escape(tab.header[c]) << '"';
+        }
+        os << "],\n      \"rows\": [";
+        for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+            if (r) os << ',';
+            os << "\n        [";
+            for (std::size_t c = 0; c < tab.rows[r].size(); ++c) {
+                if (c) os << ", ";
+                os << '"' << json_escape(tab.rows[r][c]) << '"';
+            }
+            os << ']';
+        }
+        os << (tab.rows.empty() ? "]\n    }" : "\n      ]\n    }");
+    }
+    os << (tables_.empty() ? "}\n}\n" : "\n  }\n}\n");
+    return os.str();
+}
+
+bool JsonReport::write(const Options& opt) const {
+    if (opt.json_path.empty()) return true;
+    std::ofstream f(opt.json_path);
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                     opt.json_path.c_str());
+        return false;
+    }
+    f << to_json();
+    return static_cast<bool>(f);
+}
+
+}  // namespace floretsim::bench

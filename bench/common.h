@@ -1,14 +1,68 @@
 #pragma once
 
-/// Shared harness for the paper-reproduction benches. The actual
-/// experiment infrastructure (architecture builders, dynamic multi-tenant
-/// runner) is library code in src/core/experiment.h — tested like
-/// everything else; this header only aliases it into the bench namespace
-/// and pulls in the table printer.
+/// Shared harness for the paper-reproduction benches. The experiment
+/// infrastructure (architecture builders, dynamic multi-tenant runner) and
+/// the parallel sweep engine are library code in src/core/ — tested like
+/// everything else; this header aliases them into the bench namespace and
+/// adds the thin command-line/reporting layer every bench shares:
+///
+///   --threads N     worker threads for the SweepEngine (0 = hardware)
+///   --json PATH     machine-readable report alongside the printed tables
+///
+/// Remaining arguments stay positional (each bench documents its own).
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/core/experiment.h"
+#include "src/core/sweep.h"
 #include "src/util/table.h"
 
 namespace floretsim::bench {
 using namespace floretsim::core::experiment;  // NOLINT: intentional alias
+using core::SweepEngine;
+using core::SweepPoint;
+using core::SweepResult;
+using core::SweepSpec;
+
+/// Parsed command-line options shared by every bench binary.
+struct Options {
+    std::int32_t threads = 0;  ///< SweepEngine worker count (0 = hardware).
+    std::string json_path;     ///< Empty = no JSON report.
+    std::vector<std::string> positional;
+
+    /// Parses argv; exits with a usage message on malformed flags.
+    static Options parse(int argc, char** argv);
+};
+
+/// Accumulates the bench's tables and scalar metrics and renders them as a
+/// JSON document, giving every bench a machine-readable trajectory file
+/// next to the human-readable output. Table cells are emitted as strings
+/// exactly as printed; metrics are numbers.
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+    void add_table(const std::string& key, const util::TextTable& table);
+    void add_metric(const std::string& key, double value);
+
+    /// Serializes the report.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Writes to opt.json_path when set (silently a no-op otherwise).
+    /// Returns false if the file could not be written.
+    bool write(const Options& opt) const;
+
+private:
+    struct Table {
+        std::string key;
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+    std::string name_;
+    std::vector<Table> tables_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace floretsim::bench

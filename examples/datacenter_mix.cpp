@@ -4,7 +4,8 @@
 /// greedy-mapped SIAM mesh on end-to-end makespan, NoI energy, and
 /// resource utilization under the dynamic multi-tenant schedule.
 ///
-///   $ ./examples/datacenter_mix [mix-name]      (default WL1)
+///   $ ./example_datacenter_mix [mix-name]      (default WL1)
+///     --threads N / --json PATH as in the benches
 
 #include <iostream>
 #include <string>
@@ -13,7 +14,8 @@
 
 int main(int argc, char** argv) {
     using namespace floretsim;
-    const std::string mix_name = argc > 1 ? argv[1] : "WL1";
+    const auto opt = bench::Options::parse(argc, argv);
+    const std::string mix_name = opt.positional.empty() ? "WL1" : opt.positional[0];
 
     const workload::ConcurrentMix* mix = nullptr;
     for (const auto& m : workload::table2())
@@ -28,22 +30,33 @@ int main(int argc, char** argv) {
     for (const auto& [id, count] : mix->entries) std::cout << ' ' << count << 'x' << id;
     std::cout << "\n\n";
 
-    const auto cfg = bench::default_eval_config();
+    bench::SweepSpec spec;
+    spec.archs = {bench::Arch::kSiamMesh, bench::Arch::kFloret};
+    spec.mixes = {*mix};
+    spec.evals = {bench::default_eval_config()};
+    spec.greedy_max_gap = 2;
+
+    bench::SweepEngine engine(opt.threads);
+    const auto sweep = engine.run(spec);
+
     util::TextTable t({"NoI", "Makespan (kcycles)", "NoI energy (uJ)", "Rounds",
                        "Concurrent tasks (avg)"});
-    for (const auto arch : {bench::Arch::kSiamMesh, bench::Arch::kFloret}) {
-        auto b = bench::build_arch(arch, 10, 10, 13, /*greedy_max_gap=*/2);
-        const auto run = bench::run_mix_dynamic(b, *mix, cfg);
-        t.add_row({bench::arch_name(arch),
+    for (const auto& row : sweep.rows) {
+        const auto& run = row.result;
+        t.add_row({bench::arch_name(row.point.arch),
                    util::TextTable::fmt(run.total_cycles / 1e3, 1),
                    util::TextTable::fmt(run.total_energy_pj / 1e6, 1),
                    std::to_string(run.rounds),
                    util::TextTable::fmt(static_cast<double>(run.task_rounds) /
-                                            static_cast<double>(run.rounds))});
+                                        static_cast<double>(run.rounds))});
     }
     t.print(std::cout);
     std::cout << "\nFloret admits tasks contiguously along the SFC order, so the\n"
                  "same queue runs at higher concurrency and finishes sooner with\n"
                  "less router+link energy.\n";
+
+    bench::JsonReport report("datacenter_mix");
+    report.add_table("comparison", t);
+    report.write(opt);
     return 0;
 }

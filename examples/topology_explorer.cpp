@@ -3,7 +3,8 @@
 /// area, yield-driven fabrication cost. Useful for scoping a design before
 /// running full workload simulations.
 ///
-///   $ ./examples/topology_explorer [width] [height]    (default 10 10)
+///   $ ./example_topology_explorer [width] [height]    (default 10 10)
+///     --threads N / --json PATH as in the benches
 
 #include <cstdlib>
 #include <iostream>
@@ -14,8 +15,11 @@
 
 int main(int argc, char** argv) {
     using namespace floretsim;
-    const std::int32_t w = argc > 1 ? std::atoi(argv[1]) : 10;
-    const std::int32_t h = argc > 2 ? std::atoi(argv[2]) : 10;
+    const auto opt = bench::Options::parse(argc, argv);
+    const std::int32_t w =
+        opt.positional.size() > 0 ? std::atoi(opt.positional[0].c_str()) : 10;
+    const std::int32_t h =
+        opt.positional.size() > 1 ? std::atoi(opt.positional[1].c_str()) : 10;
     if (w < 2 || h < 2 || w > 32 || h > 32) {
         std::cerr << "grid must be between 2x2 and 32x32\n";
         return 1;
@@ -25,44 +29,73 @@ int main(int argc, char** argv) {
     std::cout << "=== NoI architectures at " << w << "x" << h << " ("
               << w * h << " chiplets) ===\n\n";
 
-    util::TextTable t({"NoI", "Links", "Mean ports", "Max ports", "Mean hops",
-                       "Diameter", "Area (mm2)", "Leakage (mW)", "Cost vs ref"});
-    auto add_row = [&](const std::string& name, const topo::Topology& topo,
-                       const noc::RouteTable& routes) {
+    struct Profile {
+        std::string name;
+        std::int32_t links = 0;
+        double mean_ports = 0.0;
+        std::int32_t max_ports = 0;
+        double mean_hops = 0.0;
+        std::int32_t diameter = 0;
+        double area = 0.0;
+        double leakage = 0.0;
+        double cost = 0.0;
+    };
+    const auto profile_of = [&cp](const std::string& name, const topo::Topology& topo,
+                                  const noc::RouteTable& routes) {
+        Profile pr;
+        pr.name = name;
         double ports_sum = 0.0;
-        std::int32_t ports_max = 0;
         for (const auto& n : topo.nodes()) {
             ports_sum += topo.ports(n.id);
-            ports_max = std::max(ports_max, topo.ports(n.id));
+            pr.max_ports = std::max(pr.max_ports, topo.ports(n.id));
         }
-        std::int32_t diameter = 0;
         for (topo::NodeId n = 0; n < topo.node_count(); ++n)
-            for (const auto d : topo.hop_distances(n)) diameter = std::max(diameter, d);
-        t.add_row({name, std::to_string(topo.link_count()),
-                   util::TextTable::fmt(ports_sum / topo.node_count()),
-                   std::to_string(ports_max),
-                   util::TextTable::fmt(routes.mean_hops()),
-                   std::to_string(diameter),
-                   util::TextTable::fmt(cost::noi_area_mm2(topo, cp), 0),
-                   util::TextTable::fmt(cost::noi_leakage_mw(topo, cp), 0),
-                   util::TextTable::fmt(cost::fabrication_cost(topo, cp), 2)});
+            for (const auto d : topo.hop_distances(n))
+                pr.diameter = std::max(pr.diameter, d);
+        pr.links = topo.link_count();
+        pr.mean_ports = ports_sum / topo.node_count();
+        pr.mean_hops = routes.mean_hops();
+        pr.area = cost::noi_area_mm2(topo, cp);
+        pr.leakage = cost::noi_leakage_mw(topo, cp);
+        pr.cost = cost::fabrication_cost(topo, cp);
+        return pr;
     };
-    for (const auto arch : bench::kAllArchs) {
-        auto b = bench::build_arch(arch, w, h);
-        add_row(bench::arch_name(b.arch), b.topology(), b.routes());
-    }
-    // The extended family §II mentions (Floret generalizes to these too).
-    for (const auto* extra : {"ButterDonut", "DoubleButterfly"}) {
-        const auto topo = std::string(extra) == "ButterDonut"
-                              ? topo::make_butter_donut(w, h)
-                              : topo::make_double_butterfly(w, h);
+
+    // Six independent builds (the heavy part is the route table and the
+    // all-pairs diameter scan) fanned out on the engine; the four paper
+    // architectures come from the fabric cache.
+    bench::SweepEngine engine(opt.threads);
+    const auto profiles = engine.map(bench::kAllArchs.size() + 2, [&](std::size_t i) {
+        if (i < bench::kAllArchs.size()) {
+            const auto fabric = engine.cache().get(bench::kAllArchs[i], w, h);
+            return profile_of(bench::arch_name(fabric->arch), fabric->topology,
+                              fabric->routes);
+        }
+        const bool donut = i == bench::kAllArchs.size();
+        const auto topo =
+            donut ? topo::make_butter_donut(w, h) : topo::make_double_butterfly(w, h);
         const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
-        add_row(extra, topo, routes);
+        return profile_of(donut ? "ButterDonut" : "DoubleButterfly", topo, routes);
+    });
+
+    util::TextTable t({"NoI", "Links", "Mean ports", "Max ports", "Mean hops",
+                       "Diameter", "Area (mm2)", "Leakage (mW)", "Cost vs ref"});
+    for (const auto& pr : profiles) {
+        t.add_row({pr.name, std::to_string(pr.links),
+                   util::TextTable::fmt(pr.mean_ports), std::to_string(pr.max_ports),
+                   util::TextTable::fmt(pr.mean_hops), std::to_string(pr.diameter),
+                   util::TextTable::fmt(pr.area, 0),
+                   util::TextTable::fmt(pr.leakage, 0),
+                   util::TextTable::fmt(pr.cost, 2)});
     }
     t.print(std::cout);
 
     std::cout << "\nFloret petal map:\n";
     const auto set = core::generate_sfc_set(w, h, bench::default_lambda(w, h));
     std::cout << set.render();
+
+    bench::JsonReport report("topology_explorer");
+    report.add_table("profile", t);
+    report.write(opt);
     return 0;
 }

@@ -49,9 +49,12 @@ EvalResult evaluate_noi(const topo::Topology& topo, const noc::RouteTable& route
         if (!task.mapped) continue;
         const auto flows = pipeline_flows(task, cfg.bytes_per_elem);
         for (const auto& f : flows) {
-            const auto scaled = static_cast<std::int64_t>(
-                std::llround(static_cast<double>(f.bytes) * cfg.traffic_scale));
-            if (scaled <= 0) continue;
+            if (f.bytes <= 0) continue;
+            // Clamp to one flit: a nonzero flow must stay in the demand
+            // list, or aggressive traffic_scale values silently erase
+            // small layers from the comparison.
+            const auto scaled = std::max<std::int64_t>(
+                1, std::llround(static_cast<double>(f.bytes) * cfg.traffic_scale));
             sim.add_demand(noc::Demand{f.src, f.dst, scaled});
         }
         if (cfg.include_weight_load) {
@@ -64,9 +67,9 @@ EvalResult evaluate_noi(const topo::Topology& topo, const noc::RouteTable& route
                 const double per_node = static_cast<double>(seg.weights) /
                                         static_cast<double>(nodes.size());
                 for (const auto n : nodes) {
-                    const auto scaled = static_cast<std::int64_t>(
-                        std::llround(per_node * cfg.traffic_scale));
-                    if (scaled <= 0 || n == cfg.io_node) continue;
+                    if (n == cfg.io_node) continue;
+                    const auto scaled = std::max<std::int64_t>(
+                        1, std::llround(per_node * cfg.traffic_scale));
                     sim.add_demand(noc::Demand{cfg.io_node, n, scaled});
                 }
             }

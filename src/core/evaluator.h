@@ -20,7 +20,8 @@ struct EvalConfig {
     /// simulator. One full inference pass of a 100-chiplet mix is hundreds
     /// of MB; sampling keeps simulated makespans tractable while
     /// preserving the relative comparison (all architectures use the same
-    /// scale).
+    /// scale). Scaled flows are clamped to a one-flit minimum so small
+    /// layers never vanish from the demand list.
     double traffic_scale = 1.0 / 256.0;
     /// Also inject the SIAM-style weight-loading phase: every mapped
     /// chiplet receives its stored weights (1 B per 8-bit parameter) from

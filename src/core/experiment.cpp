@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <stdexcept>
 
 #include "src/cost/models.h"
@@ -34,36 +36,131 @@ std::int32_t default_lambda(std::int32_t w, std::int32_t h) {
     return best;
 }
 
-BuiltArch build_arch(Arch a, std::int32_t w, std::int32_t h, std::uint64_t swap_seed,
-                     std::int32_t greedy_max_gap) {
-    BuiltArch b;
-    b.arch = a;
+std::shared_ptr<const ArchFabric> build_fabric(Arch a, std::int32_t w, std::int32_t h,
+                                               std::uint64_t swap_seed) {
+    auto f = std::make_shared<ArchFabric>();
+    f->arch = a;
+    f->width = w;
+    f->height = h;
+    f->swap_seed = swap_seed;
     switch (a) {
         case Arch::kKite:
-            b.topology_ptr = std::make_unique<topo::Topology>(topo::make_kite(w, h));
+            f->topology = topo::make_kite(w, h);
             break;
         case Arch::kSiamMesh:
-            b.topology_ptr = std::make_unique<topo::Topology>(topo::make_mesh(w, h));
+            f->topology = topo::make_mesh(w, h);
             break;
         case Arch::kSwap: {
             util::Rng rng(swap_seed);
-            b.topology_ptr =
-                std::make_unique<topo::Topology>(topo::make_swap(w, h, rng));
+            f->topology = topo::make_swap(w, h, rng);
             break;
         }
         case Arch::kFloret:
-            b.sfc = generate_sfc_set(w, h, default_lambda(w, h));
-            b.topology_ptr = std::make_unique<topo::Topology>(make_floret(b.sfc));
+            f->sfc = generate_sfc_set(w, h, default_lambda(w, h));
+            f->topology = make_floret(f->sfc);
             break;
     }
-    b.routes_ptr = std::make_unique<noc::RouteTable>(
-        noc::RouteTable::build(*b.topology_ptr, noc::RoutingPolicy::kUpDown));
-    if (a == Arch::kFloret)
-        b.mapper = std::make_unique<FloretMapper>(b.sfc);
+    f->routes = noc::RouteTable::build(f->topology, noc::RoutingPolicy::kUpDown);
+    return f;
+}
+
+/// Cache entry: losers of the insertion race block on `built` until the
+/// winner publishes the fabric (or the build's exception).
+struct ArchCache::Entry {
+    std::mutex mu;
+    std::condition_variable built;
+    std::shared_ptr<const ArchFabric> fabric;
+    std::exception_ptr error;
+};
+
+std::shared_ptr<const ArchFabric> ArchCache::get(Arch a, std::int32_t w,
+                                                 std::int32_t h,
+                                                 std::uint64_t swap_seed) {
+    const Key key{static_cast<std::int32_t>(a), w, h, swap_seed};
+    std::shared_ptr<Entry> entry;
+    bool builder = false;
+    {
+        const std::lock_guard<std::mutex> lk(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            entry = std::make_shared<Entry>();
+            entries_.emplace(key, entry);
+            builder = true;
+            ++misses_;
+        } else {
+            entry = it->second;
+            ++hits_;
+        }
+    }
+    if (builder) {
+        std::shared_ptr<const ArchFabric> fabric;
+        try {
+            fabric = build_fabric(a, w, h, swap_seed);
+        } catch (...) {
+            // Wake the losers with the error and drop the entry so a
+            // later get() retries instead of blocking forever.
+            {
+                const std::lock_guard<std::mutex> lk(entry->mu);
+                entry->error = std::current_exception();
+            }
+            entry->built.notify_all();
+            {
+                const std::lock_guard<std::mutex> lk(mu_);
+                entries_.erase(key);
+            }
+            throw;
+        }
+        {
+            const std::lock_guard<std::mutex> lk(entry->mu);
+            entry->fabric = fabric;
+        }
+        entry->built.notify_all();
+        return fabric;
+    }
+    std::unique_lock<std::mutex> lk(entry->mu);
+    entry->built.wait(lk, [&] { return entry->fabric != nullptr || entry->error; });
+    if (entry->error) std::rethrow_exception(entry->error);
+    return entry->fabric;
+}
+
+std::int64_t ArchCache::hits() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+std::int64_t ArchCache::misses() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+}
+
+void ArchCache::clear() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+BuiltArch make_built_arch(std::shared_ptr<const ArchFabric> fabric,
+                          std::int32_t greedy_max_gap) {
+    BuiltArch b;
+    b.arch = fabric->arch;
+    if (fabric->arch == Arch::kFloret)
+        b.mapper = std::make_unique<FloretMapper>(fabric->sfc);
     else
-        b.mapper = std::make_unique<GreedyMapper>(*b.topology_ptr, *b.routes_ptr,
+        b.mapper = std::make_unique<GreedyMapper>(fabric->topology, fabric->routes,
                                                   greedy_max_gap);
+    b.fabric = std::move(fabric);
     return b;
+}
+
+BuiltArch build_arch(Arch a, std::int32_t w, std::int32_t h, std::uint64_t swap_seed,
+                     std::int32_t greedy_max_gap) {
+    return make_built_arch(build_fabric(a, w, h, swap_seed), greedy_max_gap);
+}
+
+BuiltArch build_arch(ArchCache& cache, Arch a, std::int32_t w, std::int32_t h,
+                     std::uint64_t swap_seed, std::int32_t greedy_max_gap) {
+    return make_built_arch(cache.get(a, w, h, swap_seed), greedy_max_gap);
 }
 
 EvalConfig default_eval_config() {

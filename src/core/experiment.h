@@ -2,8 +2,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/evaluator.h"
@@ -36,19 +39,65 @@ constexpr std::array<Arch, 4> kAllArchs{Arch::kKite, Arch::kSiamMesh, Arch::kSwa
 /// paper's mapping study exercises.
 constexpr double kParamsPerChipletM = 1.0;
 
-/// One fully built architecture: topology, routes, and a mapper bound to
-/// its allocation policy (SFC-contiguous for Floret, nearest-hop greedy
-/// for the baselines). Topology and routes live on the heap because the
-/// mapper holds references to them — the struct must stay move-safe.
+/// The immutable, shareable part of a built architecture: topology, route
+/// table, and (for Floret) the SFC set. Construction is deterministic in
+/// (arch, w, h, swap_seed), so a fabric built once can back any number of
+/// concurrent evaluations — mappers and simulators hold const references
+/// into it and never mutate it.
+struct ArchFabric {
+    Arch arch = Arch::kFloret;
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+    std::uint64_t swap_seed = 13;
+    topo::Topology topology{"unbuilt"};
+    noc::RouteTable routes;
+    SfcSet sfc;  ///< Only meaningful for Floret.
+};
+
+/// Builds the shared fabric for one of the compared architectures.
+[[nodiscard]] std::shared_ptr<const ArchFabric> build_fabric(
+    Arch a, std::int32_t w, std::int32_t h, std::uint64_t swap_seed = 13);
+
+/// Thread-safe memo of ArchFabric construction keyed on
+/// (arch, w, h, swap_seed) — topology synthesis and up*/down* route-table
+/// construction dominate a sweep point's setup cost, and every point of a
+/// sweep at the same grid shares them. Concurrent requests for the same
+/// key build once; the losers block on the winner's result.
+class ArchCache {
+public:
+    [[nodiscard]] std::shared_ptr<const ArchFabric> get(Arch a, std::int32_t w,
+                                                        std::int32_t h,
+                                                        std::uint64_t swap_seed = 13);
+
+    [[nodiscard]] std::int64_t hits() const;
+    [[nodiscard]] std::int64_t misses() const;
+    void clear();
+
+private:
+    using Key = std::tuple<std::int32_t, std::int32_t, std::int32_t, std::uint64_t>;
+    struct Entry;  // fabric slot + once-flag, defined in the .cpp
+
+    mutable std::mutex mu_;
+    std::map<Key, std::shared_ptr<Entry>> entries_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+/// One fully built architecture: a (possibly shared) fabric plus a mapper
+/// bound to its allocation policy (SFC-contiguous for Floret, nearest-hop
+/// greedy for the baselines). The mapper is the only mutable state, so two
+/// BuiltArchs over the same fabric can run on different threads. The
+/// fabric lives on the heap because the mapper holds references into it —
+/// the struct must stay move-safe.
 struct BuiltArch {
     Arch arch = Arch::kFloret;
-    std::unique_ptr<topo::Topology> topology_ptr;
-    std::unique_ptr<noc::RouteTable> routes_ptr;
+    std::shared_ptr<const ArchFabric> fabric;
     std::unique_ptr<Mapper> mapper;
-    SfcSet sfc;  ///< Only meaningful for Floret.
 
-    [[nodiscard]] const topo::Topology& topology() const { return *topology_ptr; }
-    [[nodiscard]] const noc::RouteTable& routes() const { return *routes_ptr; }
+    [[nodiscard]] const topo::Topology& topology() const { return fabric->topology; }
+    [[nodiscard]] const noc::RouteTable& routes() const { return fabric->routes; }
+    /// Only meaningful for Floret.
+    [[nodiscard]] const SfcSet& sfc() const { return fabric->sfc; }
 };
 
 /// Petal count for a Floret grid: aim for petals of ~10 chiplets while
@@ -61,6 +110,15 @@ struct BuiltArch {
 [[nodiscard]] BuiltArch build_arch(Arch a, std::int32_t w, std::int32_t h,
                                    std::uint64_t swap_seed = 13,
                                    std::int32_t greedy_max_gap = -1);
+
+/// Cached variant: fabric from (or into) `cache`, fresh mapper per call.
+[[nodiscard]] BuiltArch build_arch(ArchCache& cache, Arch a, std::int32_t w,
+                                   std::int32_t h, std::uint64_t swap_seed = 13,
+                                   std::int32_t greedy_max_gap = -1);
+
+/// Wraps an already-built fabric with a fresh mapper.
+[[nodiscard]] BuiltArch make_built_arch(std::shared_ptr<const ArchFabric> fabric,
+                                        std::int32_t greedy_max_gap = -1);
 
 /// Evaluation defaults for the mix experiments: 1/64 traffic sampling and
 /// sources that offer traffic as fast as the NoI accepts it, so the drain
@@ -94,6 +152,10 @@ struct DynamicResult {
 /// the head still fails, placement constraints are relaxed so progress is
 /// always possible. Durations depend only on `seed` and queue position,
 /// so every architecture executes the identical work schedule.
+///
+/// Re-entrant: mutates only `arch.mapper` (resetting it first), so
+/// concurrent calls are safe as long as each thread owns its BuiltArch —
+/// sharing one fabric across threads is fine.
 [[nodiscard]] DynamicResult run_mix_dynamic(BuiltArch& arch,
                                             const workload::ConcurrentMix& mix,
                                             const EvalConfig& cfg,

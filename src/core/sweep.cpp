@@ -1,0 +1,66 @@
+#include "src/core/sweep.h"
+
+#include <chrono>
+
+namespace floretsim::core {
+
+std::vector<SweepPoint> SweepSpec::expand() const {
+    const std::vector<EvalConfig> eval_list =
+        evals.empty() ? std::vector<EvalConfig>{experiment::default_eval_config()}
+                      : evals;
+    std::vector<SweepPoint> points;
+    points.reserve(archs.size() * grids.size() * mixes.size() * eval_list.size());
+    for (const auto arch : archs) {
+        for (const auto& [w, h] : grids) {
+            for (const auto& mix : mixes) {
+                for (const auto& eval : eval_list) {
+                    SweepPoint p;
+                    p.arch = arch;
+                    p.width = w;
+                    p.height = h;
+                    p.mix = mix;
+                    p.eval = eval;
+                    p.swap_seed = swap_seed;
+                    p.greedy_max_gap = greedy_max_gap;
+                    p.run_seed = run_seed;
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+SweepResult SweepEngine::run(const SweepSpec& spec) {
+    auto res = run(spec.expand());
+    res.n_archs = spec.archs.size();
+    res.n_grids = spec.grids.size();
+    res.n_mixes = spec.mixes.size();
+    res.n_evals = spec.evals.empty() ? 1 : spec.evals.size();
+    return res;
+}
+
+SweepResult SweepEngine::run(const std::vector<SweepPoint>& points) {
+    const auto hits_before = cache_.hits();
+    const auto misses_before = cache_.misses();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepResult res;
+    res.rows.resize(points.size());
+    pool_.parallel_for(points.size(), [&](std::size_t i) {
+        const SweepPoint& p = points[i];
+        auto arch = experiment::build_arch(cache_, p.arch, p.width, p.height,
+                                           p.swap_seed, p.greedy_max_gap);
+        res.rows[i].point = p;
+        res.rows[i].result =
+            experiment::run_mix_dynamic(arch, res.rows[i].point.mix, p.eval, p.run_seed);
+    });
+
+    const auto t1 = std::chrono::steady_clock::now();
+    res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    res.fabric_cache_hits = cache_.hits() - hits_before;
+    res.fabric_cache_misses = cache_.misses() - misses_before;
+    return res;
+}
+
+}  // namespace floretsim::core

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/experiment.h"
+#include "src/util/thread_pool.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::core {
+
+/// Declarative parallel sweep engine for the paper's evaluation grids
+/// (architecture x grid size x workload mix x eval config). The benches
+/// describe *what* to evaluate as a SweepSpec; the engine expands it into
+/// independent points, executes them on a work-stealing thread pool with
+/// the expensive topology/route construction memoized per fabric key, and
+/// returns results in expansion order — bit-identical regardless of the
+/// thread count, because every point owns its mapper/simulator state and
+/// all randomness is seeded per point.
+
+/// One self-contained point of a sweep: everything run_mix_dynamic needs.
+struct SweepPoint {
+    experiment::Arch arch = experiment::Arch::kFloret;
+    std::int32_t width = 10;
+    std::int32_t height = 10;
+    workload::ConcurrentMix mix;
+    EvalConfig eval;
+    std::uint64_t swap_seed = 13;
+    std::int32_t greedy_max_gap = -1;
+    std::uint64_t run_seed = 1;
+};
+
+/// The sweep grid: the cartesian product archs x grids x mixes x evals.
+/// Expansion order (and therefore result order) is arch-major:
+///   for arch / for grid / for mix / for eval.
+struct SweepSpec {
+    std::vector<experiment::Arch> archs;
+    std::vector<std::pair<std::int32_t, std::int32_t>> grids{{10, 10}};
+    std::vector<workload::ConcurrentMix> mixes;
+    /// Empty selects {experiment::default_eval_config()}.
+    std::vector<EvalConfig> evals;
+    std::uint64_t swap_seed = 13;
+    std::int32_t greedy_max_gap = -1;
+    std::uint64_t run_seed = 1;
+
+    [[nodiscard]] std::vector<SweepPoint> expand() const;
+};
+
+/// One row of the result table: the point plus its dynamic-run outcome.
+struct SweepRow {
+    SweepPoint point;
+    experiment::DynamicResult result;
+};
+
+struct SweepResult {
+    /// Rows in SweepSpec::expand() order.
+    std::vector<SweepRow> rows;
+    /// Grid dimensions of the spec that produced the rows (all 1-based
+    /// sizes; zeroed when the engine ran a bare point list).
+    std::size_t n_archs = 0, n_grids = 0, n_mixes = 0, n_evals = 0;
+    double wall_seconds = 0.0;
+    std::int64_t fabric_cache_hits = 0;
+    std::int64_t fabric_cache_misses = 0;
+
+    /// Row lookup by grid coordinates (spec-driven sweeps only).
+    [[nodiscard]] const SweepRow& at(std::size_t arch_idx, std::size_t grid_idx,
+                                     std::size_t mix_idx,
+                                     std::size_t eval_idx = 0) const {
+        return rows[((arch_idx * n_grids + grid_idx) * n_mixes + mix_idx) * n_evals +
+                    eval_idx];
+    }
+};
+
+class SweepEngine {
+public:
+    /// `threads` <= 0 selects the hardware concurrency.
+    explicit SweepEngine(std::int32_t threads = 0) : pool_(threads) {}
+
+    [[nodiscard]] SweepResult run(const SweepSpec& spec);
+    [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points);
+
+    /// Generic deterministic fan-out for benches whose per-point work is
+    /// not run_mix_dynamic: evaluates fn(0..count-1) on the pool and
+    /// returns the results indexed by input position. fn must be
+    /// re-entrant; its result type must be default-constructible.
+    template <typename Fn>
+    [[nodiscard]] auto map(std::size_t count, Fn&& fn)
+        -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+        using T = std::invoke_result_t<Fn&, std::size_t>;
+        static_assert(!std::is_same_v<T, bool>,
+                      "vector<bool> packs bits: concurrent writes to adjacent "
+                      "indices would race — return a struct or int instead");
+        std::vector<T> out(count);
+        pool_.parallel_for(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /// The shared fabric cache (also usable directly by benches that only
+    /// need topologies, e.g. the structural Fig. 2 profile).
+    [[nodiscard]] experiment::ArchCache& cache() { return cache_; }
+    [[nodiscard]] std::int32_t thread_count() const { return pool_.thread_count(); }
+
+private:
+    util::ThreadPool pool_;
+    experiment::ArchCache cache_;
+};
+
+}  // namespace floretsim::core

@@ -154,6 +154,7 @@ SimResult Simulator::run() {
     for (std::size_t i = 0; i < packets.size(); ++i) flits_left[i] = packets[i].flits;
 
     std::int64_t in_flight_flits = 0;
+    std::int64_t piped_flits = 0;  ///< Subset of in-flight flits inside link pipes.
 
     while (delivered_packets < total_packets && now < cfg_.max_cycles) {
         // 1. Injection: move due packets into their source FIFO as flits.
@@ -180,6 +181,7 @@ SimResult Simulator::run() {
             while (!c.pipe.empty() && c.pipe.front().second <= now) {
                 c.fifo.push_back(c.pipe.front().first);
                 c.pipe.pop_front();
+                --piped_flits;
             }
         }
 
@@ -279,6 +281,7 @@ SimResult Simulator::run() {
             --out.credits;
             ++f.hop;
             out.pipe.emplace_back(f, now + out.delay);
+            ++piped_flits;
             ++res.router_flits[node];
             ++res.link_flits[static_cast<std::size_t>(out.link)];
             ++res.flit_hops;
@@ -286,22 +289,42 @@ SimResult Simulator::run() {
 
         ++now;
 
-        // Fast-forward across idle gaps (no flits in flight anywhere and
-        // the next injection is in the future).
-        if (in_flight_flits == 0) {
-            std::int64_t next_inject = std::numeric_limits<std::int64_t>::max();
+        const auto next_injection = [&] {
+            std::int64_t next = std::numeric_limits<std::int64_t>::max();
             for (std::size_t n = 0; n < n_nodes; ++n) {
                 if (inj_cursor[n] < per_src[n].size()) {
-                    next_inject = std::min(
-                        next_inject,
+                    next = std::min(
+                        next,
                         packets[static_cast<std::size_t>(per_src[n][inj_cursor[n]])]
                             .inject_cycle);
                 }
             }
+            return next;
+        };
+
+        // Fast-forward across idle gaps (no flits in flight anywhere and
+        // the next injection is in the future).
+        if (in_flight_flits == 0) {
+            const auto next_inject = next_injection();
             if (next_inject == std::numeric_limits<std::int64_t>::max()) {
                 break;  // nothing left anywhere
             }
             now = std::max(now, next_inject);
+        } else if (cfg_.skip_idle && in_flight_flits == piped_flits) {
+            // Skip-ahead fast path: every in-flight flit sits inside a
+            // link pipeline, so no ejection or switch allocation can
+            // happen until the earliest pipe arrival (or the next
+            // injection, if sooner) — every cycle in between is a no-op.
+            // Arrival cycles within a channel are monotone (constant
+            // delay), so each pipe's front is its earliest.
+            std::int64_t next_event = next_injection();
+            for (const auto& c : channels) {
+                if (!c.pipe.empty())
+                    next_event = std::min(next_event, c.pipe.front().second);
+            }
+            // Clamp to max_cycles so a capped run still reports the same
+            // cycle count as the reference loop.
+            now = std::max(now, std::min(next_event, cfg_.max_cycles));
         }
     }
 

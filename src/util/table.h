@@ -28,6 +28,14 @@ public:
 
     [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
+    /// Raw access for machine-readable exporters (bench --json).
+    [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+        return header_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {
+        return rows_;
+    }
+
 private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

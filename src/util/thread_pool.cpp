@@ -1,0 +1,131 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace floretsim::util {
+
+ThreadPool::ThreadPool(std::int32_t threads) {
+    if (threads <= 0) {
+        threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+        threads = std::max<std::int32_t>(1, threads);
+    }
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (std::int32_t i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<std::size_t>(threads));
+    for (std::int32_t i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    std::size_t target;
+    {
+        const std::lock_guard<std::mutex> lk(mu_);
+        target = static_cast<std::size_t>(next_++ % workers_.size());
+        ++queued_;
+        ++pending_;
+    }
+    {
+        const std::lock_guard<std::mutex> lk(workers_[target]->mu);
+        workers_[target]->jobs.push_back(std::move(task));
+    }
+    cv_work_.notify_one();
+}
+
+bool ThreadPool::acquire(std::size_t self, std::function<void()>& out) {
+    const std::size_t n = workers_.size();
+    // Own queue first (front: FIFO for locally assigned work) ...
+    {
+        Worker& w = *workers_[self];
+        const std::lock_guard<std::mutex> lk(w.mu);
+        if (!w.jobs.empty()) {
+            out = std::move(w.jobs.front());
+            w.jobs.pop_front();
+            return true;
+        }
+    }
+    // ... then steal from the back of a peer.
+    for (std::size_t k = 1; k < n; ++k) {
+        Worker& w = *workers_[(self + k) % n];
+        const std::lock_guard<std::mutex> lk(w.mu);
+        if (!w.jobs.empty()) {
+            out = std::move(w.jobs.back());
+            w.jobs.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_work_.wait(lk, [this] { return stop_ || queued_ > 0; });
+            if (stop_ && queued_ == 0) return;
+        }
+        std::function<void()> job;
+        if (!acquire(self, job)) continue;  // a peer won the race
+        {
+            const std::lock_guard<std::mutex> lk(mu_);
+            --queued_;
+        }
+        try {
+            job();
+        } catch (...) {
+            // Bare submit() tasks must not throw (see header); drop the
+            // exception rather than terminating the worker.
+        }
+        {
+            const std::lock_guard<std::mutex> lk(mu_);
+            if (--pending_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        submit([&, i] {
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lk(err_mu);
+                if (!first_error) first_error = std::current_exception();
+            }
+            if (done.fetch_add(1) + 1 == count) {
+                const std::lock_guard<std::mutex> lk(m);
+                cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done.load() == count; });
+    lk.unlock();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace floretsim::util

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace floretsim::util {
+
+/// Work-stealing thread pool behind core::SweepEngine.
+///
+/// Each worker owns a deque; submissions are distributed round-robin,
+/// workers pop their own queue from the front and steal from the back of
+/// their peers when idle. The pool is deliberately free of any
+/// task-ordering guarantees — callers that need deterministic output must
+/// make each task independent and index its result slot (which is exactly
+/// what SweepEngine and parallel_for do).
+class ThreadPool {
+public:
+    /// `threads` <= 0 selects std::thread::hardware_concurrency().
+    explicit ThreadPool(std::int32_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::int32_t thread_count() const noexcept {
+        return static_cast<std::int32_t>(threads_.size());
+    }
+
+    /// Enqueues a task. Tasks must not throw; exceptions escaping a bare
+    /// submit()ed task are swallowed to keep the worker alive (use
+    /// parallel_for for error propagation).
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished.
+    void wait_idle();
+
+    /// Runs body(0..count-1) across the pool and blocks until all indices
+    /// completed. The first exception thrown by any body is rethrown here
+    /// after the loop drains. Must not be called from inside a pool task.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+private:
+    struct Worker {
+        std::mutex mu;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void worker_loop(std::size_t self);
+    /// Pops own front, then steals a peer's back. True on success.
+    bool acquire(std::size_t self, std::function<void()>& out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_idle_;
+    std::size_t queued_ = 0;   ///< Tasks sitting in some deque.
+    std::size_t pending_ = 0;  ///< Tasks submitted and not yet finished.
+    std::uint64_t next_ = 0;   ///< Round-robin submission cursor.
+    bool stop_ = false;
+};
+
+}  // namespace floretsim::util

@@ -121,7 +121,7 @@ TEST(CostModel, EnergyRejectsMismatchedResult) {
     noc::SimResult bogus;
     bogus.router_flits.assign(3, 0);
     bogus.link_flits.assign(4, 0);
-    EXPECT_THROW(noi_energy_pj(t, bogus, p), std::invalid_argument);
+    EXPECT_THROW((void)noi_energy_pj(t, bogus, p), std::invalid_argument);
 }
 
 TEST(CostModel, LeakageOrderingFavorsSmallRouters) {

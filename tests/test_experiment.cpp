@@ -23,8 +23,8 @@ TEST(BuildArch, AllFourArchitecturesAreRoutable) {
 
 TEST(BuildArch, FloretCarriesItsSfcSet) {
     auto b = build_arch(Arch::kFloret, 10, 10);
-    EXPECT_EQ(b.sfc.lambda(), default_lambda(10, 10));
-    EXPECT_TRUE(b.sfc.covers_grid_exactly_once());
+    EXPECT_EQ(b.sfc().lambda(), default_lambda(10, 10));
+    EXPECT_TRUE(b.sfc().covers_grid_exactly_once());
 }
 
 TEST(BuildArch, MoveSafety) {

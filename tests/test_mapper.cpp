@@ -159,8 +159,11 @@ TEST(GreedyMapper, FailedTasksConsumeNothing) {
     MappingStats stats;
     const auto mapped = mapper.map_queue(tasks, &stats);
     EXPECT_GT(stats.tasks_failed, 0);
-    for (const auto& m : mapped)
-        if (!m.mapped) EXPECT_TRUE(m.nodes.empty());
+    for (const auto& m : mapped) {
+        if (!m.mapped) {
+            EXPECT_TRUE(m.nodes.empty());
+        }
+    }
     EXPECT_LE(stats.nodes_used, 16);
 }
 

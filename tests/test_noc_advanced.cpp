@@ -158,7 +158,7 @@ TEST(Saturation, ThinChainSlowerThanMeshUnderCrossTraffic) {
 }
 
 TEST(ButterflyTopologies, SimulateCleanly) {
-    for (const auto t : {topo::make_butter_donut(6, 6), topo::make_double_butterfly(6, 6)}) {
+    for (const auto& t : {topo::make_butter_donut(6, 6), topo::make_double_butterfly(6, 6)}) {
         const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
         Simulator sim(t, rt, cfg_with(4));
         util::Rng rng(8);

@@ -197,7 +197,7 @@ TEST(Accuracy, MismatchedSpansThrow) {
     ThermalAccuracyModel m;
     const std::vector<double> temps{320.0, 330.0};
     const std::vector<double> w{1.0};
-    EXPECT_THROW(m.accuracy_drop(temps, w), std::invalid_argument);
+    EXPECT_THROW((void)m.accuracy_drop(temps, w), std::invalid_argument);
 }
 
 TEST(Accuracy, PaperBandElevenPercentNearFiftyDegreesExcess) {

@@ -81,8 +81,11 @@ TEST(Routing, UpDownNeverTurnsBackUp) {
                     level[static_cast<std::size_t>(to)] < level[static_cast<std::size_t>(from)] ||
                     (level[static_cast<std::size_t>(to)] == level[static_cast<std::size_t>(from)] &&
                      to < from);
-                if (up) EXPECT_FALSE(went_down) << "up after down " << s << "->" << d;
-                if (!up) went_down = true;
+                if (up) {
+                    EXPECT_FALSE(went_down) << "up after down " << s << "->" << d;
+                } else {
+                    went_down = true;
+                }
             }
         }
     }

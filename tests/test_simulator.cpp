@@ -215,6 +215,97 @@ TEST(Simulator, ReusableAfterRun) {
     EXPECT_EQ(r2.packets, r1.packets);
 }
 
+/// Runs the same demand set with the skip-ahead fast path on and off and
+/// requires bit-identical SimResults — the skipped cycles must be no-ops.
+void expect_skip_ahead_equivalent(const topo::Topology& t, const RouteTable& rt,
+                                  const std::vector<Demand>& demands,
+                                  SimConfig cfg) {
+    cfg.skip_idle = false;
+    Simulator ref_sim(t, rt, cfg);
+    ref_sim.add_demands(demands);
+    const auto ref = ref_sim.run();
+
+    cfg.skip_idle = true;
+    Simulator fast_sim(t, rt, cfg);
+    fast_sim.add_demands(demands);
+    const auto fast = fast_sim.run();
+
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.packets, ref.packets);
+    EXPECT_EQ(fast.flits, ref.flits);
+    EXPECT_EQ(fast.flit_hops, ref.flit_hops);
+    EXPECT_EQ(fast.completed, ref.completed);
+    EXPECT_EQ(fast.packet_latency.count(), ref.packet_latency.count());
+    EXPECT_EQ(fast.packet_latency.mean(), ref.packet_latency.mean());
+    EXPECT_EQ(fast.packet_latency.max(), ref.packet_latency.max());
+    EXPECT_EQ(fast.router_flits, ref.router_flits);
+    EXPECT_EQ(fast.link_flits, ref.link_flits);
+}
+
+std::vector<Demand> sparse_demands(std::int32_t nodes, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<Demand> ds;
+    for (int i = 0; i < 40; ++i) {
+        const auto s = static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+        const auto d = static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+        if (s != d) ds.push_back({s, d, 8 * (1 + static_cast<std::int64_t>(rng.below(24)))});
+    }
+    return ds;
+}
+
+TEST(Simulator, SkipAheadMatchesReferenceOnMeshSparse) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 0.002;  // long idle gaps between packet waves
+    expect_skip_ahead_equivalent(t, rt, sparse_demands(36, 11), cfg);
+}
+
+TEST(Simulator, SkipAheadMatchesReferenceOnMeshDense) {
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 1.0;
+    cfg.input_buffer_flits = 2;  // heavy backpressure
+    expect_skip_ahead_equivalent(t, rt, sparse_demands(36, 23), cfg);
+}
+
+TEST(Simulator, SkipAheadMatchesReferenceOnFloret) {
+    const auto floret = core::make_floret(core::generate_sfc_set(8, 8, 4));
+    const auto rt = RouteTable::build(floret, RoutingPolicy::kUpDown);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 0.01;
+    expect_skip_ahead_equivalent(floret, rt, sparse_demands(64, 7), cfg);
+}
+
+TEST(Simulator, SkipAheadMatchesReferenceOnLongLinks) {
+    // Long links mean deep pipelines: many cycles where every in-flight
+    // flit is mid-link — exactly the window the fast path jumps across.
+    topo::Topology t("long", 4.0);
+    t.add_node({0, 0});
+    t.add_node({8, 0});
+    t.add_node({16, 0});
+    t.add_link(0, 1, 32.0);
+    t.add_link(1, 2, 32.0);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 0.05;
+    expect_skip_ahead_equivalent(t, rt, {{0, 2, 160}, {2, 0, 80}, {1, 2, 8}}, cfg);
+}
+
+TEST(Simulator, SkipAheadMatchesReferenceWhenCycleCapped) {
+    const auto t = topo::make_mesh(4, 4);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg = fast_cfg();
+    cfg.injection_rate = 1e-4;   // schedule stretches far beyond the cap
+    cfg.max_cycles = 5'000;
+    expect_skip_ahead_equivalent(t, rt, sparse_demands(16, 3), cfg);
+}
+
+TEST(Simulator, SkipAheadIsOnByDefault) {
+    EXPECT_TRUE(SimConfig{}.skip_idle);
+}
+
 TEST(Simulator, InjectionRateThrottlesMakespan) {
     const auto t = topo::make_mesh(4, 4);
     const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
