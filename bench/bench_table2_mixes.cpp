@@ -16,8 +16,7 @@
 int main(int argc, char** argv) {
     using namespace floretsim;
     const auto opt = bench::Options::parse(argc, argv);
-    const bool serial =
-        !opt.positional.empty() && opt.positional.front() == "--serial";
+    const bool serial = opt.serial;
     std::cout << "=== Table II: concurrent DNN task mixes (100-chiplet system) ===\n"
               << "chiplet capacity " << bench::kParamsPerChipletM
               << "M params; demand = sum of per-task packed partitions\n\n";
@@ -60,14 +59,18 @@ int main(int argc, char** argv) {
     std::size_t points = 0;
     std::int32_t threads = 1;
     if (serial) {
-        // The pre-engine path: serial loop, topologies rebuilt per point.
+        // The pre-engine path: serial loop, topologies rebuilt per point,
+        // and the cycle-by-cycle simulator (the seed had no skip-ahead
+        // fast path).
+        auto eval = spec.evals.front();
+        eval.sim.skip_idle = false;
         const auto t0 = std::chrono::steady_clock::now();
         for (const auto& mix : spec.mixes) {
             for (const auto a : spec.archs) {
                 auto b = bench::build_arch(a, 10, 10, spec.swap_seed,
                                            spec.greedy_max_gap);
                 const auto run =
-                    bench::run_mix_dynamic(b, mix, spec.evals.front(), spec.run_seed);
+                    bench::run_mix_dynamic(b, mix, eval, spec.run_seed);
                 d.add_row({mix.name, bench::arch_name(a),
                            util::TextTable::fmt(run.total_cycles / 1e3, 1),
                            util::TextTable::fmt(run.total_energy_pj / 1e6, 1),

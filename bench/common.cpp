@@ -1,15 +1,21 @@
 #include "bench/common.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 namespace floretsim::bench {
 namespace {
 
 [[noreturn]] void usage_error(const char* argv0, const std::string& msg) {
-    std::fprintf(stderr, "%s: %s\nusage: %s [--threads N] [--json PATH] [args...]\n",
+    std::fprintf(stderr,
+                 "%s: %s\nusage: %s [--threads N] [--json PATH] [--serial] [args...]\n",
                  argv0, msg.c_str(), argv0);
     std::exit(2);
 }
@@ -45,12 +51,22 @@ Options Options::parse(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--threads") {
             if (i + 1 >= argc) usage_error(argv[0], "--threads needs a value");
-            opt.threads = static_cast<std::int32_t>(std::atoi(argv[++i]));
+            const std::string_view value = argv[++i];
+            std::int32_t threads = 0;
+            const auto [ptr, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), threads);
+            if (ec != std::errc() || ptr != value.data() + value.size())
+                usage_error(argv[0], "--threads expects an integer");
+            opt.threads = threads;
         } else if (arg == "--json") {
             if (i + 1 >= argc) usage_error(argv[0], "--json needs a path");
             opt.json_path = argv[++i];
+        } else if (arg == "--serial") {
+            opt.serial = true;
         } else if (arg == "--help" || arg == "-h") {
             usage_error(argv[0], "help");
+        } else if (arg.rfind("--", 0) == 0) {
+            usage_error(argv[0], "unknown flag " + arg);
         } else {
             opt.positional.push_back(arg);
         }
@@ -68,11 +84,17 @@ void JsonReport::add_metric(const std::string& key, double value) {
 
 std::string JsonReport::to_json() const {
     std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
     os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
         if (i) os << ',';
-        os << "\n    \"" << json_escape(metrics_[i].first)
-           << "\": " << metrics_[i].second;
+        os << "\n    \"" << json_escape(metrics_[i].first) << "\": ";
+        // JSON has no nan/inf literals; emit null so anomalous runs stay
+        // parseable.
+        if (std::isfinite(metrics_[i].second))
+            os << metrics_[i].second;
+        else
+            os << "null";
     }
     os << (metrics_.empty() ? "},\n" : "\n  },\n");
     os << "  \"tables\": {";

@@ -8,8 +8,11 @@
 ///
 ///   --threads N     worker threads for the SweepEngine (0 = hardware)
 ///   --json PATH     machine-readable report alongside the printed tables
+///   --serial        run the pre-engine serial path (benches that have one)
 ///
-/// Remaining arguments stay positional (each bench documents its own).
+/// Remaining non-flag arguments stay positional (each bench documents its
+/// own); unrecognized --flags are a usage error so typos cannot silently
+/// select the wrong code path.
 
 #include <cstdint>
 #include <string>
@@ -30,6 +33,7 @@ using core::SweepSpec;
 struct Options {
     std::int32_t threads = 0;  ///< SweepEngine worker count (0 = hardware).
     std::string json_path;     ///< Empty = no JSON report.
+    bool serial = false;       ///< Use the pre-engine serial path.
     std::vector<std::string> positional;
 
     /// Parses argv; exits with a usage message on malformed flags.

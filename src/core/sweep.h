@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -70,6 +71,10 @@ struct SweepResult {
     [[nodiscard]] const SweepRow& at(std::size_t arch_idx, std::size_t grid_idx,
                                      std::size_t mix_idx,
                                      std::size_t eval_idx = 0) const {
+        if (n_evals == 0)
+            throw std::logic_error(
+                "SweepResult::at needs grid dimensions; this result came from "
+                "the bare point-list overload — index rows[] directly");
         return rows[((arch_idx * n_grids + grid_idx) * n_mixes + mix_idx) * n_evals +
                     eval_idx];
     }

@@ -156,6 +156,11 @@ SimResult Simulator::run() {
     std::int64_t in_flight_flits = 0;
     std::int64_t piped_flits = 0;  ///< Subset of in-flight flits inside link pipes.
 
+    // Switch-allocation scratch, reused across cycles (an allocation per
+    // cycle here dominates the profile on long drains).
+    std::vector<std::int8_t> channel_drained(channels.size(), 0);
+    std::vector<std::int8_t> inj_drained(n_nodes, 0);
+
     while (delivered_packets < total_packets && now < cfg_.max_cycles) {
         // 1. Injection: move due packets into their source FIFO as flits.
         for (std::size_t n = 0; n < n_nodes; ++n) {
@@ -207,8 +212,8 @@ SimResult Simulator::run() {
         // 4. Switch allocation: for every output channel pick one flit.
         // `channel_drained` / `inj_drained` enforce one flit per input
         // port per cycle across all outputs of a router.
-        std::vector<std::int8_t> channel_drained(channels.size(), 0);
-        std::vector<std::int8_t> inj_drained(n_nodes, 0);
+        std::fill(channel_drained.begin(), channel_drained.end(), 0);
+        std::fill(inj_drained.begin(), inj_drained.end(), 0);
         for (std::size_t ci = 0; ci < channels.size(); ++ci) {
             Channel& out = channels[ci];
             if (out.credits <= 0) continue;

@@ -1,7 +1,6 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace floretsim::util {
@@ -102,28 +101,29 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
     if (count == 0) return;
-    std::atomic<std::size_t> done{0};
+    // All completion state lives under `m`: the waiter cannot observe
+    // done == count (and destroy these stack locals) until the finishing
+    // task has released the lock, after which it touches nothing local.
     std::mutex m;
     std::condition_variable cv;
+    std::size_t done = 0;
     std::exception_ptr first_error;
-    std::mutex err_mu;
 
     for (std::size_t i = 0; i < count; ++i) {
         submit([&, i] {
+            std::exception_ptr error;
             try {
                 body(i);
             } catch (...) {
-                const std::lock_guard<std::mutex> lk(err_mu);
-                if (!first_error) first_error = std::current_exception();
+                error = std::current_exception();
             }
-            if (done.fetch_add(1) + 1 == count) {
-                const std::lock_guard<std::mutex> lk(m);
-                cv.notify_all();
-            }
+            const std::lock_guard<std::mutex> lk(m);
+            if (error && !first_error) first_error = error;
+            if (++done == count) cv.notify_all();
         });
     }
     std::unique_lock<std::mutex> lk(m);
-    cv.wait(lk, [&] { return done.load() == count; });
+    cv.wait(lk, [&] { return done == count; });
     lk.unlock();
     if (first_error) std::rethrow_exception(first_error);
 }
