@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                                            bench::Arch::kFloret};
     std::vector<bench::SweepPoint> points;
     for (const auto side : sides) {
-        util::Rng mix_rng(7);
+        util::Rng mix_rng(opt.seed_or(7));
         const auto mix =
             workload::random_mix(mix_rng, 3 + side, "S" + std::to_string(side));
         for (const auto arch : archs) {
@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
     report.add_table("petal_sweep", s);
     report.add_table("weight_load", wload);
     report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    bench::add_point_timing(report, sweep);
     report.write(opt);
     return 0;
 }

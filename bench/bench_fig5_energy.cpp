@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
     spec.mixes = workload::table2();
     spec.evals = {bench::default_eval_config()};
     spec.greedy_max_gap = 2;
+    spec.run_seed = opt.seed_or(spec.run_seed);
 
     bench::SweepEngine engine(opt.threads);
     const auto sweep = engine.run(spec);
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
     report.add_metric("mean_siam_over_floret", sum_siam / n);
     report.add_metric("mean_swap_over_floret", sum_swap / n);
     report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    bench::add_point_timing(report, sweep);
     report.write(opt);
     return 0;
 }

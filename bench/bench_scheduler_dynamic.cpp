@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
             core::SchedulerConfig cfg;
             cfg.slots = 4000;
             cfg.arrival_prob = loads[i / policies.size()];
+            cfg.seed = opt.seed_or(cfg.seed);
             return core::simulate_dynamic(set, policies[i % policies.size()], cfg);
         });
 

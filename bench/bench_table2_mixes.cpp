@@ -52,9 +52,11 @@ int main(int argc, char** argv) {
     spec.mixes = workload::table2();
     spec.evals = {bench::default_eval_config()};
     spec.greedy_max_gap = 2;
+    spec.run_seed = opt.seed_or(spec.run_seed);
 
     util::TextTable d({"Mix", "NoI", "Makespan (kcyc)", "Energy (uJ)", "Rounds",
                        "Completed"});
+    bench::JsonReport report("table2_mixes");
     double wall_seconds = 0.0;
     std::size_t points = 0;
     std::int32_t threads = 1;
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
         wall_seconds = sweep.wall_seconds;
         points = sweep.rows.size();
         threads = engine.thread_count();
+        bench::add_point_timing(report, sweep);
     }
 
     std::cout << "\n=== Dynamic makespan sweep (arch x mix) ===\n\n";
@@ -106,7 +109,6 @@ int main(int argc, char** argv) {
               << (serial ? "serial seed path" : "SweepEngine") << ", " << threads
               << " thread(s), " << util::TextTable::fmt(wall_seconds, 2) << " s\n";
 
-    bench::JsonReport report("table2_mixes");
     report.add_table("demand", t);
     report.add_table("dynamic_sweep", d);
     report.add_metric("sweep_wall_seconds", wall_seconds);

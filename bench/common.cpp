@@ -10,12 +10,15 @@
 #include <sstream>
 #include <string_view>
 
+#include "src/util/stats.h"
+
 namespace floretsim::bench {
 namespace {
 
 [[noreturn]] void usage_error(const char* argv0, const std::string& msg) {
     std::fprintf(stderr,
-                 "%s: %s\nusage: %s [--threads N] [--json PATH] [--serial] [args...]\n",
+                 "%s: %s\nusage: %s [--threads N] [--json PATH] [--serial] "
+                 "[--seed N] [args...]\n",
                  argv0, msg.c_str(), argv0);
     std::exit(2);
 }
@@ -61,6 +64,16 @@ Options Options::parse(int argc, char** argv) {
         } else if (arg == "--json") {
             if (i + 1 >= argc) usage_error(argv[0], "--json needs a path");
             opt.json_path = argv[++i];
+        } else if (arg == "--seed") {
+            if (i + 1 >= argc) usage_error(argv[0], "--seed needs a value");
+            const std::string_view value = argv[++i];
+            std::uint64_t seed = 0;
+            const auto [ptr, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), seed);
+            if (ec != std::errc() || ptr != value.data() + value.size())
+                usage_error(argv[0], "--seed expects a non-negative integer");
+            opt.seed = seed;
+            opt.has_seed = true;
         } else if (arg == "--serial") {
             opt.serial = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -132,6 +145,17 @@ bool JsonReport::write(const Options& opt) const {
     }
     f << to_json();
     return static_cast<bool>(f);
+}
+
+void add_point_timing(JsonReport& report, const core::SweepResult& sweep) {
+    util::RunningStats t;
+    for (const auto& row : sweep.rows) t.add(row.seconds);
+    if (t.empty()) return;
+    report.add_metric("point_seconds_min", t.min());
+    report.add_metric("point_seconds_mean", t.mean());
+    report.add_metric("point_seconds_max", t.max());
+    report.add_metric("point_imbalance",
+                      t.mean() > 0.0 ? t.max() / t.mean() : 1.0);
 }
 
 }  // namespace floretsim::bench

@@ -9,6 +9,8 @@
 ///   --threads N     worker threads for the SweepEngine (0 = hardware)
 ///   --json PATH     machine-readable report alongside the printed tables
 ///   --serial        run the pre-engine serial path (benches that have one)
+///   --seed N        override the bench's built-in experiment seed, so
+///                   stochastic benches (scheduler, serving) are replayable
 ///
 /// Remaining non-flag arguments stay positional (each bench documents its
 /// own); unrecognized --flags are a usage error so typos cannot silently
@@ -34,7 +36,14 @@ struct Options {
     std::int32_t threads = 0;  ///< SweepEngine worker count (0 = hardware).
     std::string json_path;     ///< Empty = no JSON report.
     bool serial = false;       ///< Use the pre-engine serial path.
+    std::uint64_t seed = 0;    ///< Only meaningful when has_seed.
+    bool has_seed = false;     ///< --seed was given on the command line.
     std::vector<std::string> positional;
+
+    /// The CLI seed when given, the bench's own default otherwise.
+    [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const noexcept {
+        return has_seed ? seed : fallback;
+    }
 
     /// Parses argv; exits with a usage message on malformed flags.
     static Options parse(int argc, char** argv);
@@ -68,5 +77,11 @@ private:
     std::vector<Table> tables_;
     std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Adds the per-point wall-clock spread of a sweep to the report —
+/// point_seconds_{min,mean,max} and point_imbalance (max/mean, 1.0 =
+/// perfectly balanced) — the load-balance signal for tuning how sweeps
+/// partition across workers.
+void add_point_timing(JsonReport& report, const core::SweepResult& sweep);
 
 }  // namespace floretsim::bench

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Bench smoke: run every bench binary on a tiny configuration with a
+# --json report into a temp directory, and fail on a non-zero exit or an
+# unparseable report. Catches bit-rot in rarely-run benches (and the
+# JSON emitter) without paying for full-size sweeps in CI.
+#
+#   usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -u
+
+build_dir=${1:-build}
+if [ ! -d "$build_dir" ]; then
+    echo "bench_smoke: build dir '$build_dir' not found" >&2
+    exit 2
+fi
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+# Tiny per-bench arguments. Benches without an entry run their defaults
+# (all are CI-sized); bench_micro_kernels is google-benchmark-driven and
+# has no --json contract, so it is skipped.
+tiny_args() {
+    case "$1" in
+        bench_serving_sla) echo "24 1" ;;  # requests-per-run replications
+        *) echo "" ;;
+    esac
+}
+
+fail=0
+ran=0
+for bench in "$build_dir"/bench_*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    [ "$name" = "bench_micro_kernels" ] && continue
+    json="$out_dir/$name.json"
+    # shellcheck disable=SC2046  -- word-splitting the tiny args is the point
+    if ! "$bench" --threads 2 --json "$json" $(tiny_args "$name") \
+         > "$out_dir/$name.log" 2>&1; then
+        echo "FAIL $name: non-zero exit" >&2
+        tail -20 "$out_dir/$name.log" >&2
+        fail=1
+        continue
+    fi
+    if ! python3 -m json.tool "$json" > /dev/null 2>&1; then
+        echo "FAIL $name: unparseable JSON report" >&2
+        fail=1
+        continue
+    fi
+    echo "ok   $name"
+    ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+    echo "bench_smoke: no bench binaries found in $build_dir" >&2
+    exit 2
+fi
+echo "bench_smoke: $ran benches ok"
+exit $fail

@@ -96,6 +96,10 @@ SchedulerStats simulate_dynamic(const SfcSet& set, AllocationPolicy policy,
         stats.accepted > 0 ? fragments_accum / static_cast<double>(stats.accepted) : 0.0;
     stats.mean_intra_task_gap =
         gap_samples > 0 ? gap_accum / static_cast<double>(gap_samples) : 0.0;
+    stats.final_busy_chiplets = static_cast<std::int64_t>(busy_count);
+    for (const auto& task : live)
+        stats.final_resident_footprint +=
+            static_cast<std::int64_t>(task.positions.size());
     return stats;
 }
 

@@ -41,6 +41,12 @@ struct SchedulerStats {
     /// Mean Manhattan gap between consecutive chiplets of a task's
     /// allocation (0 for path-adjacent chiplets).
     double mean_intra_task_gap = 0.0;
+    /// End-of-run accounting: chiplets still marked busy vs. the summed
+    /// footprint of still-resident tasks. Equal iff every retirement
+    /// returned exactly its allocation (the no-leak invariant the tests
+    /// pin down).
+    std::int64_t final_busy_chiplets = 0;
+    std::int64_t final_resident_footprint = 0;
 
     [[nodiscard]] double acceptance_rate() const noexcept {
         return arrived == 0 ? 0.0

@@ -48,12 +48,16 @@ SweepResult SweepEngine::run(const std::vector<SweepPoint>& points) {
     SweepResult res;
     res.rows.resize(points.size());
     pool_.parallel_for(points.size(), [&](std::size_t i) {
+        const auto p0 = std::chrono::steady_clock::now();
         const SweepPoint& p = points[i];
         auto arch = experiment::build_arch(cache_, p.arch, p.width, p.height,
                                            p.swap_seed, p.greedy_max_gap);
         res.rows[i].point = p;
         res.rows[i].result =
             experiment::run_mix_dynamic(arch, res.rows[i].point.mix, p.eval, p.run_seed);
+        res.rows[i].seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+                .count();
     });
 
     const auto t1 = std::chrono::steady_clock::now();

@@ -55,6 +55,9 @@ struct SweepSpec {
 struct SweepRow {
     SweepPoint point;
     experiment::DynamicResult result;
+    /// Wall-clock spent evaluating this point (arch build + dynamic run);
+    /// the load-balance signal benches surface in their --json reports.
+    double seconds = 0.0;
 };
 
 struct SweepResult {

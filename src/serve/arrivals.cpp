@@ -1,0 +1,132 @@
+#include "src/serve/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace floretsim::serve {
+namespace {
+
+/// Exponential variate with the given mean. uniform() is in [0, 1), so
+/// the argument of log stays in (0, 1].
+double exponential(util::Rng& rng, double mean) noexcept {
+    return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+std::int32_t pick_class(util::Rng& rng, std::span<const RequestClass> classes,
+                        double total_weight) {
+    double u = rng.uniform() * total_weight;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        u -= classes[i].weight;
+        if (u < 0.0) return static_cast<std::int32_t>(i);
+    }
+    return static_cast<std::int32_t>(classes.size() - 1);
+}
+
+}  // namespace
+
+const char* arrival_process_name(ArrivalProcess p) {
+    switch (p) {
+        case ArrivalProcess::kPoisson: return "Poisson";
+        case ArrivalProcess::kMmpp: return "MMPP";
+        case ArrivalProcess::kTrace: return "Trace";
+    }
+    return "?";
+}
+
+std::vector<RequestClass> default_request_classes() {
+    return {
+        {"interactive", {"DNN9", "DNN11", "DNN13"}, 0.6, 100'000.0},
+        {"batch", {"DNN1", "DNN3", "DNN8"}, 0.4, 500'000.0},
+    };
+}
+
+std::vector<Request> generate_requests(const ArrivalConfig& cfg,
+                                       std::span<const RequestClass> classes,
+                                       std::uint64_t seed) {
+    if (classes.empty())
+        throw std::invalid_argument("generate_requests: no request classes");
+    double total_weight = 0.0;
+    for (const auto& c : classes) {
+        if (c.workload_ids.empty())
+            throw std::invalid_argument("request class " + c.name +
+                                        " lists no workloads");
+        if (c.weight <= 0.0)
+            throw std::invalid_argument("request class " + c.name +
+                                        " needs a positive weight");
+        total_weight += c.weight;
+    }
+    if (cfg.process != ArrivalProcess::kTrace && cfg.rate_per_mcycle <= 0.0)
+        throw std::invalid_argument("arrival rate must be positive");
+    if (cfg.min_rounds < 1 || cfg.max_rounds < cfg.min_rounds)
+        throw std::invalid_argument("invalid round demand range");
+    if (!std::is_sorted(cfg.trace_cycles.begin(), cfg.trace_cycles.end()))
+        throw std::invalid_argument("trace arrival cycles must be sorted");
+
+    util::Rng rng(seed);
+    const double mean_gap = 1e6 / cfg.rate_per_mcycle;
+
+    // Arrival instants first (one stream per process), then the per-request
+    // draws, so swapping the process leaves the class/model sequence alone.
+    std::vector<double> when;
+    switch (cfg.process) {
+        case ArrivalProcess::kPoisson: {
+            double t = 0.0;
+            for (std::int64_t i = 0; i < cfg.max_requests; ++i) {
+                t += exponential(rng, mean_gap);
+                when.push_back(t);
+            }
+            break;
+        }
+        case ArrivalProcess::kMmpp: {
+            // Exact 2-state MMPP: candidate gaps at the current state's
+            // rate; a candidate beyond the state's dwell end is discarded
+            // (memorylessness) and time resumes from the switch instant.
+            double t = 0.0;
+            bool burst = false;
+            double state_end = exponential(rng, cfg.normal_dwell_cycles);
+            while (static_cast<std::int64_t>(when.size()) < cfg.max_requests) {
+                const double rate_gap =
+                    burst ? mean_gap / cfg.burst_rate_multiplier : mean_gap;
+                const double candidate = t + exponential(rng, rate_gap);
+                if (candidate > state_end) {
+                    t = state_end;
+                    burst = !burst;
+                    state_end =
+                        t + exponential(rng, burst ? cfg.burst_dwell_cycles
+                                                   : cfg.normal_dwell_cycles);
+                    continue;
+                }
+                t = candidate;
+                when.push_back(t);
+            }
+            break;
+        }
+        case ArrivalProcess::kTrace: {
+            const auto n = std::min<std::size_t>(cfg.trace_cycles.size(),
+                                                 static_cast<std::size_t>(
+                                                     cfg.max_requests));
+            when.assign(cfg.trace_cycles.begin(),
+                        cfg.trace_cycles.begin() + static_cast<std::ptrdiff_t>(n));
+            break;
+        }
+    }
+
+    std::vector<Request> out;
+    out.reserve(when.size());
+    for (std::size_t i = 0; i < when.size(); ++i) {
+        Request r;
+        r.id = static_cast<std::int64_t>(i);
+        r.arrival_cycle = when[i];
+        r.class_idx = pick_class(rng, classes, total_weight);
+        const auto& cls = classes[static_cast<std::size_t>(r.class_idx)];
+        r.workload_id = cls.workload_ids[rng.below(cls.workload_ids.size())];
+        r.rounds = static_cast<std::int32_t>(
+            rng.range(cfg.min_rounds, cfg.max_rounds));
+        r.deadline_cycle = r.arrival_cycle + cls.slo_cycles;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+}  // namespace floretsim::serve

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace floretsim::serve {
+
+/// Request-level traffic model for the serving simulator: tenants issue
+/// inference requests over continuous time (cycles of the 1 GHz NoC
+/// clock); each request names a Table I workload and a service demand in
+/// inference rounds. Streams are expanded up front and deterministically
+/// from a seed so replicated simulations are bit-identical.
+
+/// One tenant class: which models it requests, its share of the arrival
+/// stream, and the sojourn SLO its requests are judged by.
+struct RequestClass {
+    std::string name;
+    std::vector<std::string> workload_ids;  ///< Table I ids, drawn uniformly.
+    double weight = 1.0;                    ///< Relative share of arrivals.
+    double slo_cycles = 200'000.0;          ///< Arrival-to-completion deadline.
+};
+
+/// Two default tenants for the 100-chiplet system: latency-sensitive
+/// interactive traffic on the small CIFAR-class models and throughput
+/// batch traffic on the large ImageNet models.
+[[nodiscard]] std::vector<RequestClass> default_request_classes();
+
+struct Request {
+    std::int64_t id = 0;            ///< Arrival order, 0-based.
+    double arrival_cycle = 0.0;
+    std::int32_t class_idx = 0;     ///< Index into the class list.
+    std::string workload_id;        ///< Table I id ("DNN1"...).
+    std::int32_t rounds = 1;        ///< Inference passes the request needs.
+    double deadline_cycle = 0.0;    ///< arrival + class SLO.
+};
+
+enum class ArrivalProcess {
+    kPoisson,  ///< Memoryless open-loop traffic at a constant mean rate.
+    kMmpp,     ///< 2-state Markov-modulated Poisson process (bursty).
+    kTrace,    ///< Replay of explicit recorded arrival cycles.
+};
+
+[[nodiscard]] const char* arrival_process_name(ArrivalProcess p);
+
+struct ArrivalConfig {
+    ArrivalProcess process = ArrivalProcess::kPoisson;
+    /// Mean offered load, arrivals per 1e6 cycles (MMPP: rate of the
+    /// normal state; the long-run mean is higher by the burst share).
+    double rate_per_mcycle = 50.0;
+    /// MMPP burst state: rate multiplier and exponential mean dwells.
+    double burst_rate_multiplier = 4.0;
+    double normal_dwell_cycles = 400'000.0;
+    double burst_dwell_cycles = 100'000.0;
+    /// kTrace: explicit non-decreasing arrival cycles to replay.
+    std::vector<double> trace_cycles;
+    /// Stream length (kTrace streams are additionally capped by the trace).
+    std::int64_t max_requests = 200;
+    /// Per-request service demand range, inference rounds.
+    std::int32_t min_rounds = 1;
+    std::int32_t max_rounds = 3;
+};
+
+/// Expands the arrival config into a concrete request stream, sorted by
+/// arrival cycle. Class choice is weight-proportional, the model uniform
+/// within the class, and the round demand uniform in [min, max] rounds —
+/// all drawn from one generator, so the stream is deterministic in
+/// (cfg, classes, seed) and identical across admission policies.
+/// Throws std::invalid_argument on an empty/invalid class list or an
+/// unsorted trace.
+[[nodiscard]] std::vector<Request> generate_requests(
+    const ArrivalConfig& cfg, std::span<const RequestClass> classes,
+    std::uint64_t seed);
+
+}  // namespace floretsim::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/experiment.h"
+#include "src/serve/arrivals.h"
+
+namespace floretsim::serve {
+
+/// Discrete-event, request-level serving simulator on top of the
+/// experiment stack: requests arrive over continuous time, queue under an
+/// admission policy, occupy a chiplet run via the architecture's mapper
+/// (model residency, as in core::simulate_dynamic), execute their
+/// inference rounds, and release. Round duration is the evaluate_noi
+/// drain latency of the *current* resident set (frozen at round start)
+/// plus the request's own PIM compute time; resident-set evaluations are
+/// memoized, so successive rounds under unchanged residency never
+/// re-simulate the NoC. Everything is deterministic in the config seed.
+
+enum class AdmissionPolicy {
+    kFifo,              ///< Strict arrival order; the head blocks the line.
+    kEarliestDeadline,  ///< Queue ordered by SLA deadline (ties by id).
+    kRejectOnFull,      ///< FIFO, but arrivals beyond max_queue bounce.
+};
+
+[[nodiscard]] const char* admission_policy_name(AdmissionPolicy p);
+
+struct ServeConfig {
+    ArrivalConfig arrivals;
+    /// Tenant classes; empty selects default_request_classes().
+    std::vector<RequestClass> classes;
+    AdmissionPolicy admission = AdmissionPolicy::kFifo;
+    std::size_t max_queue = 64;  ///< Only enforced by kRejectOnFull.
+    core::EvalConfig eval;       ///< NoI evaluation settings.
+    double params_per_chiplet_m = core::experiment::kParamsPerChipletM;
+    std::uint64_t seed = 1;      ///< Drives arrivals and service demands.
+};
+
+/// Serving defaults: the experiment eval config (1/64 traffic sampling),
+/// so serving latencies live on the same scale as the Table II batch
+/// numbers. Serve's own knob so the layers can diverge independently.
+[[nodiscard]] ServeConfig default_serve_config();
+
+struct ClassServeStats {
+    std::string name;
+    std::int64_t arrived = 0;
+    std::int64_t completed = 0;
+    std::int64_t violations = 0;  ///< Late completions + rejections.
+};
+
+/// Aggregate outcome of one serving run.
+struct ServeStats {
+    std::int64_t arrived = 0;
+    std::int64_t admitted = 0;
+    std::int64_t completed = 0;
+    /// Bounced requests: queue overflow (kRejectOnFull) or a request no
+    /// placement can satisfy even on an idle system.
+    std::int64_t rejected = 0;
+    std::int64_t sla_violations = 0;  ///< Late completions + rejections.
+    double makespan_cycles = 0.0;     ///< Last event time.
+    double throughput_per_mcycle = 0.0;  ///< Completions per 1e6 cycles.
+    double mean_utilization = 0.0;    ///< Time-weighted busy-chiplet share.
+    double mean_queue_depth = 0.0;    ///< Time-weighted.
+    std::int64_t peak_queue_depth = 0;
+    double mean_wait_cycles = 0.0;    ///< Arrival -> admission, admitted only.
+    /// Sojourn (arrival -> completion) statistics over completed requests;
+    /// percentiles from the streaming P2 sketch in util::stats.
+    double mean_latency_cycles = 0.0;
+    double p50_latency_cycles = 0.0;
+    double p95_latency_cycles = 0.0;
+    double p99_latency_cycles = 0.0;
+    /// NoI evaluation economy: rounds scheduled vs. resident-set cache hits.
+    std::int64_t noi_rounds = 0;
+    std::int64_t noi_cache_hits = 0;
+    /// False only if the event-count safety guard tripped (a bug, not a
+    /// workload property — every request normally completes or bounces).
+    bool drained = true;
+    std::vector<ClassServeStats> per_class;
+
+    [[nodiscard]] double sla_violation_rate() const noexcept {
+        return arrived == 0 ? 0.0
+                            : static_cast<double>(sla_violations) /
+                                  static_cast<double>(arrived);
+    }
+};
+
+/// Runs the serving simulation to completion (every generated request is
+/// either completed or rejected). Re-entrant in the run_mix_dynamic sense:
+/// mutates only `arch.mapper` (resetting it first), so concurrent calls
+/// are safe when each thread owns its BuiltArch.
+[[nodiscard]] ServeStats serve_requests(core::experiment::BuiltArch& arch,
+                                        const ServeConfig& cfg);
+
+}  // namespace floretsim::serve

@@ -58,6 +58,76 @@ double percentile(std::vector<double> samples, double q) {
     return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
 
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {}
+
+void P2Quantile::add(double x) noexcept {
+    if (n_ < 5) {
+        height_[n_++] = x;
+        if (n_ == 5) {
+            std::sort(height_.begin(), height_.end());
+            for (std::size_t i = 0; i < 5; ++i)
+                pos_[i] = static_cast<double>(i) + 1.0;
+            desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+        }
+        return;
+    }
+
+    // Locate the cell containing x, extending the extremes when it falls
+    // outside the current marker range.
+    std::size_t cell = 0;
+    if (x < height_[0]) {
+        height_[0] = x;
+    } else if (x >= height_[4]) {
+        height_[4] = x;
+        cell = 3;
+    } else {
+        while (cell < 3 && x >= height_[cell + 1]) ++cell;
+    }
+    ++n_;
+    for (std::size_t i = cell + 1; i < 5; ++i) pos_[i] += 1.0;
+    const auto np = static_cast<double>(n_);
+    desired_[1] = 1.0 + (np - 1.0) * q_ / 2.0;
+    desired_[2] = 1.0 + (np - 1.0) * q_;
+    desired_[3] = 1.0 + (np - 1.0) * (1.0 + q_) / 2.0;
+    desired_[4] = np;
+
+    // Nudge each interior marker one position toward its desired spot,
+    // preferring the parabolic height update and falling back to linear
+    // when the parabola would break marker monotonicity.
+    for (std::size_t i = 1; i <= 3; ++i) {
+        const double d = desired_[i] - pos_[i];
+        if (!((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+              (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)))
+            continue;
+        const double s = d >= 0.0 ? 1.0 : -1.0;
+        const double parabolic =
+            height_[i] +
+            s / (pos_[i + 1] - pos_[i - 1]) *
+                ((pos_[i] - pos_[i - 1] + s) * (height_[i + 1] - height_[i]) /
+                     (pos_[i + 1] - pos_[i]) +
+                 (pos_[i + 1] - pos_[i] - s) * (height_[i] - height_[i - 1]) /
+                     (pos_[i] - pos_[i - 1]));
+        if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+            height_[i] = parabolic;
+        } else {
+            const std::size_t adj = s > 0.0 ? i + 1 : i - 1;
+            height_[i] += s * (height_[adj] - height_[i]) / (pos_[adj] - pos_[i]);
+        }
+        pos_[i] += s;
+    }
+}
+
+double P2Quantile::value() const {
+    if (n_ == 0) return 0.0;
+    if (n_ >= 5) return height_[2];
+    std::array<double, 5> sorted = height_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n_));
+    const double p = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(p);
+    const std::size_t hi = std::min(lo + 1, n_ - 1);
+    return sorted[lo] + (p - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
 void Histogram::add(std::size_t key, std::uint64_t weight) {
     if (key >= bins_.size()) bins_.resize(key + 1, 0);
     bins_[key] += weight;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -42,6 +43,33 @@ private:
 /// statistics). `q` in [0, 1]. Sorts a copy; intended for end-of-run
 /// reporting, not hot paths.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac, CACM
+/// 1985). Tracks one quantile of an unbounded stream in O(1) memory with
+/// five markers whose heights are adjusted by piecewise-parabolic
+/// interpolation; exact while fewer than five samples have been seen.
+/// Deterministic — the estimate depends only on the insertion sequence —
+/// so it is safe for bit-identical replicated simulations. Used by the
+/// serving simulator for p50/p95/p99 request-latency tails.
+class P2Quantile {
+public:
+    /// `q` in [0, 1], e.g. 0.99 for the p99.
+    explicit P2Quantile(double q);
+
+    void add(double x) noexcept;
+
+    /// Current estimate of the tracked quantile; 0 if empty.
+    [[nodiscard]] double value() const;
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double quantile() const noexcept { return q_; }
+
+private:
+    double q_;
+    std::size_t n_ = 0;
+    std::array<double, 5> height_{};   ///< Marker heights (sample values).
+    std::array<double, 5> pos_{};      ///< Actual marker positions, 1-based.
+    std::array<double, 5> desired_{};  ///< Desired marker positions.
+};
 
 /// Histogram over non-negative integer keys (e.g. router port counts,
 /// hop counts). Dense up to the largest key observed.

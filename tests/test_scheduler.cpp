@@ -71,6 +71,61 @@ TEST(Scheduler, HigherLoadLowersAcceptance) {
     EXPECT_GT(h.mean_utilization, l.mean_utilization);
 }
 
+TEST(Scheduler, NoChipletLeakAfterRetirement) {
+    // Every retirement must return exactly the chiplets it held: at the end
+    // of the run the busy count equals the footprint of the still-resident
+    // tasks, under both policies and across load levels.
+    const auto set = generate_sfc_set(10, 10, 4);
+    for (const auto policy :
+         {AllocationPolicy::kSfcFirstFit, AllocationPolicy::kScattered}) {
+        for (const double load : {0.1, 0.4, 0.8}) {
+            SchedulerConfig cfg = quick_cfg();
+            cfg.arrival_prob = load;
+            const auto s = simulate_dynamic(set, policy, cfg);
+            EXPECT_EQ(s.final_busy_chiplets, s.final_resident_footprint)
+                << "policy " << static_cast<int>(policy) << " load " << load;
+            EXPECT_LE(s.final_busy_chiplets, 100);
+        }
+    }
+}
+
+TEST(Scheduler, AcceptanceRateMonotoneInArrivalProb) {
+    // More offered load can only depress the acceptance rate: the ladder
+    // must be non-increasing (long runs keep the comparison out of noise).
+    const auto set = generate_sfc_set(10, 10, 4);
+    double prev = 1.0;
+    for (const double load : {0.05, 0.2, 0.5, 0.9}) {
+        SchedulerConfig cfg = quick_cfg();
+        cfg.slots = 4000;
+        cfg.arrival_prob = load;
+        const auto s = simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, cfg);
+        EXPECT_LE(s.acceptance_rate(), prev + 1e-12) << "load " << load;
+        prev = s.acceptance_rate();
+    }
+}
+
+TEST(Scheduler, SfcFragmentationNeverWorseAcrossSeedsAndLoads) {
+    // The Section II ordering claim, swept instead of spot-checked: at
+    // every (seed, load) cell the SFC first-fit allocation is at least as
+    // contiguous as scattered allocation on the identical arrival stream.
+    const auto set = generate_sfc_set(10, 10, 4);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+        for (const double load : {0.2, 0.5, 0.8}) {
+            SchedulerConfig cfg = quick_cfg();
+            cfg.seed = seed;
+            cfg.arrival_prob = load;
+            const auto sfc =
+                simulate_dynamic(set, AllocationPolicy::kSfcFirstFit, cfg);
+            const auto scat =
+                simulate_dynamic(set, AllocationPolicy::kScattered, cfg);
+            EXPECT_LE(sfc.mean_fragments_per_task, scat.mean_fragments_per_task)
+                << "seed " << seed << " load " << load;
+            EXPECT_LE(sfc.mean_intra_task_gap, scat.mean_intra_task_gap)
+                << "seed " << seed << " load " << load;
+        }
+    }
+}
+
 TEST(Scheduler, TasksEventuallyRelease) {
     // With arrivals stopped after a while (short run, short durations),
     // utilization stays bounded away from saturation.

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/serve/sweep.h"
+#include "src/util/stats.h"
+
+namespace floretsim::serve {
+namespace {
+
+using core::experiment::Arch;
+
+/// Small, fast serving scenario: CIFAR-class models on a 6x6 fabric,
+/// loaded hard enough to queue.
+ServeConfig quick_cfg() {
+    ServeConfig cfg = default_serve_config();
+    cfg.eval.traffic_scale = 1.0 / 256.0;  // keep tests quick
+    cfg.classes = {
+        {"tight", {"DNN11", "DNN13"}, 0.5, 30'000.0},
+        {"loose", {"DNN9", "DNN10"}, 0.5, 200'000.0},
+    };
+    cfg.arrivals.rate_per_mcycle = 600.0;
+    cfg.arrivals.max_requests = 25;
+    cfg.seed = 5;
+    return cfg;
+}
+
+void expect_identical(const ServeStats& a, const ServeStats& b) {
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.sla_violations, b.sla_violations);
+    EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+    EXPECT_EQ(a.throughput_per_mcycle, b.throughput_per_mcycle);
+    EXPECT_EQ(a.mean_utilization, b.mean_utilization);
+    EXPECT_EQ(a.mean_queue_depth, b.mean_queue_depth);
+    EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+    EXPECT_EQ(a.mean_wait_cycles, b.mean_wait_cycles);
+    EXPECT_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+    EXPECT_EQ(a.p50_latency_cycles, b.p50_latency_cycles);
+    EXPECT_EQ(a.p95_latency_cycles, b.p95_latency_cycles);
+    EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
+    EXPECT_EQ(a.noi_rounds, b.noi_rounds);
+    EXPECT_EQ(a.noi_cache_hits, b.noi_cache_hits);
+    ASSERT_EQ(a.per_class.size(), b.per_class.size());
+    for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+        EXPECT_EQ(a.per_class[c].arrived, b.per_class[c].arrived);
+        EXPECT_EQ(a.per_class[c].completed, b.per_class[c].completed);
+        EXPECT_EQ(a.per_class[c].violations, b.per_class[c].violations);
+    }
+}
+
+// ------------------------------------------------------------------ arrivals
+
+TEST(Arrivals, DeterministicAndSorted) {
+    const auto classes = default_request_classes();
+    ArrivalConfig cfg;
+    cfg.max_requests = 50;
+    const auto a = generate_requests(cfg, classes, 9);
+    const auto b = generate_requests(cfg, classes, 9);
+    ASSERT_EQ(a.size(), 50u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_cycle, b[i].arrival_cycle);
+        EXPECT_EQ(a[i].workload_id, b[i].workload_id);
+        EXPECT_EQ(a[i].rounds, b[i].rounds);
+        if (i) EXPECT_GE(a[i].arrival_cycle, a[i - 1].arrival_cycle);
+        EXPECT_GT(a[i].deadline_cycle, a[i].arrival_cycle);
+    }
+    const auto c = generate_requests(cfg, classes, 10);
+    EXPECT_NE(a.front().arrival_cycle, c.front().arrival_cycle);
+}
+
+TEST(Arrivals, MmppIsSortedAndBurstier) {
+    const auto classes = default_request_classes();
+    ArrivalConfig cfg;
+    cfg.max_requests = 400;
+    ArrivalConfig mmpp = cfg;
+    mmpp.process = ArrivalProcess::kMmpp;
+    const auto poisson = generate_requests(cfg, classes, 3);
+    const auto bursty = generate_requests(mmpp, classes, 3);
+    ASSERT_EQ(bursty.size(), 400u);
+    EXPECT_TRUE(std::is_sorted(bursty.begin(), bursty.end(),
+                               [](const Request& a, const Request& b) {
+                                   return a.arrival_cycle < b.arrival_cycle;
+                               }));
+    // Squared-coefficient-of-variation of the gaps: MMPP > Poisson.
+    const auto scv = [](const std::vector<Request>& rs) {
+        util::RunningStats gaps;
+        for (std::size_t i = 1; i < rs.size(); ++i)
+            gaps.add(rs[i].arrival_cycle - rs[i - 1].arrival_cycle);
+        return gaps.variance() / (gaps.mean() * gaps.mean());
+    };
+    EXPECT_GT(scv(bursty), scv(poisson));
+}
+
+TEST(Arrivals, TraceReplaysGivenCycles) {
+    const auto classes = default_request_classes();
+    ArrivalConfig cfg;
+    cfg.process = ArrivalProcess::kTrace;
+    cfg.trace_cycles = {10.0, 250.0, 250.0, 4000.0};
+    cfg.max_requests = 3;  // caps the replay
+    const auto reqs = generate_requests(cfg, classes, 1);
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(reqs[0].arrival_cycle, 10.0);
+    EXPECT_EQ(reqs[1].arrival_cycle, 250.0);
+    EXPECT_EQ(reqs[2].arrival_cycle, 250.0);
+}
+
+TEST(Arrivals, RejectsInvalidConfigs) {
+    const auto classes = default_request_classes();
+    ArrivalConfig cfg;
+    EXPECT_THROW((void)generate_requests(cfg, {}, 1), std::invalid_argument);
+    cfg.rate_per_mcycle = 0.0;
+    EXPECT_THROW((void)generate_requests(cfg, classes, 1), std::invalid_argument);
+    cfg.rate_per_mcycle = 10.0;
+    cfg.trace_cycles = {5.0, 1.0};
+    EXPECT_THROW((void)generate_requests(cfg, classes, 1), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- simulator
+
+TEST(Serve, EveryRequestCompletesOrBounces) {
+    auto arch = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto s = serve_requests(arch, quick_cfg());
+    EXPECT_TRUE(s.drained);
+    EXPECT_EQ(s.arrived, 25);
+    EXPECT_EQ(s.arrived, s.completed + s.rejected);
+    EXPECT_EQ(s.admitted, s.completed);
+    EXPECT_GT(s.mean_utilization, 0.0);
+    EXPECT_LE(s.mean_utilization, 1.0);
+    EXPECT_LE(s.p50_latency_cycles, s.p95_latency_cycles);
+    EXPECT_LE(s.p95_latency_cycles, s.p99_latency_cycles);
+    EXPECT_GT(s.makespan_cycles, 0.0);
+    std::int64_t class_completed = 0;
+    for (const auto& c : s.per_class) class_completed += c.completed;
+    EXPECT_EQ(class_completed, s.completed);
+}
+
+TEST(Serve, RepeatedRunsWithSameSeedAreIdentical) {
+    const auto cfg = quick_cfg();
+    auto arch_a = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    auto arch_b = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto a = serve_requests(arch_a, cfg);
+    const auto b = serve_requests(arch_b, cfg);
+    expect_identical(a, b);
+    // And a reused arch: serve_requests resets the mapper first.
+    const auto c = serve_requests(arch_a, cfg);
+    expect_identical(a, c);
+}
+
+TEST(Serve, ResidentSetCacheFiresOnRepeatedRounds) {
+    auto cfg = quick_cfg();
+    cfg.arrivals.min_rounds = 2;
+    cfg.arrivals.max_rounds = 3;
+    auto arch = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto s = serve_requests(arch, cfg);
+    EXPECT_GT(s.noi_rounds, 0);
+    EXPECT_GT(s.noi_cache_hits, 0);
+    EXPECT_LT(s.noi_cache_hits, s.noi_rounds);
+}
+
+TEST(Serve, RejectOnFullBoundsTheQueue) {
+    auto cfg = quick_cfg();
+    cfg.arrivals.rate_per_mcycle = 50'000.0;  // slam the queue
+    cfg.arrivals.min_rounds = 2;
+    cfg.admission = AdmissionPolicy::kRejectOnFull;
+    cfg.max_queue = 2;
+    auto arch = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto s = serve_requests(arch, cfg);
+    EXPECT_GT(s.rejected, 0);
+    EXPECT_LE(s.peak_queue_depth, 2);
+    EXPECT_EQ(s.arrived, s.completed + s.rejected);
+    // Same stream, unbounded FIFO: nothing bounces, the queue grows past
+    // the bound, and every rejection above was an SLA violation.
+    cfg.admission = AdmissionPolicy::kFifo;
+    auto arch2 = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto f = serve_requests(arch2, cfg);
+    EXPECT_EQ(f.rejected, 0);
+    EXPECT_EQ(f.completed, f.arrived);
+    EXPECT_GT(f.peak_queue_depth, 2);
+    EXPECT_GE(s.sla_violations, s.rejected);
+}
+
+TEST(Serve, EarliestDeadlineFavorsTheTightClass) {
+    // Under overload, serving tight-SLO requests first must not violate
+    // *more* of them than arrival-order admission does on the same stream.
+    auto cfg = quick_cfg();
+    cfg.arrivals.rate_per_mcycle = 2000.0;
+    cfg.arrivals.max_requests = 30;
+    auto arch_fifo = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto fifo = serve_requests(arch_fifo, cfg);
+    cfg.admission = AdmissionPolicy::kEarliestDeadline;
+    auto arch_edf = core::experiment::build_arch(Arch::kFloret, 6, 6);
+    const auto edf = serve_requests(arch_edf, cfg);
+    EXPECT_EQ(fifo.arrived, edf.arrived);
+    EXPECT_EQ(fifo.per_class[0].arrived, edf.per_class[0].arrived);
+    EXPECT_LE(edf.per_class[0].violations, fifo.per_class[0].violations);
+}
+
+// -------------------------------------------------------- engine replication
+
+TEST(ServeSweep, BitIdenticalAcrossThreadCounts) {
+    ServeSpec spec;
+    spec.arch = Arch::kFloret;
+    spec.width = 6;
+    spec.height = 6;
+    spec.config = quick_cfg();
+    spec.replications = 4;
+    spec.base_seed = 11;
+
+    std::vector<std::vector<ServeStats>> runs;
+    for (const std::int32_t threads : {1, 2, 8}) {
+        core::SweepEngine engine(threads);
+        runs.push_back(run_replications(engine, spec));
+    }
+    const auto& ref = runs.front();
+    ASSERT_EQ(ref.size(), 4u);
+    for (const auto& run : runs) {
+        ASSERT_EQ(run.size(), ref.size());
+        for (std::size_t r = 0; r < ref.size(); ++r)
+            expect_identical(run[r], ref[r]);
+    }
+    // Replications use distinct seeds, so they are genuinely different runs.
+    EXPECT_NE(ref[0].makespan_cycles, ref[1].makespan_cycles);
+}
+
+TEST(ServeSweep, ReplicationsMatchDirectCalls) {
+    ServeSpec spec;
+    spec.arch = Arch::kSiamMesh;
+    spec.width = 6;
+    spec.height = 6;
+    spec.config = quick_cfg();
+    spec.replications = 2;
+    spec.base_seed = 3;
+    core::SweepEngine engine(4);
+    const auto runs = run_replications(engine, spec);
+    ASSERT_EQ(runs.size(), 2u);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        auto arch = core::experiment::build_arch(Arch::kSiamMesh, 6, 6);
+        ServeConfig cfg = spec.config;
+        cfg.seed = spec.base_seed + r;
+        const auto direct = serve_requests(arch, cfg);
+        expect_identical(direct, runs[r]);
+    }
+}
+
+TEST(ServeSweep, AggregateWeighsReplications) {
+    ServeStats a;
+    a.arrived = 10;
+    a.completed = 10;
+    a.p95_latency_cycles = 100.0;
+    a.throughput_per_mcycle = 50.0;
+    ServeStats b;
+    b.arrived = 10;
+    b.completed = 8;
+    b.rejected = 2;
+    b.sla_violations = 2;
+    b.p95_latency_cycles = 300.0;
+    b.throughput_per_mcycle = 30.0;
+    const std::vector<ServeStats> runs{a, b};
+    const auto agg = aggregate(runs);
+    EXPECT_EQ(agg.arrived, 20);
+    EXPECT_EQ(agg.completed, 18);
+    EXPECT_DOUBLE_EQ(agg.p95_latency_cycles, 200.0);
+    EXPECT_DOUBLE_EQ(agg.mean_throughput_per_mcycle, 40.0);
+    EXPECT_DOUBLE_EQ(agg.sla_violation_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace floretsim::serve

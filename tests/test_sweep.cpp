@@ -182,6 +182,19 @@ TEST(SweepEngine, MatchesDirectSerialEvaluation) {
     }
 }
 
+TEST(SweepEngine, RowsCarryPerPointTiming) {
+    SweepEngine engine(2);
+    const auto sweep = engine.run(small_spec());
+    double total = 0.0;
+    for (const auto& row : sweep.rows) {
+        EXPECT_GE(row.seconds, 0.0);
+        total += row.seconds;
+    }
+    // The points did real work, so at least one row saw the clock move.
+    EXPECT_GT(total, 0.0);
+    EXPECT_GT(sweep.wall_seconds, 0.0);
+}
+
 TEST(SweepEngine, FabricCacheIsSharedAcrossPoints) {
     auto spec = small_spec();
     spec.mixes = workload::table2();  // 5 mixes x 2 archs, but only 2 fabrics

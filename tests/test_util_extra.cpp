@@ -4,6 +4,8 @@
 
 #include "src/dnn/model_zoo.h"
 #include "src/pim/partitioner.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
 #include "src/util/table.h"
 
 namespace floretsim {
@@ -66,6 +68,49 @@ TEST(PipelinePeriod, BottleneckIsTheMaxSegment) {
         max_seg = std::max(max_seg, pim::layer_compute_latency_ns(
                                         net.layer(seg.layer_id), seg.chiplets(), rc));
     EXPECT_DOUBLE_EQ(period, max_seg);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+    util::P2Quantile q(0.5);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0);
+    q.add(3.0);
+    EXPECT_DOUBLE_EQ(q.value(), 3.0);
+    q.add(1.0);
+    q.add(2.0);
+    // Below five samples the estimate is the exact interpolated median.
+    EXPECT_DOUBLE_EQ(q.value(), 2.0);
+    EXPECT_EQ(q.count(), 3u);
+}
+
+TEST(P2Quantile, TracksStreamQuantilesOfUniformNoise) {
+    util::Rng rng(77);
+    util::P2Quantile p50(0.5), p95(0.95), p99(0.99);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform(0.0, 1000.0);
+        samples.push_back(x);
+        p50.add(x);
+        p95.add(x);
+        p99.add(x);
+    }
+    // The sketch tracks the exact order statistics within a few percent of
+    // the value range.
+    EXPECT_NEAR(p50.value(), util::percentile(samples, 0.50), 25.0);
+    EXPECT_NEAR(p95.value(), util::percentile(samples, 0.95), 25.0);
+    EXPECT_NEAR(p99.value(), util::percentile(samples, 0.99), 25.0);
+    EXPECT_LT(p50.value(), p95.value());
+    EXPECT_LT(p95.value(), p99.value());
+}
+
+TEST(P2Quantile, DeterministicForIdenticalStreams) {
+    util::Rng rng_a(5), rng_b(5);
+    util::P2Quantile a(0.9), b(0.9);
+    for (int i = 0; i < 1000; ++i) {
+        a.add(rng_a.normal(10.0, 2.0));
+        b.add(rng_b.normal(10.0, 2.0));
+    }
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_EQ(a.count(), b.count());
 }
 
 TEST(PipelinePeriod, MoreChipletsShortenThePeriod) {
