@@ -58,12 +58,12 @@ void BM_SimulatorDrain(benchmark::State& state) {
 }
 
 /// Sparse single-flit packets on slow interposer wires: most simulated
-/// cycles find every in-flight flit mid-pipe with all router FIFOs empty.
-/// With skip_idle the cycle loop jumps straight to the next arrival or
-/// injection; the reference loop steps each of them. Same SimResult
-/// either way.
+/// cycles find every in-flight flit mid-pipe or blocked on credits. The
+/// event-horizon core proves those cycles no-ops and jumps straight to the
+/// next arrival or injection; the reference loop steps each of them. Same
+/// SimResult either way.
 void BM_SimulatorSparse(benchmark::State& state) {
-    const bool skip = state.range(0) != 0;
+    const bool horizon = state.range(0) != 0;
     const auto t = topo::make_mesh(10, 10);
     const auto rt = noc::RouteTable::build(t, noc::RoutingPolicy::kShortestPath);
     std::int64_t cycles = 0;
@@ -71,7 +71,7 @@ void BM_SimulatorSparse(benchmark::State& state) {
         noc::SimConfig cfg;
         cfg.injection_rate = 0.001;
         cfg.mm_per_cycle = 0.25;  // 18-cycle hops: deep link pipelines
-        cfg.skip_idle = skip;
+        cfg.core = horizon ? noc::SimCore::kEventHorizon : noc::SimCore::kReference;
         noc::Simulator sim(t, rt, cfg);
         util::Rng rng(5);
         for (int i = 0; i < 30; ++i) {

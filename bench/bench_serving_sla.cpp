@@ -74,8 +74,9 @@ int main(int argc, char** argv) {
 
     bench::SweepEngine engine(opt.threads);
     const auto n_reps = static_cast<std::size_t>(replications);
+    std::vector<double> point_seconds;
     const auto runs =
-        engine.map(cells.size() * n_reps, [&](std::size_t i) {
+        engine.timed_map(cells.size() * n_reps, [&](std::size_t i) {
             const Cell& cell = cells[i / n_reps];
             // Same contiguity budget as the Table II study: baselines fail
             // a placement when fragmentation scatters it, Floret spills
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
             cfg.arrivals.rate_per_mcycle = loads[cell.load_idx];
             cfg.seed = base_seed + i % n_reps;
             return serve::serve_requests(arch, cfg);
-        });
+        }, point_seconds);
 
     util::TextTable t({"NoI", "Load (req/Mcyc)", "Delivered", "p50 (kcyc)",
                        "p95 (kcyc)", "p99 (kcyc)", "Util", "Queue", "SLA viol"});
@@ -134,6 +135,34 @@ int main(int argc, char** argv) {
                               "_knee_load",
                           knee[a]);
     }
+    // Simulator fast-path economy across the whole grid: how much simulated
+    // time the event-horizon core proved no-op, and how many rounds the
+    // resident-set memo absorbed without touching the simulator at all.
+    std::int64_t stepped = 0, skipped = 0, jumps = 0, rounds = 0, hits = 0;
+    for (const auto& s : runs) {
+        stepped += s.sim_cycles_stepped;
+        skipped += s.sim_cycles_skipped;
+        jumps += s.sim_horizon_jumps;
+        rounds += s.noi_rounds;
+        hits += s.noi_cache_hits;
+    }
+    const double skip_fraction =
+        stepped + skipped > 0
+            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
+            : 0.0;
+    std::cout << "\nSimulator: " << stepped << " cycles stepped, " << skipped
+              << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
+              << "% of simulated time) in " << jumps << " horizon jumps; "
+              << rounds << " NoI rounds, " << hits
+              << " served from the resident-set cache\n";
+    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
+    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
+    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
+    report.add_metric("sim_skip_fraction", skip_fraction);
+    report.add_metric("noi_rounds", static_cast<double>(rounds));
+    report.add_metric("noi_cache_hits", static_cast<double>(hits));
+    bench::add_point_timing(report, point_seconds);
+
     std::cout << "\nShape: contiguity-preserving mappers hold the latency "
                  "tail flat deeper into the load sweep; the knee is where "
                  "queueing delay overwhelms the SLO budget.\n";

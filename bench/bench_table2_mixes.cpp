@@ -60,12 +60,24 @@ int main(int argc, char** argv) {
     double wall_seconds = 0.0;
     std::size_t points = 0;
     std::int32_t threads = 1;
+    // Fast-path economy summed over all points: simulator cycles actually
+    // stepped vs. proven no-op and skipped by the event-horizon core, plus
+    // whole rounds served by the unchanged-residency epoch cache.
+    std::int64_t stepped = 0, skipped = 0, jumps = 0, evals = 0, epoch_hits = 0;
+    const auto tally = [&](const bench::DynamicResult& run) {
+        stepped += run.sim_cycles_stepped;
+        skipped += run.sim_cycles_skipped;
+        jumps += run.sim_horizon_jumps;
+        evals += run.noi_evals;
+        epoch_hits += run.round_epoch_hits;
+    };
     if (serial) {
         // The pre-engine path: serial loop, topologies rebuilt per point,
-        // and the cycle-by-cycle simulator (the seed had no skip-ahead
-        // fast path).
+        // the cycle-by-cycle reference simulator (the seed had no
+        // event-horizon core), and no round epoch cache.
         auto eval = spec.evals.front();
-        eval.sim.skip_idle = false;
+        eval.sim.core = noc::SimCore::kReference;
+        eval.round_epoch_cache = false;
         const auto t0 = std::chrono::steady_clock::now();
         for (const auto& mix : spec.mixes) {
             for (const auto a : spec.archs) {
@@ -78,6 +90,7 @@ int main(int argc, char** argv) {
                            util::TextTable::fmt(run.total_energy_pj / 1e6, 1),
                            std::to_string(run.rounds),
                            run.all_completed ? "yes" : "NO"});
+                tally(run);
                 ++points;
             }
         }
@@ -95,6 +108,7 @@ int main(int argc, char** argv) {
                            util::TextTable::fmt(row.result.total_energy_pj / 1e6, 1),
                            std::to_string(row.result.rounds),
                            row.result.all_completed ? "yes" : "NO"});
+                tally(row.result);
             }
         }
         wall_seconds = sweep.wall_seconds;
@@ -105,15 +119,30 @@ int main(int argc, char** argv) {
 
     std::cout << "\n=== Dynamic makespan sweep (arch x mix) ===\n\n";
     d.print(std::cout);
+    const double skip_fraction =
+        stepped + skipped > 0
+            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
+            : 0.0;
     std::cout << "\nSweep: " << points << " points, "
               << (serial ? "serial seed path" : "SweepEngine") << ", " << threads
-              << " thread(s), " << util::TextTable::fmt(wall_seconds, 2) << " s\n";
+              << " thread(s), " << util::TextTable::fmt(wall_seconds, 2) << " s\n"
+              << "Simulator: " << stepped << " cycles stepped, " << skipped
+              << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
+              << "% of simulated time) in " << jumps << " horizon jumps; "
+              << evals << " NoI evals, " << epoch_hits
+              << " rounds reused by the residency epoch cache\n";
 
     report.add_table("demand", t);
     report.add_table("dynamic_sweep", d);
     report.add_metric("sweep_wall_seconds", wall_seconds);
     report.add_metric("sweep_threads", threads);
     report.add_metric("sweep_serial", serial ? 1.0 : 0.0);
+    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
+    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
+    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
+    report.add_metric("sim_skip_fraction", skip_fraction);
+    report.add_metric("noi_evals", static_cast<double>(evals));
+    report.add_metric("round_epoch_hits", static_cast<double>(epoch_hits));
     report.write(opt);
     return 0;
 }

@@ -148,8 +148,15 @@ bool JsonReport::write(const Options& opt) const {
 }
 
 void add_point_timing(JsonReport& report, const core::SweepResult& sweep) {
+    std::vector<double> seconds;
+    seconds.reserve(sweep.rows.size());
+    for (const auto& row : sweep.rows) seconds.push_back(row.seconds);
+    add_point_timing(report, seconds);
+}
+
+void add_point_timing(JsonReport& report, std::span<const double> point_seconds) {
     util::RunningStats t;
-    for (const auto& row : sweep.rows) t.add(row.seconds);
+    for (const double s : point_seconds) t.add(s);
     if (t.empty()) return;
     report.add_metric("point_seconds_min", t.min());
     report.add_metric("point_seconds_mean", t.mean());

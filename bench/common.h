@@ -17,6 +17,7 @@
 /// select the wrong code path.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,5 +84,7 @@ private:
 /// perfectly balanced) — the load-balance signal for tuning how sweeps
 /// partition across workers.
 void add_point_timing(JsonReport& report, const core::SweepResult& sweep);
+/// Same signal for SweepEngine::timed_map fan-outs.
+void add_point_timing(JsonReport& report, std::span<const double> point_seconds);
 
 }  // namespace floretsim::bench

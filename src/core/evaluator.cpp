@@ -85,6 +85,9 @@ EvalResult evaluate_noi(const topo::Topology& topo, const noc::RouteTable& route
     res.flit_hops = s.flit_hops;
     res.packets = s.packets;
     res.completed = s.completed;
+    res.sim_cycles_stepped = s.cycles_stepped;
+    res.sim_cycles_skipped = s.cycles_skipped;
+    res.sim_horizon_jumps = s.horizon_jumps;
     return res;
 }
 

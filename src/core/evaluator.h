@@ -30,6 +30,12 @@ struct EvalConfig {
     /// ablation bench quantifies its one-time cost.
     bool include_weight_load = false;
     topo::NodeId io_node = 0;  ///< Where weights enter the interposer.
+    /// Round-based runners (experiment::run_mix_dynamic): when the resident
+    /// task set is unchanged between successive rounds, reuse the previous
+    /// round's NoI evaluation instead of re-simulating. evaluate_noi is
+    /// deterministic in its inputs, so results are bit-identical either way
+    /// (pinned by tests); off forces a fresh simulation every round.
+    bool round_epoch_cache = true;
 };
 
 /// Aggregate NoI metrics for one workload mapping (one Fig. 3/5 bar).
@@ -40,6 +46,12 @@ struct EvalResult {
     std::int64_t flit_hops = 0;
     std::int64_t packets = 0;
     bool completed = false;
+    /// Simulator-engine work statistics (noc::SimResult passthrough):
+    /// cycles the selected SimCore actually executed vs. proved no-op and
+    /// jumped over. Engine-dependent — not part of the semantic result.
+    std::int64_t sim_cycles_stepped = 0;
+    std::int64_t sim_cycles_skipped = 0;
+    std::int64_t sim_horizon_jumps = 0;
 };
 
 /// Dataflow (pipeline) traffic of one mapped task, the paper's model:

@@ -141,6 +141,15 @@ struct DynamicResult {
     std::int64_t rounds = 0;
     std::int64_t task_rounds = 0;  ///< Sum of resident counts over rounds.
     bool all_completed = true;
+    /// NoI-evaluation economy: rounds that ran the wormhole simulator vs.
+    /// rounds served by the unchanged-residency epoch cache
+    /// (EvalConfig::round_epoch_cache), plus the simulator-engine work
+    /// statistics summed over the rounds that did simulate.
+    std::int64_t noi_evals = 0;
+    std::int64_t round_epoch_hits = 0;
+    std::int64_t sim_cycles_stepped = 0;
+    std::int64_t sim_cycles_skipped = 0;
+    std::int64_t sim_horizon_jumps = 0;
 };
 
 /// Executes a Table II mix the way the paper describes Section II's

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -105,6 +106,24 @@ public:
         std::vector<T> out(count);
         pool_.parallel_for(count, [&](std::size_t i) { out[i] = fn(i); });
         return out;
+    }
+
+    /// map() variant that also records per-point wall-clock into `seconds`
+    /// (resized to `count`): the point_seconds_* load-balance signal for
+    /// benches whose per-point work is bespoke rather than run_mix_dynamic.
+    template <typename Fn>
+    [[nodiscard]] auto timed_map(std::size_t count, Fn&& fn,
+                                 std::vector<double>& seconds)
+        -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+        seconds.assign(count, 0.0);
+        return map(count, [&](std::size_t i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto r = fn(i);
+            seconds[i] = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            return r;
+        });
     }
 
     /// The shared fabric cache (also usable directly by benches that only

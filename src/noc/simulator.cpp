@@ -1,16 +1,25 @@
 #include "src/noc/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace floretsim::noc {
 namespace {
 
 using topo::LinkId;
 using topo::NodeId;
+
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
 
 struct Packet {
     std::int32_t id = -1;
@@ -35,17 +44,433 @@ struct Channel {
     NodeId to = -1;
     LinkId link = -1;
     std::int32_t delay = 1;
-    std::int32_t credits = 0;                      ///< Space left downstream.
+    std::int32_t credits = 0;                        ///< Space left downstream.
     std::deque<std::pair<Flit, std::int64_t>> pipe;  ///< (flit, arrival cycle).
-    std::deque<Flit> fifo;                         ///< Downstream input buffer.
+    std::deque<Flit> fifo;                           ///< Downstream input buffer.
+};
+
+/// Head-flit request table entries: what a source FIFO's head flit asks of
+/// the switch this cycle. Non-negative values are output channel indices.
+constexpr std::int32_t kRequestNone = -2;   ///< Source FIFO is empty.
+constexpr std::int32_t kRequestEject = -1;  ///< Head flit is at its destination.
+
+/// Process-wide core override, parsed once: lets CI (and ad-hoc debugging)
+/// force every simulation onto one engine without touching configs.
+std::optional<SimCore> core_env_override() {
+    static const std::optional<SimCore> parsed = []() -> std::optional<SimCore> {
+        const char* s = std::getenv("FLORETSIM_SIM_CORE");
+        if (s == nullptr || *s == '\0') return std::nullopt;
+        const std::string_view sv(s);
+        if (sv == "reference") return SimCore::kReference;
+        if (sv == "event-horizon" || sv == "event_horizon")
+            return SimCore::kEventHorizon;
+        std::fprintf(stderr,
+                     "floretsim: ignoring unknown FLORETSIM_SIM_CORE='%s' "
+                     "(expected 'reference' or 'event-horizon')\n",
+                     s);
+        return std::nullopt;
+    }();
+    return parsed;
+}
+
+/// One simulation run, restructured from the former monolithic loop into an
+/// explicit per-router/per-channel state model:
+///   - per-cycle phases (inject, deliver, eject, allocate) in step();
+///   - a head-flit request table rebuilt each stepped cycle, shared by the
+///     switch allocator and the event-horizon no-op proof;
+///   - a lazy next-event query over link-pipe fronts and injection
+///     schedules, paid only when a jump is attempted.
+///
+/// The event-horizon core exploits one theorem about this model: if a
+/// stepped cycle ejects nothing and allocates nothing, the network state is
+/// a fixed point — credits, locks, round-robin pointers and every FIFO are
+/// unchanged, because all of them mutate only through ejection or
+/// allocation. The only exogenous events are link-pipe arrivals and source
+/// injections, so every cycle before the earliest of those is provably a
+/// no-op and time can jump straight to it. Credit returns need no separate
+/// horizon term: a credit is returned exactly when a downstream ejection or
+/// allocation fires, which the fixed point has ruled out until new flits
+/// land. verify_quiet() cross-checks the fixed point against the request
+/// table in debug builds: every waiting head flit must be blocked on a
+/// zero-credit output or on a wormhole lock owned by another packet.
+class Engine {
+public:
+    Engine(const topo::Topology& topo, const RouteTable& routes, const SimConfig& cfg,
+           const std::vector<Demand>& demands)
+        : cfg_(cfg),
+          horizon_(cfg.core == SimCore::kEventHorizon),
+          n_nodes_(static_cast<std::size_t>(topo.node_count())) {
+        // --- Directed channels: 2 per link, indexed from both endpoints.
+        channels_.reserve(topo.links().size() * 2);
+        in_channels_.resize(n_nodes_);
+        out_channels_.resize(n_nodes_);
+        for (const auto& l : topo.links()) {
+            const auto delay = std::max<std::int32_t>(
+                1, static_cast<std::int32_t>(std::lround(l.length_mm / cfg_.mm_per_cycle))) +
+                               cfg_.router_delay_cycles;
+            for (const auto& [from, to] : {std::pair{l.a, l.b}, std::pair{l.b, l.a}}) {
+                Channel c;
+                c.from = from;
+                c.to = to;
+                c.link = l.id;
+                c.delay = delay;
+                c.credits = cfg_.input_buffer_flits;
+                const auto idx = static_cast<std::int32_t>(channels_.size());
+                channels_.push_back(std::move(c));
+                in_channels_[static_cast<std::size_t>(to)].push_back(idx);
+                out_channels_[static_cast<std::size_t>(from)].push_back(idx);
+            }
+        }
+
+        // --- Packetize demands and build per-node injection schedules.
+        for (const auto& d : demands) {
+            const auto total_flits = std::max<std::int64_t>(
+                1, (d.bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes);
+            std::int64_t remaining = total_flits;
+            while (remaining > 0) {
+                const auto take = static_cast<std::int32_t>(
+                    std::min<std::int64_t>(remaining, cfg_.max_packet_flits));
+                Packet p;
+                p.id = static_cast<std::int32_t>(packets_.size());
+                p.src = d.src;
+                p.dst = d.dst;
+                p.flits = take;
+                p.path = &routes.route(d.src, d.dst);
+                if (p.path->size() < 2)
+                    throw std::logic_error("no route for demand " + std::to_string(d.src) +
+                                           "->" + std::to_string(d.dst));
+                packets_.push_back(p);
+                remaining -= take;
+            }
+        }
+
+        // Round-robin interleave packets of each source across the
+        // injection window implied by the configured injection rate.
+        per_src_.resize(n_nodes_);
+        for (const auto& p : packets_)
+            per_src_[static_cast<std::size_t>(p.src)].push_back(p.id);
+        for (std::size_t n = 0; n < n_nodes_; ++n) {
+            const double rate = std::max(1e-9, cfg_.injection_rate);
+            double cursor = 0.0;
+            for (const auto pid : per_src_[n]) {
+                auto& p = packets_[static_cast<std::size_t>(pid)];
+                p.inject_cycle = static_cast<std::int64_t>(cursor);
+                cursor += static_cast<double>(p.flits) / rate;
+            }
+            std::sort(per_src_[n].begin(), per_src_[n].end(),
+                      [&](std::int32_t a, std::int32_t b) {
+                          return packets_[static_cast<std::size_t>(a)].inject_cycle <
+                                 packets_[static_cast<std::size_t>(b)].inject_cycle;
+                      });
+        }
+        inj_cursor_.assign(n_nodes_, 0);
+        inj_fifo_.resize(n_nodes_);
+
+        // --- Arbiter and scratch state.
+        lock_.assign(channels_.size(), -1);
+        rr_.assign(channels_.size(), 0);
+        inj_request_.assign(n_nodes_, kRequestNone);
+        ch_request_.assign(channels_.size(), kRequestNone);
+        channel_drained_.assign(channels_.size(), 0);
+        inj_drained_.assign(n_nodes_, 0);
+
+        res_.router_flits.assign(n_nodes_, 0);
+        res_.link_flits.assign(topo.links().size(), 0);
+        total_packets_ = static_cast<std::int64_t>(packets_.size());
+    }
+
+    SimResult run() {
+        std::int64_t now = 0;
+        while (delivered_packets_ < total_packets_ && now < cfg_.max_cycles) {
+            const bool active = step(now);
+            ++now;
+            ++res_.cycles_stepped;
+
+            // Fast-forward decision. The reference core only jumps the
+            // trivially-sound idle gaps (nothing in flight anywhere); the
+            // event-horizon core additionally jumps after any quiet cycle
+            // (see the class comment for the proof). Keeping the idle rule
+            // in the horizon core matters: it fires even when the final
+            // ejection made the cycle active, so the horizon core never
+            // steps a cycle the reference loop would have skipped.
+            const bool quiet = in_flight_flits_ == 0 || (horizon_ && !active);
+            if (!quiet) continue;
+            const std::int64_t next_inject = next_injection();
+            const std::int64_t next_event =
+                horizon_ ? std::min(next_inject, earliest_arrival()) : next_inject;
+            if (in_flight_flits_ == 0 && next_event == kNever)
+                break;  // nothing left anywhere
+            // Clamp to max_cycles so a capped run reports the same cycle
+            // count as stepping to the cap would (next_event may be kNever
+            // here when every in-flight flit is wedged: the jump then burns
+            // the remaining budget exactly like the reference loop does).
+            const std::int64_t target =
+                std::max(now, std::min(next_event, cfg_.max_cycles));
+            if (target > now) {
+                res_.cycles_skipped += target - now;
+                ++res_.horizon_jumps;
+                now = target;
+            }
+        }
+        res_.cycles = now;
+        res_.packets = delivered_packets_;
+        res_.completed = delivered_packets_ == total_packets_;
+        return std::move(res_);
+    }
+
+private:
+    /// One cycle of the reference semantics. Returns whether the ejection
+    /// or allocation phase moved any flit — false means the network state
+    /// is a fixed point until the next pipe arrival or injection.
+    bool step(const std::int64_t now) {
+        // 1. Injection: move due packets into their source FIFO as flits.
+        for (std::size_t n = 0; n < n_nodes_; ++n) {
+            while (inj_cursor_[n] < per_src_[n].size()) {
+                const auto pid = per_src_[n][inj_cursor_[n]];
+                const auto& p = packets_[static_cast<std::size_t>(pid)];
+                if (p.inject_cycle > now) break;
+                for (std::int32_t f = 0; f < p.flits; ++f) {
+                    Flit fl;
+                    fl.packet = pid;
+                    fl.hop = 0;
+                    fl.head = (f == 0);
+                    fl.tail = (f == p.flits - 1);
+                    inj_fifo_[n].push_back(fl);
+                    ++in_flight_flits_;
+                }
+                ++inj_cursor_[n];
+            }
+        }
+
+        // 2. Link pipelines: deliver arrived flits into downstream FIFOs.
+        for (auto& c : channels_) {
+            while (!c.pipe.empty() && c.pipe.front().second <= now) {
+                c.fifo.push_back(c.pipe.front().first);
+                c.pipe.pop_front();
+            }
+        }
+        // 3. Ejection: flits at their destination leave the network (one
+        // per input port per cycle), returning credit to the channel that
+        // delivered them.
+        bool ejected = false;
+        for (auto& c : channels_) {
+            if (c.fifo.empty()) continue;
+            const Flit& f = c.fifo.front();
+            const auto& p = packets_[static_cast<std::size_t>(f.packet)];
+            if ((*p.path)[static_cast<std::size_t>(f.hop)] != p.dst) continue;
+            if (f.tail) {
+                ++delivered_packets_;
+                res_.packet_latency.add(static_cast<double>(now - p.inject_cycle));
+            }
+            ++res_.flits;
+            --in_flight_flits_;
+            c.fifo.pop_front();
+            ++c.credits;
+            ejected = true;
+        }
+
+        // 4. Switch allocation over the head-flit request table.
+        refresh_requests();
+        const bool allocated = allocate(now);
+
+#ifndef NDEBUG
+        if (horizon_ && !ejected && !allocated) verify_quiet();
+#endif
+        return ejected || allocated;
+    }
+
+    /// Rebuilds the head-flit request table from the current FIFO fronts.
+    /// Entries of sources drained later in the same cycle go stale, but the
+    /// allocator's one-flit-per-input-per-cycle guard keeps them unread.
+    void refresh_requests() {
+        for (std::size_t n = 0; n < n_nodes_; ++n)
+            inj_request_[n] = request_of(inj_fifo_[n]);
+        for (std::size_t ci = 0; ci < channels_.size(); ++ci)
+            ch_request_[ci] = request_of(channels_[ci].fifo);
+    }
+
+    [[nodiscard]] std::int32_t request_of(const std::deque<Flit>& fifo) const {
+        if (fifo.empty()) return kRequestNone;
+        const Flit& f = fifo.front();
+        const auto& p = packets_[static_cast<std::size_t>(f.packet)];
+        const auto& path = *p.path;
+        const auto pos = static_cast<std::size_t>(f.hop);
+        if (path[pos] == p.dst) return kRequestEject;
+        const NodeId next = path[pos + 1];
+        for (const auto ci : out_channels_[static_cast<std::size_t>(path[pos])])
+            if (channels_[static_cast<std::size_t>(ci)].to == next) return ci;
+        assert(false && "route step without a matching channel");
+        return kRequestNone;
+    }
+
+    /// For every output channel pick one flit: wormhole continuation for
+    /// locked outputs, round-robin arbitration over requesting head flits
+    /// otherwise. `channel_drained_` / `inj_drained_` enforce one flit per
+    /// input port per cycle across all outputs of a router.
+    bool allocate(const std::int64_t now) {
+        std::fill(channel_drained_.begin(), channel_drained_.end(), 0);
+        std::fill(inj_drained_.begin(), inj_drained_.end(), 0);
+        bool any = false;
+        for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+            Channel& out = channels_[ci];
+            if (out.credits <= 0) continue;
+            const auto node = static_cast<std::size_t>(out.from);
+            const auto& ins = in_channels_[node];
+            const auto n_sources = ins.size() + 1;
+            const auto out_req = static_cast<std::int32_t>(ci);
+
+            // Source 0 is the node's injection FIFO; source s >= 1 is the
+            // FIFO of incoming channel ins[s - 1].
+            auto fifo_of = [&](std::size_t s) -> std::deque<Flit>& {
+                return s == 0 ? inj_fifo_[node]
+                              : channels_[static_cast<std::size_t>(ins[s - 1])].fifo;
+            };
+            auto request_at = [&](std::size_t s) -> std::int32_t {
+                return s == 0 ? inj_request_[node]
+                              : ch_request_[static_cast<std::size_t>(ins[s - 1])];
+            };
+            auto source_free = [&](std::size_t s) -> bool {
+                return s == 0 ? inj_drained_[node] == 0
+                              : channel_drained_[static_cast<std::size_t>(ins[s - 1])] == 0;
+            };
+
+            std::int32_t chosen = -1;  // source index
+            if (lock_[ci] >= 0) {
+                // Wormhole continuation: only the owner packet may use the
+                // output; find the source whose head flit belongs to it.
+                for (std::size_t s = 0; s < n_sources; ++s) {
+                    if (!source_free(s) || request_at(s) != out_req) continue;
+                    if (fifo_of(s).front().packet != lock_[ci]) continue;
+                    chosen = static_cast<std::int32_t>(s);
+                    break;
+                }
+            } else {
+                // New allocation: round-robin over head flits requesting us.
+                for (std::size_t k = 0; k < n_sources; ++k) {
+                    const std::size_t s = (rr_[ci] + k) % n_sources;
+                    if (!source_free(s) || request_at(s) != out_req) continue;
+                    if (!fifo_of(s).front().head) continue;
+                    chosen = static_cast<std::int32_t>(s);
+                    rr_[ci] = static_cast<std::uint32_t>(s + 1);
+                    break;
+                }
+            }
+            if (chosen < 0) continue;
+
+            any = true;
+            auto& fifo = fifo_of(static_cast<std::size_t>(chosen));
+            Flit f = fifo.front();
+            fifo.pop_front();
+            if (chosen > 0) {
+                // Credit back to the upstream channel we drained.
+                const auto up =
+                    static_cast<std::size_t>(ins[static_cast<std::size_t>(chosen) - 1]);
+                ++channels_[up].credits;
+                channel_drained_[up] = 1;
+            } else {
+                inj_drained_[node] = 1;
+            }
+            lock_[ci] = f.tail ? -1 : f.packet;
+            --out.credits;
+            ++f.hop;
+            out.pipe.emplace_back(f, now + out.delay);
+            ++res_.router_flits[node];
+            ++res_.link_flits[static_cast<std::size_t>(out.link)];
+            ++res_.flit_hops;
+        }
+        return any;
+    }
+
+    /// Earliest cycle at which any packet still waits to inject.
+    [[nodiscard]] std::int64_t next_injection() const {
+        std::int64_t next = kNever;
+        for (std::size_t n = 0; n < n_nodes_; ++n) {
+            if (inj_cursor_[n] < per_src_[n].size()) {
+                next = std::min(
+                    next, packets_[static_cast<std::size_t>(per_src_[n][inj_cursor_[n]])]
+                              .inject_cycle);
+            }
+        }
+        return next;
+    }
+
+    /// Earliest link-pipe arrival still in flight. Arrival cycles within a
+    /// channel are monotone (constant per-channel delay), so each pipe's
+    /// front is its earliest and an O(channels) scan is exact. Evaluated
+    /// lazily — only when a quiet cycle attempts a jump — so the allocator
+    /// hot path carries no event-queue bookkeeping.
+    [[nodiscard]] std::int64_t earliest_arrival() const {
+        std::int64_t next = kNever;
+        for (const auto& c : channels_)
+            if (!c.pipe.empty()) next = std::min(next, c.pipe.front().second);
+        return next;
+    }
+
+#ifndef NDEBUG
+    /// Debug cross-check of the no-op proof: on a quiet cycle every waiting
+    /// head flit must be blocked on a zero-credit output or on a wormhole
+    /// lock owned by another packet (a body flit's output lock is always
+    /// owned by its own packet, and ejectable flits cannot wait — the
+    /// ejection phase drains them unconditionally).
+    void verify_quiet() const {
+        const auto blocked = [&](std::int32_t req, const std::deque<Flit>& fifo) {
+            if (req == kRequestNone) return true;
+            if (req == kRequestEject) return false;  // would have ejected
+            const auto& out = channels_[static_cast<std::size_t>(req)];
+            const auto owner = lock_[static_cast<std::size_t>(req)];
+            if (out.credits <= 0) return true;                  // blocked on credit
+            return owner >= 0 && owner != fifo.front().packet;  // blocked on lock
+        };
+        for (std::size_t n = 0; n < n_nodes_; ++n)
+            assert(blocked(inj_request_[n], inj_fifo_[n]));
+        for (std::size_t ci = 0; ci < channels_.size(); ++ci)
+            assert(blocked(ch_request_[ci], channels_[ci].fifo));
+    }
+#endif
+
+    const SimConfig& cfg_;
+    const bool horizon_;
+    const std::size_t n_nodes_;
+
+    std::vector<Channel> channels_;
+    /// in_channels_[n] / out_channels_[n]: channels whose FIFO sits at /
+    /// whose upstream router is node n.
+    std::vector<std::vector<std::int32_t>> in_channels_;
+    std::vector<std::vector<std::int32_t>> out_channels_;
+
+    std::vector<Packet> packets_;
+    std::vector<std::vector<std::int32_t>> per_src_;  ///< Injection schedules.
+    std::vector<std::size_t> inj_cursor_;
+    std::vector<std::deque<Flit>> inj_fifo_;
+
+    std::vector<std::int32_t> lock_;  ///< Wormhole owner per output channel.
+    std::vector<std::uint32_t> rr_;   ///< Round-robin pointer per output.
+    std::vector<std::int32_t> inj_request_;  ///< Request table: injection FIFOs.
+    std::vector<std::int32_t> ch_request_;   ///< Request table: channel FIFOs.
+    std::vector<std::int8_t> channel_drained_;
+    std::vector<std::int8_t> inj_drained_;
+
+    SimResult res_;
+    std::int64_t total_packets_ = 0;
+    std::int64_t delivered_packets_ = 0;
+    std::int64_t in_flight_flits_ = 0;
 };
 
 }  // namespace
+
+const char* sim_core_name(SimCore c) {
+    switch (c) {
+        case SimCore::kReference: return "reference";
+        case SimCore::kEventHorizon: return "event-horizon";
+    }
+    return "?";
+}
 
 Simulator::Simulator(const topo::Topology& topo, const RouteTable& routes, SimConfig cfg)
     : topo_(topo), routes_(routes), cfg_(cfg) {
     if (topo.node_count() != routes.node_count())
         throw std::invalid_argument("route table built for a different topology");
+    if (const auto forced = core_env_override()) cfg_.core = *forced;
 }
 
 void Simulator::add_demand(const Demand& d) {
@@ -61,282 +486,9 @@ void Simulator::add_demands(const std::vector<Demand>& ds) {
 }
 
 SimResult Simulator::run() {
-    const auto n_nodes = static_cast<std::size_t>(topo_.node_count());
-
-    // --- Build directed channels: 2 per link, plus per-node injection
-    // queues (unbounded source FIFO) and ejection sinks.
-    std::vector<Channel> channels;
-    channels.reserve(topo_.links().size() * 2);
-    // in_channels[n] = indices of channels whose downstream FIFO sits at n.
-    std::vector<std::vector<std::int32_t>> in_channels(n_nodes);
-
-    for (const auto& l : topo_.links()) {
-        const auto delay = std::max<std::int32_t>(
-            1, static_cast<std::int32_t>(std::lround(l.length_mm / cfg_.mm_per_cycle))) +
-                           cfg_.router_delay_cycles;
-        for (const auto& [from, to] : {std::pair{l.a, l.b}, std::pair{l.b, l.a}}) {
-            Channel c;
-            c.from = from;
-            c.to = to;
-            c.link = l.id;
-            c.delay = delay;
-            c.credits = cfg_.input_buffer_flits;
-            const auto idx = static_cast<std::int32_t>(channels.size());
-            channels.push_back(std::move(c));
-            in_channels[static_cast<std::size_t>(to)].push_back(idx);
-        }
-    }
-
-    // --- Packetize demands and build per-node injection schedules.
-    std::vector<Packet> packets;
-    for (const auto& d : demands_) {
-        const auto total_flits = std::max<std::int64_t>(
-            1, (d.bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes);
-        std::int64_t remaining = total_flits;
-        while (remaining > 0) {
-            const auto take =
-                static_cast<std::int32_t>(std::min<std::int64_t>(remaining, cfg_.max_packet_flits));
-            Packet p;
-            p.id = static_cast<std::int32_t>(packets.size());
-            p.src = d.src;
-            p.dst = d.dst;
-            p.flits = take;
-            p.path = &routes_.route(d.src, d.dst);
-            if (p.path->size() < 2)
-                throw std::logic_error("no route for demand " + std::to_string(d.src) +
-                                       "->" + std::to_string(d.dst));
-            packets.push_back(p);
-            remaining -= take;
-        }
-    }
+    Engine engine(topo_, routes_, cfg_, demands_);
     demands_.clear();
-
-    // Round-robin interleave packets of each source across the injection
-    // window implied by the configured injection rate.
-    std::vector<std::vector<std::int32_t>> per_src(n_nodes);
-    for (const auto& p : packets) per_src[static_cast<std::size_t>(p.src)].push_back(p.id);
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-        const double rate = std::max(1e-9, cfg_.injection_rate);
-        double cursor = 0.0;
-        for (const auto pid : per_src[n]) {
-            packets[static_cast<std::size_t>(pid)].inject_cycle =
-                static_cast<std::int64_t>(cursor);
-            cursor += static_cast<double>(packets[static_cast<std::size_t>(pid)].flits) / rate;
-        }
-    }
-
-    // Per-node injection FIFO of flits, pre-expanded lazily: we keep a
-    // cursor into the packet list sorted by inject time.
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-        std::sort(per_src[n].begin(), per_src[n].end(),
-                  [&](std::int32_t a, std::int32_t b) {
-                      return packets[static_cast<std::size_t>(a)].inject_cycle <
-                             packets[static_cast<std::size_t>(b)].inject_cycle;
-                  });
-    }
-    std::vector<std::size_t> inj_cursor(n_nodes, 0);
-    std::vector<std::deque<Flit>> inj_fifo(n_nodes);
-
-    // --- Arbiter state.
-    // Output lock: which packet currently owns each channel (wormhole).
-    std::vector<std::int32_t> lock(channels.size(), -1);
-    // Round-robin pointer per channel over its router's input sources.
-    std::vector<std::uint32_t> rr(channels.size(), 0);
-
-    SimResult res;
-    res.router_flits.assign(n_nodes, 0);
-    res.link_flits.assign(topo_.links().size(), 0);
-
-    std::int64_t now = 0;
-    std::int64_t delivered_packets = 0;
-    const auto total_packets = static_cast<std::int64_t>(packets.size());
-    std::vector<std::int32_t> flits_left(packets.size());
-    for (std::size_t i = 0; i < packets.size(); ++i) flits_left[i] = packets[i].flits;
-
-    std::int64_t in_flight_flits = 0;
-    std::int64_t piped_flits = 0;  ///< Subset of in-flight flits inside link pipes.
-
-    // Switch-allocation scratch, reused across cycles (an allocation per
-    // cycle here dominates the profile on long drains).
-    std::vector<std::int8_t> channel_drained(channels.size(), 0);
-    std::vector<std::int8_t> inj_drained(n_nodes, 0);
-
-    while (delivered_packets < total_packets && now < cfg_.max_cycles) {
-        // 1. Injection: move due packets into their source FIFO as flits.
-        for (std::size_t n = 0; n < n_nodes; ++n) {
-            while (inj_cursor[n] < per_src[n].size()) {
-                const auto pid = per_src[n][inj_cursor[n]];
-                const auto& p = packets[static_cast<std::size_t>(pid)];
-                if (p.inject_cycle > now) break;
-                for (std::int32_t f = 0; f < p.flits; ++f) {
-                    Flit fl;
-                    fl.packet = pid;
-                    fl.hop = 0;
-                    fl.head = (f == 0);
-                    fl.tail = (f == p.flits - 1);
-                    inj_fifo[n].push_back(fl);
-                    ++in_flight_flits;
-                }
-                ++inj_cursor[n];
-            }
-        }
-
-        // 2. Link pipelines: deliver arrived flits into downstream FIFOs.
-        for (auto& c : channels) {
-            while (!c.pipe.empty() && c.pipe.front().second <= now) {
-                c.fifo.push_back(c.pipe.front().first);
-                c.pipe.pop_front();
-                --piped_flits;
-            }
-        }
-
-        // 3. Ejection: flits at their destination leave the network (one
-        // per input port per cycle), returning credit to the channel that
-        // delivered them.
-        for (auto& c : channels) {
-            if (c.fifo.empty()) continue;
-            const Flit& f = c.fifo.front();
-            const auto& p = packets[static_cast<std::size_t>(f.packet)];
-            const auto& path = *p.path;
-            if (path[static_cast<std::size_t>(f.hop)] != p.dst) continue;
-            if (f.tail) {
-                ++delivered_packets;
-                res.packet_latency.add(static_cast<double>(now - p.inject_cycle));
-            }
-            ++res.flits;
-            --in_flight_flits;
-            c.fifo.pop_front();
-            ++c.credits;
-        }
-
-        // 4. Switch allocation: for every output channel pick one flit.
-        // `channel_drained` / `inj_drained` enforce one flit per input
-        // port per cycle across all outputs of a router.
-        std::fill(channel_drained.begin(), channel_drained.end(), 0);
-        std::fill(inj_drained.begin(), inj_drained.end(), 0);
-        for (std::size_t ci = 0; ci < channels.size(); ++ci) {
-            Channel& out = channels[ci];
-            if (out.credits <= 0) continue;
-            const auto node = static_cast<std::size_t>(out.from);
-
-            // Candidate input sources at this router: injection FIFO (-1)
-            // plus each incoming channel's FIFO.
-            const auto& ins = in_channels[node];
-            const auto n_sources = ins.size() + 1;
-
-            auto head_wants = [&](std::deque<Flit>& fifo) -> bool {
-                if (fifo.empty()) return false;
-                const Flit& f = fifo.front();
-                const auto& p = packets[static_cast<std::size_t>(f.packet)];
-                const auto& path = *p.path;
-                const auto pos = static_cast<std::size_t>(f.hop);
-                if (path[pos] == p.dst) return false;  // wants ejection
-                return path[pos + 1] == out.to;
-            };
-            auto fifo_of = [&](std::size_t source) -> std::deque<Flit>& {
-                return source == 0
-                           ? inj_fifo[node]
-                           : channels[static_cast<std::size_t>(ins[source - 1])].fifo;
-            };
-            auto source_free = [&](std::size_t source) -> bool {
-                return source == 0
-                           ? inj_drained[node] == 0
-                           : channel_drained[static_cast<std::size_t>(ins[source - 1])] == 0;
-            };
-
-            std::int32_t chosen = -1;  // source index
-            if (lock[ci] >= 0) {
-                // Wormhole continuation: only the owner packet may use the
-                // output; find the source whose head flit belongs to it.
-                for (std::size_t s = 0; s < n_sources; ++s) {
-                    auto& fifo = fifo_of(s);
-                    if (source_free(s) && !fifo.empty() &&
-                        fifo.front().packet == lock[ci] && head_wants(fifo)) {
-                        chosen = static_cast<std::int32_t>(s);
-                        break;
-                    }
-                }
-            } else {
-                // New allocation: round-robin over head flits requesting us.
-                for (std::size_t k = 0; k < n_sources; ++k) {
-                    const std::size_t s = (rr[ci] + k) % n_sources;
-                    auto& fifo = fifo_of(s);
-                    if (source_free(s) && !fifo.empty() && fifo.front().head &&
-                        head_wants(fifo)) {
-                        chosen = static_cast<std::int32_t>(s);
-                        rr[ci] = static_cast<std::uint32_t>(s + 1);
-                        break;
-                    }
-                }
-            }
-            if (chosen < 0) continue;
-
-            auto& fifo = fifo_of(static_cast<std::size_t>(chosen));
-            Flit f = fifo.front();
-            fifo.pop_front();
-            if (chosen > 0) {
-                // Credit back to the upstream channel we drained.
-                const auto up = static_cast<std::size_t>(ins[static_cast<std::size_t>(chosen) - 1]);
-                ++channels[up].credits;
-                channel_drained[up] = 1;
-            } else {
-                inj_drained[node] = 1;
-            }
-            lock[ci] = f.tail ? -1 : f.packet;
-            --out.credits;
-            ++f.hop;
-            out.pipe.emplace_back(f, now + out.delay);
-            ++piped_flits;
-            ++res.router_flits[node];
-            ++res.link_flits[static_cast<std::size_t>(out.link)];
-            ++res.flit_hops;
-        }
-
-        ++now;
-
-        const auto next_injection = [&] {
-            std::int64_t next = std::numeric_limits<std::int64_t>::max();
-            for (std::size_t n = 0; n < n_nodes; ++n) {
-                if (inj_cursor[n] < per_src[n].size()) {
-                    next = std::min(
-                        next,
-                        packets[static_cast<std::size_t>(per_src[n][inj_cursor[n]])]
-                            .inject_cycle);
-                }
-            }
-            return next;
-        };
-
-        // Fast-forward across idle gaps (no flits in flight anywhere and
-        // the next injection is in the future).
-        if (in_flight_flits == 0) {
-            const auto next_inject = next_injection();
-            if (next_inject == std::numeric_limits<std::int64_t>::max()) {
-                break;  // nothing left anywhere
-            }
-            now = std::max(now, next_inject);
-        } else if (cfg_.skip_idle && in_flight_flits == piped_flits) {
-            // Skip-ahead fast path: every in-flight flit sits inside a
-            // link pipeline, so no ejection or switch allocation can
-            // happen until the earliest pipe arrival (or the next
-            // injection, if sooner) — every cycle in between is a no-op.
-            // Arrival cycles within a channel are monotone (constant
-            // delay), so each pipe's front is its earliest.
-            std::int64_t next_event = next_injection();
-            for (const auto& c : channels) {
-                if (!c.pipe.empty())
-                    next_event = std::min(next_event, c.pipe.front().second);
-            }
-            // Clamp to max_cycles so a capped run still reports the same
-            // cycle count as the reference loop.
-            now = std::max(now, std::min(next_event, cfg_.max_cycles));
-        }
-    }
-
-    res.cycles = now;
-    res.packets = delivered_packets;
-    res.completed = delivered_packets == total_packets;
-    return res;
+    return engine.run();
 }
 
 }  // namespace floretsim::noc

@@ -9,6 +9,28 @@
 
 namespace floretsim::noc {
 
+/// Which cycle engine drives the simulation. Both produce bit-identical
+/// SimResults (enforced by tests/test_noc_event_horizon.cpp); they differ
+/// only in how many cycles they actually execute.
+enum class SimCore : std::uint8_t {
+    /// Ground truth: step every cycle while traffic is in flight (idle
+    /// gaps with nothing in flight are still fast-forwarded — trivially
+    /// sound — or sparse schedules would take minutes of wall clock).
+    kReference,
+    /// Credit-aware event-horizon engine: after any cycle whose ejection
+    /// and switch-allocation phases prove no flit can move — every head
+    /// flit is blocked on a zero-credit output or on a wormhole lock held
+    /// by another packet — time jumps straight to the next cycle at which
+    /// anything can change (earliest link-pipe arrival or next injection;
+    /// credit returns need no separate bound because in this simulator a
+    /// credit only returns when a downstream allocation or ejection fires,
+    /// which the proof has ruled out). See README "NoC simulator cores"
+    /// for the full no-op proof obligations.
+    kEventHorizon,
+};
+
+[[nodiscard]] const char* sim_core_name(SimCore c);
+
 /// Simulator knobs. Defaults model a 64-bit inter-chiplet channel at
 /// 1 GHz with 2-cycle routers — SIAM/BookSim-class assumptions.
 struct SimConfig {
@@ -20,13 +42,11 @@ struct SimConfig {
     std::int64_t max_cycles = 50'000'000;  ///< Hard stop (sim reports !completed).
     /// Injection rate while scheduling packets, in flits/node/cycle.
     double injection_rate = 0.05;
-    /// Skip-ahead fast path: when every in-flight flit is inside a link
-    /// pipeline (all router FIFOs empty), jump time to the next arrival or
-    /// injection event instead of stepping idle cycles. Produces
-    /// bit-identical SimResults — the skipped cycles are provably no-ops —
-    /// while cutting the cycle loop dramatically on sparse traffic. Off
-    /// reproduces the reference cycle-by-cycle behavior (used by tests).
-    bool skip_idle = true;
+    /// Cycle engine. kEventHorizon is the default and bit-identical to
+    /// kReference; the environment variable FLORETSIM_SIM_CORE
+    /// ("reference" / "event-horizon") overrides it process-wide, which is
+    /// how CI keeps the reference loop exercised end to end.
+    SimCore core = SimCore::kEventHorizon;
 };
 
 /// A point-to-point traffic demand (bytes to move src -> dst).
@@ -46,6 +66,14 @@ struct SimResult {
     util::RunningStats packet_latency;   ///< Inject -> tail-eject, cycles.
     std::vector<std::int64_t> router_flits;  ///< Per-node flit traversals.
     std::vector<std::int64_t> link_flits;    ///< Per-link flit traversals.
+
+    /// Engine-work statistics. These describe how the selected core earned
+    /// the result, not the result itself: they legitimately differ between
+    /// SimCore settings and are excluded from the bit-identicality
+    /// contract the differential tests enforce.
+    std::int64_t cycles_stepped = 0;  ///< Cycles actually executed.
+    std::int64_t cycles_skipped = 0;  ///< Cycles proven no-op and jumped over.
+    std::int64_t horizon_jumps = 0;   ///< Fast-forward events taken.
 };
 
 /// Cycle-driven wormhole network simulator.

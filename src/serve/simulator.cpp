@@ -123,9 +123,12 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
                 std::vector<core::MappedTask> snapshot;
                 snapshot.reserve(residents.size());
                 for (const auto& res : residents) snapshot.push_back(res.task);
-                epoch_drain = core::evaluate_noi(arch.topology(), arch.routes(),
-                                                 snapshot, cfg.eval)
-                                  .latency_cycles;
+                const auto eval = core::evaluate_noi(arch.topology(), arch.routes(),
+                                                     snapshot, cfg.eval);
+                epoch_drain = eval.latency_cycles;
+                out.sim_cycles_stepped += eval.sim_cycles_stepped;
+                out.sim_cycles_skipped += eval.sim_cycles_skipped;
+                out.sim_horizon_jumps += eval.sim_horizon_jumps;
                 if (noi_cache.size() < kNoiCacheCap)
                     noi_cache.emplace(std::move(key), epoch_drain);
             }
@@ -136,7 +139,15 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
         r.round_done = now + epoch_drain + r.compute_ns * cfg.eval.traffic_scale;
     };
 
+    // Round scheduling is deferred until the admission burst drains: an
+    // arrival wave of k mappable requests invalidates the residency epoch k
+    // times, so scheduling inside the loop would re-run evaluate_noi per
+    // admission and hand the earlier admits round durations computed
+    // against stale intermediate resident sets. Admit first, then schedule
+    // every new resident against the final set — one NoI evaluation per
+    // burst.
     const auto try_admit = [&] {
+        const std::size_t first_new = residents.size();
         while (!queue.empty()) {
             const Request head = queue.front();
             core::TaskSpec spec = prototype_of(head.workload_id);
@@ -144,7 +155,7 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
             auto mapped = arch.mapper->map_queue(one, nullptr);
             core::MappedTask task = std::move(mapped.front());
             if (!task.mapped) {
-                if (!residents.empty()) return;  // wait for departures
+                if (!residents.empty()) break;  // wait for departures
                 task = arch.mapper->map_one_relaxed(spec);
                 if (!task.mapped) {
                     // No placement even on an idle system: bounce it so the
@@ -166,8 +177,9 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
             busy_nodes += static_cast<double>(r.task.nodes.size());
             residents.push_back(std::move(r));
             epoch_valid = false;  // residency changed
-            schedule_round(residents.back());
         }
+        for (std::size_t i = first_new; i < residents.size(); ++i)
+            schedule_round(residents[i]);
     };
 
     const auto advance_to = [&](double t) {

@@ -72,9 +72,18 @@ struct ServeStats {
     double p50_latency_cycles = 0.0;
     double p95_latency_cycles = 0.0;
     double p99_latency_cycles = 0.0;
-    /// NoI evaluation economy: rounds scheduled vs. resident-set cache hits.
+    /// NoI evaluation economy: rounds scheduled vs. resident-set cache
+    /// hits. `noi_rounds - noi_cache_hits` is the number of wormhole
+    /// simulations actually run — an admission burst of k requests costs
+    /// one (the round schedule is deferred until the burst drains, so every
+    /// admit sees the final resident set).
     std::int64_t noi_rounds = 0;
     std::int64_t noi_cache_hits = 0;
+    /// Simulator-engine work statistics summed over the evaluate_noi calls
+    /// (see noc::SimResult): cycles executed vs. proven no-op and skipped.
+    std::int64_t sim_cycles_stepped = 0;
+    std::int64_t sim_cycles_skipped = 0;
+    std::int64_t sim_horizon_jumps = 0;
     /// False only if the event-count safety guard tripped (a bug, not a
     /// workload property — every request normally completes or bounces).
     bool drained = true;

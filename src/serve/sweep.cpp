@@ -33,6 +33,11 @@ ServeAggregate aggregate(std::span<const ServeStats> runs) {
         agg.p50_latency_cycles += s.p50_latency_cycles;
         agg.p95_latency_cycles += s.p95_latency_cycles;
         agg.p99_latency_cycles += s.p99_latency_cycles;
+        agg.noi_rounds += s.noi_rounds;
+        agg.noi_cache_hits += s.noi_cache_hits;
+        agg.sim_cycles_stepped += s.sim_cycles_stepped;
+        agg.sim_cycles_skipped += s.sim_cycles_skipped;
+        agg.sim_horizon_jumps += s.sim_horizon_jumps;
     }
     const auto n = static_cast<double>(runs.size());
     agg.mean_throughput_per_mcycle /= n;

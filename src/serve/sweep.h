@@ -45,6 +45,12 @@ struct ServeAggregate {
     double p50_latency_cycles = 0.0;  ///< Mean of per-replication p50s.
     double p95_latency_cycles = 0.0;
     double p99_latency_cycles = 0.0;
+    /// NoI / simulator-engine economy, summed over replications.
+    std::int64_t noi_rounds = 0;
+    std::int64_t noi_cache_hits = 0;
+    std::int64_t sim_cycles_stepped = 0;
+    std::int64_t sim_cycles_skipped = 0;
+    std::int64_t sim_horizon_jumps = 0;
 
     [[nodiscard]] double sla_violation_rate() const noexcept {
         return arrived == 0 ? 0.0

@@ -115,6 +115,46 @@ TEST(RunMixDynamic, StrictGapBurnsMoreRoundsOnSwap) {
               static_cast<double>(rf.task_rounds) / rf.rounds);
 }
 
+TEST(RunMixDynamic, RoundEpochCacheIsBitIdentical) {
+    // Successive rounds with an unchanged resident set reuse the previous
+    // round's NoI evaluation; forcing a fresh simulation every round must
+    // produce the exact same DynamicResult on the Table II mixes.
+    for (const auto& mix : workload::table2()) {
+        auto cached_cfg = fast_cfg();
+        cached_cfg.round_epoch_cache = true;
+        auto forced_cfg = fast_cfg();
+        forced_cfg.round_epoch_cache = false;
+        auto b1 = build_arch(Arch::kFloret, 10, 10);
+        auto b2 = build_arch(Arch::kFloret, 10, 10);
+        const auto cached = run_mix_dynamic(b1, mix, cached_cfg, 7);
+        const auto forced = run_mix_dynamic(b2, mix, forced_cfg, 7);
+        EXPECT_EQ(cached.total_cycles, forced.total_cycles) << mix.name;
+        EXPECT_EQ(cached.total_energy_pj, forced.total_energy_pj) << mix.name;
+        EXPECT_EQ(cached.flit_hops, forced.flit_hops) << mix.name;
+        EXPECT_EQ(cached.rounds, forced.rounds) << mix.name;
+        EXPECT_EQ(cached.task_rounds, forced.task_rounds) << mix.name;
+        EXPECT_EQ(cached.all_completed, forced.all_completed) << mix.name;
+        // The forced run simulates every round; the cached run splits them
+        // between evaluations and epoch hits.
+        EXPECT_EQ(forced.noi_evals, forced.rounds) << mix.name;
+        EXPECT_EQ(forced.round_epoch_hits, 0) << mix.name;
+        EXPECT_EQ(cached.noi_evals + cached.round_epoch_hits, cached.rounds)
+            << mix.name;
+        EXPECT_LE(cached.noi_evals, forced.noi_evals) << mix.name;
+    }
+}
+
+TEST(RunMixDynamic, RoundEpochCacheFiresOnUnchangedResidency) {
+    // At least one Table II mix must hold a resident set across rounds
+    // (tasks run 1..3 rounds, so multi-round residents are common).
+    std::int64_t hits = 0;
+    for (const auto& mix : workload::table2()) {
+        auto b = build_arch(Arch::kFloret, 10, 10);
+        hits += run_mix_dynamic(b, mix, fast_cfg(), 7).round_epoch_hits;
+    }
+    EXPECT_GT(hits, 0);
+}
+
 TEST(RunMixDynamic, RelaxationRescuesCorneredHeadTask) {
     // On a tiny system with a tight gap budget, the head task may fail on
     // an idle machine; map_one_relaxed must rescue it so the queue drains.

@@ -1,0 +1,206 @@
+/// Differential suite for the credit-aware event-horizon simulator core:
+/// across random topologies, seeds, buffer depths of 1-4 flits, sparse and
+/// saturating injection rates, and max_cycles-capped runs, the
+/// event-horizon engine must produce a bit-identical SimResult (cycles,
+/// packets, flits, flit_hops, per-router/per-link counters, latency stats)
+/// to the reference cycle loop. The engine-work statistics are the only
+/// fields allowed to differ — and they must prove the fast path is both
+/// accounted (stepped + skipped == cycles) and not slower than the
+/// reference in executed cycles.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/floret.h"
+#include "src/core/sfc.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/mesh.h"
+#include "src/topo/swap.h"
+#include "src/util/rng.h"
+
+namespace floretsim::noc {
+namespace {
+
+std::vector<Demand> random_demands(std::int32_t nodes, std::uint64_t seed,
+                                   int count, std::int64_t max_bytes) {
+    util::Rng rng(seed);
+    std::vector<Demand> ds;
+    for (int i = 0; i < count; ++i) {
+        const auto s =
+            static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+        const auto d =
+            static_cast<topo::NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+        if (s == d) continue;
+        const auto bytes =
+            8 * (1 + static_cast<std::int64_t>(rng.below(
+                         static_cast<std::uint64_t>(max_bytes / 8))));
+        ds.push_back({s, d, bytes});
+    }
+    return ds;
+}
+
+SimResult run_with(const topo::Topology& t, const RouteTable& rt,
+                   const std::vector<Demand>& demands, SimConfig cfg,
+                   SimCore core) {
+    cfg.core = core;
+    Simulator sim(t, rt, cfg);
+    sim.add_demands(demands);
+    return sim.run();
+}
+
+/// The differential contract: semantic fields bit-identical, engine-work
+/// statistics internally consistent and no worse than the reference.
+void expect_equivalent(const topo::Topology& t, const RouteTable& rt,
+                       const std::vector<Demand>& demands, const SimConfig& cfg,
+                       const std::string& label) {
+    const auto ref = run_with(t, rt, demands, cfg, SimCore::kReference);
+    const auto fast = run_with(t, rt, demands, cfg, SimCore::kEventHorizon);
+
+    EXPECT_EQ(fast.cycles, ref.cycles) << label;
+    EXPECT_EQ(fast.packets, ref.packets) << label;
+    EXPECT_EQ(fast.flits, ref.flits) << label;
+    EXPECT_EQ(fast.flit_hops, ref.flit_hops) << label;
+    EXPECT_EQ(fast.completed, ref.completed) << label;
+    EXPECT_EQ(fast.packet_latency.count(), ref.packet_latency.count()) << label;
+    EXPECT_EQ(fast.packet_latency.mean(), ref.packet_latency.mean()) << label;
+    EXPECT_EQ(fast.packet_latency.variance(), ref.packet_latency.variance())
+        << label;
+    EXPECT_EQ(fast.packet_latency.min(), ref.packet_latency.min()) << label;
+    EXPECT_EQ(fast.packet_latency.max(), ref.packet_latency.max()) << label;
+    EXPECT_EQ(fast.router_flits, ref.router_flits) << label;
+    EXPECT_EQ(fast.link_flits, ref.link_flits) << label;
+
+    // Engine-work accounting: every simulated cycle is either stepped or
+    // proven no-op and skipped, in both cores.
+    EXPECT_EQ(ref.cycles_stepped + ref.cycles_skipped, ref.cycles) << label;
+    EXPECT_EQ(fast.cycles_stepped + fast.cycles_skipped, fast.cycles) << label;
+    // The event-horizon core's no-op proof subsumes the reference's
+    // idle-gap-only rule, so it can never execute more cycles.
+    EXPECT_LE(fast.cycles_stepped, ref.cycles_stepped) << label;
+}
+
+TEST(EventHorizon, DifferentialMatrixOnMesh) {
+    const auto t = topo::make_mesh(5, 5);
+    for (const auto policy :
+         {RoutingPolicy::kShortestPath, RoutingPolicy::kUpDown}) {
+        const auto rt = RouteTable::build(t, policy);
+        for (std::int32_t depth = 1; depth <= 4; ++depth) {
+            for (const std::uint64_t seed : {3u, 17u}) {
+                for (const double rate : {0.005, 8.0}) {
+                    SimConfig cfg;
+                    cfg.max_cycles = 2'000'000;
+                    cfg.input_buffer_flits = depth;
+                    cfg.injection_rate = rate;
+                    expect_equivalent(
+                        t, rt, random_demands(25, seed, 60, 320), cfg,
+                        "mesh policy=" + std::to_string(static_cast<int>(policy)) +
+                            " depth=" + std::to_string(depth) + " seed=" +
+                            std::to_string(seed) + " rate=" + std::to_string(rate));
+                }
+            }
+        }
+    }
+}
+
+TEST(EventHorizon, DifferentialOnIrregularTopologies) {
+    util::Rng swap_rng(31);
+    const auto swap = topo::make_swap(6, 6, swap_rng);
+    const auto floret = core::make_floret(core::generate_sfc_set(8, 8, 4));
+    struct Case {
+        const topo::Topology* t;
+        std::int32_t nodes;
+    };
+    for (const auto& c : {Case{&swap, 36}, Case{&floret, 64}}) {
+        const auto rt = RouteTable::build(*c.t, RoutingPolicy::kUpDown);
+        for (std::int32_t depth = 1; depth <= 4; ++depth) {
+            SimConfig cfg;
+            cfg.max_cycles = 2'000'000;
+            cfg.input_buffer_flits = depth;
+            cfg.injection_rate = depth % 2 == 0 ? 8.0 : 0.01;
+            expect_equivalent(*c.t, rt, random_demands(c.nodes, 7 + depth, 80, 480),
+                              cfg,
+                              c.t->name() + " depth=" + std::to_string(depth));
+        }
+    }
+}
+
+TEST(EventHorizon, DifferentialOnDeepPipelines) {
+    // Long links: many cycles where every flit is mid-pipe or stalled on a
+    // credit that only a far-away arrival can free — the window the
+    // credit-aware horizon jumps and the old FIFO-empty rule could not.
+    topo::Topology t("longline", 4.0);
+    for (std::int32_t i = 0; i < 5; ++i) t.add_node({8 * i, 0});
+    for (int i = 0; i + 1 < 5; ++i) t.add_link(i, i + 1, 32.0);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    for (std::int32_t depth = 1; depth <= 4; ++depth) {
+        SimConfig cfg;
+        cfg.max_cycles = 2'000'000;
+        cfg.input_buffer_flits = depth;
+        cfg.injection_rate = 1.0;
+        const auto demands = random_demands(5, 41 + depth, 30, 640);
+        expect_equivalent(t, rt, demands, cfg, "longline depth=" +
+                                                   std::to_string(depth));
+        // Congested drains on deep pipes are exactly where the credit-aware
+        // proof must beat cycle stepping outright.
+        const auto fast = run_with(t, rt, demands, cfg, SimCore::kEventHorizon);
+        EXPECT_GT(fast.cycles_skipped, 0) << depth;
+        EXPECT_LT(fast.cycles_stepped, fast.cycles) << depth;
+    }
+}
+
+TEST(EventHorizon, DifferentialOnCappedRuns) {
+    const auto t = topo::make_mesh(4, 4);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    for (const std::int64_t cap : {100, 2'000, 50'000}) {
+        for (const double rate : {1e-4, 0.05, 8.0}) {
+            SimConfig cfg;
+            cfg.max_cycles = cap;
+            cfg.injection_rate = rate;
+            cfg.input_buffer_flits = 2;
+            expect_equivalent(t, rt, random_demands(16, 5, 40, 320), cfg,
+                              "cap=" + std::to_string(cap) +
+                                  " rate=" + std::to_string(rate));
+        }
+    }
+}
+
+TEST(EventHorizon, SkipsCreditBlockedWindows) {
+    // Hotspot: every node floods one sink, so head flits pile up blocked on
+    // zero-credit outputs while the sink ejects one flit per port per
+    // cycle. The FIFO-empty rule never fires here; the credit-aware proof
+    // must still find jumps.
+    const auto t = topo::make_mesh(5, 5);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg;
+    cfg.max_cycles = 2'000'000;
+    cfg.input_buffer_flits = 1;  // maximum backpressure
+    cfg.injection_rate = 8.0;
+    std::vector<Demand> demands;
+    for (topo::NodeId n = 0; n < 25; ++n)
+        if (n != 12) demands.push_back({n, 12, 400});
+    expect_equivalent(t, rt, demands, cfg, "hotspot");
+    const auto fast = run_with(t, rt, demands, cfg, SimCore::kEventHorizon);
+    EXPECT_GT(fast.horizon_jumps, 0);
+}
+
+TEST(EventHorizon, StatisticsAreZeroWorkOnEmptyRun) {
+    const auto t = topo::make_mesh(2, 2);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    Simulator sim(t, rt, SimConfig{});
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.cycles_stepped, 0);
+    EXPECT_EQ(res.cycles_skipped, 0);
+    EXPECT_EQ(res.horizon_jumps, 0);
+}
+
+TEST(EventHorizon, CoreNamesAreStable) {
+    EXPECT_STREQ(sim_core_name(SimCore::kReference), "reference");
+    EXPECT_STREQ(sim_core_name(SimCore::kEventHorizon), "event-horizon");
+}
+
+}  // namespace
+}  // namespace floretsim::noc

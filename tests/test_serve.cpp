@@ -44,6 +44,9 @@ void expect_identical(const ServeStats& a, const ServeStats& b) {
     EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
     EXPECT_EQ(a.noi_rounds, b.noi_rounds);
     EXPECT_EQ(a.noi_cache_hits, b.noi_cache_hits);
+    EXPECT_EQ(a.sim_cycles_stepped, b.sim_cycles_stepped);
+    EXPECT_EQ(a.sim_cycles_skipped, b.sim_cycles_skipped);
+    EXPECT_EQ(a.sim_horizon_jumps, b.sim_horizon_jumps);
     ASSERT_EQ(a.per_class.size(), b.per_class.size());
     for (std::size_t c = 0; c < a.per_class.size(); ++c) {
         EXPECT_EQ(a.per_class[c].arrived, b.per_class[c].arrived);
@@ -159,6 +162,44 @@ TEST(Serve, ResidentSetCacheFiresOnRepeatedRounds) {
     EXPECT_GT(s.noi_rounds, 0);
     EXPECT_GT(s.noi_cache_hits, 0);
     EXPECT_LT(s.noi_cache_hits, s.noi_rounds);
+}
+
+TEST(Serve, AdmissionBurstCostsOneNoiEvaluation) {
+    // A 94-chiplet VGG19 holds the fabric while four 10-chiplet VGG11
+    // requests queue behind it; its completion drains all four in a single
+    // try_admit burst. The round schedule is deferred until the burst
+    // completes, so the whole wave costs exactly one evaluate_noi and
+    // every admit's round_done is computed against the final resident set
+    // (the old code evaluated once per admission, each against a stale
+    // intermediate set).
+    ServeConfig cfg = default_serve_config();
+    cfg.eval.traffic_scale = 1.0 / 256.0;
+    cfg.classes = {
+        {"big", {"DNN7"}, 0.35, 500'000.0},
+        {"small", {"DNN11"}, 0.65, 500'000.0},
+    };
+    cfg.arrivals.process = ArrivalProcess::kTrace;
+    cfg.arrivals.trace_cycles = {10.0, 20.0, 30.0, 40.0, 50.0};
+    cfg.arrivals.max_requests = 5;
+    cfg.arrivals.min_rounds = 1;
+    cfg.arrivals.max_rounds = 1;
+    cfg.seed = 2;  // chosen so the stream is DNN7 then 4x DNN11 (checked)
+    const auto stream =
+        generate_requests(cfg.arrivals, cfg.classes, cfg.seed);
+    ASSERT_EQ(stream.size(), 5u);
+    ASSERT_EQ(stream[0].workload_id, "DNN7");
+    for (std::size_t i = 1; i < 5; ++i)
+        ASSERT_EQ(stream[i].workload_id, "DNN11") << i;
+
+    auto arch = core::experiment::build_arch(Arch::kFloret, 10, 10);
+    const auto s = serve_requests(arch, cfg);
+    ASSERT_TRUE(s.drained);
+    ASSERT_EQ(s.admitted, 5);
+    EXPECT_EQ(s.noi_rounds, 5);  // one round per request
+    // Two wormhole simulations in total: one for the VGG19's solo round,
+    // one for the burst of four VGG11s; the burst's other three rounds
+    // reuse its residency epoch.
+    EXPECT_EQ(s.noi_rounds - s.noi_cache_hits, 2);
 }
 
 TEST(Serve, RejectOnFullBoundsTheQueue) {

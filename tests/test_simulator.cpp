@@ -215,17 +215,19 @@ TEST(Simulator, ReusableAfterRun) {
     EXPECT_EQ(r2.packets, r1.packets);
 }
 
-/// Runs the same demand set with the skip-ahead fast path on and off and
-/// requires bit-identical SimResults — the skipped cycles must be no-ops.
+/// Runs the same demand set on the reference cycle loop and the
+/// event-horizon core and requires bit-identical SimResults — every
+/// skipped cycle must be a no-op. (tests/test_noc_event_horizon.cpp runs
+/// the full randomized differential matrix.)
 void expect_skip_ahead_equivalent(const topo::Topology& t, const RouteTable& rt,
                                   const std::vector<Demand>& demands,
                                   SimConfig cfg) {
-    cfg.skip_idle = false;
+    cfg.core = SimCore::kReference;
     Simulator ref_sim(t, rt, cfg);
     ref_sim.add_demands(demands);
     const auto ref = ref_sim.run();
 
-    cfg.skip_idle = true;
+    cfg.core = SimCore::kEventHorizon;
     Simulator fast_sim(t, rt, cfg);
     fast_sim.add_demands(demands);
     const auto fast = fast_sim.run();
@@ -302,8 +304,30 @@ TEST(Simulator, SkipAheadMatchesReferenceWhenCycleCapped) {
     expect_skip_ahead_equivalent(t, rt, sparse_demands(16, 3), cfg);
 }
 
-TEST(Simulator, SkipAheadIsOnByDefault) {
-    EXPECT_TRUE(SimConfig{}.skip_idle);
+TEST(Simulator, EventHorizonCoreIsOnByDefault) {
+    EXPECT_EQ(SimConfig{}.core, SimCore::kEventHorizon);
+}
+
+TEST(Simulator, IdleFastForwardClampsCappedRuns) {
+    // An idle gap whose next injection lies beyond max_cycles: the idle
+    // fast-forward must clamp to the cap, never report cycles > max_cycles
+    // (this was a real bug — the jump used to land on the injection cycle
+    // itself, so a capped run reported a makespan past its own cap).
+    const auto t = topo::make_mesh(4, 1, 4.0);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg;
+    cfg.injection_rate = 1e-6;  // second packet schedules ~1e7 cycles out
+    cfg.max_cycles = 1'000;
+    for (const auto core : {SimCore::kReference, SimCore::kEventHorizon}) {
+        cfg.core = core;
+        Simulator sim(t, rt, cfg);
+        sim.add_demand({0, 3, 8});  // delivered almost immediately
+        sim.add_demand({0, 3, 8});  // injects far beyond the cap
+        const auto res = sim.run();
+        EXPECT_FALSE(res.completed) << sim_core_name(core);
+        EXPECT_EQ(res.packets, 1) << sim_core_name(core);
+        EXPECT_EQ(res.cycles, cfg.max_cycles) << sim_core_name(core);
+    }
 }
 
 TEST(Simulator, InjectionRateThrottlesMakespan) {
