@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("eq1_sfc_distance");
     report.add_table("distance", t);
-    report.write(opt);
+    report.write(opt.json_path);
     return 0;
 }

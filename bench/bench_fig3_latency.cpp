@@ -1,60 +1,15 @@
 /// Fig. 3 reproduction: NoI latency of the 100-chiplet 2.5D system running
-/// the Table II concurrent mixes, for Kite / SIAM / SWAP / Floret.
-/// Latency = simulated cycles to drain one inference pass of all mapped
-/// tasks (flit-level wormhole simulation), normalized to Floret per mix as
-/// in the paper. Paper shape: Floret best; Kite/SIAM up to 2.24x worse.
-
-#include <iostream>
+/// the Table II concurrent mixes, for Kite / SIAM / SWAP / Floret,
+/// normalized to Floret per mix as in the paper (paper shape: Floret best;
+/// Kite/SIAM up to 2.24x worse).
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("fig3"), shared verbatim with the floretsim_run driver —
+/// the scenario_parity ctest pins that both produce bit-identical rows.
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 3: NoI latency, 100 chiplets (normalized to Floret) ===\n\n";
-
-    bench::SweepSpec spec;
-    spec.archs.assign(bench::kAllArchs.begin(), bench::kAllArchs.end());
-    spec.mixes = workload::table2();
-    spec.evals = {bench::default_eval_config()};
-    spec.greedy_max_gap = 2;
-    spec.run_seed = opt.seed_or(spec.run_seed);
-
-    bench::SweepEngine engine(opt.threads);
-    const auto sweep = engine.run(spec);
-
-    util::TextTable t({"Mix", "Kite", "SIAM", "SWAP", "Floret", "Floret cycles"});
-    double worst_ratio = 0.0;
-    for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
-        std::vector<double> latency;
-        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
-            const auto& row = sweep.at(a, 0, m);
-            if (!row.result.all_completed)
-                std::cerr << "warning: " << bench::arch_name(row.point.arch) << "/"
-                          << row.point.mix.name << " hit the cycle cap\n";
-            latency.push_back(row.result.total_cycles);
-        }
-        const double floret = latency[3];
-        for (int i = 0; i < 3; ++i) worst_ratio = std::max(worst_ratio, latency[i] / floret);
-        t.add_row({spec.mixes[m].name, util::TextTable::fmt(latency[0] / floret),
-                   util::TextTable::fmt(latency[1] / floret),
-                   util::TextTable::fmt(latency[2] / floret), "1.00",
-                   util::TextTable::fmt(floret, 0)});
-    }
-    t.print(std::cout);
-    std::cout << "\nWorst baseline/Floret ratio observed: "
-              << util::TextTable::fmt(worst_ratio)
-              << "  (paper: up to 2.24x vs Kite/SIAM)\n"
-              << "Sweep: " << sweep.rows.size() << " points on "
-              << engine.thread_count() << " thread(s) in "
-              << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n";
-
-    bench::JsonReport report("fig3_latency");
-    report.add_table("latency_normalized", t);
-    report.add_metric("worst_ratio", worst_ratio);
-    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
-    report.add_metric("sweep_threads", engine.thread_count());
-    bench::add_point_timing(report, sweep);
-    report.write(opt);
-    return 0;
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig3", opt);
 }

@@ -3,95 +3,12 @@
 /// free space, while Floret's queue-based SFC mapping uses every chiplet.
 /// We overload the 100-chiplet system with each Table II mix and report
 /// mapped/unmapped chiplets and failed tasks per architecture.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry ("fig4" in src/scenario/).
 
 #include "bench/common.h"
 
-namespace {
-
-using namespace floretsim;
-
-/// Renders the 10x10 die with one letter per mapped task ('.' = unmapped).
-void print_die(const std::vector<core::MappedTask>& mapped) {
-    std::vector<char> cell(100, '.');
-    char label = 'A';
-    for (const auto& m : mapped) {
-        if (!m.mapped) continue;
-        for (const auto n : m.nodes) cell[static_cast<std::size_t>(n)] = label;
-        label = label == 'Z' ? 'A' : static_cast<char>(label + 1);
-    }
-    for (std::int32_t y = 0; y < 10; ++y) {
-        std::cout << "  ";
-        for (std::int32_t x = 0; x < 10; ++x)
-            std::cout << cell[static_cast<std::size_t>(y * 10 + x)] << ' ';
-        std::cout << '\n';
-    }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 4: resource utilization under greedy vs SFC mapping ===\n"
-              << "(greedy constrained to <=2-hop gaps between consecutive layers,\n"
-              << " as in the paper's contiguity requirement)\n\n";
-
-    const std::array<bench::Arch, 3> archs{bench::Arch::kSwap, bench::Arch::kSiamMesh,
-                                           bench::Arch::kFloret};
-    const auto& mixes = workload::table2();
-
-    // Mapping is cheap per point but there are mixes x archs of them, and
-    // they share three fabrics — a natural engine.map with a hot cache.
-    bench::SweepEngine engine(opt.threads);
-    const auto stats = engine.map(mixes.size() * archs.size(), [&](std::size_t i) {
-        const auto& mix = mixes[i / archs.size()];
-        const auto arch = archs[i % archs.size()];
-        auto b = bench::build_arch(engine.cache(), arch, 10, 10, /*swap_seed=*/13,
-                                   /*greedy_max_gap=*/2);
-        std::vector<std::unique_ptr<dnn::Network>> owner;
-        const auto queue = workload::expand_mix(mix);
-        const auto tasks = core::make_tasks(queue, bench::kParamsPerChipletM, owner);
-        core::MappingStats s;
-        (void)b.mapper->map_queue(tasks, &s);
-        return s;
-    });
-
-    util::TextTable t({"Mix", "NoI", "Mapped chiplets", "Unmapped", "Tasks ok",
-                       "Tasks failed", "Utilization"});
-    for (std::size_t i = 0; i < stats.size(); ++i) {
-        const auto& s = stats[i];
-        t.add_row({mixes[i / archs.size()].name,
-                   bench::arch_name(archs[i % archs.size()]),
-                   std::to_string(s.nodes_used),
-                   std::to_string(s.nodes_total - s.nodes_used),
-                   std::to_string(s.tasks_mapped), std::to_string(s.tasks_failed),
-                   util::TextTable::fmt(100.0 * s.utilization(), 1) + "%"});
-    }
-    t.print(std::cout);
-
-    // Fig. 4's visual: the SWAP and Floret dies after greedily mapping WL1
-    // (fabrics come from the engine's cache, mappers are fresh).
-    std::vector<std::unique_ptr<dnn::Network>> owner;
-    const auto queue = workload::expand_mix(workload::table2().front());
-    const auto tasks = core::make_tasks(queue, bench::kParamsPerChipletM, owner);
-
-    std::cout << "\nSWAP die after greedy mapping of WL1 (letter = task, . = NM):\n";
-    {
-        auto b = bench::build_arch(engine.cache(), bench::Arch::kSwap, 10, 10, 13, 2);
-        print_die(b.mapper->map_queue(tasks, nullptr));
-    }
-    std::cout << "\nFloret die after the same queue (always a contiguous prefix of "
-                 "the SFC order):\n";
-    {
-        auto b = bench::build_arch(engine.cache(), bench::Arch::kFloret, 10, 10);
-        print_die(b.mapper->map_queue(tasks, nullptr));
-    }
-    std::cout << "\nPaper shape: SWAP/SIAM strand NM chiplets under load; Floret "
-                 "consumes the SFC order fully before any task fails.\n";
-
-    bench::JsonReport report("fig4_utilization");
-    report.add_table("utilization", t);
-    report.write(opt);
-    return 0;
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig4", opt);
 }

@@ -3,60 +3,14 @@
 /// router traversal by the router radix and every link traversal by the
 /// wire length. Paper shape: on average 1.65x lower than SIAM and 2.8x
 /// lower than Kite.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry ("fig5" in src/scenario/); run
+/// `floretsim_run --only fig3,fig5` to share the fabric cache with Fig. 3
+/// instead of rebuilding the identical sweep.
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 5: NoI energy, 100 chiplets (normalized to Floret) ===\n\n";
-
-    bench::SweepSpec spec;
-    spec.archs.assign(bench::kAllArchs.begin(), bench::kAllArchs.end());
-    spec.mixes = workload::table2();
-    spec.evals = {bench::default_eval_config()};
-    spec.greedy_max_gap = 2;
-    spec.run_seed = opt.seed_or(spec.run_seed);
-
-    bench::SweepEngine engine(opt.threads);
-    const auto sweep = engine.run(spec);
-
-    util::TextTable t({"Mix", "Kite", "SIAM", "SWAP", "Floret", "Floret uJ"});
-    double sum_kite = 0.0;
-    double sum_siam = 0.0;
-    double sum_swap = 0.0;
-    for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
-        std::vector<double> energy;
-        for (std::size_t a = 0; a < spec.archs.size(); ++a)
-            energy.push_back(sweep.at(a, 0, m).result.total_energy_pj);
-        const double floret = energy[3];
-        sum_kite += energy[0] / floret;
-        sum_siam += energy[1] / floret;
-        sum_swap += energy[2] / floret;
-        t.add_row({spec.mixes[m].name, util::TextTable::fmt(energy[0] / floret),
-                   util::TextTable::fmt(energy[1] / floret),
-                   util::TextTable::fmt(energy[2] / floret), "1.00",
-                   util::TextTable::fmt(floret / 1e6, 2)});
-    }
-    t.print(std::cout);
-    const double n = static_cast<double>(spec.mixes.size());
-    std::cout << "\nMean energy vs Floret:  Kite " << util::TextTable::fmt(sum_kite / n)
-              << "x  SIAM " << util::TextTable::fmt(sum_siam / n) << "x  SWAP "
-              << util::TextTable::fmt(sum_swap / n)
-              << "x   (paper: Kite 2.8x, SIAM 1.65x)\n"
-              << "Sweep: " << sweep.rows.size() << " points on "
-              << engine.thread_count() << " thread(s) in "
-              << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n";
-
-    bench::JsonReport report("fig5_energy");
-    report.add_table("energy_normalized", t);
-    report.add_metric("mean_kite_over_floret", sum_kite / n);
-    report.add_metric("mean_siam_over_floret", sum_siam / n);
-    report.add_metric("mean_swap_over_floret", sum_swap / n);
-    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
-    bench::add_point_timing(report, sweep);
-    report.write(opt);
-    return 0;
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig5", opt);
 }

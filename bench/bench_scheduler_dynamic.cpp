@@ -50,6 +50,6 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("scheduler_dynamic");
     report.add_table("allocation", t);
-    report.write(opt);
+    report.write(opt.json_path);
     return 0;
 }

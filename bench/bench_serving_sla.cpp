@@ -1,28 +1,22 @@
 /// SLA study over the four compared NoI architectures: each serves the
 /// identical open-loop multi-tenant request stream (Poisson arrivals, the
-/// default interactive/batch tenants) at rising offered load. Reported per
-/// (arch, load): latency percentiles from the streaming sketch, offered vs.
-/// delivered throughput, utilization, queue depth, and the SLA-violation
-/// rate — plus each architecture's *SLA knee*, the lowest offered load
-/// whose violation rate crosses the threshold. The whole grid (arch x load
-/// x replication) fans out on the SweepEngine.
+/// default interactive/batch tenants) at rising offered load, reporting
+/// latency percentiles, throughput, utilization, queue depth, the
+/// SLA-violation rate, and each architecture's SLA knee.
+///
+/// Thin main over the scenario registry ("serving" in src/scenario/);
+/// positionals override the serve-grid spec:
 ///
 ///   positional: [max_requests per run] [replications]   (default 80, 2)
 
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
-#include <span>
 #include <string>
-#include <vector>
 
 #include "bench/common.h"
-#include "src/serve/sweep.h"
 
 namespace {
-
-constexpr double kKneeViolationRate = 0.05;
 
 std::int64_t positional_int(const char* argv0, const std::string& value,
                             const char* what) {
@@ -42,132 +36,19 @@ std::int64_t positional_int(const char* argv0, const std::string& value,
 int main(int argc, char** argv) {
     using namespace floretsim;
     const auto opt = bench::Options::parse(argc, argv);
-    std::int64_t max_requests = 80;
-    std::int32_t replications = 2;
+    std::int64_t max_requests = 0;
+    std::int64_t replications = 0;
     if (!opt.positional.empty())
         max_requests = positional_int(argv[0], opt.positional[0], "max_requests");
     if (opt.positional.size() > 1)
-        replications = static_cast<std::int32_t>(
-            positional_int(argv[0], opt.positional[1], "replications"));
+        replications = positional_int(argv[0], opt.positional[1], "replications");
 
-    const std::vector<double> loads{100.0, 250.0, 500.0, 1000.0, 2000.0};
-    const std::uint64_t base_seed = opt.seed_or(21);
-
-    std::cout << "=== Serving SLA knee: arch x offered load (10x10, "
-              << max_requests << " requests x " << replications
-              << " replications) ===\n"
-              << "tenants: interactive (100 kcyc SLO) + batch (500 kcyc SLO), "
-                 "FIFO admission\nknee threshold: violation rate > "
-              << 100.0 * kKneeViolationRate << "%\n\n";
-
-    serve::ServeConfig base_cfg = serve::default_serve_config();
-    base_cfg.arrivals.max_requests = max_requests;
-
-    // Flatten arch x load x replication into one engine fan-out so the
-    // slowest (highest-load) points overlap with everything else.
-    struct Cell {
-        std::size_t arch_idx, load_idx;
-    };
-    std::vector<Cell> cells;
-    for (std::size_t a = 0; a < bench::kAllArchs.size(); ++a)
-        for (std::size_t l = 0; l < loads.size(); ++l) cells.push_back({a, l});
-
-    bench::SweepEngine engine(opt.threads);
-    const auto n_reps = static_cast<std::size_t>(replications);
-    std::vector<double> point_seconds;
-    const auto runs =
-        engine.timed_map(cells.size() * n_reps, [&](std::size_t i) {
-            const Cell& cell = cells[i / n_reps];
-            // Same contiguity budget as the Table II study: baselines fail
-            // a placement when fragmentation scatters it, Floret spills
-            // along the SFC — under sustained load this is the queueing
-            // difference the serving layer exists to expose.
-            auto arch = bench::build_arch(engine.cache(),
-                                          bench::kAllArchs[cell.arch_idx], 10, 10,
-                                          /*swap_seed=*/13, /*greedy_max_gap=*/2);
-            serve::ServeConfig cfg = base_cfg;
-            cfg.arrivals.rate_per_mcycle = loads[cell.load_idx];
-            cfg.seed = base_seed + i % n_reps;
-            return serve::serve_requests(arch, cfg);
-        }, point_seconds);
-
-    util::TextTable t({"NoI", "Load (req/Mcyc)", "Delivered", "p50 (kcyc)",
-                       "p95 (kcyc)", "p99 (kcyc)", "Util", "Queue", "SLA viol"});
-    bench::JsonReport report("serving_sla");
-    std::vector<double> knee(bench::kAllArchs.size(), -1.0);
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-        const auto& cell = cells[c];
-        const std::span<const serve::ServeStats> reps(&runs[c * n_reps], n_reps);
-        const auto agg = serve::aggregate(reps);
-        const std::string arch = bench::arch_name(bench::kAllArchs[cell.arch_idx]);
-        const std::string load = util::TextTable::fmt(loads[cell.load_idx], 0);
-        t.add_row({arch, load,
-                   util::TextTable::fmt(agg.mean_throughput_per_mcycle, 1),
-                   util::TextTable::fmt(agg.p50_latency_cycles / 1e3, 1),
-                   util::TextTable::fmt(agg.p95_latency_cycles / 1e3, 1),
-                   util::TextTable::fmt(agg.p99_latency_cycles / 1e3, 1),
-                   util::TextTable::fmt(100.0 * agg.mean_utilization, 1) + "%",
-                   util::TextTable::fmt(agg.mean_queue_depth, 1),
-                   util::TextTable::fmt(100.0 * agg.sla_violation_rate(), 1) +
-                       "%"});
-        const std::string key = arch + "_load" + load;
-        report.add_metric(key + "_p50_kcyc", agg.p50_latency_cycles / 1e3);
-        report.add_metric(key + "_p95_kcyc", agg.p95_latency_cycles / 1e3);
-        report.add_metric(key + "_p99_kcyc", agg.p99_latency_cycles / 1e3);
-        report.add_metric(key + "_sla_violation_rate", agg.sla_violation_rate());
-        report.add_metric(key + "_throughput_per_mcyc",
-                          agg.mean_throughput_per_mcycle);
-        if (knee[cell.arch_idx] < 0.0 &&
-            agg.sla_violation_rate() > kKneeViolationRate)
-            knee[cell.arch_idx] = loads[cell.load_idx];
-    }
-    t.print(std::cout);
-
-    std::cout << "\nSLA knee (lowest load with violation rate > "
-              << 100.0 * kKneeViolationRate << "%):\n";
-    for (std::size_t a = 0; a < bench::kAllArchs.size(); ++a) {
-        std::cout << "  " << bench::arch_name(bench::kAllArchs[a]) << ": "
-                  << (knee[a] < 0.0 ? "beyond " +
-                                          util::TextTable::fmt(loads.back(), 0)
-                                    : util::TextTable::fmt(knee[a], 0))
-                  << " req/Mcyc\n";
-        report.add_metric(std::string(bench::arch_name(bench::kAllArchs[a])) +
-                              "_knee_load",
-                          knee[a]);
-    }
-    // Simulator fast-path economy across the whole grid: how much simulated
-    // time the event-horizon core proved no-op, and how many rounds the
-    // resident-set memo absorbed without touching the simulator at all.
-    std::int64_t stepped = 0, skipped = 0, jumps = 0, rounds = 0, hits = 0;
-    for (const auto& s : runs) {
-        stepped += s.sim_cycles_stepped;
-        skipped += s.sim_cycles_skipped;
-        jumps += s.sim_horizon_jumps;
-        rounds += s.noi_rounds;
-        hits += s.noi_cache_hits;
-    }
-    const double skip_fraction =
-        stepped + skipped > 0
-            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
-            : 0.0;
-    std::cout << "\nSimulator: " << stepped << " cycles stepped, " << skipped
-              << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
-              << "% of simulated time) in " << jumps << " horizon jumps; "
-              << rounds << " NoI rounds, " << hits
-              << " served from the resident-set cache\n";
-    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
-    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
-    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
-    report.add_metric("sim_skip_fraction", skip_fraction);
-    report.add_metric("noi_rounds", static_cast<double>(rounds));
-    report.add_metric("noi_cache_hits", static_cast<double>(hits));
-    bench::add_point_timing(report, point_seconds);
-
-    std::cout << "\nShape: contiguity-preserving mappers hold the latency "
-                 "tail flat deeper into the load sweep; the knee is where "
-                 "queueing delay overwhelms the SLO budget.\n";
-
-    report.add_table("sla_sweep", t);
-    report.write(opt);
-    return 0;
+    return bench::run_registered_scenario(
+        "serving", opt, [&](scenario::SpecVariant& spec) {
+            auto& grid = std::get<scenario::ServeGridSpec>(spec);
+            if (max_requests > 0)
+                grid.base.config.arrivals.max_requests = max_requests;
+            if (replications > 0)
+                grid.base.replications = static_cast<std::int32_t>(replications);
+        });
 }

@@ -107,6 +107,6 @@ int main(int argc, char** argv) {
     report.add_table("sim_core_ab", sim_t);
     report.add_metric("cores_agree", drain_ref == drain_eh ? 1.0 : 0.0);
 
-    report.write(opt);
+    report.write(opt.json_path);
     return drain_ref == drain_eh ? 0 : 1;
 }

@@ -49,6 +49,6 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("table1_workloads");
     report.add_table("workloads", t);
-    report.write(opt);
+    report.write(opt.json_path);
     return 0;
 }

@@ -1,148 +1,74 @@
 /// Table II reproduction: the five concurrent DNN mixes for the
-/// 100-chiplet system, with their parameter totals and the chiplet demand
-/// they exert at the calibrated chiplet capacity — plus the full dynamic
-/// arch x mix makespan sweep those mixes drive, executed on the parallel
-/// SweepEngine.
+/// 100-chiplet system, with their parameter totals and chiplet demand,
+/// plus the full dynamic arch x mix makespan sweep those mixes drive.
+///
+/// Thin main over the scenario registry ("table2" in src/scenario/),
+/// except for:
 ///
 ///   --serial   run the sweep as the old hand-rolled loop (one point at a
-///              time, no fabric cache) for wall-clock comparison
+///              time, no fabric cache, reference simulator core, no round
+///              epoch cache) for wall-clock comparison with the seed path
 
 #include <chrono>
 #include <iostream>
-#include <memory>
 
 #include "bench/common.h"
 
-int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    const bool serial = opt.serial;
-    std::cout << "=== Table II: concurrent DNN task mixes (100-chiplet system) ===\n"
-              << "chiplet capacity " << bench::kParamsPerChipletM
-              << "M params; demand = sum of per-task packed partitions\n\n";
+namespace {
 
-    util::TextTable t({"Name", "Tasks", "Table-I params (B)", "Paper total (B)",
-                       "Chiplet demand", "Fits 100?"});
-    for (const auto& mix : workload::table2()) {
-        std::vector<std::unique_ptr<dnn::Network>> owner;
-        const auto queue = workload::expand_mix(mix);
-        const auto tasks = core::make_tasks(queue, bench::kParamsPerChipletM, owner);
-        std::int32_t demand = 0;
-        for (const auto& task : tasks) demand += task.plan.total_chiplets;
-        t.add_row({mix.name, std::to_string(mix.total_instances()),
-                   util::TextTable::fmt(mix.table_params_m() / 1e3, 3),
-                   util::TextTable::fmt(mix.paper_total_params_b, 1),
-                   std::to_string(demand), demand <= 100 ? "yes" : "no (queue waits)"});
-    }
-    t.print(std::cout);
+using namespace floretsim;
 
-    std::cout << "\nMix composition:\n";
-    for (const auto& mix : workload::table2()) {
-        std::cout << "  " << mix.name << ": ";
-        for (std::size_t i = 0; i < mix.entries.size(); ++i) {
-            if (i) std::cout << " -> ";
-            std::cout << mix.entries[i].second << "x" << mix.entries[i].first;
-        }
-        std::cout << '\n';
-    }
+/// The pre-engine seed path, kept verbatim for wall-clock comparison:
+/// serial loop, topologies rebuilt per point, the cycle-by-cycle
+/// reference simulator (the seed had no event-horizon core), and no
+/// round epoch cache.
+int run_serial(const bench::Options& opt) {
+    const auto& spec = std::get<bench::SweepSpec>(
+        scenario::Registry::builtin().at("table2").spec);
+    auto eval = spec.evals.front();
+    eval.sim.core = noc::SimCore::kReference;
+    eval.round_epoch_cache = false;
+    const std::uint64_t run_seed = opt.seed_or(spec.run_seed);
 
-    // --- Dynamic sweep: every architecture runs every mix.
-    bench::SweepSpec spec;
-    spec.archs.assign(bench::kAllArchs.begin(), bench::kAllArchs.end());
-    spec.mixes = workload::table2();
-    spec.evals = {bench::default_eval_config()};
-    spec.greedy_max_gap = 2;
-    spec.run_seed = opt.seed_or(spec.run_seed);
-
+    std::cout << "=== Table II dynamic sweep, serial seed path ===\n\n";
     util::TextTable d({"Mix", "NoI", "Makespan (kcyc)", "Energy (uJ)", "Rounds",
                        "Completed"});
-    bench::JsonReport report("table2_mixes");
-    double wall_seconds = 0.0;
     std::size_t points = 0;
-    std::int32_t threads = 1;
-    // Fast-path economy summed over all points: simulator cycles actually
-    // stepped vs. proven no-op and skipped by the event-horizon core, plus
-    // whole rounds served by the unchanged-residency epoch cache.
-    std::int64_t stepped = 0, skipped = 0, jumps = 0, evals = 0, epoch_hits = 0;
-    const auto tally = [&](const bench::DynamicResult& run) {
-        stepped += run.sim_cycles_stepped;
-        skipped += run.sim_cycles_skipped;
-        jumps += run.sim_horizon_jumps;
-        evals += run.noi_evals;
-        epoch_hits += run.round_epoch_hits;
-    };
-    if (serial) {
-        // The pre-engine path: serial loop, topologies rebuilt per point,
-        // the cycle-by-cycle reference simulator (the seed had no
-        // event-horizon core), and no round epoch cache.
-        auto eval = spec.evals.front();
-        eval.sim.core = noc::SimCore::kReference;
-        eval.round_epoch_cache = false;
-        const auto t0 = std::chrono::steady_clock::now();
-        for (const auto& mix : spec.mixes) {
-            for (const auto a : spec.archs) {
-                auto b = bench::build_arch(a, 10, 10, spec.swap_seed,
-                                           spec.greedy_max_gap);
-                const auto run =
-                    bench::run_mix_dynamic(b, mix, eval, spec.run_seed);
-                d.add_row({mix.name, bench::arch_name(a),
-                           util::TextTable::fmt(run.total_cycles / 1e3, 1),
-                           util::TextTable::fmt(run.total_energy_pj / 1e6, 1),
-                           std::to_string(run.rounds),
-                           run.all_completed ? "yes" : "NO"});
-                tally(run);
-                ++points;
-            }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& mix : spec.mixes) {
+        for (const auto a : spec.archs) {
+            auto b = bench::build_arch(a, spec.grids.front().first,
+                                       spec.grids.front().second, spec.swap_seed,
+                                       spec.greedy_max_gap);
+            const auto run = bench::run_mix_dynamic(b, mix, eval, run_seed);
+            d.add_row({mix.name, bench::arch_name(a),
+                       util::TextTable::fmt(run.total_cycles / 1e3, 1),
+                       util::TextTable::fmt(run.total_energy_pj / 1e6, 1),
+                       std::to_string(run.rounds),
+                       run.all_completed ? "yes" : "NO"});
+            ++points;
         }
-        wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
-    } else {
-        bench::SweepEngine engine(opt.threads);
-        const auto sweep = engine.run(spec);
-        for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
-            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
-                const auto& row = sweep.at(a, 0, m);
-                d.add_row({row.point.mix.name, bench::arch_name(row.point.arch),
-                           util::TextTable::fmt(row.result.total_cycles / 1e3, 1),
-                           util::TextTable::fmt(row.result.total_energy_pj / 1e6, 1),
-                           std::to_string(row.result.rounds),
-                           row.result.all_completed ? "yes" : "NO"});
-                tally(row.result);
-            }
-        }
-        wall_seconds = sweep.wall_seconds;
-        points = sweep.rows.size();
-        threads = engine.thread_count();
-        bench::add_point_timing(report, sweep);
     }
-
-    std::cout << "\n=== Dynamic makespan sweep (arch x mix) ===\n\n";
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     d.print(std::cout);
-    const double skip_fraction =
-        stepped + skipped > 0
-            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
-            : 0.0;
-    std::cout << "\nSweep: " << points << " points, "
-              << (serial ? "serial seed path" : "SweepEngine") << ", " << threads
-              << " thread(s), " << util::TextTable::fmt(wall_seconds, 2) << " s\n"
-              << "Simulator: " << stepped << " cycles stepped, " << skipped
-              << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
-              << "% of simulated time) in " << jumps << " horizon jumps; "
-              << evals << " NoI evals, " << epoch_hits
-              << " rounds reused by the residency epoch cache\n";
+    std::cout << "\nSweep: " << points << " points, serial seed path, 1 thread, "
+              << util::TextTable::fmt(wall_seconds, 2) << " s\n";
 
-    report.add_table("demand", t);
+    bench::JsonReport report("table2_mixes");
     report.add_table("dynamic_sweep", d);
     report.add_metric("sweep_wall_seconds", wall_seconds);
-    report.add_metric("sweep_threads", threads);
-    report.add_metric("sweep_serial", serial ? 1.0 : 0.0);
-    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
-    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
-    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
-    report.add_metric("sim_skip_fraction", skip_fraction);
-    report.add_metric("noi_evals", static_cast<double>(evals));
-    report.add_metric("round_epoch_hits", static_cast<double>(epoch_hits));
-    report.write(opt);
+    report.add_metric("sweep_threads", 1);
+    report.add_metric("sweep_serial", 1.0);
+    report.write(opt.json_path);
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = bench::Options::parse(argc, argv);
+    if (opt.serial) return run_serial(opt);
+    return bench::run_registered_scenario("table2", opt);
 }

@@ -1,16 +1,11 @@
 #include "bench/common.h"
 
 #include <charconv>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <iomanip>
-#include <limits>
-#include <sstream>
+#include <exception>
+#include <iostream>
 #include <string_view>
-
-#include "src/util/stats.h"
 
 namespace floretsim::bench {
 namespace {
@@ -21,29 +16,6 @@ namespace {
                  "[--seed N] [args...]\n",
                  argv0, msg.c_str(), argv0);
     std::exit(2);
-}
-
-std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\t': out += "\\t"; break;
-            case '\r': out += "\\r"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    return out;
 }
 
 }  // namespace
@@ -87,82 +59,23 @@ Options Options::parse(int argc, char** argv) {
     return opt;
 }
 
-void JsonReport::add_table(const std::string& key, const util::TextTable& table) {
-    tables_.push_back(Table{key, table.header(), table.data()});
-}
-
-void JsonReport::add_metric(const std::string& key, double value) {
-    metrics_.emplace_back(key, value);
-}
-
-std::string JsonReport::to_json() const {
-    std::ostringstream os;
-    os << std::setprecision(std::numeric_limits<double>::max_digits10);
-    os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"metrics\": {";
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-        if (i) os << ',';
-        os << "\n    \"" << json_escape(metrics_[i].first) << "\": ";
-        // JSON has no nan/inf literals; emit null so anomalous runs stay
-        // parseable.
-        if (std::isfinite(metrics_[i].second))
-            os << metrics_[i].second;
-        else
-            os << "null";
+int run_registered_scenario(
+    const std::string& name, const Options& opt,
+    const std::function<void(scenario::SpecVariant&)>& tweak) {
+    try {
+        const scenario::Scenario& sc = scenario::Registry::builtin().at(name);
+        scenario::SpecVariant spec = sc.spec;
+        if (opt.has_seed) scenario::set_seed(spec, opt.seed);
+        if (tweak) tweak(spec);
+        core::SweepEngine engine(opt.threads);
+        scenario::RunContext ctx{engine, std::cout};
+        const JsonReport report = sc.report(spec, ctx);
+        report.write(opt.json_path);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(), e.what());
+        return 1;
     }
-    os << (metrics_.empty() ? "},\n" : "\n  },\n");
-    os << "  \"tables\": {";
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const Table& tab = tables_[t];
-        if (t) os << ',';
-        os << "\n    \"" << json_escape(tab.key) << "\": {\n      \"columns\": [";
-        for (std::size_t c = 0; c < tab.header.size(); ++c) {
-            if (c) os << ", ";
-            os << '"' << json_escape(tab.header[c]) << '"';
-        }
-        os << "],\n      \"rows\": [";
-        for (std::size_t r = 0; r < tab.rows.size(); ++r) {
-            if (r) os << ',';
-            os << "\n        [";
-            for (std::size_t c = 0; c < tab.rows[r].size(); ++c) {
-                if (c) os << ", ";
-                os << '"' << json_escape(tab.rows[r][c]) << '"';
-            }
-            os << ']';
-        }
-        os << (tab.rows.empty() ? "]\n    }" : "\n      ]\n    }");
-    }
-    os << (tables_.empty() ? "}\n}\n" : "\n  }\n}\n");
-    return os.str();
-}
-
-bool JsonReport::write(const Options& opt) const {
-    if (opt.json_path.empty()) return true;
-    std::ofstream f(opt.json_path);
-    if (!f) {
-        std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
-                     opt.json_path.c_str());
-        return false;
-    }
-    f << to_json();
-    return static_cast<bool>(f);
-}
-
-void add_point_timing(JsonReport& report, const core::SweepResult& sweep) {
-    std::vector<double> seconds;
-    seconds.reserve(sweep.rows.size());
-    for (const auto& row : sweep.rows) seconds.push_back(row.seconds);
-    add_point_timing(report, seconds);
-}
-
-void add_point_timing(JsonReport& report, std::span<const double> point_seconds) {
-    util::RunningStats t;
-    for (const double s : point_seconds) t.add(s);
-    if (t.empty()) return;
-    report.add_metric("point_seconds_min", t.min());
-    report.add_metric("point_seconds_mean", t.mean());
-    report.add_metric("point_seconds_max", t.max());
-    report.add_metric("point_imbalance",
-                      t.mean() > 0.0 ? t.max() / t.mean() : 1.0);
 }
 
 }  // namespace floretsim::bench

@@ -1,10 +1,11 @@
 #pragma once
 
 /// Shared harness for the paper-reproduction benches. The experiment
-/// infrastructure (architecture builders, dynamic multi-tenant runner) and
-/// the parallel sweep engine are library code in src/core/ — tested like
+/// infrastructure (architecture builders, dynamic multi-tenant runner),
+/// the parallel sweep engine, and the scenario layer (declarative specs,
+/// registry, JSON reports) are library code in src/ — tested like
 /// everything else; this header aliases them into the bench namespace and
-/// adds the thin command-line/reporting layer every bench shares:
+/// adds the thin command-line layer every bench shares:
 ///
 ///   --threads N     worker threads for the SweepEngine (0 = hardware)
 ///   --json PATH     machine-readable report alongside the printed tables
@@ -15,14 +16,21 @@
 /// Remaining non-flag arguments stay positional (each bench documents its
 /// own); unrecognized --flags are a usage error so typos cannot silently
 /// select the wrong code path.
+///
+/// Figure benches that exist in the scenario registry are one-liners over
+/// run_registered_scenario(): the registry's report function is the only
+/// implementation, so the standalone binary and the floretsim_run driver
+/// are bit-identical by construction.
 
 #include <cstdint>
-#include <span>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/core/experiment.h"
 #include "src/core/sweep.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/report.h"
 #include "src/util/table.h"
 
 namespace floretsim::bench {
@@ -31,6 +39,8 @@ using core::SweepEngine;
 using core::SweepPoint;
 using core::SweepResult;
 using core::SweepSpec;
+using scenario::add_point_timing;
+using scenario::JsonReport;
 
 /// Parsed command-line options shared by every bench binary.
 struct Options {
@@ -50,41 +60,13 @@ struct Options {
     static Options parse(int argc, char** argv);
 };
 
-/// Accumulates the bench's tables and scalar metrics and renders them as a
-/// JSON document, giving every bench a machine-readable trajectory file
-/// next to the human-readable output. Table cells are emitted as strings
-/// exactly as printed; metrics are numbers.
-class JsonReport {
-public:
-    explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
-
-    void add_table(const std::string& key, const util::TextTable& table);
-    void add_metric(const std::string& key, double value);
-
-    /// Serializes the report.
-    [[nodiscard]] std::string to_json() const;
-
-    /// Writes to opt.json_path when set (silently a no-op otherwise).
-    /// Returns false if the file could not be written.
-    bool write(const Options& opt) const;
-
-private:
-    struct Table {
-        std::string key;
-        std::vector<std::string> header;
-        std::vector<std::vector<std::string>> rows;
-    };
-    std::string name_;
-    std::vector<Table> tables_;
-    std::vector<std::pair<std::string, double>> metrics_;
-};
-
-/// Adds the per-point wall-clock spread of a sweep to the report —
-/// point_seconds_{min,mean,max} and point_imbalance (max/mean, 1.0 =
-/// perfectly balanced) — the load-balance signal for tuning how sweeps
-/// partition across workers.
-void add_point_timing(JsonReport& report, const core::SweepResult& sweep);
-/// Same signal for SweepEngine::timed_map fan-outs.
-void add_point_timing(JsonReport& report, std::span<const double> point_seconds);
+/// Runs one registered scenario the way a standalone bench binary does:
+/// copies the registry spec, applies --seed and the optional tweak (the
+/// bench's positional arguments), executes on a fresh engine with
+/// opt.threads workers, and writes the JSON report to --json. Returns the
+/// process exit code.
+int run_registered_scenario(
+    const std::string& name, const Options& opt,
+    const std::function<void(scenario::SpecVariant&)>& tweak = {});
 
 }  // namespace floretsim::bench

@@ -57,6 +57,6 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("datacenter_mix");
     report.add_table("comparison", t);
-    report.write(opt);
+    report.write(opt.json_path);
     return 0;
 }

@@ -96,6 +96,6 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("topology_explorer");
     report.add_table("profile", t);
-    report.write(opt);
+    report.write(opt.json_path);
     return 0;
 }

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Bench smoke: run every bench binary on a tiny configuration with a
-# --json report into a temp directory, and fail on a non-zero exit or an
-# unparseable report. Catches bit-rot in rarely-run benches (and the
-# JSON emitter) without paying for full-size sweeps in CI.
+# Bench smoke: exercise every bench code path on a tiny configuration and
+# fail on a non-zero exit or an unparseable JSON report. Catches bit-rot
+# in rarely-run benches (and the JSON emitter) without paying for
+# full-size sweeps in CI.
+#
+# Both simulator cores are exercised end to end (the event-horizon
+# default and the reference cycle loop, via FLORETSIM_SIM_CORE). The
+# figure benches that live in the scenario registry (fig3/fig4/fig5/
+# table2/serving) are covered by ONE floretsim_run invocation per core:
+# one process, one shared SweepEngine/fabric cache, so the registered
+# scenarios cost one sweep's worth of fabric builds instead of five
+# processes' — and the driver's own CLI (--set overrides, merged report)
+# is smoke-tested for free. The remaining bench binaries keep their
+# per-binary loop, also once per core.
 #
 #   usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -u
@@ -16,43 +26,67 @@ fi
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
-# Tiny per-bench arguments. Benches without an entry run their defaults
-# (all are CI-sized); bench_micro_kernels is google-benchmark-driven and
-# has no --json contract, so it is skipped.
-tiny_args() {
-    case "$1" in
-        bench_serving_sla) echo "24 1" ;;  # requests-per-run replications
-        *) echo "" ;;
-    esac
-}
-
 fail=0
 ran=0
-for bench in "$build_dir"/bench_*; do
-    [ -x "$bench" ] || continue
-    name=$(basename "$bench")
-    [ "$name" = "bench_micro_kernels" ] && continue
-    json="$out_dir/$name.json"
-    # shellcheck disable=SC2046  -- word-splitting the tiny args is the point
-    if ! "$bench" --threads 2 --json "$json" $(tiny_args "$name") \
-         > "$out_dir/$name.log" 2>&1; then
-        echo "FAIL $name: non-zero exit" >&2
-        tail -20 "$out_dir/$name.log" >&2
+
+driver="$build_dir/floretsim_run"
+if [ ! -x "$driver" ]; then
+    echo "bench_smoke: $driver not found" >&2
+    exit 2
+fi
+
+# Figure benches covered by the driver (thin registry mains — running the
+# binary would repeat the identical scenario code the driver just ran).
+registered="bench_fig3_latency bench_fig4_utilization bench_fig5_energy \
+bench_table2_mixes bench_serving_sla"
+
+smoke_one() {  # smoke_one <label> <log/json stem> <cmd...>
+    local label=$1 stem=$2
+    shift 2
+    local json="$out_dir/$stem.json"
+    if ! "$@" --json "$json" > "$out_dir/$stem.log" 2>&1; then
+        echo "FAIL $label: non-zero exit" >&2
+        tail -20 "$out_dir/$stem.log" >&2
         fail=1
-        continue
+        return
     fi
     if ! python3 -m json.tool "$json" > /dev/null 2>&1; then
-        echo "FAIL $name: unparseable JSON report" >&2
+        echo "FAIL $label: unparseable JSON report" >&2
         fail=1
-        continue
+        return
     fi
-    echo "ok   $name"
+    echo "ok   $label"
     ran=$((ran + 1))
+}
+
+for core in event-horizon reference; do
+    export FLORETSIM_SIM_CORE=$core
+
+    # Registered scenarios: one driver run. Tiny sizes: the serving grid
+    # drops to 24 requests x 1 replication (the sweep scenarios are
+    # already CI-sized). Sweep-only --set keys would error here ("applies
+    # to none") if the serving scenario ever left the registry, which is
+    # exactly the alarm we want.
+    smoke_one "floretsim_run ($core: fig3 fig4 fig5 table2 serving)" \
+        "floretsim_run.$core" \
+        "$driver" --threads 2 --set max_requests=24 --set replications=1
+
+    # Unregistered benches: the per-binary loop. bench_micro_kernels is
+    # google-benchmark-driven and has no --json contract, so it is skipped.
+    for bench in "$build_dir"/bench_*; do
+        [ -x "$bench" ] || continue
+        name=$(basename "$bench")
+        [ "$name" = "bench_micro_kernels" ] && continue
+        case " $registered " in
+            *" $name "*) continue ;;
+        esac
+        smoke_one "$name ($core)" "$name.$core" "$bench" --threads 2
+    done
 done
 
 if [ "$ran" -eq 0 ]; then
-    echo "bench_smoke: no bench binaries found in $build_dir" >&2
+    echo "bench_smoke: nothing ran in $build_dir" >&2
     exit 2
 fi
-echo "bench_smoke: $ran benches ok"
+echo "bench_smoke: $ran smoke runs ok"
 exit $fail

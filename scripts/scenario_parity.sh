@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Scenario-layer parity check (run by ctest as `scenario_parity`):
+#
+#   1. `floretsim_run --only fig3,fig5` in one process must produce sweep
+#      rows bit-identical to the standalone bench_fig3_latency binary,
+#      at *different* thread counts (the engine's determinism contract);
+#   2. fig5 — running second over the shared engine — must report
+#      fabric_cache_misses == 0 and fabric_cache_hits > 0: every fabric it
+#      needed was already built by fig3 (the cross-scenario cache win).
+#
+#   usage: scripts/scenario_parity.sh <floretsim_run> <bench_fig3_latency>
+set -eu
+
+driver=$1
+standalone=$2
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+"$driver" --only fig3,fig5 --threads 3 --json "$out_dir/driver.json" \
+    > "$out_dir/driver.log"
+"$standalone" --threads 1 --json "$out_dir/solo.json" > "$out_dir/solo.log"
+
+python3 - "$out_dir/driver.json" "$out_dir/solo.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    driver = json.load(f)
+with open(sys.argv[2]) as f:
+    solo = json.load(f)
+
+fig3 = driver["scenarios"]["fig3"]
+fig5 = driver["scenarios"]["fig5"]
+
+# 1. Bit-identical sweep rows (and the derived headline metric) across
+#    processes and thread counts.
+assert fig3["tables"] == solo["tables"], (
+    "fig3 sweep rows differ between floretsim_run and bench_fig3_latency")
+assert fig3["metrics"]["worst_ratio"] == solo["metrics"]["worst_ratio"], (
+    "fig3 worst_ratio differs between floretsim_run and bench_fig3_latency")
+
+# 2. Cross-scenario fabric-cache reuse: fig5 runs the same grids as fig3
+#    and must not rebuild a single fabric.
+assert fig5["metrics"]["fabric_cache_misses"] == 0, (
+    "fig5 rebuilt fabrics despite running after fig3: %s misses"
+    % fig5["metrics"]["fabric_cache_misses"])
+assert fig5["metrics"]["fabric_cache_hits"] > 0, "fig5 never touched the cache"
+assert driver["driver"]["scenarios_failed"] == 0
+
+print("scenario parity ok: rows bit-identical, fig5 cache misses == 0,",
+      "fig5 cache hits ==", fig5["metrics"]["fabric_cache_hits"])
+EOF

@@ -36,6 +36,9 @@ struct EvalConfig {
     /// deterministic in its inputs, so results are bit-identical either way
     /// (pinned by tests); off forces a fresh simulation every round.
     bool round_epoch_cache = true;
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const EvalConfig&) const = default;
 };
 
 /// Aggregate NoI metrics for one workload mapping (one Fig. 3/5 bar).

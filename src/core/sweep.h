@@ -34,6 +34,10 @@ struct SweepPoint {
     std::uint64_t swap_seed = 13;
     std::int32_t greedy_max_gap = -1;
     std::uint64_t run_seed = 1;
+
+    /// Field-wise equality: points are the wire format for distributing
+    /// sweeps (scenario::sweep_point_from_json(to_json(p)) == p).
+    [[nodiscard]] bool operator==(const SweepPoint&) const = default;
 };
 
 /// The sweep grid: the cartesian product archs x grids x mixes x evals.
@@ -50,6 +54,9 @@ struct SweepSpec {
     std::uint64_t run_seed = 1;
 
     [[nodiscard]] std::vector<SweepPoint> expand() const;
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const SweepSpec&) const = default;
 };
 
 /// One row of the result table: the point plus its dynamic-run outcome.

@@ -42,6 +42,9 @@ struct CostParams {
     /// Reference 2.5D system (the paper's AMD 864 mm² / 64-chiplet anchor).
     double ref_noi_area_mm2 = 800.0;
     std::int32_t ref_chiplets = 64;
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const CostParams&) const = default;
 };
 
 /// Total router area of a topology (sum over nodes of the radix model).

@@ -47,6 +47,10 @@ struct SimConfig {
     /// ("reference" / "event-horizon") overrides it process-wide, which is
     /// how CI keeps the reference loop exercised end to end.
     SimCore core = SimCore::kEventHorizon;
+
+    /// Field-wise equality: the scenario layer's JSON round-trip contract
+    /// (scenario::sim_config_from_json(to_json(x)) == x).
+    [[nodiscard]] bool operator==(const SimConfig&) const = default;
 };
 
 /// A point-to-point traffic demand (bytes to move src -> dst).

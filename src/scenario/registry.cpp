@@ -1,0 +1,286 @@
+#include "src/scenario/registry.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace floretsim::scenario {
+namespace {
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value,
+                            const std::string& why) {
+    throw std::invalid_argument("--set " + std::string(key) + "=" +
+                                std::string(value) + ": " + why);
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc() || p != value.data() + value.size())
+        bad_value(key, value, "expected a number");
+    return v;
+}
+
+/// traffic_scale accepts the bench-doc notation "1/128" as well as plain
+/// decimals.
+double parse_ratio(std::string_view key, std::string_view value) {
+    const std::size_t slash = value.find('/');
+    if (slash == std::string_view::npos) return parse_double(key, value);
+    const double num = parse_double(key, value.substr(0, slash));
+    const double den = parse_double(key, value.substr(slash + 1));
+    if (den == 0.0) bad_value(key, value, "division by zero");
+    return num / den;
+}
+
+std::int64_t parse_int(std::string_view key, std::string_view value) {
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc() || p != value.data() + value.size())
+        bad_value(key, value, "expected an integer");
+    return v;
+}
+
+std::uint64_t parse_uint(std::string_view key, std::string_view value) {
+    std::uint64_t v = 0;
+    const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc() || p != value.data() + value.size())
+        bad_value(key, value, "expected a non-negative integer");
+    return v;
+}
+
+std::pair<std::int32_t, std::int32_t> parse_grid(std::string_view key,
+                                                 std::string_view value) {
+    // Same strict parser as the JSON spec forms (grid_from_string), so a
+    // grid that works in a spec file works on the CLI and vice versa.
+    try {
+        return grid_from_string(std::string(value));
+    } catch (const std::invalid_argument&) {
+        bad_value(key, value, "expected WxH, e.g. 12x12");
+    }
+}
+
+std::vector<core::experiment::Arch> parse_archs(std::string_view key,
+                                                std::string_view value) {
+    std::vector<core::experiment::Arch> archs;
+    for (const auto& name : split_csv(value)) {
+        try {
+            archs.push_back(arch_from_string(name));
+        } catch (const std::invalid_argument& e) {
+            bad_value(key, value, e.what());
+        }
+    }
+    if (archs.empty()) bad_value(key, value, "empty architecture list");
+    return archs;
+}
+
+/// Applies an EvalConfig mutation everywhere the spec carries one. A
+/// sweep spec with an empty eval list means "the experiment default", so
+/// the default is materialized first — otherwise the override would be
+/// silently lost at expand() time.
+template <typename Fn>
+void mutate_evals(SpecVariant& spec, Fn&& fn) {
+    if (auto* sweep = std::get_if<core::SweepSpec>(&spec)) {
+        if (sweep->evals.empty())
+            sweep->evals = {core::experiment::default_eval_config()};
+        for (auto& eval : sweep->evals) fn(eval);
+    } else {
+        fn(std::get<ServeGridSpec>(spec).base.config.eval);
+    }
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(std::string_view value) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string_view item = value.substr(
+            start, comma == std::string_view::npos ? std::string_view::npos
+                                                   : comma - start);
+        if (!item.empty()) out.emplace_back(item);
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+const char* spec_kind_name(const SpecVariant& spec) {
+    return std::holds_alternative<core::SweepSpec>(spec) ? "sweep" : "serve_grid";
+}
+
+util::Json to_json(const SpecVariant& spec) {
+    return std::visit([](const auto& s) { return to_json(s); }, spec);
+}
+
+SpecVariant spec_from_json(const util::Json& j, const std::string& kind) {
+    if (kind == "sweep") return sweep_spec_from_json(j);
+    if (kind == "serve_grid") return serve_grid_spec_from_json(j);
+    throw std::invalid_argument("unknown spec kind \"" + kind +
+                                "\" (expected sweep|serve_grid)");
+}
+
+void Registry::add(Scenario s) {
+    if (!s.report)
+        throw std::invalid_argument("scenario \"" + s.name +
+                                    "\" has no report function");
+    if (find(s.name) != nullptr)
+        throw std::invalid_argument("duplicate scenario \"" + s.name + "\"");
+    scenarios_.push_back(std::move(s));
+}
+
+const Scenario* Registry::find(const std::string& name) const {
+    const auto it = std::find_if(scenarios_.begin(), scenarios_.end(),
+                                 [&](const Scenario& s) { return s.name == name; });
+    return it == scenarios_.end() ? nullptr : &*it;
+}
+
+const Scenario& Registry::at(const std::string& name) const {
+    if (const Scenario* s = find(name)) return *s;
+    std::string known;
+    for (const auto& s : scenarios_) {
+        if (!known.empty()) known += ", ";
+        known += s.name;
+    }
+    throw std::invalid_argument("unknown scenario \"" + name + "\" (registered: " +
+                                known + ")");
+}
+
+void set_seed(SpecVariant& spec, std::uint64_t seed) {
+    if (auto* sweep = std::get_if<core::SweepSpec>(&spec))
+        sweep->run_seed = seed;
+    else
+        std::get<ServeGridSpec>(spec).base.base_seed = seed;
+}
+
+bool is_eval_override_key(std::string_view key) {
+    return key == "traffic_scale" || key == "max_cycles" ||
+           key == "injection_rate" || key == "sim_core";
+}
+
+std::string override_keys_help() {
+    return "grid, grids, archs, mixes, traffic_scale, max_cycles, "
+           "injection_rate, sim_core, swap_seed, greedy_max_gap, seed, "
+           "max_requests, replications, loads";
+}
+
+bool apply_override(SpecVariant& spec, std::string_view key,
+                    std::string_view value) {
+    auto* sweep = std::get_if<core::SweepSpec>(&spec);
+    auto* grid = std::get_if<ServeGridSpec>(&spec);
+
+    if (key == "grid" || key == "grids") {
+        std::vector<std::pair<std::int32_t, std::int32_t>> grids;
+        for (const auto& g : split_csv(value)) grids.push_back(parse_grid(key, g));
+        if (grids.empty()) bad_value(key, value, "empty grid list");
+        if (sweep) {
+            sweep->grids = std::move(grids);
+        } else {
+            if (grids.size() != 1)
+                bad_value(key, value, "serving scenarios take exactly one grid");
+            grid->base.width = grids.front().first;
+            grid->base.height = grids.front().second;
+        }
+        return true;
+    }
+    if (key == "archs") {
+        auto archs = parse_archs(key, value);
+        if (sweep)
+            sweep->archs = std::move(archs);
+        else
+            grid->archs = std::move(archs);
+        return true;
+    }
+    if (key == "mixes") {
+        if (!sweep) return false;
+        std::vector<workload::ConcurrentMix> mixes;
+        for (const auto& name : split_csv(value)) {
+            try {
+                mixes.push_back(mix_from_json(util::Json(name)));
+            } catch (const std::invalid_argument& e) {
+                bad_value(key, value, e.what());
+            }
+        }
+        if (mixes.empty()) bad_value(key, value, "empty mix list");
+        sweep->mixes = std::move(mixes);
+        return true;
+    }
+    if (key == "traffic_scale") {
+        const double scale = parse_ratio(key, value);
+        if (scale <= 0.0 || scale > 1.0)
+            bad_value(key, value, "traffic scale must be in (0, 1]");
+        mutate_evals(spec, [&](core::EvalConfig& e) { e.traffic_scale = scale; });
+        return true;
+    }
+    if (key == "max_cycles") {
+        const std::int64_t cap = parse_int(key, value);
+        if (cap <= 0) bad_value(key, value, "cycle cap must be positive");
+        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.max_cycles = cap; });
+        return true;
+    }
+    if (key == "injection_rate") {
+        const double rate = parse_double(key, value);
+        if (rate <= 0.0) bad_value(key, value, "injection rate must be positive");
+        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.injection_rate = rate; });
+        return true;
+    }
+    if (key == "sim_core") {
+        noc::SimCore core = noc::SimCore::kEventHorizon;
+        try {
+            core = sim_core_from_json(util::Json(std::string(value)));
+        } catch (const std::invalid_argument& e) {
+            bad_value(key, value, e.what());
+        }
+        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.core = core; });
+        return true;
+    }
+    if (key == "swap_seed") {
+        const std::uint64_t seed = parse_uint(key, value);
+        if (sweep)
+            sweep->swap_seed = seed;
+        else
+            grid->base.swap_seed = seed;
+        return true;
+    }
+    if (key == "greedy_max_gap") {
+        const std::int64_t gap = parse_int(key, value);
+        if (gap < INT32_MIN || gap > INT32_MAX)
+            bad_value(key, value, "out of int32 range");
+        if (sweep)
+            sweep->greedy_max_gap = static_cast<std::int32_t>(gap);
+        else
+            grid->base.greedy_max_gap = static_cast<std::int32_t>(gap);
+        return true;
+    }
+    if (key == "seed") {
+        set_seed(spec, parse_uint(key, value));
+        return true;
+    }
+    if (key == "max_requests") {
+        if (!grid) return false;
+        const std::int64_t n = parse_int(key, value);
+        if (n <= 0) bad_value(key, value, "request count must be positive");
+        grid->base.config.arrivals.max_requests = n;
+        return true;
+    }
+    if (key == "replications") {
+        if (!grid) return false;
+        const std::int64_t n = parse_int(key, value);
+        if (n <= 0 || n > INT32_MAX)
+            bad_value(key, value, "replication count must be a positive int32");
+        grid->base.replications = static_cast<std::int32_t>(n);
+        return true;
+    }
+    if (key == "loads") {
+        if (!grid) return false;
+        std::vector<double> loads;
+        for (const auto& l : split_csv(value)) loads.push_back(parse_double(key, l));
+        if (loads.empty()) bad_value(key, value, "empty load list");
+        grid->loads_per_mcycle = std::move(loads);
+        return true;
+    }
+    throw std::invalid_argument("--set: unknown key \"" + std::string(key) +
+                                "\" (supported: " + override_keys_help() + ")");
+}
+
+}  // namespace floretsim::scenario

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/scenario/report.h"
+#include "src/scenario/spec_json.h"
+
+namespace floretsim::scenario {
+
+/// First-class scenario layer: every paper figure/table registers a named
+/// Scenario — a serializable spec plus a report function — and both the
+/// thin bench binaries and the floretsim_run driver execute scenarios by
+/// name through the same code path, so a driver run is bit-identical to
+/// the standalone binary (pinned by the scenario_parity ctest). The spec
+/// is data (JSON in, JSON out, CLI overrides applied in place); the
+/// report function is the only code, and it receives a shared SweepEngine
+/// so consecutive scenarios reuse one fabric cache (fig3+fig5 build their
+/// identical sweeps once).
+
+/// What a scenario sweeps: a batch sweep grid or a serving grid.
+using SpecVariant = std::variant<core::SweepSpec, ServeGridSpec>;
+
+/// "sweep" or "serve_grid" — the `kind` discriminator in scenario files.
+[[nodiscard]] const char* spec_kind_name(const SpecVariant& spec);
+
+[[nodiscard]] util::Json to_json(const SpecVariant& spec);
+/// Parses a spec of the named kind ("sweep" / "serve_grid").
+[[nodiscard]] SpecVariant spec_from_json(const util::Json& j,
+                                         const std::string& kind);
+
+/// Everything a report function gets to work with: the engine it must run
+/// all parallel work on (shared across scenarios in a driver run — that
+/// sharing is the fabric-cache win) and the stream for human-readable
+/// output.
+struct RunContext {
+    core::SweepEngine& engine;
+    std::ostream& out;
+};
+
+/// Runs the (possibly overridden) spec and produces the figure's report.
+/// Throws std::invalid_argument when handed the wrong spec kind.
+using ReportFn = std::function<JsonReport(const SpecVariant&, RunContext&)>;
+
+struct Scenario {
+    std::string name;     ///< Registry key ("fig3", "serving", ...).
+    std::string summary;  ///< One-liner for --list.
+    SpecVariant spec;     ///< The figure's canonical spec.
+    ReportFn report;
+    /// False for mapping-only scenarios (fig4) whose report never runs an
+    /// NoI evaluation: the driver then refuses to count eval-affecting
+    /// --set keys (see is_eval_override_key) as applied to them, keeping
+    /// the "--set must land somewhere" typo guard honest.
+    bool uses_eval = true;
+};
+
+class Registry {
+public:
+    /// Registers a scenario; throws std::invalid_argument on a duplicate
+    /// name or a missing report function.
+    void add(Scenario s);
+
+    [[nodiscard]] const Scenario* find(const std::string& name) const;
+    /// Lookup that throws std::invalid_argument listing the known names.
+    [[nodiscard]] const Scenario& at(const std::string& name) const;
+    /// Registration order (the driver's default run order).
+    [[nodiscard]] const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+    /// The built-in figure/table scenarios (constructed once, immutable).
+    [[nodiscard]] static const Registry& builtin();
+
+private:
+    std::vector<Scenario> scenarios_;
+};
+
+// ---- Spec mutation (CLI) ----------------------------------------------------
+
+/// Points every seed in the spec at `seed` (sweep run_seed / serve
+/// base_seed) — the bench `--seed` contract.
+void set_seed(SpecVariant& spec, std::uint64_t seed);
+
+/// Applies one `--set key=value` override in place. Returns false when
+/// the key is recognized but meaningless for this spec kind (e.g.
+/// max_requests on a batch sweep) so the caller can insist that every
+/// override lands somewhere; throws std::invalid_argument for unknown
+/// keys or malformed values. Supported keys: grid, grids, archs, mixes,
+/// traffic_scale (accepts "1/128"), max_cycles, injection_rate, sim_core,
+/// swap_seed, greedy_max_gap, seed, max_requests, replications, loads.
+bool apply_override(SpecVariant& spec, std::string_view key,
+                    std::string_view value);
+
+/// One-line list of the supported override keys, for error messages.
+[[nodiscard]] std::string override_keys_help();
+
+/// Splits "a,b,c" into non-empty items — the list syntax shared by the
+/// override values and the driver's --only flag.
+[[nodiscard]] std::vector<std::string> split_csv(std::string_view value);
+
+/// True for --set keys that mutate the spec's EvalConfigs (traffic_scale,
+/// max_cycles, injection_rate, sim_core) — a no-op on scenarios whose
+/// report never evaluates the NoI (Scenario::uses_eval == false).
+[[nodiscard]] bool is_eval_override_key(std::string_view key);
+
+// ---- Scenario files ---------------------------------------------------------
+
+/// Loads a scenario from a JSON file. Two shapes:
+///   {"scenario": "fig3", "name"?, "spec"?}   — a registered scenario,
+///     optionally relabeled and/or with a replacement spec of its kind;
+///   {"kind": "sweep"|"serve_grid", "spec": {...}, "name"?} — a bare spec
+///     run through the generic report for its kind.
+/// Unknown top-level keys are rejected. Throws std::invalid_argument
+/// (parse/validation) or std::runtime_error (unreadable file).
+[[nodiscard]] Scenario load_scenario_file(const std::string& path,
+                                          const Registry& registry);
+
+/// The generic report functions backing bare-spec scenario files.
+[[nodiscard]] ReportFn generic_sweep_report();
+[[nodiscard]] ReportFn serving_grid_report();
+
+}  // namespace floretsim::scenario

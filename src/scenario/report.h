@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace floretsim::scenario {
+
+/// Machine-readable report of one bench/scenario run: the printed tables
+/// plus scalar metrics, rendered as a JSON document. Lives in the library
+/// (not bench/) because scenario report functions produce it and the
+/// floretsim_run driver merges several of them into one document via
+/// to_value(). Table cells are emitted as strings exactly as printed;
+/// metrics are numbers (non-finite values serialize as null so anomalous
+/// runs stay parseable — JSON has no nan/inf literals).
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+    void add_table(const std::string& key, const util::TextTable& table);
+    void add_metric(const std::string& key, double value);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// The report as a JSON value — the merge point for multi-scenario
+    /// documents (floretsim_run nests one of these per scenario).
+    [[nodiscard]] util::Json to_value() const;
+
+    /// Serializes the report document.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Writes to `path` when non-empty (empty path is silently a no-op).
+    /// Returns false if the file could not be written.
+    bool write(const std::string& path) const;
+
+private:
+    struct Table {
+        std::string key;
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+    std::string name_;
+    std::vector<Table> tables_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Adds the per-point wall-clock spread of a sweep to the report —
+/// point_seconds_{min,mean,max} and point_imbalance (max/mean, 1.0 =
+/// perfectly balanced) — the load-balance signal for tuning how sweeps
+/// partition across workers. Empty inputs add nothing; an all-zero
+/// (degenerate) timing vector reports imbalance 1.0 rather than NaN.
+void add_point_timing(JsonReport& report, const core::SweepResult& sweep);
+/// Same signal for SweepEngine::timed_map fan-outs.
+void add_point_timing(JsonReport& report, std::span<const double> point_seconds);
+
+}  // namespace floretsim::scenario

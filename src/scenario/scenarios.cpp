@@ -1,0 +1,650 @@
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/mapper.h"
+#include "src/scenario/registry.h"
+#include "src/serve/simulator.h"
+#include "src/serve/sweep.h"
+#include "src/util/table.h"
+
+/// The built-in figure/table scenarios: the sweep-driven paper benches,
+/// expressed as (spec, report function) pairs over the shared engine.
+/// Each report function is the *only* implementation of its figure — the
+/// standalone bench binaries and the floretsim_run driver both execute it
+/// through the registry, which is what makes their rows bit-identical.
+
+namespace floretsim::scenario {
+namespace {
+
+namespace experiment = core::experiment;
+using experiment::Arch;
+
+const core::SweepSpec& as_sweep(const SpecVariant& spec, const char* scenario) {
+    if (const auto* s = std::get_if<core::SweepSpec>(&spec)) return *s;
+    throw std::invalid_argument(std::string(scenario) +
+                                " needs a \"sweep\" spec, got serve_grid");
+}
+
+const ServeGridSpec& as_serve_grid(const SpecVariant& spec, const char* scenario) {
+    if (const auto* s = std::get_if<ServeGridSpec>(&spec)) return *s;
+    throw std::invalid_argument(std::string(scenario) +
+                                " needs a \"serve_grid\" spec, got sweep");
+}
+
+/// Index of the normalization architecture: Floret when swept (the
+/// paper's baseline), otherwise the first architecture — looked up by
+/// Arch, never by position, so reordering spec.archs cannot silently
+/// normalize against the wrong column.
+std::size_t norm_arch_index(const core::SweepSpec& spec) {
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        if (spec.archs[a] == Arch::kFloret) return a;
+    return 0;
+}
+
+/// Row label for (mix, grid): the mix name, qualified by the grid size
+/// when the spec sweeps more than one grid.
+std::string row_label(const core::SweepSpec& spec, std::size_t g, std::size_t m) {
+    std::string label = spec.mixes[m].name;
+    if (spec.grids.size() > 1)
+        label += "@" + std::to_string(spec.grids[g].first) + "x" +
+                 std::to_string(spec.grids[g].second);
+    return label;
+}
+
+// ---- fig3 / fig5: normalized latency & energy sweeps ------------------------
+
+/// Shared shape of the Fig. 3/5 reports: run the arch x grid x mix sweep,
+/// normalize a per-point metric to the Floret column, tabulate.
+template <typename Metric>
+JsonReport normalized_sweep_report(const core::SweepSpec& spec, RunContext& ctx,
+                                   const std::string& report_name,
+                                   const std::string& table_key,
+                                   const std::string& value_label, Metric metric,
+                                   double unit_scale, int unit_precision,
+                                   bool warn_on_cap, double* worst_ratio_out,
+                                   std::vector<double>* arch_ratio_sums_out) {
+    if (spec.archs.empty() || spec.mixes.empty() || spec.grids.empty())
+        throw std::invalid_argument(report_name +
+                                    ": spec needs archs, grids, and mixes");
+    const auto sweep = ctx.engine.run(spec);
+    const std::size_t norm = norm_arch_index(spec);
+
+    std::vector<std::string> header{"Mix"};
+    for (const auto a : spec.archs) header.emplace_back(experiment::arch_name(a));
+    header.push_back(std::string(experiment::arch_name(spec.archs[norm])) + " " +
+                     value_label);
+    util::TextTable t(header);
+
+    double worst_ratio = 0.0;
+    std::vector<double> ratio_sums(spec.archs.size(), 0.0);
+    for (std::size_t g = 0; g < spec.grids.size(); ++g) {
+        for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
+            std::vector<double> value;
+            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+                const auto& row = sweep.at(a, g, m);
+                if (warn_on_cap && !row.result.all_completed)
+                    ctx.out << "warning: " << experiment::arch_name(row.point.arch)
+                            << "/" << row.point.mix.name
+                            << " hit the cycle cap\n";
+                value.push_back(metric(row.result));
+            }
+            const double base = value[norm];
+            std::vector<std::string> cells{row_label(spec, g, m)};
+            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+                const double ratio = value[a] / base;
+                ratio_sums[a] += ratio;
+                if (a != norm) worst_ratio = std::max(worst_ratio, ratio);
+                cells.push_back(a == norm ? "1.00" : util::TextTable::fmt(ratio));
+            }
+            cells.push_back(
+                util::TextTable::fmt(base / unit_scale, unit_precision));
+            t.add_row(std::move(cells));
+        }
+    }
+    t.print(ctx.out);
+
+    JsonReport report(report_name);
+    report.add_table(table_key, t);
+    if (worst_ratio_out) *worst_ratio_out = worst_ratio;
+    if (arch_ratio_sums_out) *arch_ratio_sums_out = ratio_sums;
+    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    report.add_metric("sweep_threads", ctx.engine.thread_count());
+    add_point_timing(report, sweep);
+    ctx.out << "\nSweep: " << sweep.rows.size() << " points on "
+            << ctx.engine.thread_count() << " thread(s) in "
+            << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n";
+    return report;
+}
+
+JsonReport fig3_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_sweep(sv, "fig3");
+    ctx.out << "=== Fig. 3: NoI latency, " << spec.grids.front().first *
+                   spec.grids.front().second
+            << " chiplets (normalized to "
+            << experiment::arch_name(spec.archs[norm_arch_index(spec)])
+            << ") ===\n\n";
+    double worst_ratio = 0.0;
+    auto report = normalized_sweep_report(
+        spec, ctx, "fig3_latency", "latency_normalized", "cycles",
+        [](const experiment::DynamicResult& r) { return r.total_cycles; },
+        /*unit_scale=*/1.0, /*unit_precision=*/0, /*warn_on_cap=*/true,
+        &worst_ratio, nullptr);
+    report.add_metric("worst_ratio", worst_ratio);
+    ctx.out << "Worst baseline/"
+            << experiment::arch_name(spec.archs[norm_arch_index(spec)])
+            << " ratio observed: " << util::TextTable::fmt(worst_ratio)
+            << "  (paper: up to 2.24x vs Kite/SIAM)\n";
+    return report;
+}
+
+JsonReport fig5_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_sweep(sv, "fig5");
+    const std::size_t norm = norm_arch_index(spec);
+    ctx.out << "=== Fig. 5: NoI energy, " << spec.grids.front().first *
+                   spec.grids.front().second
+            << " chiplets (normalized to " << experiment::arch_name(spec.archs[norm])
+            << ") ===\n\n";
+    std::vector<double> ratio_sums;
+    auto report = normalized_sweep_report(
+        spec, ctx, "fig5_energy", "energy_normalized", "uJ",
+        [](const experiment::DynamicResult& r) { return r.total_energy_pj; },
+        /*unit_scale=*/1e6, /*unit_precision=*/2, /*warn_on_cap=*/false, nullptr,
+        &ratio_sums);
+    const double n = static_cast<double>(spec.mixes.size() * spec.grids.size());
+    ctx.out << "Mean energy vs " << experiment::arch_name(spec.archs[norm]) << ":";
+    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+        if (a == norm) continue;
+        const double mean = ratio_sums[a] / n;
+        ctx.out << "  " << experiment::arch_name(spec.archs[a]) << " "
+                << util::TextTable::fmt(mean) << "x";
+        report.add_metric("mean_" + ascii_lower(experiment::arch_name(spec.archs[a])) +
+                              "_over_" +
+                              ascii_lower(experiment::arch_name(spec.archs[norm])),
+                          mean);
+    }
+    ctx.out << "   (paper: Kite 2.8x, SIAM 1.65x)\n";
+    return report;
+}
+
+// ---- table2: demand accounting + the dynamic makespan sweep -----------------
+
+JsonReport table2_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_sweep(sv, "table2");
+    ctx.out << "=== Table II: concurrent DNN task mixes ("
+            << spec.grids.front().first * spec.grids.front().second
+            << "-chiplet system) ===\n"
+            << "chiplet capacity " << experiment::kParamsPerChipletM
+            << "M params; demand = sum of per-task packed partitions\n\n";
+
+    // Capacity follows the (overridable) grid, not a hardcoded 100.
+    const std::int32_t capacity =
+        spec.grids.front().first * spec.grids.front().second;
+    util::TextTable t({"Name", "Tasks", "Table-I params (B)", "Paper total (B)",
+                       "Chiplet demand", "Fits " + std::to_string(capacity) + "?"});
+    for (const auto& mix : spec.mixes) {
+        std::vector<std::unique_ptr<dnn::Network>> owner;
+        const auto queue = workload::expand_mix(mix);
+        const auto tasks =
+            core::make_tasks(queue, experiment::kParamsPerChipletM, owner);
+        std::int32_t demand = 0;
+        for (const auto& task : tasks) demand += task.plan.total_chiplets;
+        t.add_row({mix.name, std::to_string(mix.total_instances()),
+                   util::TextTable::fmt(mix.table_params_m() / 1e3, 3),
+                   util::TextTable::fmt(mix.paper_total_params_b, 1),
+                   std::to_string(demand),
+                   demand <= capacity ? "yes" : "no (queue waits)"});
+    }
+    t.print(ctx.out);
+
+    ctx.out << "\nMix composition:\n";
+    for (const auto& mix : spec.mixes) {
+        ctx.out << "  " << mix.name << ": ";
+        for (std::size_t i = 0; i < mix.entries.size(); ++i) {
+            if (i) ctx.out << " -> ";
+            ctx.out << mix.entries[i].second << "x" << mix.entries[i].first;
+        }
+        ctx.out << '\n';
+    }
+
+    util::TextTable d({"Mix", "NoI", "Makespan (kcyc)", "Energy (uJ)", "Rounds",
+                       "Completed"});
+    JsonReport report("table2_mixes");
+    const auto sweep = ctx.engine.run(spec);
+    std::int64_t stepped = 0, skipped = 0, jumps = 0, evals = 0, epoch_hits = 0;
+    for (std::size_t g = 0; g < spec.grids.size(); ++g) {
+        for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
+            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+                const auto& row = sweep.at(a, g, m);
+                d.add_row({row_label(spec, g, m),
+                           experiment::arch_name(row.point.arch),
+                           util::TextTable::fmt(row.result.total_cycles / 1e3, 1),
+                           util::TextTable::fmt(row.result.total_energy_pj / 1e6, 1),
+                           std::to_string(row.result.rounds),
+                           row.result.all_completed ? "yes" : "NO"});
+                stepped += row.result.sim_cycles_stepped;
+                skipped += row.result.sim_cycles_skipped;
+                jumps += row.result.sim_horizon_jumps;
+                evals += row.result.noi_evals;
+                epoch_hits += row.result.round_epoch_hits;
+            }
+        }
+    }
+    add_point_timing(report, sweep);
+
+    ctx.out << "\n=== Dynamic makespan sweep (arch x mix) ===\n\n";
+    d.print(ctx.out);
+    const double skip_fraction =
+        stepped + skipped > 0
+            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
+            : 0.0;
+    ctx.out << "\nSweep: " << sweep.rows.size() << " points, SweepEngine, "
+            << ctx.engine.thread_count() << " thread(s), "
+            << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n"
+            << "Simulator: " << stepped << " cycles stepped, " << skipped
+            << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
+            << "% of simulated time) in " << jumps << " horizon jumps; " << evals
+            << " NoI evals, " << epoch_hits
+            << " rounds reused by the residency epoch cache\n";
+
+    report.add_table("demand", t);
+    report.add_table("dynamic_sweep", d);
+    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    report.add_metric("sweep_threads", ctx.engine.thread_count());
+    report.add_metric("sweep_serial", 0.0);
+    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
+    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
+    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
+    report.add_metric("sim_skip_fraction", skip_fraction);
+    report.add_metric("noi_evals", static_cast<double>(evals));
+    report.add_metric("round_epoch_hits", static_cast<double>(epoch_hits));
+    return report;
+}
+
+// ---- fig4: utilization under greedy vs SFC mapping --------------------------
+
+/// Renders a w x h die with one letter per mapped task ('.' = unmapped).
+void print_die(std::ostream& out, const std::vector<core::MappedTask>& mapped,
+               std::int32_t w, std::int32_t h) {
+    std::vector<char> cell(static_cast<std::size_t>(w) * static_cast<std::size_t>(h),
+                           '.');
+    char label = 'A';
+    for (const auto& m : mapped) {
+        if (!m.mapped) continue;
+        for (const auto n : m.nodes) cell[static_cast<std::size_t>(n)] = label;
+        label = label == 'Z' ? 'A' : static_cast<char>(label + 1);
+    }
+    for (std::int32_t y = 0; y < h; ++y) {
+        out << "  ";
+        for (std::int32_t x = 0; x < w; ++x)
+            out << cell[static_cast<std::size_t>(y * w + x)] << ' ';
+        out << '\n';
+    }
+}
+
+JsonReport fig4_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_sweep(sv, "fig4");
+    if (spec.archs.empty() || spec.mixes.empty() || spec.grids.empty())
+        throw std::invalid_argument("fig4: spec needs archs, grids, and mixes");
+    const auto [w, h] = spec.grids.front();
+    ctx.out << "=== Fig. 4: resource utilization under greedy vs SFC mapping ===\n"
+            << "(greedy constrained to <=" << spec.greedy_max_gap
+            << "-hop gaps between consecutive layers,\n"
+            << " as in the paper's contiguity requirement)\n\n";
+
+    // Mapping is cheap per point but there are mixes x archs of them, and
+    // they share the fabrics — a natural engine.map with a hot cache.
+    auto& engine = ctx.engine;
+    const auto stats =
+        engine.map(spec.mixes.size() * spec.archs.size(), [&](std::size_t i) {
+            const auto& mix = spec.mixes[i / spec.archs.size()];
+            const auto arch = spec.archs[i % spec.archs.size()];
+            auto b = experiment::build_arch(engine.cache(), arch, w, h,
+                                            spec.swap_seed, spec.greedy_max_gap);
+            std::vector<std::unique_ptr<dnn::Network>> owner;
+            const auto queue = workload::expand_mix(mix);
+            const auto tasks =
+                core::make_tasks(queue, experiment::kParamsPerChipletM, owner);
+            core::MappingStats s;
+            (void)b.mapper->map_queue(tasks, &s);
+            return s;
+        });
+
+    util::TextTable t({"Mix", "NoI", "Mapped chiplets", "Unmapped", "Tasks ok",
+                       "Tasks failed", "Utilization"});
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        const auto& s = stats[i];
+        t.add_row({spec.mixes[i / spec.archs.size()].name,
+                   experiment::arch_name(spec.archs[i % spec.archs.size()]),
+                   std::to_string(s.nodes_used),
+                   std::to_string(s.nodes_total - s.nodes_used),
+                   std::to_string(s.tasks_mapped), std::to_string(s.tasks_failed),
+                   util::TextTable::fmt(100.0 * s.utilization(), 1) + "%"});
+    }
+    t.print(ctx.out);
+
+    // Fig. 4's visual: the first and last swept architectures' dies after
+    // greedily mapping the first mix (canonically SWAP vs Floret).
+    std::vector<std::unique_ptr<dnn::Network>> owner;
+    const auto queue = workload::expand_mix(spec.mixes.front());
+    const auto tasks = core::make_tasks(queue, experiment::kParamsPerChipletM, owner);
+    for (const auto arch : {spec.archs.front(), spec.archs.back()}) {
+        ctx.out << "\n"
+                << experiment::arch_name(arch) << " die after greedy mapping of "
+                << spec.mixes.front().name << " (letter = task, . = NM):\n";
+        auto b = experiment::build_arch(engine.cache(), arch, w, h, spec.swap_seed,
+                                        arch == Arch::kFloret ? -1
+                                                              : spec.greedy_max_gap);
+        print_die(ctx.out, b.mapper->map_queue(tasks, nullptr), w, h);
+    }
+    ctx.out << "\nPaper shape: SWAP/SIAM strand NM chiplets under load; Floret "
+               "consumes the SFC order fully before any task fails.\n";
+
+    JsonReport report("fig4_utilization");
+    report.add_table("utilization", t);
+    return report;
+}
+
+// ---- serving: the SLA-knee grid ---------------------------------------------
+
+constexpr double kKneeViolationRate = 0.05;
+
+JsonReport serving_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_serve_grid(sv, "serving");
+    if (spec.archs.empty() || spec.loads_per_mcycle.empty())
+        throw std::invalid_argument("serving: spec needs archs and loads");
+    const auto& base = spec.base;
+
+    ctx.out << "=== Serving SLA knee: arch x offered load (" << base.width << "x"
+            << base.height << ", " << base.config.arrivals.max_requests
+            << " requests x " << base.replications << " replications) ===\n"
+            << "tenants:";
+    // Describe the tenants/policy the spec actually configures (empty
+    // classes select the serve-layer defaults at run time).
+    const auto classes = base.config.classes.empty()
+                             ? serve::default_request_classes()
+                             : base.config.classes;
+    for (std::size_t c = 0; c < classes.size(); ++c)
+        ctx.out << (c ? " + " : " ") << classes[c].name << " ("
+                << util::TextTable::fmt(classes[c].slo_cycles / 1e3, 0)
+                << " kcyc SLO)";
+    ctx.out << ", " << serve::admission_policy_name(base.config.admission)
+            << " admission\nknee threshold: violation rate > "
+            << 100.0 * kKneeViolationRate << "%\n\n";
+
+    // Flatten arch x load x replication into one engine fan-out so the
+    // slowest (highest-load) points overlap with everything else.
+    struct Cell {
+        std::size_t arch_idx, load_idx;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        for (std::size_t l = 0; l < spec.loads_per_mcycle.size(); ++l)
+            cells.push_back({a, l});
+
+    auto& engine = ctx.engine;
+    const auto n_reps = static_cast<std::size_t>(std::max(base.replications, 1));
+    std::vector<double> point_seconds;
+    const auto runs = engine.timed_map(
+        cells.size() * n_reps,
+        [&](std::size_t i) {
+            const Cell& cell = cells[i / n_reps];
+            auto arch = experiment::build_arch(engine.cache(),
+                                               spec.archs[cell.arch_idx],
+                                               base.width, base.height,
+                                               base.swap_seed, base.greedy_max_gap);
+            serve::ServeConfig cfg = base.config;
+            cfg.arrivals.rate_per_mcycle = spec.loads_per_mcycle[cell.load_idx];
+            cfg.seed = base.base_seed + i % n_reps;
+            return serve::serve_requests(arch, cfg);
+        },
+        point_seconds);
+
+    // Per-load labels: fmt(load, 0) as in the paper tables, disambiguated
+    // by index when two user-set loads round to the same text — metric
+    // keys must stay unique or the strict JSON contract breaks.
+    std::vector<std::string> load_labels;
+    for (const double l : spec.loads_per_mcycle)
+        load_labels.push_back(util::TextTable::fmt(l, 0));
+    for (std::size_t l = 0; l < load_labels.size(); ++l)
+        for (std::size_t k = 0; k < l; ++k)
+            if (load_labels[k] == load_labels[l]) {
+                load_labels[l] += "#" + std::to_string(l);
+                break;
+            }
+
+    util::TextTable t({"NoI", "Load (req/Mcyc)", "Delivered", "p50 (kcyc)",
+                       "p95 (kcyc)", "p99 (kcyc)", "Util", "Queue", "SLA viol"});
+    JsonReport report("serving_sla");
+    std::vector<double> knee(spec.archs.size(), -1.0);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const auto& cell = cells[c];
+        const std::span<const serve::ServeStats> reps(&runs[c * n_reps], n_reps);
+        const auto agg = serve::aggregate(reps);
+        const std::string arch = experiment::arch_name(spec.archs[cell.arch_idx]);
+        const std::string& load = load_labels[cell.load_idx];
+        t.add_row({arch, load,
+                   util::TextTable::fmt(agg.mean_throughput_per_mcycle, 1),
+                   util::TextTable::fmt(agg.p50_latency_cycles / 1e3, 1),
+                   util::TextTable::fmt(agg.p95_latency_cycles / 1e3, 1),
+                   util::TextTable::fmt(agg.p99_latency_cycles / 1e3, 1),
+                   util::TextTable::fmt(100.0 * agg.mean_utilization, 1) + "%",
+                   util::TextTable::fmt(agg.mean_queue_depth, 1),
+                   util::TextTable::fmt(100.0 * agg.sla_violation_rate(), 1) + "%"});
+        const std::string key = arch + "_load" + load;
+        report.add_metric(key + "_p50_kcyc", agg.p50_latency_cycles / 1e3);
+        report.add_metric(key + "_p95_kcyc", agg.p95_latency_cycles / 1e3);
+        report.add_metric(key + "_p99_kcyc", agg.p99_latency_cycles / 1e3);
+        report.add_metric(key + "_sla_violation_rate", agg.sla_violation_rate());
+        report.add_metric(key + "_throughput_per_mcyc",
+                          agg.mean_throughput_per_mcycle);
+        if (agg.sla_violation_rate() > kKneeViolationRate) {
+            // Lowest violating load, independent of the (user-settable)
+            // load-list ordering.
+            const double l = spec.loads_per_mcycle[cell.load_idx];
+            if (knee[cell.arch_idx] < 0.0 || l < knee[cell.arch_idx])
+                knee[cell.arch_idx] = l;
+        }
+    }
+    t.print(ctx.out);
+
+    const double max_load = *std::max_element(spec.loads_per_mcycle.begin(),
+                                              spec.loads_per_mcycle.end());
+    ctx.out << "\nSLA knee (lowest load with violation rate > "
+            << 100.0 * kKneeViolationRate << "%):\n";
+    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+        ctx.out << "  " << experiment::arch_name(spec.archs[a]) << ": "
+                << (knee[a] < 0.0 ? "beyond " + util::TextTable::fmt(max_load, 0)
+                                  : util::TextTable::fmt(knee[a], 0))
+                << " req/Mcyc\n";
+        report.add_metric(
+            std::string(experiment::arch_name(spec.archs[a])) + "_knee_load",
+            knee[a]);
+    }
+    std::int64_t stepped = 0, skipped = 0, jumps = 0, rounds = 0, hits = 0;
+    for (const auto& s : runs) {
+        stepped += s.sim_cycles_stepped;
+        skipped += s.sim_cycles_skipped;
+        jumps += s.sim_horizon_jumps;
+        rounds += s.noi_rounds;
+        hits += s.noi_cache_hits;
+    }
+    const double skip_fraction =
+        stepped + skipped > 0
+            ? static_cast<double>(skipped) / static_cast<double>(stepped + skipped)
+            : 0.0;
+    ctx.out << "\nSimulator: " << stepped << " cycles stepped, " << skipped
+            << " skipped (" << util::TextTable::fmt(100.0 * skip_fraction, 1)
+            << "% of simulated time) in " << jumps << " horizon jumps; " << rounds
+            << " NoI rounds, " << hits << " served from the resident-set cache\n";
+    report.add_metric("sim_cycles_stepped", static_cast<double>(stepped));
+    report.add_metric("sim_cycles_skipped", static_cast<double>(skipped));
+    report.add_metric("sim_horizon_jumps", static_cast<double>(jumps));
+    report.add_metric("sim_skip_fraction", skip_fraction);
+    report.add_metric("noi_rounds", static_cast<double>(rounds));
+    report.add_metric("noi_cache_hits", static_cast<double>(hits));
+    add_point_timing(report, point_seconds);
+
+    ctx.out << "\nShape: contiguity-preserving mappers hold the latency "
+               "tail flat deeper into the load sweep; the knee is where "
+               "queueing delay overwhelms the SLO budget.\n";
+
+    report.add_table("sla_sweep", t);
+    return report;
+}
+
+// ---- Generic sweep report (bare-spec scenario files) ------------------------
+
+JsonReport generic_sweep(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_sweep(sv, "sweep");
+    if (spec.archs.empty() || spec.mixes.empty() || spec.grids.empty())
+        throw std::invalid_argument("sweep: spec needs archs, grids, and mixes");
+    ctx.out << "=== Sweep: " << spec.archs.size() << " arch(s) x "
+            << spec.grids.size() << " grid(s) x " << spec.mixes.size()
+            << " mix(es) ===\n\n";
+    const auto sweep = ctx.engine.run(spec);
+    util::TextTable t({"Mix", "NoI", "Grid", "Makespan (kcyc)", "Energy (uJ)",
+                       "Flit hops", "Rounds", "Completed"});
+    for (std::size_t g = 0; g < spec.grids.size(); ++g) {
+        for (std::size_t m = 0; m < spec.mixes.size(); ++m) {
+            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+                const auto& row = sweep.at(a, g, m);
+                t.add_row({row.point.mix.name,
+                           experiment::arch_name(row.point.arch),
+                           std::to_string(row.point.width) + "x" +
+                               std::to_string(row.point.height),
+                           util::TextTable::fmt(row.result.total_cycles / 1e3, 1),
+                           util::TextTable::fmt(row.result.total_energy_pj / 1e6, 1),
+                           std::to_string(row.result.flit_hops),
+                           std::to_string(row.result.rounds),
+                           row.result.all_completed ? "yes" : "NO"});
+            }
+        }
+    }
+    t.print(ctx.out);
+    ctx.out << "\nSweep: " << sweep.rows.size() << " points on "
+            << ctx.engine.thread_count() << " thread(s) in "
+            << util::TextTable::fmt(sweep.wall_seconds, 2) << " s\n";
+    JsonReport report("sweep");
+    report.add_table("sweep_rows", t);
+    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
+    report.add_metric("sweep_threads", ctx.engine.thread_count());
+    add_point_timing(report, sweep);
+    return report;
+}
+
+// ---- Builtin registration ---------------------------------------------------
+
+core::SweepSpec table2_sweep_spec() {
+    core::SweepSpec spec;
+    spec.archs.assign(experiment::kAllArchs.begin(), experiment::kAllArchs.end());
+    spec.mixes = workload::table2();
+    spec.evals = {experiment::default_eval_config()};
+    spec.greedy_max_gap = 2;
+    return spec;
+}
+
+Registry make_builtin() {
+    Registry reg;
+    reg.add({"fig3", "NoI latency of the Table II mixes, normalized to Floret",
+             table2_sweep_spec(), fig3_report});
+    reg.add({"fig4", "mapped/unmapped chiplets under greedy vs SFC mapping",
+             [] {
+                 auto spec = table2_sweep_spec();
+                 spec.archs = {Arch::kSwap, Arch::kSiamMesh, Arch::kFloret};
+                 spec.evals.clear();  // mapping-only: no NoI evaluation
+                 return spec;
+             }(),
+             fig4_report, /*uses_eval=*/false});
+    reg.add({"fig5", "NoI energy of the Table II mixes, normalized to Floret",
+             table2_sweep_spec(), fig5_report});
+    reg.add({"table2", "mix demand accounting + the dynamic makespan sweep",
+             table2_sweep_spec(), table2_report});
+    reg.add({"serving", "SLA knee per NoI architecture under rising offered load",
+             [] {
+                 ServeGridSpec spec;  // base carries default_serve_config()
+                 spec.base.greedy_max_gap = 2;
+                 spec.base.config.arrivals.max_requests = 80;
+                 spec.base.replications = 2;
+                 spec.base.base_seed = 21;
+                 return spec;
+             }(),
+             serving_report});
+    return reg;
+}
+
+}  // namespace
+
+const Registry& Registry::builtin() {
+    static const Registry reg = make_builtin();
+    return reg;
+}
+
+ReportFn generic_sweep_report() { return generic_sweep; }
+ReportFn serving_grid_report() { return serving_report; }
+
+// ---- Scenario files ---------------------------------------------------------
+
+Scenario load_scenario_file(const std::string& path, const Registry& registry) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("cannot read scenario file " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    util::Json doc;
+    try {
+        doc = util::json_parse(buf.str());
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+    if (doc.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument(path + ": scenario file must be an object");
+    for (const auto& [key, value] : doc.as_object()) {
+        (void)value;
+        if (key != "scenario" && key != "name" && key != "kind" && key != "spec")
+            throw std::invalid_argument(
+                path + ": unknown key \"" + key +
+                "\" (expected scenario, name, kind, spec)");
+    }
+
+    Scenario out;
+    std::string kind;
+    if (const util::Json* base_name = doc.find("scenario")) {
+        const Scenario& base = registry.at(base_name->as_string());
+        out = base;
+        kind = spec_kind_name(base.spec);
+        if (const util::Json* k = doc.find("kind"))
+            if (k->as_string() != kind)
+                throw std::invalid_argument(path + ": kind \"" + k->as_string() +
+                                            "\" conflicts with scenario \"" +
+                                            base.name + "\" (" + kind + ")");
+    } else {
+        const util::Json* k = doc.find("kind");
+        if (!k)
+            throw std::invalid_argument(
+                path + ": need \"scenario\" (a registered name) or \"kind\"");
+        kind = k->as_string();
+        out.name = "custom";
+        out.summary = "user scenario from " + path;
+        out.report = kind == "serve_grid" ? serving_grid_report()
+                                          : generic_sweep_report();
+        if (!doc.find("spec"))
+            throw std::invalid_argument(path +
+                                        ": bare-kind scenarios need a \"spec\"");
+    }
+    if (const util::Json* name = doc.find("name")) out.name = name->as_string();
+    if (const util::Json* spec = doc.find("spec")) {
+        try {
+            out.spec = spec_from_json(*spec, kind);
+        } catch (const std::invalid_argument& e) {
+            throw std::invalid_argument(path + ": " + e.what());
+        }
+    }
+    return out;
+}
+
+}  // namespace floretsim::scenario

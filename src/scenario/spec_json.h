@@ -1,0 +1,127 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/sweep.h"
+#include "src/cost/models.h"
+#include "src/noc/simulator.h"
+#include "src/serve/sweep.h"
+#include "src/util/json.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::scenario {
+
+/// JSON (de)serialization for every spec type a scenario can carry. The
+/// contract, pinned by tests/test_scenario_json.cpp:
+///
+///   * strict round-trip: from_json(to_json(x)) == x for every spec type
+///     (to_json always emits every field; doubles at max_digits10);
+///   * partial specs are welcome: a missing key keeps the default, so
+///     user files only state what they change (serving configs default to
+///     serve::default_serve_config(), keeping user specs on the same
+///     measurement scale as the documented serving numbers);
+///   * unknown keys are rejected with the offending context in the
+///     message — a typoed knob must never silently run the default sweep;
+///   * workload mixes serialize as Table II names ("WL1") whenever they
+///     match the canonical entry, and custom mixes reference Table I
+///     workloads by id — specs carry names, not inlined layer tables.
+///
+/// All from_json functions throw std::invalid_argument on malformed input.
+
+/// ASCII lowercase — the normalization used for enum spellings and
+/// metric-key fragments throughout the scenario layer.
+[[nodiscard]] std::string ascii_lower(std::string s);
+
+// ---- Enums ------------------------------------------------------------------
+
+[[nodiscard]] util::Json to_json(core::experiment::Arch a);
+[[nodiscard]] core::experiment::Arch arch_from_json(const util::Json& j);
+/// Accepts the CLI/JSON spellings: "kite", "siam" / "siam-mesh", "swap",
+/// "floret" (case-insensitive, arch_name() spellings included).
+[[nodiscard]] core::experiment::Arch arch_from_string(const std::string& s);
+
+[[nodiscard]] util::Json to_json(noc::SimCore c);
+[[nodiscard]] noc::SimCore sim_core_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(serve::AdmissionPolicy p);
+[[nodiscard]] serve::AdmissionPolicy admission_policy_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(serve::ArrivalProcess p);
+[[nodiscard]] serve::ArrivalProcess arrival_process_from_json(const util::Json& j);
+
+// ---- Simulator / evaluation knobs ------------------------------------------
+
+[[nodiscard]] util::Json to_json(const noc::SimConfig& c);
+[[nodiscard]] noc::SimConfig sim_config_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const cost::CostParams& c);
+[[nodiscard]] cost::CostParams cost_params_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const core::EvalConfig& c);
+[[nodiscard]] core::EvalConfig eval_config_from_json(const util::Json& j);
+
+// ---- Workload mixes ---------------------------------------------------------
+
+/// A mix that matches its Table II namesake exactly serializes as the bare
+/// name string; anything else as {"name", "entries": [["DNN1", 3], ...],
+/// "paper_total_params_b"} with every id validated against Table I.
+[[nodiscard]] util::Json to_json(const workload::ConcurrentMix& m);
+[[nodiscard]] workload::ConcurrentMix mix_from_json(const util::Json& j);
+
+// ---- Sweep specs ------------------------------------------------------------
+
+/// Strict "WxH" parser shared by the JSON spec forms and the CLI
+/// --set grid override, so both entry points validate identically.
+/// Throws std::invalid_argument on malformed or out-of-int32-range input.
+[[nodiscard]] std::pair<std::int32_t, std::int32_t> grid_from_string(
+    const std::string& s);
+
+/// Grids serialize as "WxH" strings; parsing also accepts [w, h] pairs.
+[[nodiscard]] util::Json to_json(const core::SweepSpec& s);
+[[nodiscard]] core::SweepSpec sweep_spec_from_json(const util::Json& j);
+
+/// SweepPoint is the unit of cross-process distribution: a serialized
+/// point list is a self-contained work order for a remote runner.
+[[nodiscard]] util::Json to_json(const core::SweepPoint& p);
+[[nodiscard]] core::SweepPoint sweep_point_from_json(const util::Json& j);
+[[nodiscard]] util::Json to_json(const std::vector<core::SweepPoint>& pts);
+[[nodiscard]] std::vector<core::SweepPoint> sweep_points_from_json(
+    const util::Json& j);
+
+// ---- Serving specs ----------------------------------------------------------
+
+[[nodiscard]] util::Json to_json(const serve::RequestClass& c);
+[[nodiscard]] serve::RequestClass request_class_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const serve::ArrivalConfig& c);
+[[nodiscard]] serve::ArrivalConfig arrival_config_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const serve::ServeConfig& c);
+[[nodiscard]] serve::ServeConfig serve_config_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const serve::ServeSpec& s);
+[[nodiscard]] serve::ServeSpec serve_spec_from_json(const util::Json& j);
+
+/// The serving scenarios' grid: one base ServeSpec fanned out over a list
+/// of architectures and offered loads (arch x load x replication), the
+/// shape bench_serving_sla sweeps. The base spec's own `arch` field is
+/// ignored when `archs` is non-empty.
+struct ServeGridSpec {
+    /// A base ServeSpec carrying the serving defaults
+    /// (serve::default_serve_config()'s eval scale, not a bare
+    /// EvalConfig{}), so grid specs measure on the documented scale.
+    serve::ServeSpec base = default_base();
+    std::vector<core::experiment::Arch> archs{
+        core::experiment::kAllArchs.begin(), core::experiment::kAllArchs.end()};
+    std::vector<double> loads_per_mcycle{100.0, 250.0, 500.0, 1000.0, 2000.0};
+
+    [[nodiscard]] static serve::ServeSpec default_base();
+    [[nodiscard]] bool operator==(const ServeGridSpec&) const = default;
+};
+
+[[nodiscard]] util::Json to_json(const ServeGridSpec& s);
+[[nodiscard]] ServeGridSpec serve_grid_spec_from_json(const util::Json& j);
+
+}  // namespace floretsim::scenario

@@ -22,6 +22,9 @@ struct RequestClass {
     std::vector<std::string> workload_ids;  ///< Table I ids, drawn uniformly.
     double weight = 1.0;                    ///< Relative share of arrivals.
     double slo_cycles = 200'000.0;          ///< Arrival-to-completion deadline.
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const RequestClass&) const = default;
 };
 
 /// Two default tenants for the 100-chiplet system: latency-sensitive
@@ -62,6 +65,9 @@ struct ArrivalConfig {
     /// Per-request service demand range, inference rounds.
     std::int32_t min_rounds = 1;
     std::int32_t max_rounds = 3;
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const ArrivalConfig&) const = default;
 };
 
 /// Expands the arrival config into a concrete request stream, sorted by

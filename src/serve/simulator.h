@@ -37,6 +37,9 @@ struct ServeConfig {
     core::EvalConfig eval;       ///< NoI evaluation settings.
     double params_per_chiplet_m = core::experiment::kParamsPerChipletM;
     std::uint64_t seed = 1;      ///< Drives arrivals and service demands.
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const ServeConfig&) const = default;
 };
 
 /// Serving defaults: the experiment eval config (1/64 traffic sampling),

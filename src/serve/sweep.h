@@ -24,6 +24,9 @@ struct ServeSpec {
     ServeConfig config;
     std::int32_t replications = 1;
     std::uint64_t base_seed = 1;  ///< Replication r runs with base_seed + r.
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const ServeSpec&) const = default;
 };
 
 /// Runs the spec's replications on the engine; results in replication

@@ -1,0 +1,512 @@
+#include "src/util/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace floretsim::util {
+namespace {
+
+[[noreturn]] void type_error(const char* want, const char* got) {
+    throw std::invalid_argument(std::string("JSON: expected ") + want + ", got " +
+                                got);
+}
+
+}  // namespace
+
+Json::Json(std::uint64_t v) {
+    if (v <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+        kind_ = Kind::kInt;
+        int_ = static_cast<std::int64_t>(v);
+    } else {
+        kind_ = Kind::kUint;
+        uint_ = v;
+    }
+}
+
+Json Json::array(Array items) {
+    Json j;
+    j.kind_ = Kind::kArray;
+    j.array_ = std::move(items);
+    return j;
+}
+
+Json Json::object(Object members) {
+    Json j;
+    j.kind_ = Kind::kObject;
+    j.object_ = std::move(members);
+    return j;
+}
+
+const char* Json::kind_name() const noexcept {
+    switch (kind_) {
+        case Kind::kNull: return "null";
+        case Kind::kBool: return "bool";
+        case Kind::kInt:
+        case Kind::kUint:
+        case Kind::kDouble: return "number";
+        case Kind::kString: return "string";
+        case Kind::kArray: return "array";
+        case Kind::kObject: return "object";
+    }
+    return "?";
+}
+
+bool Json::as_bool() const {
+    if (kind_ != Kind::kBool) type_error("bool", kind_name());
+    return bool_;
+}
+
+std::int64_t Json::as_int() const {
+    switch (kind_) {
+        case Kind::kInt: return int_;
+        case Kind::kUint:
+            throw std::invalid_argument("JSON: integer too large for int64");
+        case Kind::kDouble: {
+            // Accept integral doubles (a spec hand-written as 8.0 means 8),
+            // but never round: 8.5 as an int field is a user error.
+            if (std::nearbyint(double_) == double_ &&
+                std::abs(double_) <= 9007199254740992.0)  // 2^53: exact range
+                return static_cast<std::int64_t>(double_);
+            throw std::invalid_argument("JSON: number is not an exact integer");
+        }
+        default: type_error("number", kind_name());
+    }
+}
+
+std::uint64_t Json::as_uint() const {
+    if (kind_ == Kind::kUint) return uint_;
+    const std::int64_t v = as_int();  // handles kInt/kDouble + errors
+    if (v < 0) throw std::invalid_argument("JSON: negative value for unsigned field");
+    return static_cast<std::uint64_t>(v);
+}
+
+double Json::as_double() const {
+    switch (kind_) {
+        case Kind::kInt: return static_cast<double>(int_);
+        case Kind::kUint: return static_cast<double>(uint_);
+        case Kind::kDouble: return double_;
+        default: type_error("number", kind_name());
+    }
+}
+
+const std::string& Json::as_string() const {
+    if (kind_ != Kind::kString) type_error("string", kind_name());
+    return string_;
+}
+
+const Json::Array& Json::as_array() const {
+    if (kind_ != Kind::kArray) type_error("array", kind_name());
+    return array_;
+}
+
+const Json::Object& Json::as_object() const {
+    if (kind_ != Kind::kObject) type_error("object", kind_name());
+    return object_;
+}
+
+void Json::push_back(Json v) {
+    if (kind_ != Kind::kArray) type_error("array", kind_name());
+    array_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json v) {
+    if (kind_ != Kind::kObject) type_error("object", kind_name());
+    object_.emplace_back(std::move(key), std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const {
+    if (kind_ != Kind::kObject) type_error("object", kind_name());
+    for (const auto& [k, v] : object_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+bool Json::operator==(const Json& other) const {
+    if (is_number() && other.is_number()) {
+        // Cross-kind numeric equality so text round-trips stay equal (an
+        // integral double re-parses as kInt). Exact comparison only —
+        // no epsilon; serialization at max_digits10 preserves values.
+        if (kind_ == Kind::kDouble || other.kind_ == Kind::kDouble)
+            return as_double() == other.as_double();
+        if (kind_ == Kind::kUint || other.kind_ == Kind::kUint) {
+            if (kind_ != other.kind_) return false;  // one fits int64, one not
+            return uint_ == other.uint_;
+        }
+        return int_ == other.int_;
+    }
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+        case Kind::kNull: return true;
+        case Kind::kBool: return bool_ == other.bool_;
+        case Kind::kString: return string_ == other.string_;
+        case Kind::kArray: return array_ == other.array_;
+        case Kind::kObject: return object_ == other.object_;
+        default: return false;  // numbers handled above
+    }
+}
+
+// ---- Parsing ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        skip_ws();
+        Json v = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw std::invalid_argument("JSON parse error at " + std::to_string(line) +
+                                    ":" + std::to_string(col) + ": " + msg);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    [[nodiscard]] char peek() const {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json parse_value(int depth) {
+        if (depth > 100) fail("nesting too deep");
+        switch (peek()) {
+            case '{': return parse_object(depth);
+            case '[': return parse_array(depth);
+            case '"': return Json(parse_string());
+            case 't':
+                if (consume_literal("true")) return Json(true);
+                fail("invalid literal");
+            case 'f':
+                if (consume_literal("false")) return Json(false);
+                fail("invalid literal");
+            case 'n':
+                if (consume_literal("null")) return Json();
+                fail("invalid literal");
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object(int depth) {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"') fail("expected object key string");
+            std::string key = parse_string();
+            if (obj.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+            skip_ws();
+            expect(':');
+            skip_ws();
+            obj.set(std::move(key), parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json parse_array(int depth) {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            skip_ws();
+            arr.push_back(parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': append_unicode_escape(out); break;
+                default: fail("invalid escape character");
+            }
+        }
+    }
+
+    std::uint32_t parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return v;
+    }
+
+    void append_unicode_escape(std::string& out) {
+        std::uint32_t cp = parse_hex4();
+        if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            if (!consume_literal("\\u")) fail("unpaired surrogate in \\u escape");
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+        }
+        // UTF-8 encode.
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+        // RFC 8259: no leading zeros ("0123" is not a number) — a value a
+        // user meant as octal must not be silently misread as decimal.
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zeros are not allowed");
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        bool integral = true;
+        if (peek() == '.') {
+            integral = false;
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            integral = false;
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        const std::string_view lex = text_.substr(start, pos_ - start);
+        if (integral) {
+            if (lex[0] == '-') {
+                std::int64_t v = 0;
+                const auto [p, ec] = std::from_chars(lex.data(), lex.data() + lex.size(), v);
+                if (ec == std::errc() && p == lex.data() + lex.size()) return Json(v);
+            } else {
+                std::uint64_t v = 0;
+                const auto [p, ec] = std::from_chars(lex.data(), lex.data() + lex.size(), v);
+                if (ec == std::errc() && p == lex.data() + lex.size()) return Json(v);
+            }
+            // Out of 64-bit range: fall through to double.
+        }
+        double d = 0.0;
+        const auto [p, ec] = std::from_chars(lex.data(), lex.data() + lex.size(), d);
+        if (ec != std::errc() || p != lex.data() + lex.size()) fail("invalid number");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+// ---- Serialization ----------------------------------------------------------
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";  // JSON has no nan/inf literals
+        return;
+    }
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    out += os.str();
+}
+
+void serialize_to(std::string& out, const Json& v, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (v.kind()) {
+        case Json::Kind::kNull: out += "null"; break;
+        case Json::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+        case Json::Kind::kInt: out += std::to_string(v.as_int()); break;
+        case Json::Kind::kUint: out += std::to_string(v.as_uint()); break;
+        case Json::Kind::kDouble: append_number(out, v.as_double()); break;
+        case Json::Kind::kString: append_escaped(out, v.as_string()); break;
+        case Json::Kind::kArray: {
+            const auto& items = v.as_array();
+            if (items.empty()) {
+                out += "[]";
+                break;
+            }
+            // Scalar-only arrays print inline; nested ones expand.
+            const bool inline_ok = std::all_of(
+                items.begin(), items.end(), [](const Json& e) {
+                    return e.kind() != Json::Kind::kArray &&
+                           e.kind() != Json::Kind::kObject;
+                });
+            out += '[';
+            for (std::size_t i = 0; i < items.size(); ++i) {
+                if (i) out += inline_ok ? ", " : ",";
+                if (!inline_ok) {
+                    out += '\n';
+                    out += pad_in;
+                } else if (i == 0) {
+                    // first element inline, no separator
+                }
+                serialize_to(out, items[i], indent + 1);
+            }
+            if (!inline_ok) {
+                out += '\n';
+                out += pad;
+            }
+            out += ']';
+            break;
+        }
+        case Json::Kind::kObject: {
+            const auto& members = v.as_object();
+            if (members.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                if (i) out += ',';
+                out += '\n';
+                out += pad_in;
+                append_escaped(out, members[i].first);
+                out += ": ";
+                serialize_to(out, members[i].second, indent + 1);
+            }
+            out += '\n';
+            out += pad;
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+Json json_parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string json_serialize(const Json& v) {
+    std::string out;
+    serialize_to(out, v, 0);
+    out += '\n';
+    return out;
+}
+
+}  // namespace floretsim::util

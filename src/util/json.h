@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace floretsim::util {
+
+/// Minimal strict JSON document model for the scenario layer: scenario
+/// specs serialize through it (src/scenario/spec_json.h) and the bench
+/// JsonReport renders through it. No external dependency — the container
+/// image has none to offer — and deliberately strict: parsing rejects
+/// duplicate keys, trailing garbage, and malformed escapes instead of
+/// guessing, because a silently-misread spec would run the wrong sweep.
+///
+/// Numbers keep their lexical class: integers parse to kInt/kUint (so
+/// 64-bit seeds and cycle caps round-trip exactly), everything else to
+/// kDouble. Serialization emits doubles at max_digits10, so
+/// parse(serialize(x)) reproduces every finite value bit-exactly;
+/// non-finite doubles serialize as null (JSON has no nan/inf literals).
+class Json {
+public:
+    enum class Kind : std::uint8_t {
+        kNull,
+        kBool,
+        kInt,     ///< Fits std::int64_t.
+        kUint,    ///< Positive and > INT64_MAX only.
+        kDouble,
+        kString,
+        kArray,
+        kObject,
+    };
+    using Array = std::vector<Json>;
+    /// Insertion-ordered; strict parsing guarantees key uniqueness.
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() = default;  ///< null
+    Json(std::nullptr_t) {}                                       // NOLINT
+    Json(bool v) : kind_(Kind::kBool), bool_(v) {}                // NOLINT
+    Json(std::int32_t v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+    Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+    Json(std::uint64_t v);                                        // NOLINT
+    Json(double v) : kind_(Kind::kDouble), double_(v) {}          // NOLINT
+    Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+    Json(const char* v) : Json(std::string(v)) {}                 // NOLINT
+
+    [[nodiscard]] static Json array(Array items = {});
+    [[nodiscard]] static Json object(Object members = {});
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool is_number() const noexcept {
+        return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+    }
+    [[nodiscard]] const char* kind_name() const noexcept;
+
+    /// Checked accessors; throw std::invalid_argument on a kind mismatch
+    /// (or a numeric value that does not fit the requested type).
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] std::uint64_t as_uint() const;
+    [[nodiscard]] double as_double() const;  ///< Any numeric kind.
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const Array& as_array() const;
+    [[nodiscard]] const Object& as_object() const;
+
+    /// Array append (throws unless this is an array).
+    void push_back(Json v);
+    /// Object append; key uniqueness is the caller's contract here (the
+    /// parser enforces it for parsed documents). Throws unless an object.
+    void set(std::string key, Json v);
+    /// Object member lookup; nullptr when absent (throws unless an object).
+    [[nodiscard]] const Json* find(std::string_view key) const;
+
+    /// Structural equality; numbers compare by value across numeric kinds
+    /// (1 == 1.0), so a round-trip through text stays equal even when an
+    /// integral double re-parses as kInt.
+    [[nodiscard]] bool operator==(const Json& other) const;
+
+private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/// Parses one JSON document (the whole input; trailing non-whitespace is
+/// an error). Throws std::invalid_argument with line:column context.
+[[nodiscard]] Json json_parse(std::string_view text);
+
+/// Pretty-prints with two-space indentation and a trailing newline.
+[[nodiscard]] std::string json_serialize(const Json& v);
+
+}  // namespace floretsim::util

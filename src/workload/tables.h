@@ -39,6 +39,10 @@ struct ConcurrentMix {
     [[nodiscard]] std::int32_t total_instances() const noexcept;
     /// Sum of Table I paper params over all instances (millions).
     [[nodiscard]] double table_params_m() const;
+
+    /// Field-wise equality: lets the scenario layer serialize a mix as a
+    /// bare Table II name when it matches the canonical entry exactly.
+    [[nodiscard]] bool operator==(const ConcurrentMix&) const = default;
 };
 
 /// The five mixes of Table II.

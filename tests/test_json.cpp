@@ -1,0 +1,127 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace floretsim::util {
+namespace {
+
+TEST(Json, ScalarRoundTrip) {
+    EXPECT_EQ(json_parse("null"), Json());
+    EXPECT_EQ(json_parse("true"), Json(true));
+    EXPECT_EQ(json_parse("false"), Json(false));
+    EXPECT_EQ(json_parse("42").as_int(), 42);
+    EXPECT_EQ(json_parse("-7").as_int(), -7);
+    EXPECT_DOUBLE_EQ(json_parse("0.5").as_double(), 0.5);
+    EXPECT_DOUBLE_EQ(json_parse("1e3").as_double(), 1000.0);
+    EXPECT_EQ(json_parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, SixtyFourBitIntegersSurviveExactly) {
+    // Seeds and cycle caps are 64-bit; doubles would corrupt them.
+    const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+    const Json j(big);
+    EXPECT_EQ(json_parse(json_serialize(j)).as_uint(), big);
+    const std::int64_t negative = std::numeric_limits<std::int64_t>::min();
+    EXPECT_EQ(json_parse(json_serialize(Json(negative))).as_int(), negative);
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+    for (const double v : {1.0 / 3.0, 0.1, 6.02214076e23, 5e-324,
+                           1.0 / 256.0}) {
+        const Json parsed = json_parse(json_serialize(Json(v)));
+        EXPECT_DOUBLE_EQ(parsed.as_double(), v);
+    }
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+    EXPECT_EQ(json_serialize(Json(std::nan(""))), "null\n");
+    EXPECT_EQ(json_serialize(Json(std::numeric_limits<double>::infinity())),
+              "null\n");
+}
+
+TEST(Json, NestedStructuresRoundTrip) {
+    Json obj = Json::object();
+    obj.set("name", "fig3");
+    Json arr = Json::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    arr.push_back(Json());
+    obj.set("items", std::move(arr));
+    Json inner = Json::object();
+    inner.set("deep", true);
+    obj.set("nested", std::move(inner));
+    EXPECT_EQ(json_parse(json_serialize(obj)), obj);
+}
+
+TEST(Json, NumericEqualityIsCrossKind) {
+    EXPECT_EQ(json_parse("1"), Json(1.0));  // int vs double, same value
+    EXPECT_NE(json_parse("1"), json_parse("2"));
+    EXPECT_NE(json_parse("1"), Json("1"));  // number vs string
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+    EXPECT_THROW((void)json_parse(""), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("{"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("[1,]"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("{\"a\": 1,}"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("nul"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("01x"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("\"unterminated"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("{} trailing"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("{\"a\":1 \"b\":2}"), std::invalid_argument);
+}
+
+TEST(Json, RejectsLeadingZeros) {
+    // RFC 8259 strictness: python3 -m json.tool (the smoke validator)
+    // rejects these, so the parser must too.
+    EXPECT_THROW((void)json_parse("0123"), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("-0123"), std::invalid_argument);
+    EXPECT_NO_THROW((void)json_parse("0"));
+    EXPECT_NO_THROW((void)json_parse("-0"));
+    EXPECT_NO_THROW((void)json_parse("0.5"));
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+    EXPECT_THROW((void)json_parse("{\"a\": 1, \"a\": 2}"), std::invalid_argument);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+    try {
+        (void)json_parse("{\n  \"a\": nope\n}");
+        FAIL() << "expected a parse error";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+    }
+}
+
+TEST(Json, UnicodeEscapes) {
+    EXPECT_EQ(json_parse("\"\\u0041\"").as_string(), "A");
+    EXPECT_EQ(json_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(json_parse("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+    EXPECT_THROW((void)json_parse("\"\\ud83d\""), std::invalid_argument);
+}
+
+TEST(Json, CheckedAccessorsRejectWrongKinds) {
+    EXPECT_THROW((void)json_parse("\"s\"").as_int(), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("1.5").as_int(), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("-1").as_uint(), std::invalid_argument);
+    EXPECT_THROW((void)json_parse("[]").as_object(), std::invalid_argument);
+    EXPECT_NO_THROW((void)json_parse("8.0").as_int());  // integral double: ok
+}
+
+TEST(Json, ObjectFindAndOrder) {
+    const Json obj = json_parse("{\"b\": 1, \"a\": 2}");
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_EQ(obj.find("a")->as_int(), 2);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    // Insertion order is preserved (reports rely on it for readability).
+    EXPECT_EQ(obj.as_object().front().first, "b");
+}
+
+}  // namespace
+}  // namespace floretsim::util

@@ -1,0 +1,270 @@
+/// Scenario-layer serialization contract: strict round-trip
+/// (from_json(to_json(x)) == x) for every spec type, partial specs keep
+/// defaults, unknown keys are rejected, and workload mixes serialize by
+/// Table II / Table I name rather than inlined.
+
+#include "src/scenario/spec_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/scenario/report.h"
+#include "src/util/json.h"
+
+namespace floretsim::scenario {
+namespace {
+
+namespace experiment = core::experiment;
+using util::Json;
+using util::json_parse;
+using util::json_serialize;
+
+/// Round-trips x through text, not just through the Json tree, so the
+/// serializer's number formatting is part of the contract.
+template <typename T, typename FromJson>
+T round_trip(const T& x, FromJson&& from_json) {
+    return from_json(json_parse(json_serialize(to_json(x))));
+}
+
+TEST(ScenarioJson, SimConfigRoundTrip) {
+    noc::SimConfig c;
+    c.flit_bytes = 16;
+    c.max_packet_flits = 4;
+    c.input_buffer_flits = 2;
+    c.router_delay_cycles = 3;
+    c.mm_per_cycle = 2.5;
+    c.max_cycles = 123456789012345;  // needs 64-bit round-trip
+    c.injection_rate = 0.125;
+    c.core = noc::SimCore::kReference;
+    EXPECT_EQ(round_trip(c, sim_config_from_json), c);
+    EXPECT_EQ(round_trip(noc::SimConfig{}, sim_config_from_json),
+              noc::SimConfig{});
+}
+
+TEST(ScenarioJson, CostParamsRoundTrip) {
+    cost::CostParams c;
+    c.router_energy_base_pj = 0.375;
+    c.defect_density_per_mm2 = 0.002;
+    c.ref_chiplets = 128;
+    EXPECT_EQ(round_trip(c, cost_params_from_json), c);
+}
+
+TEST(ScenarioJson, EvalConfigRoundTrip) {
+    core::EvalConfig c = experiment::default_eval_config();
+    c.traffic_scale = 1.0 / 128.0;
+    c.include_weight_load = true;
+    c.io_node = 7;
+    c.round_epoch_cache = false;
+    EXPECT_EQ(round_trip(c, eval_config_from_json), c);
+    EXPECT_EQ(round_trip(core::EvalConfig{}, eval_config_from_json),
+              core::EvalConfig{});
+}
+
+TEST(ScenarioJson, EnumsRejectUnknownNames) {
+    EXPECT_THROW((void)arch_from_string("torus"), std::invalid_argument);
+    EXPECT_THROW((void)sim_core_from_json(Json("warp")), std::invalid_argument);
+    EXPECT_THROW((void)admission_policy_from_json(Json("lifo")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)arrival_process_from_json(Json("pareto")),
+                 std::invalid_argument);
+    // Case-insensitive + historical spellings are accepted.
+    EXPECT_EQ(arch_from_string("FLORET"), experiment::Arch::kFloret);
+    EXPECT_EQ(arch_from_string("siam-mesh"), experiment::Arch::kSiamMesh);
+}
+
+TEST(ScenarioJson, MixesSerializeByTableName) {
+    // A canonical Table II mix serializes as its bare name...
+    const auto& wl2 = workload::table2()[1];
+    const Json j = to_json(wl2);
+    ASSERT_EQ(j.kind(), Json::Kind::kString);
+    EXPECT_EQ(j.as_string(), wl2.name);
+    EXPECT_EQ(mix_from_json(j), wl2);
+    // ...an unknown name is rejected...
+    EXPECT_THROW((void)mix_from_json(Json("WL9")), std::invalid_argument);
+    // ...and a custom mix references Table I ids, which are validated.
+    workload::ConcurrentMix custom;
+    custom.name = "CUSTOM";
+    custom.entries = {{"DNN1", 2}, {"DNN13", 1}};
+    const workload::ConcurrentMix back = round_trip(custom, mix_from_json);
+    EXPECT_EQ(back, custom);
+    EXPECT_THROW(
+        (void)mix_from_json(json_parse(
+            R"({"name": "X", "entries": [["DNN99", 1]]})")),
+        std::invalid_argument);
+}
+
+TEST(ScenarioJson, SweepSpecRoundTrip) {
+    core::SweepSpec s;
+    s.archs = {experiment::Arch::kFloret, experiment::Arch::kKite};
+    s.grids = {{10, 10}, {12, 12}};
+    s.mixes = {workload::table2().front(), workload::table2().back()};
+    s.evals = {experiment::default_eval_config()};
+    s.swap_seed = 99;
+    s.greedy_max_gap = 2;
+    s.run_seed = 1234567890123456789ull;
+    EXPECT_EQ(round_trip(s, sweep_spec_from_json), s);
+    EXPECT_EQ(round_trip(core::SweepSpec{}, sweep_spec_from_json),
+              core::SweepSpec{});
+}
+
+TEST(ScenarioJson, SweepSpecPartialKeepsDefaults) {
+    const auto s = sweep_spec_from_json(
+        json_parse(R"({"archs": ["floret"], "mixes": ["WL1"]})"));
+    EXPECT_EQ(s.archs, std::vector<experiment::Arch>{experiment::Arch::kFloret});
+    ASSERT_EQ(s.mixes.size(), 1u);
+    EXPECT_EQ(s.mixes.front(), workload::table2().front());
+    EXPECT_EQ(s.grids, (core::SweepSpec{}.grids));  // untouched default
+    EXPECT_EQ(s.swap_seed, core::SweepSpec{}.swap_seed);
+}
+
+TEST(ScenarioJson, GridsAcceptBothSpellings) {
+    const auto s = sweep_spec_from_json(
+        json_parse(R"({"grids": ["8x6", [4, 4]]})"));
+    ASSERT_EQ(s.grids.size(), 2u);
+    EXPECT_EQ(s.grids[0], (std::pair<std::int32_t, std::int32_t>{8, 6}));
+    EXPECT_EQ(s.grids[1], (std::pair<std::int32_t, std::int32_t>{4, 4}));
+    EXPECT_THROW((void)sweep_spec_from_json(json_parse(R"({"grids": ["8by6"]})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sweep_spec_from_json(json_parse(R"({"grids": ["0x6"]})")),
+                 std::invalid_argument);
+    // Out-of-int32-range sides must fail loudly, never wrap into a
+    // silently-different grid ([4294967297, 10] is NOT 1x10).
+    EXPECT_THROW((void)sweep_spec_from_json(
+                     json_parse(R"({"grids": [[4294967297, 10]]})")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)sweep_spec_from_json(json_parse(R"({"grids": ["4294967297x10"]})")),
+        std::invalid_argument);
+}
+
+TEST(ScenarioJson, SweepPointListIsAWireFormat) {
+    core::SweepSpec s;
+    s.archs = {experiment::Arch::kSwap, experiment::Arch::kFloret};
+    s.mixes = {workload::table2()[2]};
+    s.evals = {experiment::default_eval_config()};
+    s.greedy_max_gap = 2;
+    const auto points = s.expand();
+    const auto back = sweep_points_from_json(
+        json_parse(json_serialize(to_json(points))));
+    EXPECT_EQ(back, points);  // a remote runner gets the identical work
+}
+
+TEST(ScenarioJson, RequestClassAndArrivalsRoundTrip) {
+    serve::RequestClass c{"interactive", {"DNN9", "DNN11"}, 0.75, 50'000.0};
+    EXPECT_EQ(round_trip(c, request_class_from_json), c);
+    EXPECT_THROW((void)request_class_from_json(
+                     json_parse(R"({"name": "x", "workload_ids": ["DNN99"]})")),
+                 std::invalid_argument);
+
+    serve::ArrivalConfig a;
+    a.process = serve::ArrivalProcess::kTrace;
+    a.trace_cycles = {0.0, 100.5, 3000.25};
+    a.max_requests = 17;
+    a.min_rounds = 2;
+    a.max_rounds = 5;
+    EXPECT_EQ(round_trip(a, arrival_config_from_json), a);
+    EXPECT_EQ(round_trip(serve::ArrivalConfig{}, arrival_config_from_json),
+              serve::ArrivalConfig{});
+}
+
+TEST(ScenarioJson, ServeSpecRoundTrip) {
+    serve::ServeSpec s;
+    s.arch = experiment::Arch::kKite;
+    s.width = 8;
+    s.height = 12;
+    s.greedy_max_gap = 3;
+    s.config = serve::default_serve_config();
+    s.config.admission = serve::AdmissionPolicy::kRejectOnFull;
+    s.config.max_queue = 16;
+    s.config.classes = serve::default_request_classes();
+    s.config.arrivals.process = serve::ArrivalProcess::kMmpp;
+    s.replications = 4;
+    s.base_seed = 21;
+    EXPECT_EQ(round_trip(s, serve_spec_from_json), s);
+    EXPECT_EQ(round_trip(serve::ServeSpec{}, serve_spec_from_json),
+              serve::ServeSpec{});
+}
+
+TEST(ScenarioJson, ServeGridSpecRoundTrip) {
+    ServeGridSpec s;
+    s.base.config.arrivals.max_requests = 80;
+    s.archs = {experiment::Arch::kFloret, experiment::Arch::kSwap};
+    s.loads_per_mcycle = {50.0, 500.0};
+    EXPECT_EQ(round_trip(s, serve_grid_spec_from_json), s);
+    EXPECT_EQ(round_trip(ServeGridSpec{}, serve_grid_spec_from_json),
+              ServeGridSpec{});
+}
+
+TEST(ScenarioJson, UnknownKeysAreRejectedAtEveryLevel) {
+    EXPECT_THROW((void)sim_config_from_json(json_parse(R"({"flitbytes": 8})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)eval_config_from_json(
+                     json_parse(R"({"sim": {"warp_speed": 9}})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)sweep_spec_from_json(json_parse(R"({"seeds": [1]})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)serve_spec_from_json(
+                     json_parse(R"({"config": {"arrivals": {"rate": 5}}})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)serve_grid_spec_from_json(json_parse(R"({"loads": [1]})")),
+                 std::invalid_argument);
+    // The offending context is named in the message.
+    try {
+        (void)eval_config_from_json(json_parse(R"({"sim": {"warp_speed": 9}})"));
+        FAIL() << "expected unknown-key rejection";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("warp_speed"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ScenarioJson, TypeMismatchesAreRejected) {
+    EXPECT_THROW((void)sim_config_from_json(json_parse(R"({"flit_bytes": "8"})")),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)sim_config_from_json(json_parse(R"({"injection_rate": []})")),
+        std::invalid_argument);
+    EXPECT_THROW((void)sweep_spec_from_json(json_parse(R"([1, 2, 3])")),
+                 std::invalid_argument);
+}
+
+// ---- JsonReport (satellite bugfix pins) -------------------------------------
+
+TEST(JsonReportContract, NonFiniteMetricsEmitNull) {
+    JsonReport report("nan_test");
+    report.add_metric("fine", 1.5);
+    report.add_metric("broken", std::nan(""));
+    report.add_metric("hot", std::numeric_limits<double>::infinity());
+    // The document must stay parseable JSON (raw nan/inf literals are not).
+    const Json doc = json_parse(report.to_json());
+    EXPECT_DOUBLE_EQ(doc.find("metrics")->find("fine")->as_double(), 1.5);
+    EXPECT_TRUE(doc.find("metrics")->find("broken")->is_null());
+    EXPECT_TRUE(doc.find("metrics")->find("hot")->is_null());
+}
+
+TEST(JsonReportContract, PointTimingGuardsDegenerateSweeps) {
+    // Empty sweep: no timing metrics at all (not NaN ones).
+    JsonReport empty("empty");
+    add_point_timing(empty, std::span<const double>{});
+    EXPECT_EQ(json_parse(empty.to_json()).find("metrics")->find("point_imbalance"),
+              nullptr);
+
+    // All-zero timings (degenerate but non-empty): imbalance pins to 1.0
+    // instead of dividing by the zero mean.
+    JsonReport zeros("zeros");
+    const std::vector<double> z{0.0, 0.0, 0.0};
+    add_point_timing(zeros, z);
+    const Json doc = json_parse(zeros.to_json());
+    EXPECT_DOUBLE_EQ(doc.find("metrics")->find("point_imbalance")->as_double(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(doc.find("metrics")->find("point_seconds_max")->as_double(),
+                     0.0);
+}
+
+}  // namespace
+}  // namespace floretsim::scenario

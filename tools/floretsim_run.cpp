@@ -1,0 +1,236 @@
+/// floretsim_run: the one driver for every figure. Runs any subset of the
+/// registered scenarios (or user-supplied scenario JSON files) in ONE
+/// process over ONE shared SweepEngine — so scenarios with identical
+/// fabric needs (fig3 + fig5 sweep the same grids) build each fabric once
+/// and every later scenario hits the cache — applies --set overrides to
+/// the declarative specs, and merges the per-scenario reports into a
+/// single JSON document.
+///
+///   floretsim_run --list
+///   floretsim_run                          # every registered scenario
+///   floretsim_run --only fig3,fig5        # a subset, shared cache
+///   floretsim_run --spec my_scenario.json  # a serialized spec from disk
+///   floretsim_run --only fig3 --set grid=12x12 --set archs=floret,kite \
+///                 --set traffic_scale=1/128 --threads 8 --json out.json
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/scenario/registry.h"
+#include "src/util/json.h"
+
+namespace {
+
+using namespace floretsim;
+
+struct DriverOptions {
+    bool list = false;
+    std::vector<std::string> only;                    ///< --only names, in order.
+    std::vector<std::string> spec_files;              ///< --spec paths, in order.
+    std::vector<std::pair<std::string, std::string>> sets;  ///< --set k=v pairs.
+    std::int32_t threads = 0;
+    std::uint64_t seed = 0;
+    bool has_seed = false;
+    std::string json_path;
+};
+
+[[noreturn]] void usage(const char* argv0, const std::string& msg) {
+    std::fprintf(stderr,
+                 "%s: %s\n"
+                 "usage: %s [--list] [--only A,B,...] [--spec FILE]... \n"
+                 "       [--set KEY=VALUE]... [--threads N] [--seed N] "
+                 "[--json PATH]\n"
+                 "override keys: %s\n",
+                 argv0, msg.c_str(), argv0,
+                 scenario::override_keys_help().c_str());
+    std::exit(2);
+}
+
+DriverOptions parse(int argc, char** argv) {
+    DriverOptions opt;
+    const auto need_value = [&](int i, const char* flag) -> const char* {
+        if (i + 1 >= argc) usage(argv[0], std::string(flag) + " needs a value");
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--only") {
+            const auto names = scenario::split_csv(need_value(i++, "--only"));
+            opt.only.insert(opt.only.end(), names.begin(), names.end());
+        } else if (arg == "--spec") {
+            opt.spec_files.emplace_back(need_value(i++, "--spec"));
+        } else if (arg == "--set") {
+            const std::string_view kv = need_value(i++, "--set");
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string_view::npos || eq == 0)
+                usage(argv[0], "--set expects KEY=VALUE");
+            opt.sets.emplace_back(std::string(kv.substr(0, eq)),
+                                  std::string(kv.substr(eq + 1)));
+        } else if (arg == "--threads") {
+            const std::string_view value = need_value(i++, "--threads");
+            const auto [p, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), opt.threads);
+            if (ec != std::errc() || p != value.data() + value.size())
+                usage(argv[0], "--threads expects an integer");
+        } else if (arg == "--seed") {
+            const std::string_view value = need_value(i++, "--seed");
+            const auto [p, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), opt.seed);
+            if (ec != std::errc() || p != value.data() + value.size())
+                usage(argv[0], "--seed expects a non-negative integer");
+            opt.has_seed = true;
+        } else if (arg == "--json") {
+            opt.json_path = need_value(i++, "--json");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], "help");
+        } else {
+            usage(argv[0], "unknown argument " + std::string(arg));
+        }
+    }
+    return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const DriverOptions opt = parse(argc, argv);
+    const auto& registry = scenario::Registry::builtin();
+
+    if (opt.list) {
+        std::printf("registered scenarios:\n");
+        for (const auto& s : registry.scenarios())
+            std::printf("  %-10s [%s]  %s\n", s.name.c_str(),
+                        scenario::spec_kind_name(s.spec), s.summary.c_str());
+        return 0;
+    }
+
+    // Selection: --only names (else every registered scenario), then the
+    // --spec files, in command-line order.
+    std::vector<scenario::Scenario> selected;
+    try {
+        if (!opt.only.empty()) {
+            for (const auto& name : opt.only) selected.push_back(registry.at(name));
+        } else if (opt.spec_files.empty()) {
+            selected = registry.scenarios();
+        }
+        for (const auto& path : opt.spec_files)
+            selected.push_back(scenario::load_scenario_file(path, registry));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+    }
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        for (std::size_t j = i + 1; j < selected.size(); ++j)
+            if (selected[i].name == selected[j].name) {
+                std::fprintf(stderr, "%s: scenario \"%s\" selected twice\n",
+                             argv[0], selected[i].name.c_str());
+                return 2;
+            }
+
+    // Apply the seed and the --set overrides to every selected spec. Each
+    // override must land on at least one scenario — a --set that applies
+    // nowhere is a typo, not a no-op.
+    try {
+        for (auto& s : selected)
+            if (opt.has_seed) scenario::set_seed(s.spec, opt.seed);
+        for (const auto& [key, value] : opt.sets) {
+            bool applied = false;
+            for (auto& s : selected) {
+                // Eval knobs are inert on mapping-only scenarios (fig4):
+                // don't let them satisfy the applies-somewhere guard.
+                if (!s.uses_eval && scenario::is_eval_override_key(key)) continue;
+                applied = scenario::apply_override(s.spec, key, value) || applied;
+            }
+            if (!applied) {
+                std::fprintf(stderr,
+                             "%s: --set %s=%s applies to none of the selected "
+                             "scenarios\n",
+                             argv[0], key.c_str(), value.c_str());
+                return 2;
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+    }
+
+    // One engine for the whole run: the shared thread pool AND the shared
+    // fabric cache — the reason fig3+fig5 no longer rebuild identical
+    // sweep fabrics.
+    core::SweepEngine engine(opt.threads);
+    scenario::RunContext ctx{engine, std::cout};
+
+    util::Json scenario_reports = util::Json::object();
+    const auto wall0 = std::chrono::steady_clock::now();
+    int failures = 0;
+    for (const auto& s : selected) {
+        std::cout << "\n########## scenario: " << s.name << " ##########\n\n";
+        const auto hits0 = engine.cache().hits();
+        const auto misses0 = engine.cache().misses();
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            scenario::JsonReport report = s.report(s.spec, ctx);
+            report.add_metric(
+                "scenario_seconds",
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count());
+            // Cache deltas per scenario: a later scenario with misses == 0
+            // ran entirely on fabrics built by its predecessors.
+            report.add_metric("fabric_cache_hits",
+                              static_cast<double>(engine.cache().hits() - hits0));
+            report.add_metric(
+                "fabric_cache_misses",
+                static_cast<double>(engine.cache().misses() - misses0));
+            scenario_reports.set(s.name, report.to_value());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "scenario %s failed: %s\n", s.name.c_str(),
+                         e.what());
+            util::Json err = util::Json::object();
+            err.set("error", std::string(e.what()));
+            scenario_reports.set(s.name, std::move(err));
+            ++failures;
+        }
+    }
+
+    util::Json doc = util::Json::object();
+    util::Json driver = util::Json::object();
+    driver.set("threads", engine.thread_count());
+    driver.set("scenarios_run",
+               static_cast<std::int64_t>(selected.size()) - failures);
+    driver.set("scenarios_failed", static_cast<std::int64_t>(failures));
+    driver.set("wall_seconds",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall0)
+                   .count());
+    driver.set("fabric_cache_hits", engine.cache().hits());
+    driver.set("fabric_cache_misses", engine.cache().misses());
+    doc.set("driver", std::move(driver));
+    doc.set("scenarios", std::move(scenario_reports));
+
+    std::cout << "\n########## driver summary ##########\n"
+              << selected.size() - static_cast<std::size_t>(failures) << "/"
+              << selected.size() << " scenarios on " << engine.thread_count()
+              << " thread(s); fabric cache " << engine.cache().hits()
+              << " hits / " << engine.cache().misses() << " misses\n";
+
+    if (!opt.json_path.empty()) {
+        std::ofstream f(opt.json_path);
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write JSON report to %s\n",
+                         opt.json_path.c_str());
+            return 1;
+        }
+        f << util::json_serialize(doc);
+    }
+    return failures == 0 ? 0 : 1;
+}
