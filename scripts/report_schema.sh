@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Golden-schema check for floretsim_run merged reports (run by ctest as
+# `report_schema`): run one scenario with a --set override, then pin the
+# exact key set of the document — driver block, scenario block, table
+# columns, metric names — and require every metric to be a finite number.
+# A report regression (renamed metric, dropped table, NaN leaking into
+# the document) fails loudly here instead of silently breaking whatever
+# parses these reports downstream.
+#
+#   usage: scripts/report_schema.sh <floretsim_run>
+set -eu
+
+driver=$1
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+"$driver" --only fig3 --set traffic_scale=1/128 --threads 2 \
+    --json "$out_dir/fig3.json" > "$out_dir/fig3.log"
+
+python3 - "$out_dir/fig3.json" <<'EOF'
+import json, math, sys
+
+doc = json.load(open(sys.argv[1]))
+
+assert set(doc) == {"driver", "scenarios"}, f"top-level keys: {set(doc)}"
+
+DRIVER_KEYS = {"threads", "shards", "scenarios_run", "scenarios_failed",
+               "wall_seconds", "fabric_cache_hits", "fabric_cache_misses"}
+assert set(doc["driver"]) == DRIVER_KEYS, (
+    f"driver keys: {sorted(set(doc['driver']) ^ DRIVER_KEYS)} changed")
+assert doc["driver"]["scenarios_run"] == 1
+assert doc["driver"]["scenarios_failed"] == 0
+
+assert set(doc["scenarios"]) == {"fig3"}
+fig3 = doc["scenarios"]["fig3"]
+assert set(fig3) == {"bench", "metrics", "tables"}, f"fig3 keys: {set(fig3)}"
+assert fig3["bench"] == "fig3_latency"
+
+METRIC_KEYS = {"sweep_wall_seconds", "sweep_threads",
+               "point_seconds_min", "point_seconds_mean", "point_seconds_max",
+               "point_imbalance", "worst_ratio",
+               "scenario_seconds", "fabric_cache_hits", "fabric_cache_misses"}
+assert set(fig3["metrics"]) == METRIC_KEYS, (
+    f"fig3 metric keys changed: {sorted(set(fig3['metrics']) ^ METRIC_KEYS)}")
+for key, value in fig3["metrics"].items():
+    assert isinstance(value, (int, float)) and math.isfinite(value), (
+        f"metric {key} is not a finite number: {value!r}")
+assert fig3["metrics"]["worst_ratio"] >= 1.0, "ratios normalize to Floret"
+
+assert set(fig3["tables"]) == {"latency_normalized"}
+table = fig3["tables"]["latency_normalized"]
+assert set(table) == {"columns", "rows"}
+cols = table["columns"]
+assert cols[0] == "Mix" and len(cols) == 6, f"columns: {cols}"
+assert len(table["rows"]) == 5, "one row per Table II mix"
+for row in table["rows"]:
+    assert len(row) == len(cols)
+    assert all(isinstance(c, str) and c for c in row), f"bad cells: {row}"
+
+print("report schema ok: driver/scenario/table/metric key sets pinned,",
+      f"{len(METRIC_KEYS)} metrics finite")
+EOF

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Sharded-sweep differential (run by ctest as `shard_parity`, and by CI on
+# both simulator cores via FLORETSIM_SIM_CORE):
+#
+#   every registered scenario's merged report must be bit-identical
+#   whether the sweeps run in 1 process, across --shards 2, or across
+#   --shards 4 — at *different* thread counts inside each topology, so
+#   the comparison also pins determinism across --threads inside each
+#   worker. Only wall-clock-derived metrics (point timings, cache
+#   counters, thread/shard counts) may differ; everything else — every
+#   table cell, every derived metric — must match byte for byte.
+#
+# Sizes are CI-small (8x8 grid, 1/128 traffic, 16 serving requests) but
+# the full registry runs, so the coordinator path is exercised against
+# spec-driven sweeps (fig3/fig5/table2: distributed) AND map()-driven
+# scenarios (fig4/serving: coordinator-local) in the same document.
+#
+#   usage: scripts/shard_parity.sh <floretsim_run>
+set -eu
+
+driver=$1
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+common="--set grid=8x8 --set traffic_scale=1/128 \
+        --set max_requests=16 --set replications=1"
+
+# shellcheck disable=SC2086
+"$driver" $common --threads 2             --json "$out_dir/p1.json" \
+    > "$out_dir/p1.log"
+# shellcheck disable=SC2086
+"$driver" $common --threads 1 --shards 2  --json "$out_dir/s2.json" \
+    > "$out_dir/s2.log"
+# shellcheck disable=SC2086
+"$driver" $common --threads 3 --shards 4  --json "$out_dir/s4.json" \
+    > "$out_dir/s4.log"
+
+python3 - "$out_dir/p1.json" "$out_dir/s2.json" "$out_dir/s4.json" <<'EOF'
+import json, sys
+
+docs = {path: json.load(open(path)) for path in sys.argv[1:]}
+
+# Volatile-by-construction keys: wall-clock timings, the load-imbalance
+# ratio derived from them, cache counters (sharded sweeps run on worker
+# caches, not the coordinator's), and the topology knobs themselves.
+VOLATILE = ("seconds", "wall", "imbalance", "cache", "threads", "shards")
+
+def strip(x):
+    if isinstance(x, dict):
+        return {k: strip(v) for k, v in x.items()
+                if not any(t in k for t in VOLATILE)}
+    if isinstance(x, list):
+        return [strip(v) for v in x]
+    return x
+
+base_path = sys.argv[1]
+for path, doc in docs.items():
+    assert doc["driver"]["scenarios_failed"] == 0, (
+        f"{path}: {doc['driver']['scenarios_failed']} scenario(s) failed")
+    assert set(doc["scenarios"]) == set(docs[base_path]["scenarios"]), (
+        f"{path}: scenario set differs")
+
+base = strip(docs[base_path]["scenarios"])
+for path, doc in docs.items():
+    got = strip(doc["scenarios"])
+    for name in base:
+        assert got[name] == base[name], (
+            f"{path}: scenario {name} differs from the 1-process run:\n"
+            f"  base: {json.dumps(base[name])[:400]}\n"
+            f"  got:  {json.dumps(got[name])[:400]}")
+
+# The sharded runs really did dispatch workers: the coordinator cache
+# never builds the sweep fabrics, so the distributed scenarios report 0
+# misses there, while the 1-process run must have built them locally.
+s2 = docs[sys.argv[2]]["scenarios"]
+assert s2["fig3"]["metrics"]["fabric_cache_misses"] == 0, (
+    "sharded fig3 built fabrics in the coordinator — executor not installed?")
+assert docs[base_path]["scenarios"]["fig3"]["metrics"]["fabric_cache_misses"] > 0
+
+names = ", ".join(sorted(base))
+print(f"shard parity ok: {names} bit-identical across 1 process, "
+      "--shards 2, and --shards 4")
+EOF

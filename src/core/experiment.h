@@ -150,6 +150,10 @@ struct DynamicResult {
     std::int64_t sim_cycles_stepped = 0;
     std::int64_t sim_cycles_skipped = 0;
     std::int64_t sim_horizon_jumps = 0;
+
+    /// Field-wise equality: results travel back from sharded workers as
+    /// JSON (scenario::dynamic_result_from_json(to_json(r)) == r).
+    [[nodiscard]] bool operator==(const DynamicResult&) const = default;
 };
 
 /// Executes a Table II mix the way the paper describes Section II's

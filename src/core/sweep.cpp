@@ -40,25 +40,40 @@ SweepResult SweepEngine::run(const SweepSpec& spec) {
     return res;
 }
 
+SweepRow evaluate_point(experiment::ArchCache& cache, const SweepPoint& point) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto arch = experiment::build_arch(cache, point.arch, point.width,
+                                       point.height, point.swap_seed,
+                                       point.greedy_max_gap);
+    SweepRow row;
+    row.point = point;
+    row.result =
+        experiment::run_mix_dynamic(arch, row.point.mix, point.eval, point.run_seed);
+    row.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return row;
+}
+
 SweepResult SweepEngine::run(const std::vector<SweepPoint>& points) {
     const auto hits_before = cache_.hits();
     const auto misses_before = cache_.misses();
     const auto t0 = std::chrono::steady_clock::now();
 
     SweepResult res;
-    res.rows.resize(points.size());
-    pool_.parallel_for(points.size(), [&](std::size_t i) {
-        const auto p0 = std::chrono::steady_clock::now();
-        const SweepPoint& p = points[i];
-        auto arch = experiment::build_arch(cache_, p.arch, p.width, p.height,
-                                           p.swap_seed, p.greedy_max_gap);
-        res.rows[i].point = p;
-        res.rows[i].result =
-            experiment::run_mix_dynamic(arch, res.rows[i].point.mix, p.eval, p.run_seed);
-        res.rows[i].seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
-                .count();
-    });
+    if (executor_ && !points.empty()) {
+        res.rows = executor_(points);
+        if (res.rows.size() != points.size())
+            throw std::runtime_error(
+                "point-list executor returned " +
+                std::to_string(res.rows.size()) + " rows for " +
+                std::to_string(points.size()) + " points");
+    } else {
+        res.rows.resize(points.size());
+        pool_.parallel_for(points.size(), [&](std::size_t i) {
+            res.rows[i] = evaluate_point(cache_, points[i]);
+        });
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -66,7 +67,20 @@ struct SweepRow {
     /// Wall-clock spent evaluating this point (arch build + dynamic run);
     /// the load-balance signal benches surface in their --json reports.
     double seconds = 0.0;
+
+    /// Field-wise equality: rows are the return wire format of sharded
+    /// sweeps (scenario::sweep_row_from_json(to_json(r)) == r); `seconds`
+    /// participates because JSON doubles round-trip bit-exactly.
+    [[nodiscard]] bool operator==(const SweepRow&) const = default;
 };
+
+/// Evaluates one sweep point — fabric from (or into) `cache`, fresh
+/// mapper, run_mix_dynamic — and stamps the row's wall-clock. The single
+/// per-point implementation shared by SweepEngine::run and the sharded
+/// worker loop, so a row is bit-identical (seconds aside) no matter which
+/// process computed it.
+[[nodiscard]] SweepRow evaluate_point(experiment::ArchCache& cache,
+                                      const SweepPoint& point);
 
 struct SweepResult {
     /// Rows in SweepSpec::expand() order.
@@ -98,6 +112,19 @@ public:
 
     [[nodiscard]] SweepResult run(const SweepSpec& spec);
     [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points);
+
+    /// Pluggable transport for point lists: when set, run() hands the
+    /// expanded points to the executor (which must return one row per
+    /// point, in point order) instead of evaluating them on the local
+    /// pool. This is the process-distribution seam — the floretsim_run
+    /// coordinator installs a fork-N-workers executor here, and every
+    /// report function distributes without knowing it. map()/timed_map()
+    /// fan-outs are bespoke local work and always stay in-process.
+    using PointListExecutor =
+        std::function<std::vector<SweepRow>(const std::vector<SweepPoint>&)>;
+    void set_point_executor(PointListExecutor executor) {
+        executor_ = std::move(executor);
+    }
 
     /// Generic deterministic fan-out for benches whose per-point work is
     /// not run_mix_dynamic: evaluates fn(0..count-1) on the pool and
@@ -141,6 +168,7 @@ public:
 private:
     util::ThreadPool pool_;
     experiment::ArchCache cache_;
+    PointListExecutor executor_;
 };
 
 }  // namespace floretsim::core

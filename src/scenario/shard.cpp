@@ -1,0 +1,344 @@
+#include "src/scenario/shard.h"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#include "src/scenario/spec_json.h"
+#include "src/util/json.h"
+
+namespace floretsim::scenario {
+namespace {
+
+/// Self-deleting scratch directory for the coordinator's points file.
+struct TempDir {
+    std::string path;
+
+    TempDir() {
+        std::string templ =
+            (std::filesystem::temp_directory_path() / "floretsim-shard-XXXXXX")
+                .string();
+        if (!mkdtemp(templ.data()))
+            throw std::runtime_error("shard: mkdtemp failed for " + templ);
+        path = templ;
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+};
+
+/// POSIX-shell single-quoting for the popen command line.
+std::string shell_quote(const std::string& s) {
+    std::string out = "'";
+    for (const char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += '\'';
+    return out;
+}
+
+std::int32_t parse_int32(std::string_view text, const char* what) {
+    std::int32_t v = 0;
+    const auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || p != text.data() + text.size())
+        throw std::invalid_argument(std::string(what) + " \"" +
+                                    std::string(text) + "\" is not an integer");
+    return v;
+}
+
+}  // namespace
+
+// ---- Shard planning ---------------------------------------------------------
+
+std::vector<std::size_t> shard_indices(std::size_t n_points, std::int32_t shard,
+                                       std::int32_t n_shards) {
+    if (n_shards < 1)
+        throw std::invalid_argument("shard count must be >= 1, got " +
+                                    std::to_string(n_shards));
+    if (shard < 0 || shard >= n_shards)
+        throw std::invalid_argument("shard index " + std::to_string(shard) +
+                                    " out of range for " +
+                                    std::to_string(n_shards) + " shards");
+    std::vector<std::size_t> indices;
+    for (std::size_t i = static_cast<std::size_t>(shard); i < n_points;
+         i += static_cast<std::size_t>(n_shards))
+        indices.push_back(i);
+    return indices;
+}
+
+std::pair<std::int32_t, std::int32_t> parse_shard_arg(const std::string& s) {
+    const std::size_t slash = s.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size())
+        throw std::invalid_argument("--shard expects i/N (0-based), got \"" + s +
+                                    "\"");
+    const std::int32_t shard =
+        parse_int32(std::string_view(s).substr(0, slash), "shard index");
+    const std::int32_t n_shards =
+        parse_int32(std::string_view(s).substr(slash + 1), "shard count");
+    (void)shard_indices(0, shard, n_shards);  // range-check i/N
+    return {shard, n_shards};
+}
+
+std::int32_t clamp_worker_threads(std::int32_t requested, std::size_t n_points,
+                                  std::ostream& err) {
+    if (requested < 0)
+        throw std::invalid_argument("--threads must be >= 0, got " +
+                                    std::to_string(requested));
+    if (requested == 0) return 0;  // hardware concurrency
+    std::int32_t limit = kMaxWorkerThreads;
+    if (n_points > 0 && n_points < static_cast<std::size_t>(limit))
+        limit = static_cast<std::int32_t>(n_points);
+    if (requested > limit) {
+        err << "worker: clamping --threads " << requested << " to " << limit
+            << " (" << (limit == kMaxWorkerThreads ? "worker thread cap"
+                                                   : "one thread per point")
+            << ")\n";
+        return limit;
+    }
+    return requested;
+}
+
+// ---- The worker protocol ----------------------------------------------------
+
+std::vector<core::SweepPoint> points_from_text(std::string_view text,
+                                               const std::string& context) {
+    util::Json doc;
+    try {
+        doc = util::json_parse(text);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(context + ": " + e.what());
+    }
+    std::vector<core::SweepPoint> points;
+    try {
+        points = sweep_points_from_json(doc);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(context + ": " + e.what());
+    }
+    if (points.empty())
+        throw std::invalid_argument(context +
+                                    ": point list is empty — a worker with no "
+                                    "work is a coordinator bug");
+    return points;
+}
+
+std::string worker_row_line(std::size_t index, const core::SweepRow& row) {
+    util::Json j = util::Json::object();
+    j.set("index", static_cast<std::uint64_t>(index));
+    j.set("row", to_json(row));
+    return util::json_serialize_compact(j);
+}
+
+IndexedRow worker_row_from_line(std::string_view line) {
+    util::Json j;
+    try {
+        j = util::json_parse(line);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("row line: ") + e.what());
+    }
+    if (j.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("row line: expected an object, got " +
+                                    std::string(j.kind_name()));
+    for (const auto& [key, value] : j.as_object()) {
+        (void)value;
+        if (key != "index" && key != "row")
+            throw std::invalid_argument("row line: unknown key \"" + key + "\"");
+    }
+    const util::Json* index = j.find("index");
+    const util::Json* row = j.find("row");
+    if (!index || !row)
+        throw std::invalid_argument("row line: need both \"index\" and \"row\"");
+    IndexedRow out;
+    out.index = static_cast<std::size_t>(index->as_uint());
+    out.row = sweep_row_from_json(*row);
+    return out;
+}
+
+std::size_t run_worker_points(core::SweepEngine& engine,
+                              const std::vector<core::SweepPoint>& points,
+                              const std::vector<std::size_t>& indices,
+                              std::ostream& rows_out, std::ostream& err) {
+    for (const std::size_t i : indices)
+        if (i >= points.size())
+            throw std::invalid_argument("worker: shard index " +
+                                        std::to_string(i) + " out of range for " +
+                                        std::to_string(points.size()) + " points");
+    struct Failure {
+        std::size_t index;
+        std::string what;
+    };
+    std::mutex mu;
+    std::vector<Failure> failures;
+    (void)engine.map(indices.size(), [&](std::size_t k) -> int {
+        const std::size_t global = indices[k];
+        try {
+            const core::SweepRow row =
+                core::evaluate_point(engine.cache(), points[global]);
+            const std::string line = worker_row_line(global, row);
+            const std::lock_guard<std::mutex> lock(mu);
+            rows_out << line << '\n' << std::flush;
+        } catch (const std::exception& e) {
+            const std::lock_guard<std::mutex> lock(mu);
+            failures.push_back({global, e.what()});
+        }
+        return 0;
+    });
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure& a, const Failure& b) { return a.index < b.index; });
+    for (const auto& f : failures)
+        err << "worker: point " << f.index << " failed: " << f.what << '\n';
+    return failures.size();
+}
+
+// ---- The local coordinator --------------------------------------------------
+
+std::string self_exe_path(const char* argv0) {
+    std::error_code ec;
+    const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec && !exe.empty()) return exe.string();
+    return argv0 ? argv0 : "floretsim_run";
+}
+
+std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
+                                        const std::vector<core::SweepPoint>& points) {
+    if (opt.n_shards < 1)
+        throw std::invalid_argument("--shards must be >= 1, got " +
+                                    std::to_string(opt.n_shards));
+    if (opt.worker_exe.empty())
+        throw std::invalid_argument("shard: worker_exe is empty");
+    if (points.empty()) return {};
+    const std::int32_t n_shards = static_cast<std::int32_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(opt.n_shards),
+                              points.size()));
+
+    TempDir tmp;
+    const std::string points_path = tmp.path + "/points.json";
+    {
+        std::ofstream f(points_path);
+        f << util::json_serialize(to_json(points));
+        if (!f)
+            throw std::runtime_error("shard: cannot write points file " +
+                                     points_path);
+    }
+
+    // Default thread budget: N local workers at full hardware concurrency
+    // each would oversubscribe the host N-fold, so an unset (0) request
+    // splits the cores across the shards. An explicit --threads is passed
+    // through untouched — the multi-host case, where every worker owns
+    // its whole machine.
+    std::int32_t worker_threads = opt.threads_per_worker;
+    if (worker_threads <= 0) {
+        const auto hw =
+            static_cast<std::int32_t>(std::thread::hardware_concurrency());
+        worker_threads = std::max(1, hw / n_shards);
+    }
+
+    // Rows travel through per-shard files (--rows-out), not the popen
+    // pipes: a pipe holds ~64KB, so a big shard would fill it, block its
+    // writer (which holds the worker's row mutex), and serialize the
+    // shards behind the coordinator's sequential drain. Files keep every
+    // worker computing at full speed; popen remains for process control
+    // (and would surface any unexpected stdout noise, which we discard).
+    std::vector<FILE*> pipes;
+    std::vector<std::string> row_paths;
+    pipes.reserve(static_cast<std::size_t>(n_shards));
+    std::string first_error;
+    for (std::int32_t s = 0; s < n_shards; ++s) {
+        row_paths.push_back(tmp.path + "/rows." + std::to_string(s) + ".ndjson");
+        const std::string cmd =
+            shell_quote(opt.worker_exe) + " --worker --points " +
+            shell_quote(points_path) + " --shard " + std::to_string(s) + "/" +
+            std::to_string(n_shards) + " --threads " +
+            std::to_string(worker_threads) + " --rows-out " +
+            shell_quote(row_paths.back());
+        FILE* pipe = popen(cmd.c_str(), "r");
+        if (!pipe) {
+            if (first_error.empty())
+                first_error = "shard: cannot spawn worker " + std::to_string(s) +
+                              "/" + std::to_string(n_shards);
+            break;
+        }
+        pipes.push_back(pipe);
+    }
+
+    // Wait for every launched worker (draining the quiet pipes), then
+    // merge the row files by global index.
+    for (std::size_t s = 0; s < pipes.size(); ++s) {
+        char sink[4096];
+        while (fread(sink, 1, sizeof sink, pipes[s]) > 0) {
+        }
+        const int status = pclose(pipes[s]);
+        if (first_error.empty() && status != 0) {
+            const std::string detail =
+                WIFEXITED(status)
+                    ? "exited with status " + std::to_string(WEXITSTATUS(status))
+                    : "died on signal";
+            first_error = "shard " + std::to_string(s) + "/" +
+                          std::to_string(n_shards) + " " + detail +
+                          " (the failing point's index is on its stderr)";
+        }
+    }
+    if (!first_error.empty()) throw std::runtime_error(first_error);
+
+    std::vector<core::SweepRow> rows(points.size());
+    std::vector<char> seen(points.size(), 0);
+    for (std::size_t s = 0; s < pipes.size(); ++s) {
+        std::ifstream f(row_paths[s]);
+        if (!f)
+            throw std::runtime_error("shard " + std::to_string(s) + "/" +
+                                     std::to_string(n_shards) +
+                                     ": row file missing");
+        std::string line;
+        while (std::getline(f, line)) {
+            std::string_view text(line);
+            while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+            if (text.empty()) continue;
+            try {
+                IndexedRow r = worker_row_from_line(text);
+                if (r.index >= rows.size())
+                    throw std::invalid_argument(
+                        "row index " + std::to_string(r.index) +
+                        " out of range for " + std::to_string(rows.size()) +
+                        " points");
+                if (seen[r.index])
+                    throw std::invalid_argument("duplicate row for point " +
+                                                std::to_string(r.index));
+                rows[r.index] = std::move(r.row);
+                seen[r.index] = 1;
+            } catch (const std::invalid_argument& e) {
+                throw std::runtime_error("shard " + std::to_string(s) + "/" +
+                                         std::to_string(n_shards) + ": " +
+                                         e.what());
+            }
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        if (!seen[i])
+            throw std::runtime_error("shard: no worker returned a row for point " +
+                                     std::to_string(i));
+    return rows;
+}
+
+void install_shard_executor(core::SweepEngine& engine, ShardOptions opt) {
+    engine.set_point_executor(
+        [opt = std::move(opt)](const std::vector<core::SweepPoint>& points) {
+            return run_sharded(opt, points);
+        });
+}
+
+}  // namespace floretsim::scenario

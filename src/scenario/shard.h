@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/sweep.h"
+
+namespace floretsim::scenario {
+
+/// Process-level sweep distribution. The contract, pinned end to end by
+/// the shard_parity ctest:
+///
+///   request:  a serialized SweepPoint list (scenario::to_json) written
+///             to a file — the self-contained work order from PR 4;
+///   worker:   `floretsim_run --worker --points FILE [--shard i/N]`
+///             evaluates its slice on a local SweepEngine and streams one
+///             newline-delimited JSON row per point as it finishes, each
+///             tagged with the point's *global* index (completion order
+///             is arbitrary; content per index is deterministic);
+///   merge:    the coordinator places rows back into point order, so the
+///             unchanged report functions see exactly what a local
+///             SweepEngine::run would have produced — every figure is
+///             bit-identical in 1 process, N threads, or N processes.
+///
+/// The same worker CLI is the multi-host seam: ship one points file to N
+/// hosts, run each with a different `--shard i/N`, concatenate the row
+/// streams, merge by index.
+
+// ---- Shard planning ---------------------------------------------------------
+
+/// Global point indices owned by `shard` of `n_shards`: the round-robin
+/// slice shard, shard + n_shards, shard + 2*n_shards, ... Round-robin
+/// rather than contiguous blocks because expansion order is arch-major —
+/// a block split would hand every point of one architecture (and its
+/// distinct per-arch cost) to a single worker. Throws
+/// std::invalid_argument unless 0 <= shard < n_shards.
+[[nodiscard]] std::vector<std::size_t> shard_indices(std::size_t n_points,
+                                                     std::int32_t shard,
+                                                     std::int32_t n_shards);
+
+/// Parses the worker's "--shard i/N" argument (0-based shard index).
+/// Throws std::invalid_argument on malformed input or i >= N.
+[[nodiscard]] std::pair<std::int32_t, std::int32_t> parse_shard_arg(
+    const std::string& s);
+
+/// Validates and clamps a worker's --threads request: negative requests
+/// are an error (throws std::invalid_argument — the coordinator must see
+/// the worker die, not silently run serial), 0 keeps the engine's
+/// hardware-concurrency default, and explicit requests are clamped to
+/// [1, min(n_points, kMaxWorkerThreads)] — a thread per point is the most
+/// a shard can use. Clamps are noted on `err`.
+inline constexpr std::int32_t kMaxWorkerThreads = 256;
+[[nodiscard]] std::int32_t clamp_worker_threads(std::int32_t requested,
+                                                std::size_t n_points,
+                                                std::ostream& err);
+
+// ---- The worker protocol ----------------------------------------------------
+
+/// Parses a points file's text. Rejects (std::invalid_argument) malformed
+/// JSON, malformed points, and the empty list — a worker handed no work
+/// is a coordinator bug, not a successful no-op.
+[[nodiscard]] std::vector<core::SweepPoint> points_from_text(
+    std::string_view text, const std::string& context);
+
+/// One line of the worker's row stream: the global point index plus the
+/// finished row.
+struct IndexedRow {
+    std::size_t index = 0;
+    core::SweepRow row;
+};
+
+/// Serializes one row-stream line: {"index": i, "row": {...}}, compact
+/// (single line, no trailing newline).
+[[nodiscard]] std::string worker_row_line(std::size_t index,
+                                          const core::SweepRow& row);
+
+/// Parses one row-stream line; strict (exactly the keys index and row).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] IndexedRow worker_row_from_line(std::string_view line);
+
+/// Worker-side execution: evaluates points[i] for each global index i in
+/// `indices` on the engine's pool, writing one row-stream line to
+/// `rows_out` as each point finishes (mutex-serialized, flushed per line
+/// so the coordinator sees rows while the shard still runs). A point that
+/// throws is reported on `err` as "point <global index> failed: <what>"
+/// and does not emit a row; the remaining points still run. Returns the
+/// number of failed points — the worker's exit code must be nonzero when
+/// this is.
+[[nodiscard]] std::size_t run_worker_points(
+    core::SweepEngine& engine, const std::vector<core::SweepPoint>& points,
+    const std::vector<std::size_t>& indices, std::ostream& rows_out,
+    std::ostream& err);
+
+// ---- The local coordinator --------------------------------------------------
+
+struct ShardOptions {
+    /// Path to the floretsim_run binary to spawn in --worker mode
+    /// (normally self_exe_path(argv[0])).
+    std::string worker_exe;
+    std::int32_t n_shards = 2;
+    /// --threads handed to every worker (0 = hardware concurrency).
+    std::int32_t threads_per_worker = 0;
+};
+
+/// This process's executable path: /proc/self/exe when readable (Linux),
+/// else `argv0` as given.
+[[nodiscard]] std::string self_exe_path(const char* argv0);
+
+/// Runs `points` across opt.n_shards worker subprocesses (popen for
+/// process control; one points file in, one --rows-out NDJSON file per
+/// shard back — files rather than pipes so a shard bigger than a pipe
+/// buffer never blocks its worker's compute) and returns the rows merged
+/// into point order. When threads_per_worker is 0 the hardware threads
+/// are split across the shards; an explicit value is passed through.
+/// Empty shards are avoided by capping the shard count at the point
+/// count. Throws std::runtime_error when a worker cannot be spawned,
+/// exits nonzero (the failing point's index is on the worker's inherited
+/// stderr), returns an unparseable row, or the merged set has
+/// missing/duplicate indices.
+[[nodiscard]] std::vector<core::SweepRow> run_sharded(
+    const ShardOptions& opt, const std::vector<core::SweepPoint>& points);
+
+/// Installs run_sharded as `engine`'s point-list executor: every
+/// subsequent SweepEngine::run distributes across opt.n_shards worker
+/// processes without the report functions changing at all.
+void install_shard_executor(core::SweepEngine& engine, ShardOptions opt);
+
+}  // namespace floretsim::scenario

@@ -430,6 +430,72 @@ std::vector<core::SweepPoint> sweep_points_from_json(const Json& j) {
     return pts;
 }
 
+// ---- Sweep rows (the return wire format) ------------------------------------
+
+Json to_json(const core::experiment::DynamicResult& r) {
+    Json j = Json::object();
+    j.set("total_cycles", r.total_cycles);
+    j.set("total_energy_pj", r.total_energy_pj);
+    j.set("flit_hops", r.flit_hops);
+    j.set("rounds", r.rounds);
+    j.set("task_rounds", r.task_rounds);
+    j.set("all_completed", r.all_completed);
+    j.set("noi_evals", r.noi_evals);
+    j.set("round_epoch_hits", r.round_epoch_hits);
+    j.set("sim_cycles_stepped", r.sim_cycles_stepped);
+    j.set("sim_cycles_skipped", r.sim_cycles_skipped);
+    j.set("sim_horizon_jumps", r.sim_horizon_jumps);
+    return j;
+}
+
+core::experiment::DynamicResult dynamic_result_from_json(const Json& j) {
+    core::experiment::DynamicResult r;
+    ObjectReader rd(j, "result");
+    rd.read("total_cycles", r.total_cycles);
+    rd.read("total_energy_pj", r.total_energy_pj);
+    rd.read("flit_hops", r.flit_hops);
+    rd.read("rounds", r.rounds);
+    rd.read("task_rounds", r.task_rounds);
+    rd.read("all_completed", r.all_completed);
+    rd.read("noi_evals", r.noi_evals);
+    rd.read("round_epoch_hits", r.round_epoch_hits);
+    rd.read("sim_cycles_stepped", r.sim_cycles_stepped);
+    rd.read("sim_cycles_skipped", r.sim_cycles_skipped);
+    rd.read("sim_horizon_jumps", r.sim_horizon_jumps);
+    rd.finish();
+    return r;
+}
+
+Json to_json(const core::SweepRow& r) {
+    Json j = Json::object();
+    j.set("point", to_json(r.point));
+    j.set("result", to_json(r.result));
+    j.set("seconds", r.seconds);
+    return j;
+}
+
+core::SweepRow sweep_row_from_json(const Json& j) {
+    core::SweepRow r;
+    ObjectReader rd(j, "row");
+    rd.read_with("point", r.point, sweep_point_from_json);
+    rd.read_with("result", r.result, dynamic_result_from_json);
+    rd.read("seconds", r.seconds);
+    rd.finish();
+    return r;
+}
+
+Json to_json(const std::vector<core::SweepRow>& rows) {
+    Json j = Json::array();
+    for (const auto& r : rows) j.push_back(to_json(r));
+    return j;
+}
+
+std::vector<core::SweepRow> sweep_rows_from_json(const Json& j) {
+    std::vector<core::SweepRow> rows;
+    for (const Json& r : j.as_array()) rows.push_back(sweep_row_from_json(r));
+    return rows;
+}
+
 // ---- Serving specs ----------------------------------------------------------
 
 Json to_json(const serve::RequestClass& c) {

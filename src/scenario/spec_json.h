@@ -90,6 +90,22 @@ namespace floretsim::scenario {
 [[nodiscard]] std::vector<core::SweepPoint> sweep_points_from_json(
     const util::Json& j);
 
+// ---- Sweep rows (the return wire format) ------------------------------------
+
+/// SweepRow is the unit of distributed *results*: a worker that consumed
+/// a SweepPoint list streams SweepRows back, and the coordinator merges
+/// them into expansion order — the mirror image of the point-list request
+/// format above. Strict round-trip (sweep_rows_from_json(to_json(r)) ==
+/// r) and unknown-key rejection, like every other spec type.
+[[nodiscard]] util::Json to_json(const core::experiment::DynamicResult& r);
+[[nodiscard]] core::experiment::DynamicResult dynamic_result_from_json(
+    const util::Json& j);
+
+[[nodiscard]] util::Json to_json(const core::SweepRow& r);
+[[nodiscard]] core::SweepRow sweep_row_from_json(const util::Json& j);
+[[nodiscard]] util::Json to_json(const std::vector<core::SweepRow>& rows);
+[[nodiscard]] std::vector<core::SweepRow> sweep_rows_from_json(const util::Json& j);
+
 // ---- Serving specs ----------------------------------------------------------
 
 [[nodiscard]] util::Json to_json(const serve::RequestClass& c);

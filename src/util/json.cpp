@@ -498,6 +498,39 @@ void serialize_to(std::string& out, const Json& v, int indent) {
     }
 }
 
+void serialize_compact_to(std::string& out, const Json& v) {
+    switch (v.kind()) {
+        case Json::Kind::kNull: out += "null"; break;
+        case Json::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+        case Json::Kind::kInt: out += std::to_string(v.as_int()); break;
+        case Json::Kind::kUint: out += std::to_string(v.as_uint()); break;
+        case Json::Kind::kDouble: append_number(out, v.as_double()); break;
+        case Json::Kind::kString: append_escaped(out, v.as_string()); break;
+        case Json::Kind::kArray: {
+            out += '[';
+            const auto& items = v.as_array();
+            for (std::size_t i = 0; i < items.size(); ++i) {
+                if (i) out += ',';
+                serialize_compact_to(out, items[i]);
+            }
+            out += ']';
+            break;
+        }
+        case Json::Kind::kObject: {
+            out += '{';
+            const auto& members = v.as_object();
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                if (i) out += ',';
+                append_escaped(out, members[i].first);
+                out += ':';
+                serialize_compact_to(out, members[i].second);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
 }  // namespace
 
 Json json_parse(std::string_view text) { return Parser(text).parse_document(); }
@@ -506,6 +539,12 @@ std::string json_serialize(const Json& v) {
     std::string out;
     serialize_to(out, v, 0);
     out += '\n';
+    return out;
+}
+
+std::string json_serialize_compact(const Json& v) {
+    std::string out;
+    serialize_compact_to(out, v);
     return out;
 }
 

@@ -97,4 +97,10 @@ private:
 /// Pretty-prints with two-space indentation and a trailing newline.
 [[nodiscard]] std::string json_serialize(const Json& v);
 
+/// Single-line form (no whitespace, no trailing newline) — the framing
+/// used by newline-delimited row streams, where one value must be one
+/// line. Numbers format identically to json_serialize, so the two forms
+/// parse back to equal documents.
+[[nodiscard]] std::string json_serialize_compact(const Json& v);
+
 }  // namespace floretsim::util

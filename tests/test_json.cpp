@@ -5,6 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
+
+#include "src/scenario/shard.h"
+#include "src/scenario/spec_json.h"
 
 namespace floretsim::util {
 namespace {
@@ -121,6 +125,108 @@ TEST(Json, ObjectFindAndOrder) {
     EXPECT_EQ(obj.find("missing"), nullptr);
     // Insertion order is preserved (reports rely on it for readability).
     EXPECT_EQ(obj.as_object().front().first, "b");
+}
+
+TEST(Json, CompactSerializationParsesBackEqual) {
+    const Json doc = json_parse(
+        R"({"a": [1, 2.5, "x\n", null, true], "b": {"c": -7}, "d": []})");
+    const std::string compact = json_serialize_compact(doc);
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    EXPECT_EQ(compact.find(' '), std::string::npos);
+    EXPECT_EQ(json_parse(compact), doc);
+    // Numbers format identically in both forms.
+    EXPECT_EQ(json_serialize_compact(Json(1.0 / 3.0)) + "\n",
+              json_serialize(Json(1.0 / 3.0)));
+}
+
+// ---- Adversarial corpus -----------------------------------------------------
+//
+// The sharded-sweep wire formats (SweepPoint request lists, SweepRow
+// return streams) consume bytes from other processes; every malformed
+// shape must surface as a clean std::invalid_argument — no crash, no
+// partially-populated value (the from_json functions return by value and
+// throw before anything escapes). Table-driven so new attack shapes are
+// one line each.
+
+enum class Target { kParse, kPoint, kPointList, kRow, kRowList };
+
+struct AdversarialCase {
+    const char* label;
+    Target target;
+    const char* text;
+};
+
+void feed(Target target, const std::string& text) {
+    switch (target) {
+        case Target::kParse: (void)json_parse(text); break;
+        case Target::kPoint:
+            (void)scenario::sweep_point_from_json(json_parse(text));
+            break;
+        case Target::kPointList:
+            (void)scenario::sweep_points_from_json(json_parse(text));
+            break;
+        case Target::kRow:
+            (void)scenario::sweep_row_from_json(json_parse(text));
+            break;
+        case Target::kRowList:
+            (void)scenario::sweep_rows_from_json(json_parse(text));
+            break;
+    }
+}
+
+TEST(JsonAdversarial, MalformedWireInputsAllThrowCleanly) {
+    const AdversarialCase corpus[] = {
+        // Truncated input (every prefix should die in the parser).
+        {"truncated object", Target::kParse, "{\"arch\": \"flo"},
+        {"truncated array", Target::kParse, "[{\"grid\": \"6x6\"},"},
+        {"truncated escape", Target::kParse, "\"\\u00"},
+        {"truncated point", Target::kPoint, "{\"arch\""},
+        // Duplicate keys (strict parser rejects before from_json runs).
+        {"duplicate key", Target::kParse, "{\"a\": 1, \"a\": 2}"},
+        {"duplicate point key", Target::kPoint,
+         "{\"run_seed\": 1, \"run_seed\": 2}"},
+        // Overflow / out-of-range integers.
+        {"int32 overflow", Target::kPoint, "{\"greedy_max_gap\": 99999999999}"},
+        {"negative uint", Target::kPoint, "{\"swap_seed\": -1}"},
+        {"uint64 overflow", Target::kPoint,
+         "{\"swap_seed\": 99999999999999999999999999}"},
+        {"grid side overflow", Target::kPoint, "{\"grid\": [99999999999, 4]}"},
+        // Wrong-typed fields.
+        {"bool grid", Target::kPoint, "{\"grid\": true}"},
+        {"string seed", Target::kPoint, "{\"run_seed\": \"one\"}"},
+        {"fractional seed", Target::kPoint, "{\"run_seed\": 1.5}"},
+        {"object where list", Target::kPointList, "{\"points\": []}"},
+        {"number where point", Target::kPointList, "[42]"},
+        {"string hops", Target::kRow, "{\"result\": {\"flit_hops\": \"many\"}}"},
+        {"int completed", Target::kRow, "{\"result\": {\"all_completed\": 3}}"},
+        {"array where row", Target::kRowList, "[[]]"},
+        // Unknown keys (a typoed knob must never silently run defaults).
+        {"unknown point key", Target::kPoint, "{\"run_sed\": 1}"},
+        {"unknown result key", Target::kRow, "{\"result\": {\"cycles\": 1}}"},
+        {"unknown row key", Target::kRow, "{\"second\": 0.5}"},
+        // Domain validation.
+        {"unknown arch", Target::kPoint, "{\"arch\": \"torus\"}"},
+        {"unknown mix", Target::kPoint, "{\"mix\": \"WL99\"}"},
+        {"zero grid", Target::kPoint, "{\"grid\": \"0x4\"}"},
+    };
+    for (const auto& c : corpus) {
+        EXPECT_THROW(feed(c.target, c.text), std::invalid_argument) << c.label;
+    }
+    // No partial state: after the whole corpus, a good document still
+    // parses to exactly the expected value.
+    EXPECT_EQ(scenario::sweep_point_from_json(json_parse("{}")),
+              floretsim::core::SweepPoint{});
+}
+
+TEST(JsonAdversarial, EmptyPointListIsRejectedAtTheWorkerBoundary) {
+    // "[]" is valid JSON and a valid (empty) list for the pure API...
+    EXPECT_TRUE(scenario::sweep_points_from_json(json_parse("[]")).empty());
+    EXPECT_TRUE(scenario::sweep_rows_from_json(json_parse("[]")).empty());
+    // ...but a worker handed an empty work order must fail loudly:
+    // scenario::points_from_text is the boundary every worker goes
+    // through.
+    EXPECT_THROW((void)scenario::points_from_text("[]", "pts.json"),
+                 std::invalid_argument);
 }
 
 }  // namespace

@@ -154,6 +154,61 @@ TEST(ScenarioJson, SweepPointListIsAWireFormat) {
     EXPECT_EQ(back, points);  // a remote runner gets the identical work
 }
 
+TEST(ScenarioJson, DynamicResultRoundTrip) {
+    experiment::DynamicResult r;
+    r.total_cycles = 123456.75;
+    r.total_energy_pj = 9.5e8;
+    r.flit_hops = 1234567890123;  // needs 64-bit round-trip
+    r.rounds = 44;
+    r.task_rounds = 131;
+    r.all_completed = false;
+    r.noi_evals = 31;
+    r.round_epoch_hits = 13;
+    r.sim_cycles_stepped = 9876;
+    r.sim_cycles_skipped = 54321;
+    r.sim_horizon_jumps = 17;
+    EXPECT_EQ(round_trip(r, dynamic_result_from_json), r);
+    EXPECT_EQ(round_trip(experiment::DynamicResult{}, dynamic_result_from_json),
+              experiment::DynamicResult{});
+}
+
+TEST(ScenarioJson, SweepRowListIsTheReturnWireFormat) {
+    // The mirror of SweepPointListIsAWireFormat: a worker's finished rows
+    // serialize, cross a process boundary, and come back equal — seconds
+    // included, because doubles round-trip bit-exactly.
+    core::SweepSpec s;
+    s.archs = {experiment::Arch::kKite, experiment::Arch::kFloret};
+    s.mixes = {workload::table2()[1]};
+    s.evals = {experiment::default_eval_config()};
+    std::vector<core::SweepRow> rows;
+    for (const auto& p : s.expand()) {
+        core::SweepRow r;
+        r.point = p;
+        r.result.total_cycles = 1000.5 + static_cast<double>(rows.size());
+        r.result.flit_hops = 7 + static_cast<std::int64_t>(rows.size());
+        r.result.all_completed = rows.empty();
+        r.seconds = 0.25 / (1.0 + static_cast<double>(rows.size()));
+        rows.push_back(std::move(r));
+    }
+    const auto back =
+        sweep_rows_from_json(json_parse(json_serialize(to_json(rows))));
+    EXPECT_EQ(back, rows);
+}
+
+TEST(ScenarioJson, SweepRowRejectsUnknownKeys) {
+    EXPECT_THROW((void)sweep_row_from_json(json_parse(R"({"sekonds": 1.0})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)dynamic_result_from_json(
+                     json_parse(R"({"total_cycle": 1.0})")),
+                 std::invalid_argument);
+    // Partial rows keep defaults, like every other spec type.
+    const core::SweepRow r =
+        sweep_row_from_json(json_parse(R"({"seconds": 2.5})"));
+    EXPECT_EQ(r.point, core::SweepPoint{});
+    EXPECT_EQ(r.result, experiment::DynamicResult{});
+    EXPECT_DOUBLE_EQ(r.seconds, 2.5);
+}
+
 TEST(ScenarioJson, RequestClassAndArrivalsRoundTrip) {
     serve::RequestClass c{"interactive", {"DNN9", "DNN11"}, 0.75, 50'000.0};
     EXPECT_EQ(round_trip(c, request_class_from_json), c);

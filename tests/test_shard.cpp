@@ -1,0 +1,251 @@
+/// Unit pins for the sharded-sweep layer (src/scenario/shard.h): the
+/// deterministic shard planner, the NDJSON worker row protocol, the
+/// worker execution loop (streaming, per-point failure isolation), and
+/// the SweepEngine point-list executor seam. The end-to-end multi-process
+/// differential (1 process vs --shards 2 vs --shards 4) is the
+/// shard_parity ctest (scripts/shard_parity.sh), which exercises the real
+/// popen transport.
+
+#include "src/scenario/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/scenario/spec_json.h"
+#include "src/util/json.h"
+#include "src/workload/tables.h"
+
+namespace floretsim::scenario {
+namespace {
+
+namespace experiment = core::experiment;
+using experiment::Arch;
+
+core::SweepSpec tiny_spec() {
+    core::SweepSpec spec;
+    spec.archs = {Arch::kSiamMesh, Arch::kFloret};
+    spec.grids = {{6, 6}};
+    spec.mixes = {workload::table2().front()};
+    auto cfg = experiment::default_eval_config();
+    cfg.traffic_scale = 1.0 / 512.0;  // keep tests quick
+    spec.evals = {cfg};
+    spec.greedy_max_gap = 2;
+    return spec;
+}
+
+// ------------------------------------------------------------- shard planner
+
+TEST(ShardPlan, PartitionIsDisjointCoveringAndBalanced) {
+    for (const std::int32_t n_shards : {1, 2, 3, 4, 7}) {
+        std::set<std::size_t> seen;
+        std::size_t min_size = 100, max_size = 0;
+        for (std::int32_t s = 0; s < n_shards; ++s) {
+            const auto indices = shard_indices(10, s, n_shards);
+            min_size = std::min(min_size, indices.size());
+            max_size = std::max(max_size, indices.size());
+            for (const auto i : indices) {
+                EXPECT_TRUE(seen.insert(i).second)
+                    << "index " << i << " owned by two shards";
+            }
+        }
+        EXPECT_EQ(seen.size(), 10u) << n_shards << " shards";
+        EXPECT_LE(max_size - min_size, 1u) << n_shards << " shards";
+    }
+}
+
+TEST(ShardPlan, RoundRobinInterleavesArchMajorExpansion) {
+    // Expansion order is arch-major, so a round-robin split must give
+    // every shard points from every architecture (a block split would
+    // not). 2 archs x 1 grid x 1 mix expands to [siam, floret].
+    const auto points = tiny_spec().expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(shard_indices(points.size(), 0, 2), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(shard_indices(points.size(), 1, 2), (std::vector<std::size_t>{1}));
+    // More shards than points: the tail shards are empty, never invalid.
+    EXPECT_TRUE(shard_indices(2, 3, 4).empty());
+}
+
+TEST(ShardPlan, ParseShardArg) {
+    EXPECT_EQ(parse_shard_arg("0/1"), (std::pair<std::int32_t, std::int32_t>{0, 1}));
+    EXPECT_EQ(parse_shard_arg("3/8"), (std::pair<std::int32_t, std::int32_t>{3, 8}));
+    for (const char* bad : {"", "3", "/4", "3/", "4/4", "5/4", "-1/4", "a/b",
+                            "1/0", "1/-2", "1.5/4"})
+        EXPECT_THROW((void)parse_shard_arg(bad), std::invalid_argument) << bad;
+}
+
+TEST(ShardPlan, ClampWorkerThreads) {
+    std::ostringstream err;
+    EXPECT_EQ(clamp_worker_threads(0, 100, err), 0);   // hardware default
+    EXPECT_EQ(clamp_worker_threads(4, 100, err), 4);   // in range
+    EXPECT_TRUE(err.str().empty());
+    EXPECT_EQ(clamp_worker_threads(8, 3, err), 3);     // one thread per point
+    EXPECT_NE(err.str().find("clamping"), std::string::npos);
+    EXPECT_EQ(clamp_worker_threads(100000, 100000, err), kMaxWorkerThreads);
+    EXPECT_THROW((void)clamp_worker_threads(-1, 10, err), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ row protocol
+
+TEST(ShardProtocol, WorkerRowLineRoundTrips) {
+    core::SweepRow row;
+    row.point = tiny_spec().expand().front();
+    row.result.total_cycles = 123456.5;
+    row.result.flit_hops = 99;
+    row.result.all_completed = false;
+    row.seconds = 0.125;
+    const std::string line = worker_row_line(17, row);
+    EXPECT_EQ(line.find('\n'), std::string::npos) << "NDJSON lines are one line";
+    const IndexedRow back = worker_row_from_line(line);
+    EXPECT_EQ(back.index, 17u);
+    EXPECT_EQ(back.row, row);
+}
+
+TEST(ShardProtocol, RowLineRejectsMalformedEnvelopes) {
+    for (const char* bad : {
+             "",                                  // empty
+             "{",                                 // truncated
+             "[1, 2]",                            // not an object
+             "{\"index\": 1}",                    // missing row
+             "{\"row\": {}}",                     // missing index
+             "{\"index\": -1, \"row\": {}}",      // negative index
+             "{\"index\": 1, \"row\": 3}",        // row not an object
+             "{\"index\": 1, \"row\": {}, \"extra\": 0}",  // unknown key
+         })
+        EXPECT_THROW((void)worker_row_from_line(bad), std::invalid_argument) << bad;
+}
+
+TEST(ShardProtocol, PointsFromTextRejectsEmptyAndMalformed) {
+    EXPECT_THROW((void)points_from_text("[]", "t"), std::invalid_argument);
+    EXPECT_THROW((void)points_from_text("", "t"), std::invalid_argument);
+    EXPECT_THROW((void)points_from_text("{}", "t"), std::invalid_argument);
+    EXPECT_THROW((void)points_from_text("[{\"arch\": \"torus\"}]", "t"),
+                 std::invalid_argument);
+    const auto points = points_from_text(
+        util::json_serialize(to_json(tiny_spec().expand())), "t");
+    EXPECT_EQ(points, tiny_spec().expand());
+}
+
+// ------------------------------------------------------------- worker loop
+
+TEST(ShardWorker, StreamsEveryPointOnceBitIdenticalToLocalRun) {
+    const auto points = tiny_spec().expand();
+    core::SweepEngine local(1);
+    const auto expect = local.run(points);
+
+    for (const std::int32_t threads : {1, 3}) {
+        core::SweepEngine engine(threads);
+        std::ostringstream rows_out, err;
+        const std::size_t failed = run_worker_points(
+            engine, points, shard_indices(points.size(), 0, 1), rows_out, err);
+        EXPECT_EQ(failed, 0u);
+        EXPECT_TRUE(err.str().empty()) << err.str();
+
+        std::vector<IndexedRow> rows;
+        std::istringstream lines(rows_out.str());
+        for (std::string line; std::getline(lines, line);)
+            rows.push_back(worker_row_from_line(line));
+        ASSERT_EQ(rows.size(), points.size());
+        std::sort(rows.begin(), rows.end(),
+                  [](const IndexedRow& a, const IndexedRow& b) {
+                      return a.index < b.index;
+                  });
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(rows[i].index, i);
+            EXPECT_EQ(rows[i].row.point, expect.rows[i].point);
+            // The result must be bit-identical across processes and thread
+            // counts; `seconds` is wall-clock and deliberately excluded.
+            EXPECT_EQ(rows[i].row.result, expect.rows[i].result);
+        }
+    }
+}
+
+TEST(ShardWorker, FailingPointReportsItsIndexAndSparesTheRest) {
+    auto points = tiny_spec().expand();
+    // Point 1 carries a mix naming a workload that does not exist; the
+    // evaluation throws, the worker records index 1, and point 0 still
+    // produces its row.
+    points[1].mix.name = "broken";
+    points[1].mix.entries = {{"DNN99-no-such-workload", 1}};
+    core::SweepEngine engine(2);
+    std::ostringstream rows_out, err;
+    const std::size_t failed = run_worker_points(
+        engine, points, shard_indices(points.size(), 0, 1), rows_out, err);
+    EXPECT_EQ(failed, 1u);
+    EXPECT_NE(err.str().find("point 1 failed"), std::string::npos) << err.str();
+
+    std::vector<IndexedRow> rows;
+    std::istringstream lines(rows_out.str());
+    for (std::string line; std::getline(lines, line);)
+        rows.push_back(worker_row_from_line(line));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].index, 0u);
+}
+
+TEST(ShardWorker, RejectsOutOfRangeIndices) {
+    core::SweepEngine engine(1);
+    std::ostringstream rows_out, err;
+    EXPECT_THROW((void)run_worker_points(engine, tiny_spec().expand(), {7},
+                                         rows_out, err),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------- executor seam
+
+TEST(ShardExecutor, EngineRunDispatchesThroughThePointExecutor) {
+    const auto spec = tiny_spec();
+    core::SweepEngine plain(1);
+    const auto expect = plain.run(spec);
+
+    core::SweepEngine engine(1);
+    std::size_t calls = 0;
+    // A stand-in transport: evaluate the handed points on a second engine,
+    // exactly what the fork-N-workers executor does across processes.
+    engine.set_point_executor(
+        [&](const std::vector<core::SweepPoint>& points) {
+            ++calls;
+            core::SweepEngine inner(2);
+            return inner.run(points).rows;
+        });
+    const auto got = engine.run(spec);
+    EXPECT_EQ(calls, 1u);
+    ASSERT_EQ(got.rows.size(), expect.rows.size());
+    for (std::size_t i = 0; i < got.rows.size(); ++i) {
+        EXPECT_EQ(got.rows[i].point, expect.rows[i].point);
+        EXPECT_EQ(got.rows[i].result, expect.rows[i].result);
+    }
+    // The executor never touched the coordinator-side cache.
+    EXPECT_EQ(engine.cache().misses(), 0);
+    // Grid dimensions still index correctly through at().
+    EXPECT_EQ(got.at(1, 0, 0).result, expect.at(1, 0, 0).result);
+}
+
+TEST(ShardExecutor, ShortRowListIsAnError) {
+    core::SweepEngine engine(1);
+    engine.set_point_executor(
+        [](const std::vector<core::SweepPoint>&) {
+            return std::vector<core::SweepRow>{};
+        });
+    EXPECT_THROW((void)engine.run(tiny_spec()), std::runtime_error);
+}
+
+TEST(ShardExecutor, RunShardedValidatesItsOptions) {
+    ShardOptions opt;
+    opt.worker_exe = "";
+    EXPECT_THROW((void)run_sharded(opt, tiny_spec().expand()),
+                 std::invalid_argument);
+    opt.worker_exe = "floretsim_run";
+    opt.n_shards = 0;
+    EXPECT_THROW((void)run_sharded(opt, tiny_spec().expand()),
+                 std::invalid_argument);
+    opt.n_shards = 2;
+    EXPECT_TRUE(run_sharded(opt, {}).empty());  // no points, no workers
+}
+
+}  // namespace
+}  // namespace floretsim::scenario

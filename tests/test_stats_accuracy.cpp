@@ -1,0 +1,105 @@
+/// Accuracy pins for util::P2Quantile against exact sorted quantiles on
+/// deterministic RNG streams. The P² sketch backs the serving layer's
+/// p50/p95/p99 SLA tails, so its error must stay bounded on the
+/// distribution shapes request latencies actually take: uniform (easy),
+/// bimodal (cache hit vs miss), and heavy-tail (queueing under load —
+/// the shape that breaks naive sketches). Everything is seeded, so these
+/// are exact regression pins, not flaky statistical tests; the bounds
+/// have headroom over the observed error but fail on a real regression.
+
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace floretsim::util {
+namespace {
+
+constexpr std::size_t kSamples = 20000;
+
+/// Relative error of the P² estimate against the exact (sorted,
+/// interpolated) quantile of the same stream.
+double p2_rel_error(const std::vector<double>& stream, double q) {
+    P2Quantile sketch(q);
+    for (const double x : stream) sketch.add(x);
+    const double exact = percentile(stream, q);
+    EXPECT_NE(exact, 0.0);
+    return std::abs(sketch.value() - exact) / std::abs(exact);
+}
+
+std::vector<double> uniform_stream(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i) xs.push_back(rng.uniform(1.0, 2.0));
+    return xs;
+}
+
+/// 70% fast mode around 10, 30% slow mode around 100 — a resident-set
+/// cache hit vs a full NoI re-evaluation.
+std::vector<double> bimodal_stream(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i)
+        xs.push_back(rng.chance(0.3) ? rng.normal(100.0, 5.0)
+                                     : rng.normal(10.0, 1.0));
+    return xs;
+}
+
+/// Pareto(alpha = 1.5): finite mean, infinite variance — queueing-tail
+/// shaped. x = (1 - u)^(-1/alpha) >= 1.
+std::vector<double> heavy_tail_stream(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(kSamples);
+    for (std::size_t i = 0; i < kSamples; ++i)
+        xs.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.5));
+    return xs;
+}
+
+TEST(P2Accuracy, UniformStream) {
+    const auto xs = uniform_stream(7);
+    EXPECT_LT(p2_rel_error(xs, 0.50), 0.01);
+    EXPECT_LT(p2_rel_error(xs, 0.95), 0.01);
+    EXPECT_LT(p2_rel_error(xs, 0.99), 0.01);
+}
+
+TEST(P2Accuracy, BimodalStream) {
+    const auto xs = bimodal_stream(21);
+    // p50 sits inside the fast mode, p95/p99 inside the slow mode; the
+    // sketch must not blend the modes.
+    EXPECT_LT(p2_rel_error(xs, 0.50), 0.05);
+    EXPECT_LT(p2_rel_error(xs, 0.95), 0.02);
+    EXPECT_LT(p2_rel_error(xs, 0.99), 0.02);
+}
+
+TEST(P2Accuracy, HeavyTailStream) {
+    const auto xs = heavy_tail_stream(35);
+    EXPECT_LT(p2_rel_error(xs, 0.50), 0.02);
+    EXPECT_LT(p2_rel_error(xs, 0.95), 0.08);
+    // The extreme tail of an infinite-variance stream is the hardest
+    // case; the marker interpolation stays within ~10%.
+    EXPECT_LT(p2_rel_error(xs, 0.99), 0.10);
+}
+
+TEST(P2Accuracy, ExactWhileFewerThanFiveSamples) {
+    P2Quantile p50(0.5);
+    for (const double x : {5.0, 1.0, 3.0}) p50.add(x);
+    EXPECT_DOUBLE_EQ(p50.value(), percentile({5.0, 1.0, 3.0}, 0.5));
+}
+
+TEST(P2Accuracy, SeedsGiveIndependentStreamsSameBounds) {
+    // The bounds are not tuned to one lucky seed.
+    for (const std::uint64_t seed : {101, 202, 303}) {
+        EXPECT_LT(p2_rel_error(uniform_stream(seed), 0.99), 0.01) << seed;
+        EXPECT_LT(p2_rel_error(heavy_tail_stream(seed), 0.95), 0.10) << seed;
+    }
+}
+
+}  // namespace
+}  // namespace floretsim::util

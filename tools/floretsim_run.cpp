@@ -10,21 +10,33 @@
 ///   floretsim_run                          # every registered scenario
 ///   floretsim_run --only fig3,fig5        # a subset, shared cache
 ///   floretsim_run --spec my_scenario.json  # a serialized spec from disk
-///   floretsim_run --only fig3 --set grid=12x12 --set archs=floret,kite \
-///                 --set traffic_scale=1/128 --threads 8 --json out.json
+///   floretsim_run --only fig3 --set grid=12x12 --set traffic_scale=1/128
+///   floretsim_run --only fig5 --set archs=floret,kite --threads 8 --json o.json
+///
+/// Sharded sweeps (see src/scenario/shard.h for the wire contract):
+///
+///   floretsim_run --only fig3,fig5,table2 --shards 4   # coordinator:
+///       forks 4 worker subprocesses per sweep, merges their row streams
+///       back into point order — reports bit-identical to 1 process
+///   floretsim_run --worker --points pts.json --shard 1/4   # one worker:
+///       evaluates its slice of the point list, streams NDJSON rows to
+///       stdout (or --rows-out FILE) as they finish
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/sweep.h"
 #include "src/scenario/registry.h"
+#include "src/scenario/shard.h"
 #include "src/util/json.h"
 
 namespace {
@@ -40,6 +52,11 @@ struct DriverOptions {
     std::uint64_t seed = 0;
     bool has_seed = false;
     std::string json_path;
+    std::int32_t shards = 0;    ///< --shards N (coordinator); 0 = in-process.
+    bool worker = false;        ///< --worker (row-streaming worker mode).
+    std::string points_file;    ///< --points FILE (worker work order).
+    std::string rows_out;       ///< --rows-out FILE (default: stdout).
+    std::string shard_arg;      ///< --shard i/N (worker slice selector).
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& msg) {
@@ -47,9 +64,11 @@ struct DriverOptions {
                  "%s: %s\n"
                  "usage: %s [--list] [--only A,B,...] [--spec FILE]... \n"
                  "       [--set KEY=VALUE]... [--threads N] [--seed N] "
-                 "[--json PATH]\n"
+                 "[--json PATH] [--shards N]\n"
+                 "       %s --worker --points FILE [--rows-out FILE] "
+                 "[--shard i/N] [--threads N]\n"
                  "override keys: %s\n",
-                 argv0, msg.c_str(), argv0,
+                 argv0, msg.c_str(), argv0, argv0,
                  scenario::override_keys_help().c_str());
     std::exit(2);
 }
@@ -91,6 +110,21 @@ DriverOptions parse(int argc, char** argv) {
             opt.has_seed = true;
         } else if (arg == "--json") {
             opt.json_path = need_value(i++, "--json");
+        } else if (arg == "--shards") {
+            const std::string_view value = need_value(i++, "--shards");
+            const auto [p, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), opt.shards);
+            if (ec != std::errc() || p != value.data() + value.size() ||
+                opt.shards < 1)
+                usage(argv[0], "--shards expects an integer >= 1");
+        } else if (arg == "--worker") {
+            opt.worker = true;
+        } else if (arg == "--points") {
+            opt.points_file = need_value(i++, "--points");
+        } else if (arg == "--rows-out") {
+            opt.rows_out = need_value(i++, "--rows-out");
+        } else if (arg == "--shard") {
+            opt.shard_arg = need_value(i++, "--shard");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], "help");
         } else {
@@ -100,10 +134,74 @@ DriverOptions parse(int argc, char** argv) {
     return opt;
 }
 
+/// Worker mode: consume a serialized SweepPoint list (optionally one
+/// --shard i/N slice of it), evaluate on a local SweepEngine, and stream
+/// one NDJSON row per finished point. Rows go to stdout (or --rows-out),
+/// everything human-readable goes to stderr, and any failing point makes
+/// the exit code nonzero with its index on stderr — the coordinator's
+/// contract for reporting which shard died.
+int run_worker(const DriverOptions& opt, const char* argv0) {
+    if (opt.list || !opt.only.empty() || !opt.spec_files.empty() ||
+        !opt.sets.empty() || opt.shards > 0 || !opt.json_path.empty() ||
+        opt.has_seed)
+        usage(argv0,
+              "--worker only takes --points, --rows-out, --shard, --threads");
+    if (opt.points_file.empty()) usage(argv0, "--worker needs --points FILE");
+    try {
+        std::ifstream f(opt.points_file);
+        if (!f)
+            throw std::runtime_error("cannot read points file " + opt.points_file);
+        std::ostringstream buf;
+        buf << f.rdbuf();
+
+        const auto points =
+            scenario::points_from_text(buf.str(), opt.points_file);
+        auto [shard, n_shards] = std::pair<std::int32_t, std::int32_t>{0, 1};
+        if (!opt.shard_arg.empty())
+            std::tie(shard, n_shards) = scenario::parse_shard_arg(opt.shard_arg);
+        const auto indices =
+            scenario::shard_indices(points.size(), shard, n_shards);
+
+        const std::int32_t threads =
+            scenario::clamp_worker_threads(opt.threads, indices.size(), std::cerr);
+        core::SweepEngine engine(threads);
+
+        std::ofstream rows_file;
+        std::ostream* rows = &std::cout;
+        if (!opt.rows_out.empty()) {
+            rows_file.open(opt.rows_out);
+            if (!rows_file)
+                throw std::runtime_error("cannot write rows to " + opt.rows_out);
+            rows = &rows_file;
+        }
+        const std::size_t failed =
+            scenario::run_worker_points(engine, points, indices, *rows, std::cerr);
+        rows->flush();
+        if (!*rows)
+            throw std::runtime_error(
+                "error writing rows to " +
+                (opt.rows_out.empty() ? std::string("stdout") : opt.rows_out) +
+                " — the row stream is truncated");
+        if (failed) {
+            std::fprintf(stderr, "worker: %zu of %zu points failed (shard %d/%d)\n",
+                         failed, indices.size(), shard, n_shards);
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+        return 2;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const DriverOptions opt = parse(argc, argv);
+    if (opt.worker) return run_worker(opt, argv[0]);
+    if (!opt.points_file.empty() || !opt.rows_out.empty() ||
+        !opt.shard_arg.empty())
+        usage(argv[0], "--points/--rows-out/--shard require --worker");
     const auto& registry = scenario::Registry::builtin();
 
     if (opt.list) {
@@ -168,6 +266,21 @@ int main(int argc, char** argv) {
     // fabric cache — the reason fig3+fig5 no longer rebuild identical
     // sweep fabrics.
     core::SweepEngine engine(opt.threads);
+    if (opt.shards > 0) {
+        // Coordinator mode: every spec-driven sweep a report function runs
+        // is forked across N worker subprocesses of this same binary and
+        // the row streams are merged back into point order. The report
+        // functions are unchanged — bit-identical output is the contract
+        // (pinned by the shard_parity ctest). map()-based work (fig4,
+        // serving replications) stays in this process.
+        scenario::ShardOptions shard_opt;
+        shard_opt.worker_exe = scenario::self_exe_path(argv[0]);
+        shard_opt.n_shards = opt.shards;
+        // SweepEngine treats any --threads <= 0 as "hardware"; workers
+        // reject negatives, so normalize before forwarding.
+        shard_opt.threads_per_worker = std::max<std::int32_t>(opt.threads, 0);
+        scenario::install_shard_executor(engine, shard_opt);
+    }
     scenario::RunContext ctx{engine, std::cout};
 
     util::Json scenario_reports = util::Json::object();
@@ -205,6 +318,7 @@ int main(int argc, char** argv) {
     util::Json doc = util::Json::object();
     util::Json driver = util::Json::object();
     driver.set("threads", engine.thread_count());
+    driver.set("shards", opt.shards);
     driver.set("scenarios_run",
                static_cast<std::int64_t>(selected.size()) - failures);
     driver.set("scenarios_failed", static_cast<std::int64_t>(failures));
