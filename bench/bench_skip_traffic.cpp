@@ -1,18 +1,72 @@
 /// Section II claim: in ResNet34 the linear (consecutive-layer)
 /// activations are ~4.5x the skip-connection activations, i.e. skips are
 /// ~19% of the total traffic of a single pass. Reports the breakdown for
-/// every residual/dense model in Table I — then drains the skip-heaviest
-/// model's mapped traffic through the wormhole simulator twice, once per
-/// SimCore, as a reference-vs-event-horizon A/B: identical drain, far
-/// fewer executed cycles.
+/// every residual/dense model in Table I — then runs two simulator-core
+/// A/Bs across reference, event-horizon and regional:
+///
+///   1. the skip-heaviest model's mapped traffic drained through the
+///      Floret fabric (the paper's workload, mixed traffic everywhere);
+///   2. a saturated corner drain — a handful of sources flooding one sink
+///      while the rest of a 10x10 mesh sits idle. Every cycle moves a flit
+///      somewhere near the sink, so the global quiet proof never fires and
+///      the event-horizon core degenerates to cycle stepping; the regional
+///      core keeps the hot tile stepping and leaps everyone else.
+///
+/// Results must agree bit-for-bit across cores (checked in-binary; nonzero
+/// exit on disagreement) — only the engine-work statistics may differ.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 
 #include "bench/common.h"
 #include "src/dnn/model_zoo.h"
+#include "src/noc/routing.h"
+#include "src/noc/simulator.h"
+#include "src/topo/mesh.h"
+
+namespace {
+using namespace floretsim;
+
+constexpr noc::SimCore kCores[] = {noc::SimCore::kReference,
+                                   noc::SimCore::kEventHorizon,
+                                   noc::SimCore::kRegional};
+
+/// FNV-1a over the semantic SimResult fields (everything the differential
+/// contract covers; engine-work statistics excluded), folded to 32 bits so
+/// it survives the JSON round trip as an exact double.
+std::uint32_t result_hash(const noc::SimResult& r) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    const auto mixd = [&mix](double d) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, &d, sizeof v);
+        mix(v);
+    };
+    mix(static_cast<std::uint64_t>(r.cycles));
+    mix(static_cast<std::uint64_t>(r.packets));
+    mix(static_cast<std::uint64_t>(r.flits));
+    mix(static_cast<std::uint64_t>(r.flit_hops));
+    mix(r.completed ? 1 : 0);
+    mix(static_cast<std::uint64_t>(r.packet_latency.count()));
+    mixd(r.packet_latency.mean());
+    mixd(r.packet_latency.variance());
+    mixd(r.packet_latency.min());
+    mixd(r.packet_latency.max());
+    for (const auto v : r.router_flits) mix(static_cast<std::uint64_t>(v));
+    for (const auto v : r.link_flits) mix(static_cast<std::uint64_t>(v));
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace floretsim;
@@ -49,22 +103,24 @@ int main(int argc, char** argv) {
     bench::JsonReport report("skip_traffic");
     report.add_table("skip_traffic", t);
 
-    // --- Simulator-core A/B on this traffic: DNN2 (ResNet34/ImageNet, the
-    // paper's headline residual workload) mapped onto the Floret fabric and
-    // drained through the wormhole simulator with the reference cycle loop
-    // vs. the credit-aware event-horizon core. The SimResult is
-    // bit-identical by construction (the differential suite enforces it);
-    // what differs is how many cycles each core actually executed.
-    std::cout << "\n=== Wormhole drain: reference vs event-horizon core ===\n\n";
     if (const char* forced = std::getenv("FLORETSIM_SIM_CORE");
         forced != nullptr && *forced != '\0') {
-        // The override wins over per-run configs, so both rows below run
-        // the same core and the A/B is vacuous — say so instead of
+        // The override wins over per-run configs, so every row below runs
+        // the same core and the A/Bs are vacuous — say so instead of
         // reporting mislabeled numbers.
-        std::cout << "note: FLORETSIM_SIM_CORE=" << forced
-                  << " overrides both rows; this A/B compares the forced "
-                     "core against itself.\n\n";
+        std::cout << "\nnote: FLORETSIM_SIM_CORE=" << forced
+                  << " overrides every row; these A/Bs compare the forced "
+                     "core against itself.\n";
     }
+
+    bool all_agree = true;
+
+    // --- A/B 1: DNN2 (ResNet34/ImageNet, the paper's headline residual
+    // workload) mapped onto the Floret fabric and drained through the
+    // wormhole simulator, once per core. The SimResult is bit-identical by
+    // construction (the differential suite enforces it); what differs is
+    // how many cycles each core actually executed.
+    std::cout << "\n=== Wormhole drain: mapped DNN2 on Floret, per core ===\n\n";
     auto arch = bench::build_arch(bench::Arch::kFloret, 10, 10);
     std::vector<std::unique_ptr<dnn::Network>> owner;
     const std::vector<std::string> ids{"DNN2"};
@@ -72,11 +128,10 @@ int main(int argc, char** argv) {
     const auto mapped = arch.mapper->map_queue(tasks, nullptr);
     core::EvalConfig eval = bench::default_eval_config();
 
-    util::TextTable sim_t({"Core", "Drain (kcyc)", "Stepped", "Skipped",
-                           "Jumps", "Wall (ms)"});
-    double drain_ref = 0.0, drain_eh = 0.0;
-    for (const auto core_kind :
-         {noc::SimCore::kReference, noc::SimCore::kEventHorizon}) {
+    util::TextTable sim_t({"Core", "Drain (kcyc)", "Stepped", "Skipped", "Jumps",
+                           "Rg skipped", "Wall (ms)"});
+    double mapped_cycles_ref = -1.0;
+    for (const auto core_kind : kCores) {
         eval.sim.core = core_kind;
         const auto t0 = std::chrono::steady_clock::now();
         const auto r =
@@ -89,6 +144,7 @@ int main(int argc, char** argv) {
                        std::to_string(r.sim_cycles_stepped),
                        std::to_string(r.sim_cycles_skipped),
                        std::to_string(r.sim_horizon_jumps),
+                       std::to_string(r.sim_region_cycles_skipped),
                        util::TextTable::fmt(ms, 2)});
         report.add_metric(prefix + "_drain_cycles", r.latency_cycles);
         report.add_metric(prefix + "_cycles_stepped",
@@ -97,16 +153,94 @@ int main(int argc, char** argv) {
                           static_cast<double>(r.sim_cycles_skipped));
         report.add_metric(prefix + "_horizon_jumps",
                           static_cast<double>(r.sim_horizon_jumps));
-        (core_kind == noc::SimCore::kReference ? drain_ref : drain_eh) =
-            r.latency_cycles;
+        report.add_metric(prefix + "_region_cycles_skipped",
+                          static_cast<double>(r.sim_region_cycles_skipped));
+        report.add_metric(prefix + "_wall_seconds", ms / 1e3);
+        if (core_kind == noc::SimCore::kReference)
+            mapped_cycles_ref = r.latency_cycles;
+        else if (r.latency_cycles != mapped_cycles_ref)
+            all_agree = false;
     }
     sim_t.print(std::cout);
-    std::cout << (drain_ref == drain_eh
-                      ? "\nDrain cycles agree across cores.\n"
-                      : "\nERROR: cores disagree on the drain makespan!\n");
     report.add_table("sim_core_ab", sim_t);
-    report.add_metric("cores_agree", drain_ref == drain_eh ? 1.0 : 0.0);
+
+    // --- A/B 2: saturated corner drain. Five sources flood node 0 of a
+    // 10x10 mesh with 64 KiB each while the other 94 nodes are silent. The
+    // sink ejects every cycle, so the fabric is never globally quiet: the
+    // event-horizon core must cycle-step essentially the whole drain. The
+    // regional core's hot tile steps every cycle too — but the idle tiles
+    // prove local fixed points and leap, which is the entire point of
+    // per-region clocks.
+    std::cout << "\n=== Wormhole drain: saturated corner sink, per core ===\n\n";
+    const auto mesh = topo::make_mesh(10, 10);
+    const auto mesh_rt =
+        noc::RouteTable::build(mesh, noc::RoutingPolicy::kShortestPath);
+    noc::SimConfig drain_cfg;
+    drain_cfg.injection_rate = 8.0;  // saturating: packets queue at sources
+    drain_cfg.input_buffer_flits = 2;
+    drain_cfg.max_cycles = 2'000'000;
+    std::vector<noc::Demand> drain_demands;
+    for (const topo::NodeId src : {1, 2, 10, 11, 20})
+        drain_demands.push_back({src, 0, 64 * 1024});
+
+    util::TextTable drain_t({"Core", "Drain (kcyc)", "Stepped", "Skipped",
+                             "Jumps", "Rg stepped", "Rg skipped", "Rg jumps",
+                             "Hash", "Wall (ms)"});
+    noc::SimResult drain_ref;
+    for (const auto core_kind : kCores) {
+        noc::SimConfig cfg = drain_cfg;
+        cfg.core = core_kind;
+        noc::Simulator sim(mesh, mesh_rt, cfg);
+        sim.add_demands(drain_demands);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = sim.run();
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        const std::uint32_t hash = result_hash(r);
+        const std::string prefix =
+            std::string("drain_") + noc::sim_core_name(core_kind);
+        drain_t.add_row(
+            {noc::sim_core_name(core_kind),
+             util::TextTable::fmt(r.cycles / 1e3, 1),
+             std::to_string(r.cycles_stepped), std::to_string(r.cycles_skipped),
+             std::to_string(r.horizon_jumps),
+             std::to_string(r.region_cycles_stepped),
+             std::to_string(r.region_cycles_skipped),
+             std::to_string(r.region_horizon_jumps),
+             util::TextTable::fmt(static_cast<double>(hash), 0),
+             util::TextTable::fmt(ms, 2)});
+        report.add_metric(prefix + "_cycles", static_cast<double>(r.cycles));
+        report.add_metric(prefix + "_cycles_stepped",
+                          static_cast<double>(r.cycles_stepped));
+        report.add_metric(prefix + "_cycles_skipped",
+                          static_cast<double>(r.cycles_skipped));
+        report.add_metric(prefix + "_horizon_jumps",
+                          static_cast<double>(r.horizon_jumps));
+        report.add_metric(prefix + "_regions", static_cast<double>(r.regions));
+        report.add_metric(prefix + "_region_cycles_stepped",
+                          static_cast<double>(r.region_cycles_stepped));
+        report.add_metric(prefix + "_region_cycles_skipped",
+                          static_cast<double>(r.region_cycles_skipped));
+        report.add_metric(prefix + "_region_horizon_jumps",
+                          static_cast<double>(r.region_horizon_jumps));
+        report.add_metric(prefix + "_region_stepped_max",
+                          static_cast<double>(r.region_stepped_max));
+        report.add_metric(prefix + "_region_stepped_min",
+                          static_cast<double>(r.region_stepped_min));
+        report.add_metric(prefix + "_result_hash", static_cast<double>(hash));
+        report.add_metric(prefix + "_wall_seconds", ms / 1e3);
+        if (core_kind == noc::SimCore::kReference)
+            drain_ref = r;
+        else if (result_hash(drain_ref) != hash)
+            all_agree = false;
+    }
+    drain_t.print(std::cout);
+    std::cout << (all_agree ? "\nAll cores agree on every drain result.\n"
+                            : "\nERROR: cores disagree on a drain result!\n");
+    report.add_table("drain_core_ab", drain_t);
+    report.add_metric("cores_agree", all_agree ? 1.0 : 0.0);
 
     report.write(opt.json_path);
-    return drain_ref == drain_eh ? 0 : 1;
+    return all_agree ? 0 : 1;
 }

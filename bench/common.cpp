@@ -7,13 +7,16 @@
 #include <iostream>
 #include <string_view>
 
+#include "src/noc/simulator.h"
+
 namespace floretsim::bench {
 namespace {
 
 [[noreturn]] void usage_error(const char* argv0, const std::string& msg) {
     std::fprintf(stderr,
                  "%s: %s\nusage: %s [--threads N] [--json PATH] [--serial] "
-                 "[--seed N] [args...]\n",
+                 "[--seed N] [--core reference|event-horizon|regional] "
+                 "[args...]\n",
                  argv0, msg.c_str(), argv0);
     std::exit(2);
 }
@@ -46,6 +49,17 @@ Options Options::parse(int argc, char** argv) {
                 usage_error(argv[0], "--seed expects a non-negative integer");
             opt.seed = seed;
             opt.has_seed = true;
+        } else if (arg == "--core") {
+            if (i + 1 >= argc) usage_error(argv[0], "--core needs a name");
+            const std::string value = argv[++i];
+            if (!noc::sim_core_from_name(value))
+                usage_error(argv[0], "--core expects reference, event-horizon "
+                                     "or regional, got " + value);
+            // The process-wide env override is the one switch every
+            // simulation (and every forked shard worker) already honors;
+            // the CLI just sets it before the first Simulator is built.
+            setenv("FLORETSIM_SIM_CORE", value.c_str(), 1);
+            opt.core = value;
         } else if (arg == "--serial") {
             opt.serial = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -12,6 +12,10 @@
 ///   --serial        run the pre-engine serial path (benches that have one)
 ///   --seed N        override the bench's built-in experiment seed, so
 ///                   stochastic benches (scheduler, serving) are replayable
+///   --core NAME     select the simulator core (reference | event-horizon |
+///                   regional) for every simulation of the run; implemented
+///                   by setting FLORETSIM_SIM_CORE before first use, so it
+///                   also reaches forked shard workers
 ///
 /// Remaining non-flag arguments stay positional (each bench documents its
 /// own); unrecognized --flags are a usage error so typos cannot silently
@@ -49,6 +53,7 @@ struct Options {
     bool serial = false;       ///< Use the pre-engine serial path.
     std::uint64_t seed = 0;    ///< Only meaningful when has_seed.
     bool has_seed = false;     ///< --seed was given on the command line.
+    std::string core;          ///< --core name; empty = config/env default.
     std::vector<std::string> positional;
 
     /// The CLI seed when given, the bench's own default otherwise.

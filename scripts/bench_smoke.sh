@@ -4,8 +4,10 @@
 # in rarely-run benches (and the JSON emitter) without paying for
 # full-size sweeps in CI.
 #
-# Both simulator cores are exercised end to end (the event-horizon
-# default and the reference cycle loop, via FLORETSIM_SIM_CORE). The
+# All three simulator cores are exercised end to end (the event-horizon
+# default, the reference cycle loop, and the per-region-clock regional
+# core — via FLORETSIM_SIM_CORE for the bench binaries and the --core
+# flag for the driver, so the flag path itself is smoke-tested). The
 # figure benches that live in the scenario registry (fig3/fig4/fig5/
 # table2/serving) are covered by ONE floretsim_run invocation per core:
 # one process, one shared SweepEngine/fabric cache, so the registered
@@ -59,17 +61,20 @@ smoke_one() {  # smoke_one <label> <log/json stem> <cmd...>
     ran=$((ran + 1))
 }
 
-for core in event-horizon reference; do
+for core in event-horizon reference regional; do
     export FLORETSIM_SIM_CORE=$core
 
-    # Registered scenarios: one driver run. Tiny sizes: the serving grid
-    # drops to 24 requests x 1 replication (the sweep scenarios are
-    # already CI-sized). Sweep-only --set keys would error here ("applies
-    # to none") if the serving scenario ever left the registry, which is
-    # exactly the alarm we want.
+    # Registered scenarios: one driver run, selecting the core with the
+    # --core flag (redundant with the export, which keeps the smoke of the
+    # flag-parsing path honest: both spell the same core). Tiny sizes: the
+    # serving grid drops to 24 requests x 1 replication (the sweep
+    # scenarios are already CI-sized). Sweep-only --set keys would error
+    # here ("applies to none") if the serving scenario ever left the
+    # registry, which is exactly the alarm we want.
     smoke_one "floretsim_run ($core: fig3 fig4 fig5 table2 serving)" \
         "floretsim_run.$core" \
-        "$driver" --threads 2 --set max_requests=24 --set replications=1
+        "$driver" --threads 2 --core "$core" \
+        --set max_requests=24 --set replications=1
 
     # Unregistered benches: the per-binary loop. bench_micro_kernels is
     # google-benchmark-driven and has no --json contract, so it is skipped.
@@ -88,5 +93,40 @@ if [ "$ran" -eq 0 ]; then
     echo "bench_smoke: nothing ran in $build_dir" >&2
     exit 2
 fi
+
+# Perf smoke: bench_skip_traffic with no forced core runs its in-binary
+# 3-core drain A/B. On the saturated corner drain the regional core must
+# (a) produce the exact SimResult the reference core produced — same
+# 32-bit fold of every semantic field — and (b) put cold regions to
+# sleep: per-region skipped cycles strictly positive, where the global
+# event-horizon core proves almost nothing (the fabric is never globally
+# quiet). A regression in either direction fails CI here.
+unset FLORETSIM_SIM_CORE
+perf_json="$out_dir/skip_traffic.perf.json"
+if "$build_dir/bench_skip_traffic" --threads 2 --json "$perf_json" \
+        > "$out_dir/skip_traffic.perf.log" 2>&1 \
+   && python3 - "$perf_json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+assert m["cores_agree"] == 1.0, "simulator cores disagree on a drain result"
+assert m["drain_regional_result_hash"] == m["drain_reference_result_hash"], (
+    "regional drain SimResult hash differs from reference")
+assert m["drain_regional_region_cycles_skipped"] > 0, (
+    "regional core put no region to sleep on the saturated drain")
+assert m["drain_regional_region_cycles_skipped"] > \
+    m["drain_event-horizon_cycles_skipped"], (
+    "regional skipping is not a strict superset of the global core's")
+print("perf smoke ok: regional drain bit-identical and "
+      f"{int(m['drain_regional_region_cycles_skipped'])} region-cycles slept")
+EOF
+then
+    echo "ok   bench_skip_traffic (perf smoke: regional drain)"
+    ran=$((ran + 1))
+else
+    echo "FAIL bench_skip_traffic perf smoke" >&2
+    tail -20 "$out_dir/skip_traffic.perf.log" >&2
+    fail=1
+fi
+
 echo "bench_smoke: $ran smoke runs ok"
 exit $fail

@@ -25,17 +25,21 @@ doc = json.load(open(sys.argv[1]))
 
 assert set(doc) == {"driver", "scenarios"}, f"top-level keys: {set(doc)}"
 
-DRIVER_KEYS = {"threads", "shards", "scenarios_run", "scenarios_failed",
-               "wall_seconds", "fabric_cache_hits", "fabric_cache_misses"}
+DRIVER_KEYS = {"threads", "shards", "sim_core", "scenarios_run",
+               "scenarios_failed", "wall_seconds", "fabric_cache_hits",
+               "fabric_cache_misses"}
 assert set(doc["driver"]) == DRIVER_KEYS, (
     f"driver keys: {sorted(set(doc['driver']) ^ DRIVER_KEYS)} changed")
 assert doc["driver"]["scenarios_run"] == 1
 assert doc["driver"]["scenarios_failed"] == 0
+assert doc["driver"]["sim_core"] in {"reference", "event-horizon", "regional"}
 
 assert set(doc["scenarios"]) == {"fig3"}
 fig3 = doc["scenarios"]["fig3"]
-assert set(fig3) == {"bench", "metrics", "tables"}, f"fig3 keys: {set(fig3)}"
+assert set(fig3) == {"bench", "sim_core", "metrics", "tables"}, (
+    f"fig3 keys: {set(fig3)}")
 assert fig3["bench"] == "fig3_latency"
+assert fig3["sim_core"] in {"reference", "event-horizon", "regional"}
 
 METRIC_KEYS = {"sweep_wall_seconds", "sweep_threads",
                "point_seconds_min", "point_seconds_mean", "point_seconds_max",

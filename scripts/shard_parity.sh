@@ -15,10 +15,15 @@
 # spec-driven sweeps (fig3/fig5/table2: distributed) AND map()-driven
 # scenarios (fig4/serving: coordinator-local) in the same document.
 #
-#   usage: scripts/shard_parity.sh <floretsim_run>
+#   usage: scripts/shard_parity.sh <floretsim_run> [extra driver args...]
+#
+# Extra arguments (e.g. --core regional) are passed through to every
+# driver invocation, so the parity contract can be pinned per simulator
+# core.
 set -eu
 
 driver=$1
+shift
 
 out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
@@ -27,13 +32,13 @@ common="--set grid=8x8 --set traffic_scale=1/128 \
         --set max_requests=16 --set replications=1"
 
 # shellcheck disable=SC2086
-"$driver" $common --threads 2             --json "$out_dir/p1.json" \
+"$driver" $common --threads 2             "$@" --json "$out_dir/p1.json" \
     > "$out_dir/p1.log"
 # shellcheck disable=SC2086
-"$driver" $common --threads 1 --shards 2  --json "$out_dir/s2.json" \
+"$driver" $common --threads 1 --shards 2  "$@" --json "$out_dir/s2.json" \
     > "$out_dir/s2.log"
 # shellcheck disable=SC2086
-"$driver" $common --threads 3 --shards 4  --json "$out_dir/s4.json" \
+"$driver" $common --threads 3 --shards 4  "$@" --json "$out_dir/s4.json" \
     > "$out_dir/s4.log"
 
 python3 - "$out_dir/p1.json" "$out_dir/s2.json" "$out_dir/s4.json" <<'EOF'

@@ -49,56 +49,89 @@ struct Channel {
     std::deque<Flit> fifo;                           ///< Downstream input buffer.
 };
 
+/// One locality unit of the regional core: a set of routers, the channels
+/// whose FIFOs they host (in_ch), the channels they allocate (out_ch), and
+/// an independent local clock. The single-clock cores are the one-region
+/// special case — one region spanning the fabric makes the merged phase
+/// loops below degenerate to the legacy whole-network iteration order.
+struct Region {
+    std::vector<std::int32_t> nodes;   ///< Member routers, ascending.
+    std::vector<std::int32_t> in_ch;   ///< Channels with `to` here, ascending.
+    std::vector<std::int32_t> out_ch;  ///< Channels with `from` here, ascending.
+    std::int64_t next = 0;     ///< Earliest cycle this region must execute.
+    std::int64_t stepped = 0;  ///< Cycles this region participated in.
+    std::int64_t jumps = 0;    ///< Sleep transitions skipping >= 1 cycle.
+};
+
 /// Head-flit request table entries: what a source FIFO's head flit asks of
 /// the switch this cycle. Non-negative values are output channel indices.
 constexpr std::int32_t kRequestNone = -2;   ///< Source FIFO is empty.
 constexpr std::int32_t kRequestEject = -1;  ///< Head flit is at its destination.
 
-/// Process-wide core override, parsed once: lets CI (and ad-hoc debugging)
-/// force every simulation onto one engine without touching configs.
+/// Process-wide core override, parsed once: lets CI, the --core CLI flags
+/// (which set the variable before first use) and ad-hoc debugging force
+/// every simulation onto one engine without touching configs.
 std::optional<SimCore> core_env_override() {
     static const std::optional<SimCore> parsed = []() -> std::optional<SimCore> {
         const char* s = std::getenv("FLORETSIM_SIM_CORE");
         if (s == nullptr || *s == '\0') return std::nullopt;
-        const std::string_view sv(s);
-        if (sv == "reference") return SimCore::kReference;
-        if (sv == "event-horizon" || sv == "event_horizon")
-            return SimCore::kEventHorizon;
-        std::fprintf(stderr,
-                     "floretsim: ignoring unknown FLORETSIM_SIM_CORE='%s' "
-                     "(expected 'reference' or 'event-horizon')\n",
-                     s);
-        return std::nullopt;
+        const auto core = sim_core_from_name(s);
+        if (!core) {
+            std::fprintf(stderr,
+                         "floretsim: ignoring unknown FLORETSIM_SIM_CORE='%s' "
+                         "(expected 'reference', 'event-horizon' or 'regional')\n",
+                         s);
+        }
+        return core;
     }();
     return parsed;
 }
 
-/// One simulation run, restructured from the former monolithic loop into an
-/// explicit per-router/per-channel state model:
-///   - per-cycle phases (inject, deliver, eject, allocate) in step();
-///   - a head-flit request table rebuilt each stepped cycle, shared by the
-///     switch allocator and the event-horizon no-op proof;
-///   - a lazy next-event query over link-pipe fronts and injection
-///     schedules, paid only when a jump is attempted.
+/// One simulation run, structured around regions with independent local
+/// clocks (`Region::next` = the earliest cycle the region must execute).
+/// Per global cycle the engine runs the reference phases — inject, deliver,
+/// eject, allocate — but only over *awake* regions (next <= now); when no
+/// region is due, the global clock jumps to the earliest regional wake-up.
 ///
-/// The event-horizon core exploits one theorem about this model: if a
-/// stepped cycle ejects nothing and allocates nothing, the network state is
-/// a fixed point — credits, locks, round-robin pointers and every FIFO are
-/// unchanged, because all of them mutate only through ejection or
-/// allocation. The only exogenous events are link-pipe arrivals and source
-/// injections, so every cycle before the earliest of those is provably a
-/// no-op and time can jump straight to it. Credit returns need no separate
-/// horizon term: a credit is returned exactly when a downstream ejection or
-/// allocation fires, which the fixed point has ruled out until new flits
-/// land. verify_quiet() cross-checks the fixed point against the request
-/// table in debug builds: every waiting head flit must be blocked on a
-/// zero-credit output or on a wormhole lock owned by another packet.
+/// Bit-identicality with the reference loop rests on two ordering rules and
+/// one fixed-point theorem:
+///
+///   - Ejection and allocation iterate the awake regions' channel lists
+///     merged in ascending global channel index — the reference core's
+///     exact order. Ejection order fixes the floating-point accumulation
+///     order of packet_latency; allocation order fixes the same-cycle
+///     credit/drain coupling between channels of one cycle.
+///
+///   - The PR-3 fixed point, localized: a cycle in which a region ejected
+///     nothing, allocated nothing, and received no credit from another
+///     region leaves its credits, locks, round-robin pointers and FIFOs
+///     unchanged — all of them mutate only through the region's own
+///     ejection/allocation or a cross-region credit return. Its next
+///     possible change is its earliest local pipe arrival or injection, so
+///     its clock jumps there. verify_quiet() cross-checks the local proof
+///     in debug builds: every waiting head flit in the region must be
+///     blocked on a zero-credit output or a foreign wormhole lock.
+///
+///   - Cross-region events wake sleepers exactly when the reference core
+///     would let them act. A flit allocated onto a cut channel bounds the
+///     destination region's clock by its arrival cycle (lookahead = the
+///     channel delay >= 1). A credit returned to a sleeping region's
+///     output channel has *zero* lookahead — the reference allocator could
+///     use it later in the same cycle — so the owner is woken within the
+///     cycle for the allocation phase only: a credit returned by ejection
+///     enters the merged scan from its first channel (ejection precedes
+///     all allocation), and a credit returned by a drain mid-scan enters
+///     just past the draining channel's index — precisely the set of
+///     outputs the reference core would still visit with that credit
+///     available. A credit-touched region never proves quietness that
+///     cycle (the stale request table cannot see what the credit unblocks);
+///     it stays awake one more cycle instead — conservative, never wrong.
 class Engine {
 public:
     Engine(const topo::Topology& topo, const RouteTable& routes, const SimConfig& cfg,
            const std::vector<Demand>& demands)
         : cfg_(cfg),
-          horizon_(cfg.core == SimCore::kEventHorizon),
+          horizon_(cfg.core != SimCore::kReference),
           n_nodes_(static_cast<std::size_t>(topo.node_count())) {
         // --- Directed channels: 2 per link, indexed from both endpoints.
         channels_.reserve(topo.links().size() * 2);
@@ -174,6 +207,43 @@ public:
         channel_drained_.assign(channels_.size(), 0);
         inj_drained_.assign(n_nodes_, 0);
 
+        // --- Regions: the regional core partitions via topo::make_region_map;
+        // the single-clock cores use one region spanning the fabric, which
+        // reproduces their legacy iteration order and accounting exactly.
+        std::vector<std::int32_t> node_region(n_nodes_, 0);
+        std::int32_t n_regions = 1;
+        if (cfg_.core == SimCore::kRegional && n_nodes_ > 0) {
+            const auto rm = topo::make_region_map(topo, cfg_.regions);
+            if (rm.count > 0) {
+                node_region = rm.region_of;
+                n_regions = rm.count;
+            }
+        }
+        regions_.resize(static_cast<std::size_t>(n_regions));
+        for (std::size_t n = 0; n < n_nodes_; ++n)
+            regions_[static_cast<std::size_t>(node_region[n])].nodes.push_back(
+                static_cast<std::int32_t>(n));
+        ch_from_region_.resize(channels_.size());
+        ch_to_region_.resize(channels_.size());
+        for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+            const auto fr = node_region[static_cast<std::size_t>(channels_[ci].from)];
+            const auto tr = node_region[static_cast<std::size_t>(channels_[ci].to)];
+            ch_from_region_[ci] = fr;
+            ch_to_region_[ci] = tr;
+            regions_[static_cast<std::size_t>(fr)].out_ch.push_back(
+                static_cast<std::int32_t>(ci));
+            regions_[static_cast<std::size_t>(tr)].in_ch.push_back(
+                static_cast<std::int32_t>(ci));
+        }
+        for (auto& r : regions_) r.next = region_next_injection(r);
+        cursor_.assign(regions_.size(), 0);
+        is_awake_.assign(regions_.size(), 0);
+        in_alloc_.assign(regions_.size(), 0);
+        region_active_.assign(regions_.size(), 0);
+        credit_touched_.assign(regions_.size(), 0);
+        awake_.reserve(regions_.size());
+        alloc_extra_.reserve(regions_.size());
+
         res_.router_flits.assign(n_nodes_, 0);
         res_.link_flits.assign(topo.links().size(), 0);
         total_packets_ = static_cast<std::int64_t>(packets_.size());
@@ -182,111 +252,180 @@ public:
     SimResult run() {
         std::int64_t now = 0;
         while (delivered_packets_ < total_packets_ && now < cfg_.max_cycles) {
-            const bool active = step(now);
-            ++now;
-            ++res_.cycles_stepped;
-
-            // Fast-forward decision. The reference core only jumps the
-            // trivially-sound idle gaps (nothing in flight anywhere); the
-            // event-horizon core additionally jumps after any quiet cycle
-            // (see the class comment for the proof). Keeping the idle rule
-            // in the horizon core matters: it fires even when the final
-            // ejection made the cycle active, so the horizon core never
-            // steps a cycle the reference loop would have skipped.
-            const bool quiet = in_flight_flits_ == 0 || (horizon_ && !active);
-            if (!quiet) continue;
-            const std::int64_t next_inject = next_injection();
-            const std::int64_t next_event =
-                horizon_ ? std::min(next_inject, earliest_arrival()) : next_inject;
-            if (in_flight_flits_ == 0 && next_event == kNever)
-                break;  // nothing left anywhere
-            // Clamp to max_cycles so a capped run reports the same cycle
-            // count as stepping to the cap would (next_event may be kNever
-            // here when every in-flight flit is wedged: the jump then burns
-            // the remaining budget exactly like the reference loop does).
-            const std::int64_t target =
-                std::max(now, std::min(next_event, cfg_.max_cycles));
-            if (target > now) {
+            awake_.clear();
+            std::int64_t soonest = kNever;
+            for (std::size_t r = 0; r < regions_.size(); ++r) {
+                if (regions_[r].next <= now) {
+                    is_awake_[r] = 1;
+                    awake_.push_back(static_cast<std::int32_t>(r));
+                } else {
+                    soonest = std::min(soonest, regions_[r].next);
+                }
+            }
+            if (awake_.empty()) {
+                // Every region holds a proven fixed point past `now`: jump
+                // the global clock to the earliest regional wake-up,
+                // clamped to max_cycles so a capped run reports the same
+                // cycle count as stepping to the cap would (soonest may be
+                // kNever when every in-flight flit is wedged: the jump
+                // then burns the remaining budget exactly like the
+                // reference loop does).
+                if (in_flight_flits_ == 0 && soonest == kNever)
+                    break;  // nothing left anywhere
+                const std::int64_t target = std::min(soonest, cfg_.max_cycles);
                 res_.cycles_skipped += target - now;
                 ++res_.horizon_jumps;
                 now = target;
+                continue;
             }
+            step_awake(now);
+            ++now;
+            ++res_.cycles_stepped;
         }
         res_.cycles = now;
         res_.packets = delivered_packets_;
         res_.completed = delivered_packets_ == total_packets_;
+        res_.regions = static_cast<std::int64_t>(regions_.size());
+        res_.region_stepped_min = kNever;
+        for (const auto& r : regions_) {
+            res_.region_cycles_stepped += r.stepped;
+            res_.region_cycles_skipped += res_.cycles - r.stepped;
+            res_.region_horizon_jumps += r.jumps;
+            res_.region_stepped_max = std::max(res_.region_stepped_max, r.stepped);
+            res_.region_stepped_min = std::min(res_.region_stepped_min, r.stepped);
+        }
         return std::move(res_);
     }
 
 private:
-    /// One cycle of the reference semantics. Returns whether the ejection
-    /// or allocation phase moved any flit — false means the network state
-    /// is a fixed point until the next pipe arrival or injection.
-    bool step(const std::int64_t now) {
-        // 1. Injection: move due packets into their source FIFO as flits.
-        for (std::size_t n = 0; n < n_nodes_; ++n) {
-            while (inj_cursor_[n] < per_src_[n].size()) {
-                const auto pid = per_src_[n][inj_cursor_[n]];
-                const auto& p = packets_[static_cast<std::size_t>(pid)];
-                if (p.inject_cycle > now) break;
-                for (std::int32_t f = 0; f < p.flits; ++f) {
-                    Flit fl;
-                    fl.packet = pid;
-                    fl.hop = 0;
-                    fl.head = (f == 0);
-                    fl.tail = (f == p.flits - 1);
-                    inj_fifo_[n].push_back(fl);
-                    ++in_flight_flits_;
-                }
-                ++inj_cursor_[n];
-            }
-        }
+    /// One cycle of the reference semantics over the awake regions.
+    void step_awake(const std::int64_t now) {
+        // 1. Injection: move due packets into their source FIFOs as flits.
+        // A sleeping region never has a due injection: its horizon is
+        // bounded by the earliest pending one.
+        for (const auto r : awake_)
+            for (const auto node : regions_[static_cast<std::size_t>(r)].nodes)
+                inject_node(static_cast<std::size_t>(node), now);
 
         // 2. Link pipelines: deliver arrived flits into downstream FIFOs.
-        for (auto& c : channels_) {
-            while (!c.pipe.empty() && c.pipe.front().second <= now) {
-                c.fifo.push_back(c.pipe.front().first);
-                c.pipe.pop_front();
+        // A sleeping region never has a due arrival: the allocation that
+        // launched the flit bounded this region's clock by its arrival.
+        for (const auto r : awake_)
+            for (const auto ci : regions_[static_cast<std::size_t>(r)].in_ch) {
+                Channel& c = channels_[static_cast<std::size_t>(ci)];
+                while (!c.pipe.empty() && c.pipe.front().second <= now) {
+                    c.fifo.push_back(c.pipe.front().first);
+                    c.pipe.pop_front();
+                }
             }
-        }
-        // 3. Ejection: flits at their destination leave the network (one
-        // per input port per cycle), returning credit to the channel that
-        // delivered them.
-        bool ejected = false;
-        for (auto& c : channels_) {
-            if (c.fifo.empty()) continue;
-            const Flit& f = c.fifo.front();
-            const auto& p = packets_[static_cast<std::size_t>(f.packet)];
-            if ((*p.path)[static_cast<std::size_t>(f.hop)] != p.dst) continue;
-            if (f.tail) {
-                ++delivered_packets_;
-                res_.packet_latency.add(static_cast<double>(now - p.inject_cycle));
-            }
-            ++res_.flits;
-            --in_flight_flits_;
-            c.fifo.pop_front();
-            ++c.credits;
-            ejected = true;
-        }
 
-        // 4. Switch allocation over the head-flit request table.
-        refresh_requests();
-        const bool allocated = allocate(now);
+        // 3. Ejection, merged in ascending global channel index across the
+        // awake regions (one flit per input port per cycle). A sleeping
+        // region holds no ejectable head — its quiet proof rules that out
+        // and its FIFOs have not changed since — so skipping it drops no
+        // ejection and no latency sample.
+        eject_awake(now);
 
-#ifndef NDEBUG
-        if (horizon_ && !ejected && !allocated) verify_quiet();
-#endif
-        return ejected || allocated;
+        // 4. Switch allocation over the head-flit request table. Requests
+        // are refreshed only for awake regions; a sleeping region's table
+        // is still valid because its FIFOs cannot have changed since its
+        // last participation (any drain would have kept it awake).
+        for (const auto r : awake_) refresh_requests(static_cast<std::size_t>(r));
+        allocate_awake(now);
+
+        finish_cycle(now);
     }
 
-    /// Rebuilds the head-flit request table from the current FIFO fronts.
+    void inject_node(const std::size_t n, const std::int64_t now) {
+        while (inj_cursor_[n] < per_src_[n].size()) {
+            const auto pid = per_src_[n][inj_cursor_[n]];
+            const auto& p = packets_[static_cast<std::size_t>(pid)];
+            if (p.inject_cycle > now) break;
+            for (std::int32_t f = 0; f < p.flits; ++f) {
+                Flit fl;
+                fl.packet = pid;
+                fl.hop = 0;
+                fl.head = (f == 0);
+                fl.tail = (f == p.flits - 1);
+                inj_fifo_[n].push_back(fl);
+                ++in_flight_flits_;
+            }
+            ++inj_cursor_[n];
+        }
+    }
+
+    void eject_awake(const std::int64_t now) {
+        for (const auto r : awake_) cursor_[static_cast<std::size_t>(r)] = 0;
+        for (;;) {
+            std::int32_t best_r = -1;
+            std::int32_t best_ci = std::numeric_limits<std::int32_t>::max();
+            for (const auto r : awake_) {
+                const auto& in = regions_[static_cast<std::size_t>(r)].in_ch;
+                const auto cur = cursor_[static_cast<std::size_t>(r)];
+                if (cur < in.size() && in[cur] < best_ci) {
+                    best_ci = in[cur];
+                    best_r = r;
+                }
+            }
+            if (best_r < 0) break;
+            ++cursor_[static_cast<std::size_t>(best_r)];
+            try_eject(static_cast<std::size_t>(best_ci), best_r, now);
+        }
+    }
+
+    /// Ejects the front flit of channel `ci` if it sits at its destination,
+    /// returning credit upstream (possibly across a region cut).
+    void try_eject(const std::size_t ci, const std::int32_t region,
+                   const std::int64_t now) {
+        Channel& c = channels_[ci];
+        if (c.fifo.empty()) return;
+        const Flit& f = c.fifo.front();
+        const auto& p = packets_[static_cast<std::size_t>(f.packet)];
+        if ((*p.path)[static_cast<std::size_t>(f.hop)] != p.dst) return;
+        if (f.tail) {
+            ++delivered_packets_;
+            res_.packet_latency.add(static_cast<double>(now - p.inject_cycle));
+        }
+        ++res_.flits;
+        --in_flight_flits_;
+        c.fifo.pop_front();
+        ++c.credits;
+        region_active_[static_cast<std::size_t>(region)] = 1;
+        // The freed slot is a credit for whoever allocates onto this
+        // channel: its upstream region. Ejection precedes all allocation,
+        // so a woken sleeper enters the merged scan from its first channel.
+        wake_for_credit(ch_from_region_[ci], -1);
+    }
+
+    /// Marks `r` credit-touched and, if it is sleeping through this cycle,
+    /// enrolls it in the allocation phase starting just past channel
+    /// `after_ci` (-1 = from the beginning).
+    void wake_for_credit(const std::int32_t r, const std::int32_t after_ci) {
+        const auto ri = static_cast<std::size_t>(r);
+        credit_touched_[ri] = 1;
+        if (is_awake_[ri] || in_alloc_[ri]) return;
+        in_alloc_[ri] = 1;
+        const auto& oc = regions_[ri].out_ch;
+        cursor_[ri] =
+            after_ci < 0
+                ? 0
+                : static_cast<std::size_t>(
+                      std::upper_bound(oc.begin(), oc.end(), after_ci) - oc.begin());
+        alloc_extra_.push_back(r);
+    }
+
+    /// Rebuilds the head-flit request table for one region's FIFO fronts.
     /// Entries of sources drained later in the same cycle go stale, but the
     /// allocator's one-flit-per-input-per-cycle guard keeps them unread.
-    void refresh_requests() {
-        for (std::size_t n = 0; n < n_nodes_; ++n)
+    void refresh_requests(const std::size_t r) {
+        for (const auto node : regions_[r].nodes) {
+            const auto n = static_cast<std::size_t>(node);
             inj_request_[n] = request_of(inj_fifo_[n]);
-        for (std::size_t ci = 0; ci < channels_.size(); ++ci)
-            ch_request_[ci] = request_of(channels_[ci].fifo);
+        }
+        for (const auto ci : regions_[r].in_ch) {
+            const auto c = static_cast<std::size_t>(ci);
+            ch_request_[c] = request_of(channels_[c].fifo);
+        }
     }
 
     [[nodiscard]] std::int32_t request_of(const std::deque<Flit>& fifo) const {
@@ -303,88 +442,173 @@ private:
         return kRequestNone;
     }
 
-    /// For every output channel pick one flit: wormhole continuation for
+    /// Allocation over the participating regions' output channels, merged
+    /// in ascending global channel index. Participants are the awake
+    /// regions plus any sleeper woken by a same-cycle credit return;
+    /// alloc_extra_ may grow while the scan runs (a drain can return
+    /// credit across a cut), and a region woken at position p only scans
+    /// channels past p — exactly the outputs the reference core would
+    /// still visit with that credit available.
+    void allocate_awake(const std::int64_t now) {
+        for (const auto r : awake_) {
+            cursor_[static_cast<std::size_t>(r)] = 0;
+            in_alloc_[static_cast<std::size_t>(r)] = 1;
+        }
+        for (;;) {
+            std::int32_t best_r = -1;
+            std::int32_t best_ci = std::numeric_limits<std::int32_t>::max();
+            const auto consider = [&](const std::int32_t r) {
+                const auto& oc = regions_[static_cast<std::size_t>(r)].out_ch;
+                const auto cur = cursor_[static_cast<std::size_t>(r)];
+                if (cur < oc.size() && oc[cur] < best_ci) {
+                    best_ci = oc[cur];
+                    best_r = r;
+                }
+            };
+            for (const auto r : awake_) consider(r);
+            for (const auto r : alloc_extra_) consider(r);
+            if (best_r < 0) break;
+            ++cursor_[static_cast<std::size_t>(best_r)];
+            if (allocate_output(static_cast<std::size_t>(best_ci), now))
+                region_active_[static_cast<std::size_t>(best_r)] = 1;
+        }
+        // Reset the one-flit-per-input guards we actually set — O(moved
+        // flits), not O(channels): the whole-table std::fill the former
+        // single-clock loop used would charge every region for one hot
+        // region's cycle.
+        for (const auto ci : drained_ch_scratch_)
+            channel_drained_[static_cast<std::size_t>(ci)] = 0;
+        for (const auto n : drained_inj_scratch_)
+            inj_drained_[static_cast<std::size_t>(n)] = 0;
+        drained_ch_scratch_.clear();
+        drained_inj_scratch_.clear();
+    }
+
+    /// For one output channel pick one flit: wormhole continuation for
     /// locked outputs, round-robin arbitration over requesting head flits
     /// otherwise. `channel_drained_` / `inj_drained_` enforce one flit per
     /// input port per cycle across all outputs of a router.
-    bool allocate(const std::int64_t now) {
-        std::fill(channel_drained_.begin(), channel_drained_.end(), 0);
-        std::fill(inj_drained_.begin(), inj_drained_.end(), 0);
-        bool any = false;
-        for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
-            Channel& out = channels_[ci];
-            if (out.credits <= 0) continue;
-            const auto node = static_cast<std::size_t>(out.from);
-            const auto& ins = in_channels_[node];
-            const auto n_sources = ins.size() + 1;
-            const auto out_req = static_cast<std::int32_t>(ci);
+    bool allocate_output(const std::size_t ci, const std::int64_t now) {
+        Channel& out = channels_[ci];
+        if (out.credits <= 0) return false;
+        const auto node = static_cast<std::size_t>(out.from);
+        const auto& ins = in_channels_[node];
+        const auto n_sources = ins.size() + 1;
+        const auto out_req = static_cast<std::int32_t>(ci);
 
-            // Source 0 is the node's injection FIFO; source s >= 1 is the
-            // FIFO of incoming channel ins[s - 1].
-            auto fifo_of = [&](std::size_t s) -> std::deque<Flit>& {
-                return s == 0 ? inj_fifo_[node]
-                              : channels_[static_cast<std::size_t>(ins[s - 1])].fifo;
-            };
-            auto request_at = [&](std::size_t s) -> std::int32_t {
-                return s == 0 ? inj_request_[node]
-                              : ch_request_[static_cast<std::size_t>(ins[s - 1])];
-            };
-            auto source_free = [&](std::size_t s) -> bool {
-                return s == 0 ? inj_drained_[node] == 0
-                              : channel_drained_[static_cast<std::size_t>(ins[s - 1])] == 0;
-            };
+        // Source 0 is the node's injection FIFO; source s >= 1 is the
+        // FIFO of incoming channel ins[s - 1].
+        auto fifo_of = [&](std::size_t s) -> std::deque<Flit>& {
+            return s == 0 ? inj_fifo_[node]
+                          : channels_[static_cast<std::size_t>(ins[s - 1])].fifo;
+        };
+        auto request_at = [&](std::size_t s) -> std::int32_t {
+            return s == 0 ? inj_request_[node]
+                          : ch_request_[static_cast<std::size_t>(ins[s - 1])];
+        };
+        auto source_free = [&](std::size_t s) -> bool {
+            return s == 0 ? inj_drained_[node] == 0
+                          : channel_drained_[static_cast<std::size_t>(ins[s - 1])] == 0;
+        };
 
-            std::int32_t chosen = -1;  // source index
-            if (lock_[ci] >= 0) {
-                // Wormhole continuation: only the owner packet may use the
-                // output; find the source whose head flit belongs to it.
-                for (std::size_t s = 0; s < n_sources; ++s) {
-                    if (!source_free(s) || request_at(s) != out_req) continue;
-                    if (fifo_of(s).front().packet != lock_[ci]) continue;
-                    chosen = static_cast<std::int32_t>(s);
-                    break;
-                }
-            } else {
-                // New allocation: round-robin over head flits requesting us.
-                for (std::size_t k = 0; k < n_sources; ++k) {
-                    const std::size_t s = (rr_[ci] + k) % n_sources;
-                    if (!source_free(s) || request_at(s) != out_req) continue;
-                    if (!fifo_of(s).front().head) continue;
-                    chosen = static_cast<std::int32_t>(s);
-                    rr_[ci] = static_cast<std::uint32_t>(s + 1);
-                    break;
-                }
+        std::int32_t chosen = -1;  // source index
+        if (lock_[ci] >= 0) {
+            // Wormhole continuation: only the owner packet may use the
+            // output; find the source whose head flit belongs to it.
+            for (std::size_t s = 0; s < n_sources; ++s) {
+                if (!source_free(s) || request_at(s) != out_req) continue;
+                if (fifo_of(s).front().packet != lock_[ci]) continue;
+                chosen = static_cast<std::int32_t>(s);
+                break;
             }
-            if (chosen < 0) continue;
-
-            any = true;
-            auto& fifo = fifo_of(static_cast<std::size_t>(chosen));
-            Flit f = fifo.front();
-            fifo.pop_front();
-            if (chosen > 0) {
-                // Credit back to the upstream channel we drained.
-                const auto up =
-                    static_cast<std::size_t>(ins[static_cast<std::size_t>(chosen) - 1]);
-                ++channels_[up].credits;
-                channel_drained_[up] = 1;
-            } else {
-                inj_drained_[node] = 1;
+        } else {
+            // New allocation: round-robin over head flits requesting us.
+            for (std::size_t k = 0; k < n_sources; ++k) {
+                const std::size_t s = (rr_[ci] + k) % n_sources;
+                if (!source_free(s) || request_at(s) != out_req) continue;
+                if (!fifo_of(s).front().head) continue;
+                chosen = static_cast<std::int32_t>(s);
+                rr_[ci] = static_cast<std::uint32_t>(s + 1);
+                break;
             }
-            lock_[ci] = f.tail ? -1 : f.packet;
-            --out.credits;
-            ++f.hop;
-            out.pipe.emplace_back(f, now + out.delay);
-            ++res_.router_flits[node];
-            ++res_.link_flits[static_cast<std::size_t>(out.link)];
-            ++res_.flit_hops;
         }
-        return any;
+        if (chosen < 0) return false;
+
+        auto& fifo = fifo_of(static_cast<std::size_t>(chosen));
+        Flit f = fifo.front();
+        fifo.pop_front();
+        if (chosen > 0) {
+            // Credit back to the upstream channel we drained; its owning
+            // region may be across the cut and asleep — wake it for the
+            // remainder of this scan (channels past `ci` only).
+            const auto up =
+                static_cast<std::size_t>(ins[static_cast<std::size_t>(chosen) - 1]);
+            ++channels_[up].credits;
+            channel_drained_[up] = 1;
+            drained_ch_scratch_.push_back(static_cast<std::int32_t>(up));
+            wake_for_credit(ch_from_region_[up], static_cast<std::int32_t>(ci));
+        } else {
+            inj_drained_[node] = 1;
+            drained_inj_scratch_.push_back(static_cast<std::int32_t>(node));
+        }
+        lock_[ci] = f.tail ? -1 : f.packet;
+        --out.credits;
+        ++f.hop;
+        out.pipe.emplace_back(f, now + out.delay);
+        // The launched flit bounds the destination region's clock: the
+        // cross-cut lookahead is the channel delay.
+        Region& dest = regions_[static_cast<std::size_t>(ch_to_region_[ci])];
+        dest.next = std::min(dest.next, now + out.delay);
+        ++res_.router_flits[node];
+        ++res_.link_flits[static_cast<std::size_t>(out.link)];
+        ++res_.flit_hops;
+        return true;
     }
 
-    /// Earliest cycle at which any packet still waits to inject.
-    [[nodiscard]] std::int64_t next_injection() const {
+    /// Sets every participating region's local clock for the cycles after
+    /// `now`, then clears the per-cycle scratch flags.
+    void finish_cycle(const std::int64_t now) {
+        const auto decide = [&](const std::int32_t r) {
+            const auto ri = static_cast<std::size_t>(r);
+            Region& R = regions_[ri];
+            ++R.stepped;
+            std::int64_t next;
+            if (in_flight_flits_ == 0) {
+                // Global idle: only a future injection can start anything.
+                // This fires even for an active region (its final ejection
+                // just emptied the net), so no core ever steps a cycle the
+                // reference loop's idle rule would have skipped.
+                next = region_next_injection(R);
+            } else if (!horizon_ || region_active_[ri] || credit_touched_[ri]) {
+                // Reference semantics, a moved flit, or a same-cycle credit
+                // whose effect the stale request table cannot bound: run
+                // the next cycle.
+                next = now + 1;
+            } else {
+                // Local fixed point: leap to the earliest local event.
+#ifndef NDEBUG
+                verify_quiet(R);
+#endif
+                next = region_horizon(R);
+            }
+            if (next > now + 1 && next != kNever) ++R.jumps;
+            R.next = next;
+            is_awake_[ri] = 0;
+            in_alloc_[ri] = 0;
+            region_active_[ri] = 0;
+            credit_touched_[ri] = 0;
+        };
+        for (const auto r : awake_) decide(r);
+        for (const auto r : alloc_extra_) decide(r);
+        alloc_extra_.clear();
+    }
+
+    /// Earliest cycle at which a packet of this region still waits to
+    /// inject.
+    [[nodiscard]] std::int64_t region_next_injection(const Region& R) const {
         std::int64_t next = kNever;
-        for (std::size_t n = 0; n < n_nodes_; ++n) {
+        for (const auto node : R.nodes) {
+            const auto n = static_cast<std::size_t>(node);
             if (inj_cursor_[n] < per_src_[n].size()) {
                 next = std::min(
                     next, packets_[static_cast<std::size_t>(per_src_[n][inj_cursor_[n]])]
@@ -394,25 +618,29 @@ private:
         return next;
     }
 
-    /// Earliest link-pipe arrival still in flight. Arrival cycles within a
-    /// channel are monotone (constant per-channel delay), so each pipe's
-    /// front is its earliest and an O(channels) scan is exact. Evaluated
-    /// lazily — only when a quiet cycle attempts a jump — so the allocator
-    /// hot path carries no event-queue bookkeeping.
-    [[nodiscard]] std::int64_t earliest_arrival() const {
-        std::int64_t next = kNever;
-        for (const auto& c : channels_)
-            if (!c.pipe.empty()) next = std::min(next, c.pipe.front().second);
+    /// Earliest local event of a quiet region: pending injection or
+    /// link-pipe arrival into it. Arrival cycles within a channel are
+    /// monotone (constant per-channel delay), so each pipe's front is its
+    /// earliest and the scan is exact. Evaluated lazily — only when a
+    /// quiet region goes to sleep — so the allocator hot path carries no
+    /// event-queue bookkeeping.
+    [[nodiscard]] std::int64_t region_horizon(const Region& R) const {
+        std::int64_t next = region_next_injection(R);
+        for (const auto ci : R.in_ch) {
+            const auto& pipe = channels_[static_cast<std::size_t>(ci)].pipe;
+            if (!pipe.empty()) next = std::min(next, pipe.front().second);
+        }
         return next;
     }
 
 #ifndef NDEBUG
-    /// Debug cross-check of the no-op proof: on a quiet cycle every waiting
-    /// head flit must be blocked on a zero-credit output or on a wormhole
-    /// lock owned by another packet (a body flit's output lock is always
-    /// owned by its own packet, and ejectable flits cannot wait — the
-    /// ejection phase drains them unconditionally).
-    void verify_quiet() const {
+    /// Debug cross-check of the localized no-op proof: on a region's quiet
+    /// cycle every waiting head flit in it must be blocked on a
+    /// zero-credit output or on a wormhole lock owned by another packet (a
+    /// body flit's output lock is always owned by its own packet, and
+    /// ejectable flits cannot wait — the ejection phase drains them
+    /// unconditionally).
+    void verify_quiet(const Region& R) const {
         const auto blocked = [&](std::int32_t req, const std::deque<Flit>& fifo) {
             if (req == kRequestNone) return true;
             if (req == kRequestEject) return false;  // would have ejected
@@ -421,15 +649,19 @@ private:
             if (out.credits <= 0) return true;                  // blocked on credit
             return owner >= 0 && owner != fifo.front().packet;  // blocked on lock
         };
-        for (std::size_t n = 0; n < n_nodes_; ++n)
+        for (const auto node : R.nodes) {
+            const auto n = static_cast<std::size_t>(node);
             assert(blocked(inj_request_[n], inj_fifo_[n]));
-        for (std::size_t ci = 0; ci < channels_.size(); ++ci)
-            assert(blocked(ch_request_[ci], channels_[ci].fifo));
+        }
+        for (const auto ci : R.in_ch) {
+            const auto c = static_cast<std::size_t>(ci);
+            assert(blocked(ch_request_[c], channels_[c].fifo));
+        }
     }
 #endif
 
     const SimConfig& cfg_;
-    const bool horizon_;
+    const bool horizon_;  ///< Quiet-region fast-forward enabled (non-reference).
     const std::size_t n_nodes_;
 
     std::vector<Channel> channels_;
@@ -450,6 +682,20 @@ private:
     std::vector<std::int8_t> channel_drained_;
     std::vector<std::int8_t> inj_drained_;
 
+    std::vector<Region> regions_;
+    std::vector<std::int32_t> ch_from_region_;  ///< Channel -> upstream region.
+    std::vector<std::int32_t> ch_to_region_;    ///< Channel -> downstream region.
+    /// Per-cycle scratch, all cleared by finish_cycle()/allocate_awake().
+    std::vector<std::int32_t> awake_;        ///< Regions running full phases.
+    std::vector<std::int32_t> alloc_extra_;  ///< Sleepers woken for allocation.
+    std::vector<std::size_t> cursor_;        ///< Merge cursor per region.
+    std::vector<std::int8_t> is_awake_;
+    std::vector<std::int8_t> in_alloc_;
+    std::vector<std::int8_t> region_active_;
+    std::vector<std::int8_t> credit_touched_;
+    std::vector<std::int32_t> drained_ch_scratch_;
+    std::vector<std::int32_t> drained_inj_scratch_;
+
     SimResult res_;
     std::int64_t total_packets_ = 0;
     std::int64_t delivered_packets_ = 0;
@@ -462,15 +708,29 @@ const char* sim_core_name(SimCore c) {
     switch (c) {
         case SimCore::kReference: return "reference";
         case SimCore::kEventHorizon: return "event-horizon";
+        case SimCore::kRegional: return "regional";
     }
     return "?";
+}
+
+std::optional<SimCore> sim_core_from_name(std::string_view name) {
+    if (name == "reference") return SimCore::kReference;
+    if (name == "event-horizon" || name == "event_horizon")
+        return SimCore::kEventHorizon;
+    if (name == "regional") return SimCore::kRegional;
+    return std::nullopt;
+}
+
+SimCore resolved_sim_core(SimCore configured) {
+    if (const auto forced = core_env_override()) return *forced;
+    return configured;
 }
 
 Simulator::Simulator(const topo::Topology& topo, const RouteTable& routes, SimConfig cfg)
     : topo_(topo), routes_(routes), cfg_(cfg) {
     if (topo.node_count() != routes.node_count())
         throw std::invalid_argument("route table built for a different topology");
-    if (const auto forced = core_env_override()) cfg_.core = *forced;
+    cfg_.core = resolved_sim_core(cfg_.core);
 }
 
 void Simulator::add_demand(const Demand& d) {

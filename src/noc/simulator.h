@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/noc/routing.h"
@@ -9,7 +11,7 @@
 
 namespace floretsim::noc {
 
-/// Which cycle engine drives the simulation. Both produce bit-identical
+/// Which cycle engine drives the simulation. All cores produce bit-identical
 /// SimResults (enforced by tests/test_noc_event_horizon.cpp); they differ
 /// only in how many cycles they actually execute.
 enum class SimCore : std::uint8_t {
@@ -27,9 +29,33 @@ enum class SimCore : std::uint8_t {
     /// which the proof has ruled out). See README "NoC simulator cores"
     /// for the full no-op proof obligations.
     kEventHorizon,
+    /// Per-region event horizon: the fabric is partitioned into regions
+    /// (topo::make_region_map — Floret petals when the generator hints
+    /// them, else spatial tiles) and each region advances an independent
+    /// local clock. A quiet region proves the kEventHorizon fixed point
+    /// *locally* and jumps its clock to min(next local pipe arrival, next
+    /// local injection, earliest cross-region in-flight arrival); regions
+    /// synchronize only at cross-region channels — an arrival bounds the
+    /// destination clock by the link delay, and a same-cycle credit return
+    /// wakes the owning region mid-phase. So a saturated drain or hotspot
+    /// steps cycle-by-cycle while every other region leaps — exactly the
+    /// regime where the global quiet proof degenerates to the reference
+    /// loop. Bit-identical to kReference by the same differential
+    /// contract; region shape may change performance, never results.
+    kRegional,
 };
 
 [[nodiscard]] const char* sim_core_name(SimCore c);
+
+/// Parses a core name as spelled on CLIs and in FLORETSIM_SIM_CORE:
+/// "reference", "event-horizon" (or "event_horizon"), "regional".
+/// std::nullopt on anything else.
+[[nodiscard]] std::optional<SimCore> sim_core_from_name(std::string_view name);
+
+/// The core a run configured with `configured` will actually use, after
+/// the process-wide FLORETSIM_SIM_CORE override (parsed once; CLI --core
+/// flags are implemented by setting that variable before first use).
+[[nodiscard]] SimCore resolved_sim_core(SimCore configured);
 
 /// Simulator knobs. Defaults model a 64-bit inter-chiplet channel at
 /// 1 GHz with 2-cycle routers — SIAM/BookSim-class assumptions.
@@ -43,10 +69,17 @@ struct SimConfig {
     /// Injection rate while scheduling packets, in flits/node/cycle.
     double injection_rate = 0.05;
     /// Cycle engine. kEventHorizon is the default and bit-identical to
-    /// kReference; the environment variable FLORETSIM_SIM_CORE
-    /// ("reference" / "event-horizon") overrides it process-wide, which is
-    /// how CI keeps the reference loop exercised end to end.
+    /// kReference (as is kRegional); the environment variable
+    /// FLORETSIM_SIM_CORE ("reference" / "event-horizon" / "regional")
+    /// overrides it process-wide, which is how CI keeps every core
+    /// exercised end to end.
     SimCore core = SimCore::kEventHorizon;
+    /// Region count for the kRegional core: 0 derives it from the topology
+    /// (generator region hints such as Floret petals, else ~8-node spatial
+    /// tiles); > 0 forces about that many spatial tiles. Ignored by the
+    /// single-clock cores. Any value is results-preserving — regions change
+    /// scheduling, never semantics.
+    std::int32_t regions = 0;
 
     /// Field-wise equality: the scenario layer's JSON round-trip contract
     /// (scenario::sim_config_from_json(to_json(x)) == x).
@@ -78,6 +111,21 @@ struct SimResult {
     std::int64_t cycles_stepped = 0;  ///< Cycles actually executed.
     std::int64_t cycles_skipped = 0;  ///< Cycles proven no-op and jumped over.
     std::int64_t horizon_jumps = 0;   ///< Fast-forward events taken.
+
+    /// Regional-core accounting, populated by every core (the single-clock
+    /// cores report one region spanning the fabric, so their region totals
+    /// mirror the global counters). Each region either participates in a
+    /// stepped cycle or its local clock leaps it, hence the invariant
+    /// region_cycles_stepped + region_cycles_skipped == regions * cycles.
+    /// The stepped max/min pair measures region imbalance: a saturated
+    /// drain shows a hot region near `cycles_stepped` and cold regions
+    /// near zero.
+    std::int64_t regions = 0;                ///< Region count of the run.
+    std::int64_t region_cycles_stepped = 0;  ///< Sum of per-region participations.
+    std::int64_t region_cycles_skipped = 0;  ///< Sum of per-region leapt cycles.
+    std::int64_t region_horizon_jumps = 0;   ///< Sum of per-region sleep jumps.
+    std::int64_t region_stepped_max = 0;     ///< Hottest region's participations.
+    std::int64_t region_stepped_min = 0;     ///< Coolest region's participations.
 };
 
 /// Cycle-driven wormhole network simulator.

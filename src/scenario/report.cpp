@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/noc/simulator.h"
 #include "src/util/stats.h"
 
 namespace floretsim::scenario {
@@ -18,6 +19,13 @@ void JsonReport::add_metric(const std::string& key, double value) {
 util::Json JsonReport::to_value() const {
     util::Json doc = util::Json::object();
     doc.set("bench", name_);
+    // The active simulator core: SimConfig's default after the
+    // FLORETSIM_SIM_CORE override (also how the --core CLI flags apply), so
+    // every report records which engine earned its numbers. Scenarios that
+    // override sim.core per spec additionally say so in their own metrics.
+    doc.set("sim_core",
+            std::string(noc::sim_core_name(
+                noc::resolved_sim_core(noc::SimConfig{}.core))));
     util::Json metrics = util::Json::object();
     // Non-finite doubles serialize as null (see util::json_serialize).
     for (const auto& [key, value] : metrics_) metrics.set(key, value);

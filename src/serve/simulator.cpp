@@ -129,6 +129,11 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
                 out.sim_cycles_stepped += eval.sim_cycles_stepped;
                 out.sim_cycles_skipped += eval.sim_cycles_skipped;
                 out.sim_horizon_jumps += eval.sim_horizon_jumps;
+                out.sim_region_cycles_stepped += eval.sim_region_cycles_stepped;
+                out.sim_region_cycles_skipped += eval.sim_region_cycles_skipped;
+                out.sim_region_horizon_jumps += eval.sim_region_horizon_jumps;
+                out.sim_region_stepped_max += eval.sim_region_stepped_max;
+                out.sim_region_stepped_min += eval.sim_region_stepped_min;
                 if (noi_cache.size() < kNoiCacheCap)
                     noi_cache.emplace(std::move(key), epoch_drain);
             }

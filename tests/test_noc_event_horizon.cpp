@@ -1,12 +1,14 @@
-/// Differential suite for the credit-aware event-horizon simulator core:
-/// across random topologies, seeds, buffer depths of 1-4 flits, sparse and
-/// saturating injection rates, and max_cycles-capped runs, the
-/// event-horizon engine must produce a bit-identical SimResult (cycles,
-/// packets, flits, flit_hops, per-router/per-link counters, latency stats)
-/// to the reference cycle loop. The engine-work statistics are the only
-/// fields allowed to differ — and they must prove the fast path is both
-/// accounted (stepped + skipped == cycles) and not slower than the
-/// reference in executed cycles.
+/// Differential suite for the fast simulator cores (credit-aware global
+/// event horizon and the per-region-clock engine): across random
+/// topologies, seeds, buffer depths of 1-4 flits, sparse and saturating
+/// injection rates, saturated single-sink drains, corner-to-corner bursts,
+/// and max_cycles-capped runs, every fast engine must produce a
+/// bit-identical SimResult (cycles, packets, flits, flit_hops,
+/// per-router/per-link counters, latency stats) to the reference cycle
+/// loop. The engine-work statistics are the only fields allowed to differ
+/// — and they must prove the fast path is both accounted (global
+/// stepped + skipped == cycles; per-region stepped + skipped ==
+/// regions * cycles) and not slower than the reference in executed cycles.
 
 #include <gtest/gtest.h>
 
@@ -51,35 +53,64 @@ SimResult run_with(const topo::Topology& t, const RouteTable& rt,
     return sim.run();
 }
 
-/// The differential contract: semantic fields bit-identical, engine-work
-/// statistics internally consistent and no worse than the reference.
+/// Accounting every core must satisfy regardless of which engine ran:
+/// global cycles split exactly into stepped + skipped, and the per-region
+/// totals are conserved — each region either participates in a stepped
+/// cycle or its local clock leaps it, so the region totals sum to
+/// regions * cycles and the hottest region bounds the extremes.
+void expect_conserved(const SimResult& r, const std::string& label) {
+    EXPECT_EQ(r.cycles_stepped + r.cycles_skipped, r.cycles) << label;
+    EXPECT_GE(r.regions, 1) << label;
+    EXPECT_EQ(r.region_cycles_stepped + r.region_cycles_skipped,
+              r.regions * r.cycles)
+        << label;
+    EXPECT_LE(r.region_stepped_min, r.region_stepped_max) << label;
+    EXPECT_LE(r.region_stepped_max, r.cycles_stepped) << label;
+    EXPECT_GE(r.region_stepped_min, 0) << label;
+    EXPECT_LE(r.region_cycles_stepped, r.regions * r.cycles_stepped) << label;
+    // Every globally stepped cycle had at least one participating region.
+    EXPECT_GE(r.region_cycles_stepped, r.cycles_stepped) << label;
+}
+
+/// The differential contract: semantic fields bit-identical across every
+/// core, engine-work statistics internally consistent and no worse than
+/// the reference.
 void expect_equivalent(const topo::Topology& t, const RouteTable& rt,
                        const std::vector<Demand>& demands, const SimConfig& cfg,
                        const std::string& label) {
     const auto ref = run_with(t, rt, demands, cfg, SimCore::kReference);
-    const auto fast = run_with(t, rt, demands, cfg, SimCore::kEventHorizon);
+    expect_conserved(ref, label + " [reference]");
+    // The single-clock cores report one region spanning the fabric.
+    EXPECT_EQ(ref.regions, 1) << label;
+    EXPECT_EQ(ref.region_cycles_stepped, ref.cycles_stepped) << label;
 
-    EXPECT_EQ(fast.cycles, ref.cycles) << label;
-    EXPECT_EQ(fast.packets, ref.packets) << label;
-    EXPECT_EQ(fast.flits, ref.flits) << label;
-    EXPECT_EQ(fast.flit_hops, ref.flit_hops) << label;
-    EXPECT_EQ(fast.completed, ref.completed) << label;
-    EXPECT_EQ(fast.packet_latency.count(), ref.packet_latency.count()) << label;
-    EXPECT_EQ(fast.packet_latency.mean(), ref.packet_latency.mean()) << label;
-    EXPECT_EQ(fast.packet_latency.variance(), ref.packet_latency.variance())
-        << label;
-    EXPECT_EQ(fast.packet_latency.min(), ref.packet_latency.min()) << label;
-    EXPECT_EQ(fast.packet_latency.max(), ref.packet_latency.max()) << label;
-    EXPECT_EQ(fast.router_flits, ref.router_flits) << label;
-    EXPECT_EQ(fast.link_flits, ref.link_flits) << label;
+    for (const auto core : {SimCore::kEventHorizon, SimCore::kRegional}) {
+        const std::string tag =
+            label + " [" + sim_core_name(core) + "]";
+        const auto fast = run_with(t, rt, demands, cfg, core);
 
-    // Engine-work accounting: every simulated cycle is either stepped or
-    // proven no-op and skipped, in both cores.
-    EXPECT_EQ(ref.cycles_stepped + ref.cycles_skipped, ref.cycles) << label;
-    EXPECT_EQ(fast.cycles_stepped + fast.cycles_skipped, fast.cycles) << label;
-    // The event-horizon core's no-op proof subsumes the reference's
-    // idle-gap-only rule, so it can never execute more cycles.
-    EXPECT_LE(fast.cycles_stepped, ref.cycles_stepped) << label;
+        EXPECT_EQ(fast.cycles, ref.cycles) << tag;
+        EXPECT_EQ(fast.packets, ref.packets) << tag;
+        EXPECT_EQ(fast.flits, ref.flits) << tag;
+        EXPECT_EQ(fast.flit_hops, ref.flit_hops) << tag;
+        EXPECT_EQ(fast.completed, ref.completed) << tag;
+        EXPECT_EQ(fast.packet_latency.count(), ref.packet_latency.count())
+            << tag;
+        EXPECT_EQ(fast.packet_latency.mean(), ref.packet_latency.mean()) << tag;
+        EXPECT_EQ(fast.packet_latency.variance(), ref.packet_latency.variance())
+            << tag;
+        EXPECT_EQ(fast.packet_latency.min(), ref.packet_latency.min()) << tag;
+        EXPECT_EQ(fast.packet_latency.max(), ref.packet_latency.max()) << tag;
+        EXPECT_EQ(fast.router_flits, ref.router_flits) << tag;
+        EXPECT_EQ(fast.link_flits, ref.link_flits) << tag;
+
+        expect_conserved(fast, tag);
+        // The fast cores' no-op proofs subsume the reference's
+        // idle-gap-only rule, so they can never execute more cycles.
+        EXPECT_LE(fast.cycles_stepped, ref.cycles_stepped) << tag;
+        if (core == SimCore::kEventHorizon)
+            EXPECT_EQ(fast.regions, 1) << tag;
+    }
 }
 
 TEST(EventHorizon, DifferentialMatrixOnMesh) {
@@ -186,6 +217,87 @@ TEST(EventHorizon, SkipsCreditBlockedWindows) {
     EXPECT_GT(fast.horizon_jumps, 0);
 }
 
+TEST(EventHorizon, SaturatedDrainSleepsColdRegions) {
+    // One corner port ejecting, the rest of the fabric quiescent: a few
+    // scattered sources flood node 0 while the other 95 nodes stay silent.
+    // Something moves near the sink every cycle, so the global quiet proof
+    // almost never fires — but the regional core's off-path tiles prove
+    // local fixed points and leap, which is the entire point of per-region
+    // clocks; path tiles wake for passing flits and jump back to sleep.
+    const auto t = topo::make_mesh(10, 10);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg;
+    cfg.max_cycles = 2'000'000;
+    cfg.input_buffer_flits = 2;
+    cfg.injection_rate = 8.0;
+    std::vector<Demand> demands;
+    for (const topo::NodeId src : {9, 44, 55, 90, 99})
+        demands.push_back({src, 0, 8 * 1024});
+    expect_equivalent(t, rt, demands, cfg, "saturated drain");
+
+    const auto regional = run_with(t, rt, demands, cfg, SimCore::kRegional);
+    EXPECT_GT(regional.regions, 1);
+    EXPECT_GT(regional.region_cycles_skipped, 0);
+    EXPECT_GT(regional.region_horizon_jumps, 0);
+    // The drain concentrates work: the sink's region steps nearly every
+    // cycle while the far corner sleeps through most of the run.
+    EXPECT_LT(regional.region_stepped_min, regional.region_stepped_max);
+    // Strict superset of the global core's skipping on this pattern: the
+    // per-region totals must beat what one global clock can prove.
+    const auto global = run_with(t, rt, demands, cfg, SimCore::kEventHorizon);
+    EXPECT_GT(regional.region_cycles_skipped,
+              global.cycles_skipped * global.regions);
+}
+
+TEST(EventHorizon, CornerToCornerBurstHotspot) {
+    // A single corner-to-corner burst: one long diagonal of busy links,
+    // everything off-path idle. Both fast cores must stay bit-identical;
+    // the regional core must additionally prove off-path tiles asleep.
+    const auto t = topo::make_mesh(8, 8);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
+    SimConfig cfg;
+    cfg.max_cycles = 2'000'000;
+    cfg.input_buffer_flits = 1;  // maximum backpressure along the path
+    cfg.injection_rate = 8.0;
+    const std::vector<Demand> demands{{0, 63, 16 * 1024}};
+    expect_equivalent(t, rt, demands, cfg, "corner burst");
+
+    const auto regional = run_with(t, rt, demands, cfg, SimCore::kRegional);
+    EXPECT_GT(regional.regions, 1);
+    EXPECT_GT(regional.region_cycles_skipped, 0);
+}
+
+TEST(EventHorizon, ForcedRegionCountsPreserveResults) {
+    // cfg.regions is a scheduling knob, never a semantic one: any forced
+    // tiling — including one region (the global core's shape) and counts
+    // that do not divide the mesh — must reproduce the reference bits.
+    const auto t = topo::make_mesh(6, 6);
+    const auto rt = RouteTable::build(t, RoutingPolicy::kUpDown);
+    const auto demands = random_demands(36, 23, 60, 400);
+    const auto ref = [&] {
+        SimConfig cfg;
+        cfg.max_cycles = 2'000'000;
+        cfg.injection_rate = 0.05;
+        return run_with(t, rt, demands, cfg, SimCore::kReference);
+    }();
+    for (const std::int32_t regions : {1, 2, 5, 7}) {
+        SimConfig cfg;
+        cfg.max_cycles = 2'000'000;
+        cfg.injection_rate = 0.05;
+        cfg.regions = regions;
+        const auto r = run_with(t, rt, demands, cfg, SimCore::kRegional);
+        const std::string tag = "forced regions=" + std::to_string(regions);
+        EXPECT_EQ(r.cycles, ref.cycles) << tag;
+        EXPECT_EQ(r.packets, ref.packets) << tag;
+        EXPECT_EQ(r.flit_hops, ref.flit_hops) << tag;
+        EXPECT_EQ(r.packet_latency.mean(), ref.packet_latency.mean()) << tag;
+        EXPECT_EQ(r.router_flits, ref.router_flits) << tag;
+        EXPECT_EQ(r.link_flits, ref.link_flits) << tag;
+        expect_conserved(r, tag);
+        EXPECT_LE(r.cycles_stepped, ref.cycles_stepped) << tag;
+    }
+}
+
 TEST(EventHorizon, StatisticsAreZeroWorkOnEmptyRun) {
     const auto t = topo::make_mesh(2, 2);
     const auto rt = RouteTable::build(t, RoutingPolicy::kShortestPath);
@@ -200,6 +312,16 @@ TEST(EventHorizon, StatisticsAreZeroWorkOnEmptyRun) {
 TEST(EventHorizon, CoreNamesAreStable) {
     EXPECT_STREQ(sim_core_name(SimCore::kReference), "reference");
     EXPECT_STREQ(sim_core_name(SimCore::kEventHorizon), "event-horizon");
+    EXPECT_STREQ(sim_core_name(SimCore::kRegional), "regional");
+    for (const auto core :
+         {SimCore::kReference, SimCore::kEventHorizon, SimCore::kRegional}) {
+        const auto parsed = sim_core_from_name(sim_core_name(core));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, core);
+    }
+    EXPECT_EQ(sim_core_from_name("event_horizon"), SimCore::kEventHorizon);
+    EXPECT_FALSE(sim_core_from_name("warp").has_value());
+    EXPECT_FALSE(sim_core_from_name("").has_value());
 }
 
 }  // namespace

@@ -42,6 +42,9 @@ TEST(ScenarioJson, SimConfigRoundTrip) {
     c.injection_rate = 0.125;
     c.core = noc::SimCore::kReference;
     EXPECT_EQ(round_trip(c, sim_config_from_json), c);
+    c.core = noc::SimCore::kRegional;
+    c.regions = 5;
+    EXPECT_EQ(round_trip(c, sim_config_from_json), c);
     EXPECT_EQ(round_trip(noc::SimConfig{}, sim_config_from_json),
               noc::SimConfig{});
 }
@@ -68,6 +71,7 @@ TEST(ScenarioJson, EvalConfigRoundTrip) {
 TEST(ScenarioJson, EnumsRejectUnknownNames) {
     EXPECT_THROW((void)arch_from_string("torus"), std::invalid_argument);
     EXPECT_THROW((void)sim_core_from_json(Json("warp")), std::invalid_argument);
+    EXPECT_EQ(sim_core_from_json(Json("regional")), noc::SimCore::kRegional);
     EXPECT_THROW((void)admission_policy_from_json(Json("lifo")),
                  std::invalid_argument);
     EXPECT_THROW((void)arrival_process_from_json(Json("pareto")),
@@ -167,6 +171,11 @@ TEST(ScenarioJson, DynamicResultRoundTrip) {
     r.sim_cycles_stepped = 9876;
     r.sim_cycles_skipped = 54321;
     r.sim_horizon_jumps = 17;
+    r.sim_region_cycles_stepped = 111222333444;
+    r.sim_region_cycles_skipped = 555666777888;
+    r.sim_region_horizon_jumps = 23;
+    r.sim_region_stepped_max = 9000;
+    r.sim_region_stepped_min = 12;
     EXPECT_EQ(round_trip(r, dynamic_result_from_json), r);
     EXPECT_EQ(round_trip(experiment::DynamicResult{}, dynamic_result_from_json),
               experiment::DynamicResult{});

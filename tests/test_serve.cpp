@@ -47,6 +47,11 @@ void expect_identical(const ServeStats& a, const ServeStats& b) {
     EXPECT_EQ(a.sim_cycles_stepped, b.sim_cycles_stepped);
     EXPECT_EQ(a.sim_cycles_skipped, b.sim_cycles_skipped);
     EXPECT_EQ(a.sim_horizon_jumps, b.sim_horizon_jumps);
+    EXPECT_EQ(a.sim_region_cycles_stepped, b.sim_region_cycles_stepped);
+    EXPECT_EQ(a.sim_region_cycles_skipped, b.sim_region_cycles_skipped);
+    EXPECT_EQ(a.sim_region_horizon_jumps, b.sim_region_horizon_jumps);
+    EXPECT_EQ(a.sim_region_stepped_max, b.sim_region_stepped_max);
+    EXPECT_EQ(a.sim_region_stepped_min, b.sim_region_stepped_min);
     ASSERT_EQ(a.per_class.size(), b.per_class.size());
     for (std::size_t c = 0; c < a.per_class.size(); ++c) {
         EXPECT_EQ(a.per_class[c].arrived, b.per_class[c].arrived);
@@ -293,6 +298,9 @@ TEST(ServeSweep, AggregateWeighsReplications) {
     a.completed = 10;
     a.p95_latency_cycles = 100.0;
     a.throughput_per_mcycle = 50.0;
+    a.sim_region_cycles_stepped = 40;
+    a.sim_region_cycles_skipped = 60;
+    a.sim_region_horizon_jumps = 4;
     ServeStats b;
     b.arrived = 10;
     b.completed = 8;
@@ -300,6 +308,9 @@ TEST(ServeSweep, AggregateWeighsReplications) {
     b.sla_violations = 2;
     b.p95_latency_cycles = 300.0;
     b.throughput_per_mcycle = 30.0;
+    b.sim_region_cycles_stepped = 10;
+    b.sim_region_cycles_skipped = 30;
+    b.sim_region_horizon_jumps = 3;
     const std::vector<ServeStats> runs{a, b};
     const auto agg = aggregate(runs);
     EXPECT_EQ(agg.arrived, 20);
@@ -307,6 +318,9 @@ TEST(ServeSweep, AggregateWeighsReplications) {
     EXPECT_DOUBLE_EQ(agg.p95_latency_cycles, 200.0);
     EXPECT_DOUBLE_EQ(agg.mean_throughput_per_mcycle, 40.0);
     EXPECT_DOUBLE_EQ(agg.sla_violation_rate(), 0.1);
+    EXPECT_EQ(agg.sim_region_cycles_stepped, 50);
+    EXPECT_EQ(agg.sim_region_cycles_skipped, 90);
+    EXPECT_EQ(agg.sim_region_horizon_jumps, 7);
 }
 
 }  // namespace

@@ -318,7 +318,8 @@ TEST(Simulator, IdleFastForwardClampsCappedRuns) {
     SimConfig cfg;
     cfg.injection_rate = 1e-6;  // second packet schedules ~1e7 cycles out
     cfg.max_cycles = 1'000;
-    for (const auto core : {SimCore::kReference, SimCore::kEventHorizon}) {
+    for (const auto core :
+         {SimCore::kReference, SimCore::kEventHorizon, SimCore::kRegional}) {
         cfg.core = core;
         Simulator sim(t, rt, cfg);
         sim.add_demand({0, 3, 8});  // delivered almost immediately

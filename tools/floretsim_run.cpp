@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/core/sweep.h"
+#include "src/noc/simulator.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/shard.h"
 #include "src/util/json.h"
@@ -65,6 +66,7 @@ struct DriverOptions {
                  "usage: %s [--list] [--only A,B,...] [--spec FILE]... \n"
                  "       [--set KEY=VALUE]... [--threads N] [--seed N] "
                  "[--json PATH] [--shards N]\n"
+                 "       [--core reference|event-horizon|regional]\n"
                  "       %s --worker --points FILE [--rows-out FILE] "
                  "[--shard i/N] [--threads N]\n"
                  "override keys: %s\n",
@@ -110,6 +112,15 @@ DriverOptions parse(int argc, char** argv) {
             opt.has_seed = true;
         } else if (arg == "--json") {
             opt.json_path = need_value(i++, "--json");
+        } else if (arg == "--core") {
+            const std::string value = need_value(i++, "--core");
+            if (!noc::sim_core_from_name(value))
+                usage(argv[0], "--core expects reference, event-horizon or "
+                               "regional, got " + value);
+            // The process-wide env override is the switch every simulation
+            // honors, and forked shard workers inherit the environment —
+            // one flag covers coordinator and workers alike.
+            setenv("FLORETSIM_SIM_CORE", value.c_str(), 1);
         } else if (arg == "--shards") {
             const std::string_view value = need_value(i++, "--shards");
             const auto [p, ec] = std::from_chars(
@@ -319,6 +330,9 @@ int main(int argc, char** argv) {
     util::Json driver = util::Json::object();
     driver.set("threads", engine.thread_count());
     driver.set("shards", opt.shards);
+    driver.set("sim_core",
+               std::string(noc::sim_core_name(
+                   noc::resolved_sim_core(noc::SimConfig{}.core))));
     driver.set("scenarios_run",
                static_cast<std::int64_t>(selected.size()) - failures);
     driver.set("scenarios_failed", static_cast<std::int64_t>(failures));
