@@ -130,6 +130,5 @@ int main(int argc, char** argv) {
     report.add_table("weight_load", wload);
     report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
     bench::add_point_timing(report, sweep);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -42,6 +42,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("cost_fabrication");
     report.add_table("cost", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

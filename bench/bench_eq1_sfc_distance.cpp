@@ -53,6 +53,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("eq1_sfc_distance");
     report.add_table("distance", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -50,6 +50,5 @@ int main(int argc, char** argv) {
     report.add_metric("tail_head_distance", d_opt);
     report.add_metric("tail_head_distance_naive", d_naive);
     report.add_metric("links", t.link_count());
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -65,6 +65,5 @@ int main(int argc, char** argv) {
     bench::JsonReport report("fig2_ports_links");
     report.add_table("ports", ports);
     report.add_table("links", links);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

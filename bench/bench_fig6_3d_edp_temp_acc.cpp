@@ -90,6 +90,5 @@ int main(int argc, char** argv) {
     report.add_metric("mean_edp_gain_pct", edp_gain_sum / 5.0);
     report.add_metric("mean_peak_excess_k", delta_k_sum / 5.0);
     report.add_metric("worst_accuracy_drop", worst_acc);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -69,6 +69,5 @@ int main(int argc, char** argv) {
     report.add_metric("peak_k_perf_only", ra.peak_k());
     report.add_metric("peak_k_joint", rb.peak_k());
     report.add_metric("peak_delta_k", delta);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

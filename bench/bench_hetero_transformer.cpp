@@ -77,6 +77,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("hetero_transformer");
     report.add_table("latency", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

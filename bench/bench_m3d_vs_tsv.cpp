@@ -77,6 +77,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("m3d_vs_tsv");
     report.add_table("comparison", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

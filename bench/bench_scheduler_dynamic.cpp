@@ -50,6 +50,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("scheduler_dynamic");
     report.add_table("allocation", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

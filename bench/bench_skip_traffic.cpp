@@ -241,6 +241,6 @@ int main(int argc, char** argv) {
     report.add_table("drain_core_ab", drain_t);
     report.add_metric("cores_agree", all_agree ? 1.0 : 0.0);
 
-    report.write(opt.json_path);
-    return all_agree ? 0 : 1;
+    const int write_rc = bench::finish(opt, report);
+    return all_agree ? write_rc : 1;
 }

@@ -49,6 +49,5 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report("table1_workloads");
     report.add_table("workloads", t);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -61,8 +61,7 @@ int run_serial(const bench::Options& opt) {
     report.add_metric("sweep_wall_seconds", wall_seconds);
     report.add_metric("sweep_threads", 1);
     report.add_metric("sweep_serial", 1.0);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }
 
 }  // namespace

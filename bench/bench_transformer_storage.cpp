@@ -48,6 +48,5 @@ int main(int argc, char** argv) {
     bench::JsonReport report("transformer_storage");
     report.add_table("storage", t);
     report.add_table("kernels", k);
-    report.write(opt.json_path);
-    return 0;
+    return bench::finish(opt, report);
 }

@@ -8,6 +8,8 @@
 #include <string_view>
 
 #include "src/noc/simulator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace floretsim::bench {
 namespace {
@@ -16,7 +18,7 @@ namespace {
     std::fprintf(stderr,
                  "%s: %s\nusage: %s [--threads N] [--json PATH] [--serial] "
                  "[--seed N] [--core reference|event-horizon|regional] "
-                 "[args...]\n",
+                 "[--trace-out PATH] [--metrics-out PATH] [args...]\n",
                  argv0, msg.c_str(), argv0);
     std::exit(2);
 }
@@ -60,6 +62,12 @@ Options Options::parse(int argc, char** argv) {
             // the CLI just sets it before the first Simulator is built.
             setenv("FLORETSIM_SIM_CORE", value.c_str(), 1);
             opt.core = value;
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc) usage_error(argv[0], "--trace-out needs a path");
+            opt.trace_out = argv[++i];
+        } else if (arg == "--metrics-out") {
+            if (i + 1 >= argc) usage_error(argv[0], "--metrics-out needs a path");
+            opt.metrics_out = argv[++i];
         } else if (arg == "--serial") {
             opt.serial = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -70,6 +78,11 @@ Options Options::parse(int argc, char** argv) {
             opt.positional.push_back(arg);
         }
     }
+    // Observability is opt-in per flag and enabled at parse time, before
+    // the bench body runs, so every span and counter of the run lands in
+    // the requested files.
+    if (!opt.trace_out.empty()) obs::Tracer::global().enable();
+    if (!opt.metrics_out.empty()) obs::MetricsRegistry::global().enable();
     return opt;
 }
 
@@ -83,13 +96,23 @@ int run_registered_scenario(
         if (tweak) tweak(spec);
         core::SweepEngine engine(opt.threads);
         scenario::RunContext ctx{engine, std::cout};
-        const JsonReport report = sc.report(spec, ctx);
-        report.write(opt.json_path);
-        return 0;
+        JsonReport report = sc.report(spec, ctx);
+        report.set_run_info("seed", static_cast<std::int64_t>(
+                                        scenario::effective_seed(spec)));
+        report.set_run_info("threads", engine.thread_count());
+        return finish(opt, report);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(), e.what());
         return 1;
     }
+}
+
+int finish(const Options& opt, const JsonReport& report) {
+    int rc = 0;
+    if (!report.write(opt.json_path)) rc = 1;
+    if (!obs::Tracer::global().write(opt.trace_out)) rc = 1;
+    if (!obs::MetricsRegistry::global().write(opt.metrics_out)) rc = 1;
+    return rc;
 }
 
 }  // namespace floretsim::bench

@@ -16,6 +16,8 @@
 ///                   regional) for every simulation of the run; implemented
 ///                   by setting FLORETSIM_SIM_CORE before first use, so it
 ///                   also reaches forked shard workers
+///   --trace-out F   enable span tracing, write Chrome trace-event JSON to F
+///   --metrics-out F enable the metrics registry, write its snapshot to F
 ///
 /// Remaining non-flag arguments stay positional (each bench documents its
 /// own); unrecognized --flags are a usage error so typos cannot silently
@@ -54,6 +56,8 @@ struct Options {
     std::uint64_t seed = 0;    ///< Only meaningful when has_seed.
     bool has_seed = false;     ///< --seed was given on the command line.
     std::string core;          ///< --core name; empty = config/env default.
+    std::string trace_out;     ///< --trace-out path; empty = tracing off.
+    std::string metrics_out;   ///< --metrics-out path; empty = metrics off.
     std::vector<std::string> positional;
 
     /// The CLI seed when given, the bench's own default otherwise.
@@ -73,5 +77,13 @@ struct Options {
 int run_registered_scenario(
     const std::string& name, const Options& opt,
     const std::function<void(scenario::SpecVariant&)>& tweak = {});
+
+/// The uniform bench epilogue: writes the JSON report to --json and the
+/// enabled observability outputs to --trace-out/--metrics-out. Returns
+/// the process exit code — nonzero when any requested file could not be
+/// written, so a full disk or a bad path can never masquerade as a
+/// successful run. Benches return `finish(opt, report)` (or combine it
+/// with their own status: `rc | finish(...)`).
+[[nodiscard]] int finish(const Options& opt, const JsonReport& report);
 
 }  // namespace floretsim::bench

@@ -128,5 +128,99 @@ else
     fail=1
 fi
 
+# Observability smoke: the obs layer's acceptance contract.
+#   1. Report parity: the same run with tracing+metrics on and off must
+#      produce identical reports once volatile (wall-clock-derived) keys
+#      are stripped — observability can describe a run, never change it.
+#   2. --trace-out writes valid Chrome trace JSON with events; the
+#      --metrics-out snapshot carries the instrumented counters.
+#   3. A sharded run streams live per-shard heartbeat lines to stderr and
+#      merges every worker's trace into the coordinator's file.
+#   4. Unwritable output paths exit nonzero (driver and bench binaries).
+obs_args=(--only fig3 --set traffic_scale=1/128 --threads 2)
+obs_ok=1
+"$driver" "${obs_args[@]}" --json "$out_dir/obs_off.json" \
+    > "$out_dir/obs_off.log" 2>&1 || obs_ok=0
+"$driver" "${obs_args[@]}" --json "$out_dir/obs_on.json" \
+    --trace-out "$out_dir/obs.trace.json" \
+    --metrics-out "$out_dir/obs.metrics.json" \
+    > "$out_dir/obs_on.log" 2>&1 || obs_ok=0
+"$driver" "${obs_args[@]}" --shards 2 --json "$out_dir/obs_shard.json" \
+    --trace-out "$out_dir/obs_shard.trace.json" \
+    > "$out_dir/obs_shard.log" 2> "$out_dir/obs_shard.err" || obs_ok=0
+if [ "$obs_ok" = 1 ] && python3 - "$out_dir" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+VOLATILE = ("seconds", "wall", "imbalance", "cache", "threads", "shards")
+def strip(o):
+    if isinstance(o, dict):
+        return {k: strip(v) for k, v in o.items()
+                if not any(s in k for s in VOLATILE)}
+    if isinstance(o, list):
+        return [strip(v) for v in o]
+    return o
+
+off = json.load(open(f"{out}/obs_off.json"))
+on = json.load(open(f"{out}/obs_on.json"))
+shard = json.load(open(f"{out}/obs_shard.json"))
+assert strip(off["scenarios"]) == strip(on["scenarios"]), (
+    "report changed with tracing/metrics enabled")
+assert strip(off["scenarios"]) == strip(shard["scenarios"]), (
+    "report changed under --shards with tracing enabled")
+
+trace = json.load(open(f"{out}/obs.trace.json"))
+assert trace["traceEvents"], "trace has no events"
+for e in trace["traceEvents"]:
+    assert {"ph", "pid"} <= set(e), f"malformed trace event: {e}"
+names = {e.get("name") for e in trace["traceEvents"]}
+assert {"sweep_point", "evaluate_noi", "fig3"} <= names, (
+    f"expected spans missing: {sorted(names)}")
+
+merged = json.load(open(f"{out}/obs_shard.trace.json"))
+pids = {e.get("pid") for e in merged["traceEvents"]}
+assert len(pids) >= 3, (
+    f"merged trace should span coordinator + 2 workers, got pids {pids}")
+
+metrics = json.load(open(f"{out}/obs.metrics.json"))
+assert metrics["counters"].get("sweep.points", 0) > 0, "no sweep.points"
+assert "sim.run_cycles" in metrics["histograms"], "no sim.run_cycles histogram"
+
+hb_lines = [l for l in open(f"{out}/obs_shard.err") if l.startswith("[shard ")]
+assert hb_lines, "no live per-shard heartbeat lines on coordinator stderr"
+assert any(l.startswith("[shards]") for l in open(f"{out}/obs_shard.err")), (
+    "no end-of-sweep straggler summary")
+print(f"obs smoke ok: parity held, {len(trace['traceEvents'])} trace events, "
+      f"{len(pids)} processes merged, {len(hb_lines)} heartbeat lines")
+EOF
+then
+    echo "ok   observability (parity, trace, metrics, heartbeats)"
+    ran=$((ran + 1))
+else
+    echo "FAIL observability smoke" >&2
+    tail -5 "$out_dir/obs_off.log" "$out_dir/obs_on.log" \
+        "$out_dir/obs_shard.err" >&2
+    fail=1
+fi
+
+# Write-failure propagation: requested-but-unwritable outputs must be a
+# nonzero exit, for the driver and for a bench binary alike.
+if "$driver" --only fig4 --json /nonexistent-dir/x.json \
+        > /dev/null 2>&1; then
+    echo "FAIL driver: unwritable --json exited zero" >&2
+    fail=1
+elif "$driver" --only fig4 --trace-out /nonexistent-dir/t.json \
+        > /dev/null 2>&1; then
+    echo "FAIL driver: unwritable --trace-out exited zero" >&2
+    fail=1
+elif "$build_dir/bench_fig1_floret_layout" --json /nonexistent-dir/x.json \
+        > /dev/null 2>&1; then
+    echo "FAIL bench: unwritable --json exited zero" >&2
+    fail=1
+else
+    echo "ok   write-failure propagation (driver + bench exit nonzero)"
+    ran=$((ran + 1))
+fi
+
 echo "bench_smoke: $ran smoke runs ok"
 exit $fail

@@ -16,16 +16,17 @@ out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
 "$driver" --only fig3 --set traffic_scale=1/128 --threads 2 \
-    --json "$out_dir/fig3.json" > "$out_dir/fig3.log"
+    --json "$out_dir/fig3.json" --metrics-out "$out_dir/metrics.json" \
+    > "$out_dir/fig3.log"
 
-python3 - "$out_dir/fig3.json" <<'EOF'
+python3 - "$out_dir/fig3.json" "$out_dir/metrics.json" <<'EOF'
 import json, math, sys
 
 doc = json.load(open(sys.argv[1]))
 
 assert set(doc) == {"driver", "scenarios"}, f"top-level keys: {set(doc)}"
 
-DRIVER_KEYS = {"threads", "shards", "sim_core", "scenarios_run",
+DRIVER_KEYS = {"run_info", "threads", "shards", "sim_core", "scenarios_run",
                "scenarios_failed", "wall_seconds", "fabric_cache_hits",
                "fabric_cache_misses"}
 assert set(doc["driver"]) == DRIVER_KEYS, (
@@ -34,12 +35,29 @@ assert doc["driver"]["scenarios_run"] == 1
 assert doc["driver"]["scenarios_failed"] == 0
 assert doc["driver"]["sim_core"] in {"reference", "event-horizon", "regional"}
 
+DRIVER_RUN_INFO_KEYS = {"build_type", "compiler", "git_sha", "sim_core",
+                        "threads", "shards", "seed"}
+driver_info = doc["driver"]["run_info"]
+assert set(driver_info) == DRIVER_RUN_INFO_KEYS, (
+    f"driver run_info keys: {sorted(set(driver_info) ^ DRIVER_RUN_INFO_KEYS)}")
+for key in ("build_type", "compiler", "git_sha"):
+    assert isinstance(driver_info[key], str) and driver_info[key], (
+        f"run_info.{key} must be a non-empty string")
+assert driver_info["seed"] is None, "no --seed given: seed must be null"
+
 assert set(doc["scenarios"]) == {"fig3"}
 fig3 = doc["scenarios"]["fig3"]
-assert set(fig3) == {"bench", "sim_core", "metrics", "tables"}, (
+assert set(fig3) == {"bench", "sim_core", "run_info", "metrics", "tables"}, (
     f"fig3 keys: {set(fig3)}")
 assert fig3["bench"] == "fig3_latency"
 assert fig3["sim_core"] in {"reference", "event-horizon", "regional"}
+
+SCENARIO_RUN_INFO_KEYS = {"build_type", "compiler", "git_sha", "sim_core",
+                          "seed", "threads"}
+assert set(fig3["run_info"]) == SCENARIO_RUN_INFO_KEYS, (
+    f"fig3 run_info keys: "
+    f"{sorted(set(fig3['run_info']) ^ SCENARIO_RUN_INFO_KEYS)}")
+assert isinstance(fig3["run_info"]["seed"], int), "scenario seed is effective"
 
 METRIC_KEYS = {"sweep_wall_seconds", "sweep_threads",
                "point_seconds_min", "point_seconds_mean", "point_seconds_max",
@@ -62,6 +80,18 @@ for row in table["rows"]:
     assert len(row) == len(cols)
     assert all(isinstance(c, str) and c for c in row), f"bad cells: {row}"
 
-print("report schema ok: driver/scenario/table/metric key sets pinned,",
-      f"{len(METRIC_KEYS)} metrics finite")
+# The --metrics-out snapshot: top-level shape and the core hot-path
+# counters every instrumented run of fig3 must produce.
+metrics = json.load(open(sys.argv[2]))
+assert set(metrics) == {"counters", "gauges", "histograms"}, (
+    f"metrics snapshot keys: {set(metrics)}")
+CORE_COUNTERS = {"sweep.points", "arch_cache.misses", "noi.evals",
+                 "sim.runs", "sim.cycles", "mix.runs"}
+missing = CORE_COUNTERS - set(metrics["counters"])
+assert not missing, f"metrics counters missing: {sorted(missing)}"
+for key, value in metrics["counters"].items():
+    assert isinstance(value, int) and value >= 0, f"counter {key}: {value!r}"
+
+print("report schema ok: driver/scenario/run_info/table/metric key sets",
+      f"pinned, {len(METRIC_KEYS)} metrics finite, metrics snapshot shape ok")
 EOF

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/dnn/traffic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace floretsim::core {
 
@@ -43,6 +45,8 @@ std::vector<dnn::Flow> pipeline_flows(const MappedTask& task,
 
 EvalResult evaluate_noi(const topo::Topology& topo, const noc::RouteTable& routes,
                         std::span<const MappedTask> tasks, const EvalConfig& cfg) {
+    const obs::Span span("evaluate_noi", "noi");
+    obs::MetricsRegistry::global().add("noi.evals");
     noc::Simulator sim(topo, routes, cfg.sim);
 
     for (const MappedTask& task : tasks) {

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "src/cost/models.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/topo/kite.h"
 #include "src/topo/mesh.h"
 #include "src/topo/swap.h"
@@ -92,9 +94,12 @@ std::shared_ptr<const ArchFabric> ArchCache::get(Arch a, std::int32_t w,
             ++hits_;
         }
     }
+    obs::MetricsRegistry::global().add(builder ? "arch_cache.misses"
+                                               : "arch_cache.hits");
     if (builder) {
         std::shared_ptr<const ArchFabric> fabric;
         try {
+            const obs::Span span("build_fabric", "fabric");
             fabric = build_fabric(a, w, h, swap_seed);
         } catch (...) {
             // Wake the losers with the error and drop the entry so a
@@ -282,6 +287,15 @@ DynamicResult run_mix_dynamic(BuiltArch& arch, const workload::ConcurrentMix& mi
                 ++i;
             }
         }
+    }
+    // Wormhole sims actually run vs reused from the residency-epoch cache
+    // — the reuse ratio is the round-level eval-cache win per mix.
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.add("noi.sims_run", out.noi_evals);
+        metrics.add("noi.sims_reused", out.round_epoch_hits);
+        metrics.add("mix.runs");
+        metrics.add("mix.rounds", out.rounds);
     }
     return out;
 }

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace floretsim::core {
 
 std::vector<SweepPoint> SweepSpec::expand() const {
@@ -41,6 +44,8 @@ SweepResult SweepEngine::run(const SweepSpec& spec) {
 }
 
 SweepRow evaluate_point(experiment::ArchCache& cache, const SweepPoint& point) {
+    const obs::Span span("sweep_point", "sweep");
+    obs::MetricsRegistry::global().add("sweep.points");
     const auto t0 = std::chrono::steady_clock::now();
     auto arch = experiment::build_arch(cache, point.arch, point.width,
                                        point.height, point.swap_seed,

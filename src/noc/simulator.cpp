@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace floretsim::noc {
 namespace {
 
@@ -294,10 +296,36 @@ public:
             res_.region_stepped_max = std::max(res_.region_stepped_max, r.stepped);
             res_.region_stepped_min = std::min(res_.region_stepped_min, r.stepped);
         }
+        flush_metrics();
         return std::move(res_);
     }
 
 private:
+    /// One end-of-run flush into the process metrics registry: every
+    /// value is a deterministic work quantity out of res_ (never wall
+    /// clock), so snapshots stay bit-identical across thread counts. The
+    /// per-phase flit counters split a run's movement into its three
+    /// engine phases — inject (flits entering source FIFOs), allocate
+    /// (hops won through switch allocation), eject (flits leaving the
+    /// fabric) — and the region counters expose how much of the fabric
+    /// the kRegional core actually stepped vs slept.
+    void flush_metrics() const {
+        auto& m = obs::MetricsRegistry::global();
+        if (!m.enabled()) return;
+        m.add("sim.runs");
+        m.add("sim.cycles", res_.cycles);
+        m.add("sim.cycles_stepped", res_.cycles_stepped);
+        m.add("sim.cycles_skipped", res_.cycles_skipped);
+        m.add("sim.horizon_jumps", res_.horizon_jumps);
+        m.add("sim.phase_inject_flits", injected_flits_);
+        m.add("sim.phase_alloc_hops", res_.flit_hops);
+        m.add("sim.phase_eject_flits", res_.flits);
+        m.add("sim.region_cycles_stepped", res_.region_cycles_stepped);
+        m.add("sim.region_cycles_skipped", res_.region_cycles_skipped);
+        m.add("sim.region_horizon_jumps", res_.region_horizon_jumps);
+        m.observe("sim.run_cycles", static_cast<double>(res_.cycles));
+    }
+
     /// One cycle of the reference semantics over the awake regions.
     void step_awake(const std::int64_t now) {
         // 1. Injection: move due packets into their source FIFOs as flits.
@@ -349,6 +377,7 @@ private:
                 fl.tail = (f == p.flits - 1);
                 inj_fifo_[n].push_back(fl);
                 ++in_flight_flits_;
+                ++injected_flits_;
             }
             ++inj_cursor_[n];
         }
@@ -700,6 +729,7 @@ private:
     std::int64_t total_packets_ = 0;
     std::int64_t delivered_packets_ = 0;
     std::int64_t in_flight_flits_ = 0;
+    std::int64_t injected_flits_ = 0;
 };
 
 }  // namespace

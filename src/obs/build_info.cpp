@@ -1,0 +1,39 @@
+#include "src/obs/build_info.h"
+
+namespace floretsim::obs {
+
+const char* build_type() {
+#ifdef FLORETSIM_BUILD_TYPE
+    return FLORETSIM_BUILD_TYPE[0] ? FLORETSIM_BUILD_TYPE : "unknown";
+#else
+    return "unknown";
+#endif
+}
+
+const char* git_sha() {
+#ifdef FLORETSIM_GIT_SHA
+    return FLORETSIM_GIT_SHA[0] ? FLORETSIM_GIT_SHA : "unknown";
+#else
+    return "unknown";
+#endif
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+util::Json build_info_json() {
+    util::Json j = util::Json::object();
+    j.set("build_type", std::string(build_type()));
+    j.set("compiler", compiler_id());
+    j.set("git_sha", std::string(git_sha()));
+    return j;
+}
+
+}  // namespace floretsim::obs

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "src/util/json.h"
+
+namespace floretsim::obs {
+
+/// Compile-time provenance baked into the library (CMake passes
+/// FLORETSIM_BUILD_TYPE / FLORETSIM_GIT_SHA as compile definitions on
+/// build_info.cpp; "unknown" when unavailable, e.g. a tarball build).
+/// Every JSON report and the driver summary stamp these under "run_info"
+/// so a BENCH_*.json trajectory is attributable to the exact build that
+/// produced it. The git sha is captured at CMake configure time — it
+/// names the checked-out commit, not uncommitted edits on top of it.
+[[nodiscard]] const char* build_type();
+[[nodiscard]] const char* git_sha();
+[[nodiscard]] std::string compiler_id();
+
+/// {"build_type": ..., "compiler": ..., "git_sha": ...}
+[[nodiscard]] util::Json build_info_json();
+
+}  // namespace floretsim::obs

@@ -1,0 +1,278 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/util/stats.h"
+
+namespace floretsim::obs {
+namespace {
+
+/// Log2 bucket key for a histogram sample: the binary exponent from
+/// frexp, so bucket b covers [2^(b-1), 2^b). Samples <= 0 (and
+/// non-finite ones) share the sentinel bucket — histograms here measure
+/// magnitudes (cycles, rounds, bytes), where non-positive values are
+/// degenerate, not interesting.
+constexpr int kNonPositiveBucket = std::numeric_limits<int>::min();
+
+int bucket_of(double v) {
+    if (!(v > 0.0) || !std::isfinite(v)) return kNonPositiveBucket;
+    int exp = 0;
+    (void)std::frexp(v, &exp);
+    return exp;
+}
+
+/// The value a bucket's samples are replayed as when estimating
+/// quantiles: the geometric-ish midpoint 0.75 * 2^b of [2^(b-1), 2^b).
+double bucket_representative(int bucket) {
+    if (bucket == kNonPositiveBucket) return 0.0;
+    return std::ldexp(0.75, bucket);
+}
+
+struct HistData {
+    std::int64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    std::map<int, std::int64_t> buckets;
+
+    void observe(double v) {
+        if (count == 0) {
+            min = max = v;
+        } else {
+            min = std::min(min, v);
+            max = std::max(max, v);
+        }
+        ++count;
+        ++buckets[bucket_of(v)];
+    }
+
+    void merge(const HistData& other) {
+        if (other.count == 0) return;
+        if (count == 0) {
+            min = other.min;
+            max = other.max;
+        } else {
+            min = std::min(min, other.min);
+            max = std::max(max, other.max);
+        }
+        count += other.count;
+        for (const auto& [b, n] : other.buckets) buckets[b] += n;
+    }
+};
+
+}  // namespace
+
+struct MetricsRegistry::Shard {
+    std::mutex mu;
+    std::map<std::string, std::int64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, HistData, std::less<>> hists;
+};
+
+namespace {
+
+std::uint64_t next_registry_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+    // Per-thread cache of this registry's shard. Keyed by the registry id
+    // (never reused), so a destroyed registry can only ever miss. Shards
+    // are cleared, never deallocated, by reset() — cached pointers stay
+    // valid for the registry's lifetime.
+    struct CacheEntry {
+        std::uint64_t id;
+        Shard* shard;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto& e : cache)
+        if (e.id == id_) return *e.shard;
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard* shard = shards_.back().get();
+    cache.push_back({id_, shard});
+    return *shard;
+}
+
+void MetricsRegistry::add(std::string_view counter, std::int64_t delta) {
+    if (!enabled()) return;
+    Shard& shard = local_shard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.counters.find(counter);
+    if (it == shard.counters.end())
+        shard.counters.emplace(std::string(counter), delta);
+    else
+        it->second += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view gauge, double value) {
+    if (!enabled()) return;
+    Shard& shard = local_shard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.gauges.find(gauge);
+    if (it == shard.gauges.end())
+        shard.gauges.emplace(std::string(gauge), value);
+    else
+        it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value) {
+    if (!enabled()) return;
+    Shard& shard = local_shard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.hists.find(histogram);
+    if (it == shard.hists.end()) it = shard.hists.emplace(std::string(histogram), HistData{}).first;
+    it->second.observe(value);
+}
+
+util::Json MetricsRegistry::snapshot() const {
+    // Merge every shard into sorted scratch maps first: the result must
+    // depend only on what was recorded, not on which thread recorded it
+    // (shard registration order is scheduling-dependent; integer sums and
+    // sorted keys erase it). Gauges are the one last-writer-wins case —
+    // see the class comment.
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistData> hists;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& shard : shards_) {
+            const std::lock_guard<std::mutex> shard_lock(shard->mu);
+            for (const auto& [k, v] : shard->counters) counters[k] += v;
+            for (const auto& [k, v] : shard->gauges) gauges[k] = v;
+            for (const auto& [k, v] : shard->hists) hists[k].merge(v);
+        }
+    }
+
+    util::Json doc = util::Json::object();
+    util::Json counters_json = util::Json::object();
+    for (const auto& [k, v] : counters) counters_json.set(k, v);
+    doc.set("counters", std::move(counters_json));
+    util::Json gauges_json = util::Json::object();
+    for (const auto& [k, v] : gauges) gauges_json.set(k, v);
+    doc.set("gauges", std::move(gauges_json));
+    util::Json hists_json = util::Json::object();
+    for (const auto& [k, h] : hists) {
+        util::Json entry = util::Json::object();
+        entry.set("count", h.count);
+        entry.set("min", h.min);
+        entry.set("max", h.max);
+        // Replay the buckets in ascending order through P² — one
+        // deterministic insertion sequence regardless of how the samples
+        // were split across threads.
+        util::P2Quantile p50(0.50), p95(0.95), p99(0.99);
+        for (const auto& [b, n] : h.buckets) {
+            const double rep = bucket_representative(b);
+            for (std::int64_t i = 0; i < n; ++i) {
+                p50.add(rep);
+                p95.add(rep);
+                p99.add(rep);
+            }
+        }
+        entry.set("p50", p50.value());
+        entry.set("p95", p95.value());
+        entry.set("p99", p99.value());
+        util::Json buckets = util::Json::object();
+        for (const auto& [b, n] : h.buckets)
+            buckets.set(b == kNonPositiveBucket ? std::string("nonpos")
+                                                : std::to_string(b),
+                        n);
+        entry.set("buckets", std::move(buckets));
+        hists_json.set(k, std::move(entry));
+    }
+    doc.set("histograms", std::move(hists_json));
+    return doc;
+}
+
+bool MetricsRegistry::write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                     path.c_str());
+        return false;
+    }
+    f << util::json_serialize(snapshot());
+    return static_cast<bool>(f);
+}
+
+void MetricsRegistry::absorb(const util::Json& snapshot_doc) {
+    if (snapshot_doc.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("metrics snapshot: expected an object");
+    const util::Json* counters = snapshot_doc.find("counters");
+    const util::Json* gauges = snapshot_doc.find("gauges");
+    const util::Json* hists = snapshot_doc.find("histograms");
+    if (!counters || !gauges || !hists)
+        throw std::invalid_argument(
+            "metrics snapshot: need counters, gauges, and histograms");
+
+    // Parse fully before touching the shard, so a malformed document
+    // cannot leave a half-merged registry behind.
+    std::vector<std::pair<std::string, std::int64_t>> counter_adds;
+    for (const auto& [k, v] : counters->as_object())
+        counter_adds.emplace_back(k, v.as_int());
+    std::vector<std::pair<std::string, double>> gauge_sets;
+    for (const auto& [k, v] : gauges->as_object())
+        gauge_sets.emplace_back(k, v.as_double());
+    std::vector<std::pair<std::string, HistData>> hist_merges;
+    for (const auto& [k, v] : hists->as_object()) {
+        const util::Json* count = v.find("count");
+        const util::Json* min = v.find("min");
+        const util::Json* max = v.find("max");
+        const util::Json* buckets = v.find("buckets");
+        if (!count || !min || !max || !buckets)
+            throw std::invalid_argument("metrics snapshot: histogram \"" + k +
+                                        "\" needs count/min/max/buckets");
+        HistData h;
+        h.count = count->as_int();
+        h.min = min->as_double();
+        h.max = max->as_double();
+        for (const auto& [bk, bn] : buckets->as_object()) {
+            int bucket = kNonPositiveBucket;
+            if (bk != "nonpos") {
+                const auto [p, ec] =
+                    std::from_chars(bk.data(), bk.data() + bk.size(), bucket);
+                if (ec != std::errc() || p != bk.data() + bk.size())
+                    throw std::invalid_argument(
+                        "metrics snapshot: bad bucket key \"" + bk + "\"");
+            }
+            h.buckets[bucket] += bn.as_int();
+        }
+        hist_merges.emplace_back(k, std::move(h));
+    }
+
+    Shard& shard = local_shard();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [k, v] : counter_adds) shard.counters[std::move(k)] += v;
+    for (auto& [k, v] : gauge_sets) shard.gauges[std::move(k)] = v;
+    for (auto& [k, h] : hist_merges) shard.hists[std::move(k)].merge(h);
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mu);
+        shard->counters.clear();
+        shard->gauges.clear();
+        shard->hists.clear();
+    }
+}
+
+}  // namespace floretsim::obs

@@ -1,0 +1,217 @@
+#include "src/obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace floretsim::obs {
+namespace {
+
+struct Event {
+    const char* name;
+    const char* cat;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+};
+
+std::uint64_t next_tracer_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+struct Tracer::ThreadLog {
+    std::mutex mu;
+    std::size_t capacity = kDefaultCapacity;
+    std::vector<Event> ring;
+    std::uint64_t total = 0;  ///< Events ever recorded; ring holds the tail.
+    std::int32_t tid = 0;     ///< Registration index, the exported "tid".
+};
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::enable(std::size_t capacity_per_thread) {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        capacity_ = std::max<std::size_t>(1, capacity_per_thread);
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_us() noexcept {
+    // steady_clock is CLOCK_MONOTONIC on Linux: one host-wide timeline,
+    // so coordinator and worker spans merge without re-basing.
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Tracer::ThreadLog& Tracer::local_log() {
+    struct CacheEntry {
+        std::uint64_t id;
+        ThreadLog* log;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const auto& e : cache)
+        if (e.id == id_) return *e.log;
+    const std::lock_guard<std::mutex> lock(mu_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    ThreadLog* log = logs_.back().get();
+    log->capacity = capacity_;
+    log->tid = static_cast<std::int32_t>(logs_.size());
+    cache.push_back({id_, log});
+    return *log;
+}
+
+void Tracer::record(const char* name, const char* cat, std::int64_t ts_us,
+                    std::int64_t dur_us) {
+    if (!enabled()) return;
+    ThreadLog& log = local_log();
+    const std::lock_guard<std::mutex> lock(log.mu);
+    const Event e{name, cat, ts_us, dur_us};
+    if (log.ring.size() < log.capacity)
+        log.ring.push_back(e);
+    else
+        log.ring[static_cast<std::size_t>(log.total % log.capacity)] = e;
+    ++log.total;
+}
+
+const char* Tracer::intern(std::string_view s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = intern_index_.find(s);
+    if (it != intern_index_.end()) return it->second;
+    interned_.emplace_back(s);
+    const char* stable = interned_.back().c_str();
+    intern_index_.emplace(std::string(s), stable);
+    return stable;
+}
+
+void Tracer::set_process_label(std::string label) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    process_label_ = std::move(label);
+}
+
+void Tracer::absorb(const util::Json& chrome_doc) {
+    if (chrome_doc.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("chrome trace: expected an object");
+    const util::Json* events = chrome_doc.find("traceEvents");
+    if (!events || events->kind() != util::Json::Kind::kArray)
+        throw std::invalid_argument("chrome trace: need a traceEvents array");
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : events->as_array()) foreign_.push_back(e);
+}
+
+util::Json Tracer::chrome_trace() const {
+    struct Tagged {
+        Event event;
+        std::int32_t tid;
+    };
+    std::vector<Tagged> own;
+    std::string label;
+    std::vector<util::Json> foreign;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& log : logs_) {
+            const std::lock_guard<std::mutex> log_lock(log->mu);
+            // Ring order is irrelevant here: the export sorts by
+            // timestamp anyway, so just take every held event.
+            for (const auto& e : log->ring) own.push_back({e, log->tid});
+        }
+        label = process_label_;
+        foreign = foreign_;
+    }
+    std::sort(own.begin(), own.end(), [](const Tagged& a, const Tagged& b) {
+        if (a.event.ts_us != b.event.ts_us) return a.event.ts_us < b.event.ts_us;
+        return a.tid < b.tid;
+    });
+
+    const std::int64_t pid = static_cast<std::int64_t>(getpid());
+    util::Json events = util::Json::array();
+    if (!label.empty()) {
+        util::Json meta = util::Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", pid);
+        meta.set("tid", std::int64_t{0});
+        util::Json args = util::Json::object();
+        args.set("name", label);
+        meta.set("args", std::move(args));
+        events.push_back(std::move(meta));
+    }
+    for (const auto& t : own) {
+        util::Json e = util::Json::object();
+        e.set("name", std::string(t.event.name));
+        e.set("cat", std::string(t.event.cat));
+        e.set("ph", "X");
+        e.set("ts", t.event.ts_us);
+        e.set("dur", t.event.dur_us);
+        e.set("pid", pid);
+        e.set("tid", std::int64_t{t.tid});
+        events.push_back(std::move(e));
+    }
+    for (auto& e : foreign) events.push_back(std::move(e));
+
+    util::Json doc = util::Json::object();
+    doc.set("traceEvents", std::move(events));
+    return doc;
+}
+
+bool Tracer::write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+        return false;
+    }
+    f << util::json_serialize(chrome_trace());
+    return static_cast<bool>(f);
+}
+
+std::size_t Tracer::event_count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& log : logs_) {
+        const std::lock_guard<std::mutex> log_lock(log->mu);
+        n += log->ring.size();
+    }
+    return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& log : logs_) {
+        const std::lock_guard<std::mutex> log_lock(log->mu);
+        if (log->total > log->ring.size()) n += log->total - log->ring.size();
+    }
+    return n;
+}
+
+void Tracer::reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& log : logs_) {
+        const std::lock_guard<std::mutex> log_lock(log->mu);
+        log->ring.clear();
+        log->total = 0;
+        log->capacity = capacity_;
+    }
+    foreign_.clear();
+    process_label_.clear();
+    // Interned names may still be referenced by live Span objects on
+    // other threads; reset() is documented as quiesced-only, so clearing
+    // is safe here — but keep the storage anyway: names are tiny and a
+    // stale pointer bug would be far worse than a few retained strings.
+}
+
+}  // namespace floretsim::obs

@@ -153,6 +153,12 @@ void set_seed(SpecVariant& spec, std::uint64_t seed) {
         std::get<ServeGridSpec>(spec).base.base_seed = seed;
 }
 
+std::uint64_t effective_seed(const SpecVariant& spec) {
+    if (const auto* sweep = std::get_if<core::SweepSpec>(&spec))
+        return sweep->run_seed;
+    return std::get<ServeGridSpec>(spec).base.base_seed;
+}
+
 bool is_eval_override_key(std::string_view key) {
     return key == "traffic_scale" || key == "max_cycles" ||
            key == "injection_rate" || key == "sim_core";

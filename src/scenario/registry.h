@@ -84,6 +84,11 @@ private:
 /// base_seed) — the bench `--seed` contract.
 void set_seed(SpecVariant& spec, std::uint64_t seed);
 
+/// The seed a run of `spec` will actually use (the mirror of set_seed):
+/// sweep run_seed / serve base_seed. Reports record it as run_info
+/// provenance.
+[[nodiscard]] std::uint64_t effective_seed(const SpecVariant& spec);
+
 /// Applies one `--set key=value` override in place. Returns false when
 /// the key is recognized but meaningless for this spec kind (e.g.
 /// max_requests on a batch sweep) so the caller can insist that every

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "src/noc/simulator.h"
+#include "src/obs/build_info.h"
 #include "src/util/stats.h"
 
 namespace floretsim::scenario {
@@ -16,6 +17,15 @@ void JsonReport::add_metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
 }
 
+void JsonReport::set_run_info(const std::string& key, util::Json value) {
+    for (auto& [k, v] : run_info_)
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    run_info_.emplace_back(key, std::move(value));
+}
+
 util::Json JsonReport::to_value() const {
     util::Json doc = util::Json::object();
     doc.set("bench", name_);
@@ -26,6 +36,15 @@ util::Json JsonReport::to_value() const {
     doc.set("sim_core",
             std::string(noc::sim_core_name(
                 noc::resolved_sim_core(noc::SimConfig{}.core))));
+    // Provenance: enough to reproduce (or distrust) the numbers — what
+    // binary, which source revision, which simulator core — plus any
+    // run-specific facts layered on via set_run_info.
+    util::Json run_info = obs::build_info_json();
+    run_info.set("sim_core",
+                 std::string(noc::sim_core_name(
+                     noc::resolved_sim_core(noc::SimConfig{}.core))));
+    for (const auto& [key, value] : run_info_) run_info.set(key, value);
+    doc.set("run_info", std::move(run_info));
     util::Json metrics = util::Json::object();
     // Non-finite doubles serialize as null (see util::json_serialize).
     for (const auto& [key, value] : metrics_) metrics.set(key, value);

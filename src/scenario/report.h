@@ -25,6 +25,14 @@ public:
     void add_table(const std::string& key, const util::TextTable& table);
     void add_metric(const std::string& key, double value);
 
+    /// Adds (or overwrites) one provenance field in the report's
+    /// "run_info" object. Build/compiler/git/sim-core fields are always
+    /// present; callers layer run-specific facts (effective seed, thread
+    /// count) on top. Overwrite-on-rekey keeps a report that is finished
+    /// in two stages (scenario body, then the driver) from emitting
+    /// duplicate keys.
+    void set_run_info(const std::string& key, util::Json value);
+
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
     /// The report as a JSON value — the merge point for multi-scenario
@@ -47,6 +55,7 @@ private:
     std::string name_;
     std::vector<Table> tables_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, util::Json>> run_info_;
 };
 
 /// Adds the per-point wall-clock spread of a sweep to the report —

@@ -1,19 +1,27 @@
 #include "src/scenario/shard.h"
 
+#include <poll.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scenario/spec_json.h"
 #include "src/util/json.h"
 
@@ -60,6 +68,53 @@ std::int32_t parse_int32(std::string_view text, const char* what) {
         throw std::invalid_argument(std::string(what) + " \"" +
                                     std::string(text) + "\" is not an integer");
     return v;
+}
+
+/// Absorbs one worker's trace or metrics file into the process-global
+/// sinks. Lenient by design: observability must never fail a sweep that
+/// produced correct rows, so a missing/corrupt file is a warning, not an
+/// error.
+void absorb_worker_obs(const std::string& trace_path,
+                       const std::string& metrics_path, std::int32_t shard,
+                       std::ostream* warn) {
+    const auto read_all = [](const std::string& path,
+                             std::string& out) -> bool {
+        std::ifstream f(path);
+        if (!f) return false;
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        out = ss.str();
+        return true;
+    };
+    const auto complain = [&](const char* what, const std::string& detail) {
+        if (warn)
+            *warn << "shard " << shard << ": cannot absorb worker " << what
+                  << " (" << detail << "); sweep results are unaffected\n";
+    };
+    if (!trace_path.empty()) {
+        std::string text;
+        if (!read_all(trace_path, text)) {
+            complain("trace", "file unreadable");
+        } else {
+            try {
+                obs::Tracer::global().absorb(util::json_parse(text));
+            } catch (const std::exception& e) {
+                complain("trace", e.what());
+            }
+        }
+    }
+    if (!metrics_path.empty()) {
+        std::string text;
+        if (!read_all(metrics_path, text)) {
+            complain("metrics", "file unreadable");
+        } else {
+            try {
+                obs::MetricsRegistry::global().absorb(util::json_parse(text));
+            } catch (const std::exception& e) {
+                complain("metrics", e.what());
+            }
+        }
+    }
 }
 
 }  // namespace
@@ -144,16 +199,9 @@ std::string worker_row_line(std::size_t index, const core::SweepRow& row) {
     return util::json_serialize_compact(j);
 }
 
-IndexedRow worker_row_from_line(std::string_view line) {
-    util::Json j;
-    try {
-        j = util::json_parse(line);
-    } catch (const std::invalid_argument& e) {
-        throw std::invalid_argument(std::string("row line: ") + e.what());
-    }
-    if (j.kind() != util::Json::Kind::kObject)
-        throw std::invalid_argument("row line: expected an object, got " +
-                                    std::string(j.kind_name()));
+namespace {
+
+IndexedRow indexed_row_from_json(const util::Json& j) {
     for (const auto& [key, value] : j.as_object()) {
         (void)value;
         if (key != "index" && key != "row")
@@ -169,10 +217,95 @@ IndexedRow worker_row_from_line(std::string_view line) {
     return out;
 }
 
+Heartbeat heartbeat_from_json(const util::Json& j) {
+    if (j.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("hb line: \"hb\" must be an object");
+    for (const auto& [key, value] : j.as_object()) {
+        (void)value;
+        if (key != "shard" && key != "n_shards" && key != "done" &&
+            key != "total" && key != "seconds")
+            throw std::invalid_argument("hb line: unknown key \"" + key + "\"");
+    }
+    const util::Json* shard = j.find("shard");
+    const util::Json* n_shards = j.find("n_shards");
+    const util::Json* done = j.find("done");
+    const util::Json* total = j.find("total");
+    const util::Json* seconds = j.find("seconds");
+    if (!shard || !n_shards || !done || !total || !seconds)
+        throw std::invalid_argument(
+            "hb line: need shard, n_shards, done, total, and seconds");
+    Heartbeat hb;
+    hb.shard = static_cast<std::int32_t>(shard->as_int());
+    hb.n_shards = static_cast<std::int32_t>(n_shards->as_int());
+    if (hb.n_shards < 1 || hb.shard < 0 || hb.shard >= hb.n_shards)
+        throw std::invalid_argument("hb line: shard " + std::to_string(hb.shard) +
+                                    "/" + std::to_string(hb.n_shards) +
+                                    " out of range");
+    hb.done = done->as_uint();
+    hb.total = total->as_uint();
+    if (hb.done > hb.total)
+        throw std::invalid_argument("hb line: done " + std::to_string(hb.done) +
+                                    " exceeds total " + std::to_string(hb.total));
+    hb.seconds = seconds->as_double();
+    if (!std::isfinite(hb.seconds) || hb.seconds < 0.0)
+        throw std::invalid_argument("hb line: seconds must be finite and >= 0");
+    return hb;
+}
+
+}  // namespace
+
+IndexedRow worker_row_from_line(std::string_view line) {
+    util::Json j;
+    try {
+        j = util::json_parse(line);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("row line: ") + e.what());
+    }
+    if (j.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("row line: expected an object, got " +
+                                    std::string(j.kind_name()));
+    return indexed_row_from_json(j);
+}
+
+std::string heartbeat_line(const Heartbeat& hb) {
+    util::Json inner = util::Json::object();
+    inner.set("shard", hb.shard);
+    inner.set("n_shards", hb.n_shards);
+    inner.set("done", hb.done);
+    inner.set("total", hb.total);
+    inner.set("seconds", hb.seconds);
+    util::Json j = util::Json::object();
+    j.set("hb", std::move(inner));
+    return util::json_serialize_compact(j);
+}
+
+StreamLine stream_line_from(std::string_view line) {
+    util::Json j;
+    try {
+        j = util::json_parse(line);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("stream line: ") + e.what());
+    }
+    if (j.kind() != util::Json::Kind::kObject)
+        throw std::invalid_argument("stream line: expected an object, got " +
+                                    std::string(j.kind_name()));
+    StreamLine out;
+    if (const util::Json* hb = j.find("hb")) {
+        if (j.as_object().size() != 1)
+            throw std::invalid_argument(
+                "hb line: \"hb\" must be the only top-level key");
+        out.hb = heartbeat_from_json(*hb);
+        return out;
+    }
+    out.row = indexed_row_from_json(j);
+    return out;
+}
+
 std::size_t run_worker_points(core::SweepEngine& engine,
                               const std::vector<core::SweepPoint>& points,
                               const std::vector<std::size_t>& indices,
-                              std::ostream& rows_out, std::ostream& err) {
+                              std::ostream& rows_out, std::ostream& err,
+                              const HeartbeatSink& hb) {
     for (const std::size_t i : indices)
         if (i >= points.size())
             throw std::invalid_argument("worker: shard index " +
@@ -184,6 +317,22 @@ std::size_t run_worker_points(core::SweepEngine& engine,
     };
     std::mutex mu;
     std::vector<Failure> failures;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    // Caller holds mu (or is still single-threaded, before engine.map).
+    const auto emit_hb = [&](std::uint64_t done_now) {
+        if (!hb.out) return;
+        Heartbeat h;
+        h.shard = hb.shard;
+        h.n_shards = hb.n_shards;
+        h.done = done_now;
+        h.total = indices.size();
+        h.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        *hb.out << heartbeat_line(h) << '\n' << std::flush;
+    };
+    emit_hb(0);
     (void)engine.map(indices.size(), [&](std::size_t k) -> int {
         const std::size_t global = indices[k];
         try {
@@ -192,9 +341,11 @@ std::size_t run_worker_points(core::SweepEngine& engine,
             const std::string line = worker_row_line(global, row);
             const std::lock_guard<std::mutex> lock(mu);
             rows_out << line << '\n' << std::flush;
+            emit_hb(++done);
         } catch (const std::exception& e) {
             const std::lock_guard<std::mutex> lock(mu);
             failures.push_back({global, e.what()});
+            emit_hb(++done);
         }
         return 0;
     });
@@ -216,6 +367,7 @@ std::string self_exe_path(const char* argv0) {
 
 std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
                                         const std::vector<core::SweepPoint>& points) {
+    const obs::Span sharded_span("run_sharded", "shard");
     if (opt.n_shards < 1)
         throw std::invalid_argument("--shards must be >= 1, got " +
                                     std::to_string(opt.n_shards));
@@ -252,20 +404,48 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
     // pipes: a pipe holds ~64KB, so a big shard would fill it, block its
     // writer (which holds the worker's row mutex), and serialize the
     // shards behind the coordinator's sequential drain. Files keep every
-    // worker computing at full speed; popen remains for process control
-    // (and would surface any unexpected stdout noise, which we discard).
-    std::vector<FILE*> pipes;
+    // worker computing at full speed; the popen pipes carry only the
+    // small heartbeat stream, which the coordinator polls live.
+    const bool trace_on = obs::Tracer::global().enabled();
+    const bool metrics_on = obs::MetricsRegistry::global().enabled();
+    obs::MetricsRegistry::global().add("shard.sweeps");
+
+    struct Worker {
+        FILE* pipe = nullptr;
+        int fd = -1;
+        bool eof = false;
+        std::string buf;
+        bool saw_hb = false;
+        Heartbeat last;
+        std::chrono::steady_clock::time_point last_print;
+        bool printed = false;
+    };
+    std::vector<Worker> workers;
     std::vector<std::string> row_paths;
-    pipes.reserve(static_cast<std::size_t>(n_shards));
+    std::vector<std::string> trace_paths(static_cast<std::size_t>(n_shards));
+    std::vector<std::string> metrics_paths(static_cast<std::size_t>(n_shards));
+    workers.reserve(static_cast<std::size_t>(n_shards));
     std::string first_error;
     for (std::int32_t s = 0; s < n_shards; ++s) {
         row_paths.push_back(tmp.path + "/rows." + std::to_string(s) + ".ndjson");
-        const std::string cmd =
+        std::string cmd =
             shell_quote(opt.worker_exe) + " --worker --points " +
             shell_quote(points_path) + " --shard " + std::to_string(s) + "/" +
             std::to_string(n_shards) + " --threads " +
             std::to_string(worker_threads) + " --rows-out " +
             shell_quote(row_paths.back());
+        if (trace_on) {
+            trace_paths[static_cast<std::size_t>(s)] =
+                tmp.path + "/trace." + std::to_string(s) + ".json";
+            cmd += " --trace-out " +
+                   shell_quote(trace_paths[static_cast<std::size_t>(s)]);
+        }
+        if (metrics_on) {
+            metrics_paths[static_cast<std::size_t>(s)] =
+                tmp.path + "/metrics." + std::to_string(s) + ".json";
+            cmd += " --metrics-out " +
+                   shell_quote(metrics_paths[static_cast<std::size_t>(s)]);
+        }
         FILE* pipe = popen(cmd.c_str(), "r");
         if (!pipe) {
             if (first_error.empty())
@@ -273,16 +453,97 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
                               "/" + std::to_string(n_shards);
             break;
         }
-        pipes.push_back(pipe);
+        Worker w;
+        w.pipe = pipe;
+        w.fd = fileno(pipe);
+        w.last_print = std::chrono::steady_clock::now();
+        workers.push_back(w);
+        obs::MetricsRegistry::global().add("shard.workers_spawned");
     }
 
-    // Wait for every launched worker (draining the quiet pipes), then
-    // merge the row files by global index.
-    for (std::size_t s = 0; s < pipes.size(); ++s) {
-        char sink[4096];
-        while (fread(sink, 1, sizeof sink, pipes[s]) > 0) {
+    // Live heartbeat loop: poll every worker pipe, parse the NDJSON
+    // heartbeat envelopes, and surface per-shard progress. Non-heartbeat
+    // stdout noise is tolerated silently — the row/merge path below is
+    // the strict one, and a chatty worker must not kill a healthy sweep.
+    const auto print_progress = [&](Worker& w, std::size_t s, bool final_hb) {
+        if (!opt.progress || !w.saw_hb) return;
+        const auto now = std::chrono::steady_clock::now();
+        const double since_print =
+            std::chrono::duration<double>(now - w.last_print).count();
+        if (w.printed && !final_hb && w.last.done != w.last.total &&
+            since_print < opt.progress_interval_s)
+            return;
+        const double pct =
+            w.last.total == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(w.last.done) /
+                      static_cast<double>(w.last.total);
+        char pct_buf[16];
+        std::snprintf(pct_buf, sizeof pct_buf, "%.0f", pct);
+        char sec_buf[32];
+        std::snprintf(sec_buf, sizeof sec_buf, "%.1f", w.last.seconds);
+        *opt.progress << "[shard " << s << "/" << n_shards << "] " << w.last.done
+                      << "/" << w.last.total << " points (" << pct_buf << "%) "
+                      << sec_buf << "s\n"
+                      << std::flush;
+        w.printed = true;
+        w.last_print = now;
+    };
+    const auto handle_line = [&](Worker& w, std::size_t s,
+                                 std::string_view text) {
+        while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+        if (text.empty()) return;
+        StreamLine line;
+        try {
+            line = stream_line_from(text);
+        } catch (const std::invalid_argument&) {
+            return;  // stdout noise; the row files carry the real data
         }
-        const int status = pclose(pipes[s]);
+        if (!line.hb) return;
+        w.last = *line.hb;
+        const bool first = !w.saw_hb;
+        w.saw_hb = true;
+        obs::MetricsRegistry::global().add("shard.heartbeats");
+        print_progress(w, s, first || w.last.done == w.last.total);
+    };
+    std::size_t open_fds = workers.size();
+    while (open_fds > 0) {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fd_worker;
+        for (std::size_t s = 0; s < workers.size(); ++s) {
+            if (workers[s].eof) continue;
+            fds.push_back(pollfd{workers[s].fd, POLLIN, 0});
+            fd_worker.push_back(s);
+        }
+        const int rc = poll(fds.data(), fds.size(), 200);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            break;  // fall through to pclose, which still reaps the workers
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            Worker& w = workers[fd_worker[k]];
+            char chunk[4096];
+            const ssize_t n = ::read(w.fd, chunk, sizeof chunk);
+            if (n > 0) {
+                w.buf.append(chunk, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = w.buf.find('\n')) != std::string::npos) {
+                    handle_line(w, fd_worker[k],
+                                std::string_view(w.buf).substr(0, nl));
+                    w.buf.erase(0, nl + 1);
+                }
+            } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+                if (!w.buf.empty()) handle_line(w, fd_worker[k], w.buf);
+                w.buf.clear();
+                w.eof = true;
+                --open_fds;
+            }
+        }
+    }
+
+    for (std::size_t s = 0; s < workers.size(); ++s) {
+        const int status = pclose(workers[s].pipe);
         if (first_error.empty() && status != 0) {
             const std::string detail =
                 WIFEXITED(status)
@@ -295,9 +556,41 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
     }
     if (!first_error.empty()) throw std::runtime_error(first_error);
 
+    // Straggler/imbalance summary from the final heartbeats, then fold
+    // each worker's trace/metrics file into the process-global sinks.
+    if (opt.progress) {
+        double wall_min = 0.0, wall_max = 0.0, wall_sum = 0.0;
+        std::size_t slowest = 0, reporting = 0;
+        for (std::size_t s = 0; s < workers.size(); ++s) {
+            if (!workers[s].saw_hb) continue;
+            const double sec = workers[s].last.seconds;
+            if (reporting == 0 || sec < wall_min) wall_min = sec;
+            if (reporting == 0 || sec > wall_max) {
+                wall_max = sec;
+                slowest = s;
+            }
+            wall_sum += sec;
+            ++reporting;
+        }
+        if (reporting > 0) {
+            const double mean = wall_sum / static_cast<double>(reporting);
+            const double imbalance = mean > 0.0 ? wall_max / mean : 1.0;
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "[shards] %zu workers: wall %.1fs..%.1fs (mean %.1fs), "
+                          "imbalance max/mean %.2f, slowest shard %zu\n",
+                          reporting, wall_min, wall_max, mean, imbalance,
+                          slowest);
+            *opt.progress << buf << std::flush;
+        }
+    }
+    for (std::size_t s = 0; s < workers.size(); ++s)
+        absorb_worker_obs(trace_paths[s], metrics_paths[s],
+                          static_cast<std::int32_t>(s), opt.progress);
+
     std::vector<core::SweepRow> rows(points.size());
     std::vector<char> seen(points.size(), 0);
-    for (std::size_t s = 0; s < pipes.size(); ++s) {
+    for (std::size_t s = 0; s < workers.size(); ++s) {
         std::ifstream f(row_paths[s]);
         if (!f)
             throw std::runtime_error("shard " + std::to_string(s) + "/" +
@@ -309,7 +602,9 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
             while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
             if (text.empty()) continue;
             try {
-                IndexedRow r = worker_row_from_line(text);
+                StreamLine parsed = stream_line_from(text);
+                if (parsed.hb) continue;  // uniform stream protocol
+                IndexedRow r = std::move(*parsed.row);
                 if (r.index >= rows.size())
                     throw std::invalid_argument(
                         "row index " + std::to_string(r.index) +
@@ -320,6 +615,7 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
                                                 std::to_string(r.index));
                 rows[r.index] = std::move(r.row);
                 seen[r.index] = 1;
+                obs::MetricsRegistry::global().add("shard.rows_merged");
             } catch (const std::invalid_argument& e) {
                 throw std::runtime_error("shard " + std::to_string(s) + "/" +
                                          std::to_string(n_shards) + ": " +

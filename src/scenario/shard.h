@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -21,11 +22,13 @@ namespace floretsim::scenario {
 ///             evaluates its slice on a local SweepEngine and streams one
 ///             newline-delimited JSON row per point as it finishes, each
 ///             tagged with the point's *global* index (completion order
-///             is arbitrary; content per index is deterministic);
-///   merge:    the coordinator places rows back into point order, so the
-///             unchanged report functions see exactly what a local
-///             SweepEngine::run would have produced — every figure is
-///             bit-identical in 1 process, N threads, or N processes.
+///             is arbitrary; content per index is deterministic), plus
+///             {"hb": {...}} heartbeat envelopes reporting live progress;
+///   merge:    the coordinator places rows back into point order (and
+///             skips heartbeat lines), so the unchanged report functions
+///             see exactly what a local SweepEngine::run would have
+///             produced — every figure is bit-identical in 1 process,
+///             N threads, or N processes, with tracing/metrics on or off.
 ///
 /// The same worker CLI is the multi-host seam: ship one points file to N
 /// hosts, run each with a different `--shard i/N`, concatenate the row
@@ -83,6 +86,49 @@ struct IndexedRow {
 /// Throws std::invalid_argument on anything else.
 [[nodiscard]] IndexedRow worker_row_from_line(std::string_view line);
 
+/// Live progress report from a worker: which shard it is, how far through
+/// its slice it is, and its wall clock so far. Emitted as its own NDJSON
+/// envelope {"hb": {...}} interleaved with the {"index","row"} lines, so
+/// the coordinator can print per-shard progress and a straggler summary
+/// while the sweep runs — the visibility layer the ROADMAP's
+/// work-stealing fleet will steer by.
+struct Heartbeat {
+    std::int32_t shard = 0;
+    std::int32_t n_shards = 1;
+    std::uint64_t done = 0;   ///< Points finished (rows + failures).
+    std::uint64_t total = 0;  ///< Points in this shard's slice.
+    double seconds = 0.0;     ///< Worker wall clock since slice start.
+
+    friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Serializes one heartbeat line: {"hb": {...}}, compact (single line, no
+/// trailing newline).
+[[nodiscard]] std::string heartbeat_line(const Heartbeat& hb);
+
+/// One parsed line of a worker stream: exactly one of `row` / `hb` is
+/// set. Rows and heartbeats share the stream, so consumers dispatch on
+/// the envelope instead of assuming every line is a row.
+struct StreamLine {
+    std::optional<IndexedRow> row;
+    std::optional<Heartbeat> hb;
+};
+
+/// Parses one worker-stream line: a {"hb": {...}} heartbeat (strict:
+/// exactly the keys shard/n_shards/done/total/seconds, valid shard range,
+/// done <= total, finite non-negative seconds) or an {"index","row"}
+/// envelope. Throws std::invalid_argument on anything else.
+[[nodiscard]] StreamLine stream_line_from(std::string_view line);
+
+/// Where run_worker_points sends heartbeats: `out` null disables them
+/// (the default keeps unit-test call sites row-only); shard/n_shards
+/// label the envelopes.
+struct HeartbeatSink {
+    std::ostream* out = nullptr;
+    std::int32_t shard = 0;
+    std::int32_t n_shards = 1;
+};
+
 /// Worker-side execution: evaluates points[i] for each global index i in
 /// `indices` on the engine's pool, writing one row-stream line to
 /// `rows_out` as each point finishes (mutex-serialized, flushed per line
@@ -90,11 +136,13 @@ struct IndexedRow {
 /// throws is reported on `err` as "point <global index> failed: <what>"
 /// and does not emit a row; the remaining points still run. Returns the
 /// number of failed points — the worker's exit code must be nonzero when
-/// this is.
+/// this is. When `hb.out` is set, a heartbeat is written there before the
+/// first point and after every completed one (failures count as done —
+/// progress, not success).
 [[nodiscard]] std::size_t run_worker_points(
     core::SweepEngine& engine, const std::vector<core::SweepPoint>& points,
     const std::vector<std::size_t>& indices, std::ostream& rows_out,
-    std::ostream& err);
+    std::ostream& err, const HeartbeatSink& hb = {});
 
 // ---- The local coordinator --------------------------------------------------
 
@@ -105,6 +153,13 @@ struct ShardOptions {
     std::int32_t n_shards = 2;
     /// --threads handed to every worker (0 = hardware concurrency).
     std::int32_t threads_per_worker = 0;
+    /// Stream for live per-shard progress lines and the end-of-sweep
+    /// straggler/imbalance summary (null = silent). The coordinator's
+    /// default is stderr, keeping stdout's report machinery clean.
+    std::ostream* progress = nullptr;
+    /// Minimum seconds between progress lines per shard (first and final
+    /// heartbeats always print).
+    double progress_interval_s = 0.5;
 };
 
 /// This process's executable path: /proc/self/exe when readable (Linux),
@@ -115,13 +170,20 @@ struct ShardOptions {
 /// process control; one points file in, one --rows-out NDJSON file per
 /// shard back — files rather than pipes so a shard bigger than a pipe
 /// buffer never blocks its worker's compute) and returns the rows merged
-/// into point order. When threads_per_worker is 0 the hardware threads
-/// are split across the shards; an explicit value is passed through.
-/// Empty shards are avoided by capping the shard count at the point
-/// count. Throws std::runtime_error when a worker cannot be spawned,
-/// exits nonzero (the failing point's index is on the worker's inherited
-/// stderr), returns an unparseable row, or the merged set has
-/// missing/duplicate indices.
+/// into point order. The popen pipes carry the workers' heartbeat
+/// streams: the coordinator polls them while the workers run, printing
+/// live per-shard progress and a final straggler/imbalance summary to
+/// opt.progress. When the process tracer/metrics registry is enabled,
+/// each worker additionally writes its own trace/metrics file into the
+/// scratch directory and the coordinator absorbs them — one merged
+/// Chrome trace, one merged metrics snapshot, across every shard. When
+/// threads_per_worker is 0 the hardware threads are split across the
+/// shards; an explicit value is passed through. Empty shards are avoided
+/// by capping the shard count at the point count. Throws
+/// std::runtime_error when a worker cannot be spawned, exits nonzero
+/// (the failing point's index is on the worker's inherited stderr),
+/// returns an unparseable row, or the merged set has missing/duplicate
+/// indices.
 [[nodiscard]] std::vector<core::SweepRow> run_sharded(
     const ShardOptions& opt, const std::vector<core::SweepPoint>& points);
 

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/core/mapper.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pim/reram.h"
 #include "src/util/stats.h"
 
@@ -110,6 +112,7 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
     // Round duration = drain latency of the whole resident set (memoized)
     // plus this request's own PIM compute, both at the same sampling scale.
     const auto schedule_round = [&](Resident& r) {
+        const obs::Span span("serve_round", "serve");
         ++out.noi_rounds;
         if (!epoch_valid) {
             ResidentKey key;
@@ -141,7 +144,11 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
         } else {
             ++out.noi_cache_hits;
         }
-        r.round_done = now + epoch_drain + r.compute_ns * cfg.eval.traffic_scale;
+        const double round_cycles =
+            epoch_drain + r.compute_ns * cfg.eval.traffic_scale;
+        obs::MetricsRegistry::global().observe("serve.round_cycles",
+                                               round_cycles);
+        r.round_done = now + round_cycles;
     };
 
     // Round scheduling is deferred until the admission burst drains: an
@@ -294,6 +301,19 @@ ServeStats serve_requests(core::experiment::BuiltArch& arch,
     out.p50_latency_cycles = p50.value();
     out.p95_latency_cycles = p95.value();
     out.p99_latency_cycles = p99.value();
+    auto& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.add("serve.arrived", out.arrived);
+        metrics.add("serve.admitted", out.admitted);
+        metrics.add("serve.rejected", out.rejected);
+        metrics.add("serve.completed", out.completed);
+        metrics.add("serve.sla_violations", out.sla_violations);
+        // Reserved at 0 until the ROADMAP's preemption/residency-eviction
+        // policy lands: dashboards can key on it today and light up then.
+        metrics.add("serve.preemptions", 0);
+        metrics.add("serve.noi_rounds", out.noi_rounds);
+        metrics.add("serve.noi_cache_hits", out.noi_cache_hits);
+    }
     return out;
 }
 

@@ -218,6 +218,54 @@ TEST(JsonAdversarial, MalformedWireInputsAllThrowCleanly) {
               floretsim::core::SweepPoint{});
 }
 
+TEST(JsonAdversarial, MalformedHeartbeatEnvelopesAllThrowCleanly) {
+    // The worker stream now interleaves {"hb": {...}} envelopes with the
+    // row lines; stream_line_from is the coordinator-side boundary and
+    // must reject every malformed shape as cleanly as the row parsers do.
+    const char* corpus[] = {
+        // Truncated / not an object.
+        "{\"hb\": {\"shard\": 0",
+        "{\"hb\": 3}",
+        "{\"hb\": [1, 2]}",
+        "[{\"hb\": {}}]",
+        // Missing and unknown fields.
+        "{\"hb\": {}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":0,\"total\":1}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":0,\"total\":1,"
+        "\"seconds\":0,\"extra\":1}}",
+        // Heartbeat must be the only top-level key.
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":0,\"total\":1,"
+        "\"seconds\":0}, \"index\": 0}",
+        // Wrong-typed fields.
+        "{\"hb\": {\"shard\":\"zero\",\"n_shards\":1,\"done\":0,\"total\":1,"
+        "\"seconds\":0}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":-1,\"total\":1,"
+        "\"seconds\":0}}",
+        // Domain validation: shard range, done <= total, finite seconds.
+        "{\"hb\": {\"shard\":4,\"n_shards\":4,\"done\":0,\"total\":1,"
+        "\"seconds\":0}}",
+        "{\"hb\": {\"shard\":-1,\"n_shards\":4,\"done\":0,\"total\":1,"
+        "\"seconds\":0}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":0,\"done\":0,\"total\":1,"
+        "\"seconds\":0}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":5,\"total\":1,"
+        "\"seconds\":0}}",
+        "{\"hb\": {\"shard\":0,\"n_shards\":1,\"done\":0,\"total\":1,"
+        "\"seconds\":-0.5}}",
+    };
+    for (const char* text : corpus) {
+        EXPECT_THROW((void)scenario::stream_line_from(text),
+                     std::invalid_argument)
+            << text;
+    }
+    // After the whole corpus, a good heartbeat still parses.
+    const auto good = scenario::stream_line_from(
+        "{\"hb\": {\"shard\":1,\"n_shards\":2,\"done\":3,\"total\":4,"
+        "\"seconds\":0.25}}");
+    ASSERT_TRUE(good.hb.has_value());
+    EXPECT_EQ(good.hb->done, 4u - 1u);
+}
+
 TEST(JsonAdversarial, EmptyPointListIsRejectedAtTheWorkerBoundary) {
     // "[]" is valid JSON and a valid (empty) list for the pure API...
     EXPECT_TRUE(scenario::sweep_points_from_json(json_parse("[]")).empty());

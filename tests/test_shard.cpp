@@ -195,6 +195,77 @@ TEST(ShardWorker, RejectsOutOfRangeIndices) {
                  std::invalid_argument);
 }
 
+// ---------------------------------------------------------- heartbeats
+
+TEST(ShardHeartbeat, LineRoundTripsThroughStreamParser) {
+    Heartbeat hb;
+    hb.shard = 2;
+    hb.n_shards = 4;
+    hb.done = 3;
+    hb.total = 9;
+    hb.seconds = 1.5;
+    const StreamLine parsed = stream_line_from(heartbeat_line(hb));
+    ASSERT_TRUE(parsed.hb.has_value());
+    EXPECT_FALSE(parsed.row.has_value());
+    EXPECT_EQ(*parsed.hb, hb);
+}
+
+TEST(ShardHeartbeat, StreamParserStillAcceptsRowLines) {
+    const auto points = tiny_spec().expand();
+    core::SweepEngine engine(1);
+    const auto rows = engine.run(points);
+    const StreamLine parsed =
+        stream_line_from(worker_row_line(0, rows.rows[0]));
+    ASSERT_TRUE(parsed.row.has_value());
+    EXPECT_FALSE(parsed.hb.has_value());
+    EXPECT_EQ(parsed.row->index, 0u);
+}
+
+TEST(ShardHeartbeat, WorkerEmitsMonotoneProgressEndingComplete) {
+    const auto points = tiny_spec().expand();
+    core::SweepEngine engine(2);
+    std::ostringstream rows_out, err, hb_out;
+    const std::size_t failed =
+        run_worker_points(engine, points, shard_indices(points.size(), 0, 1),
+                          rows_out, err, HeartbeatSink{&hb_out, 0, 1});
+    EXPECT_EQ(failed, 0u);
+    std::vector<Heartbeat> beats;
+    std::istringstream lines(hb_out.str());
+    for (std::string line; std::getline(lines, line);) {
+        const StreamLine parsed = stream_line_from(line);
+        ASSERT_TRUE(parsed.hb.has_value()) << line;
+        beats.push_back(*parsed.hb);
+    }
+    // One before the first point, one after each of the N points.
+    ASSERT_EQ(beats.size(), points.size() + 1);
+    for (std::size_t i = 0; i < beats.size(); ++i) {
+        EXPECT_EQ(beats[i].done, i);
+        EXPECT_EQ(beats[i].total, points.size());
+        EXPECT_EQ(beats[i].shard, 0);
+        EXPECT_EQ(beats[i].n_shards, 1);
+        if (i > 0) EXPECT_GE(beats[i].seconds, beats[i - 1].seconds);
+    }
+    EXPECT_EQ(beats.back().done, beats.back().total);
+}
+
+TEST(ShardHeartbeat, FailedPointsStillCountAsProgress) {
+    auto points = tiny_spec().expand();
+    points[1].mix.name = "broken";
+    points[1].mix.entries = {{"DNN99-no-such-workload", 1}};
+    core::SweepEngine engine(1);
+    std::ostringstream rows_out, err, hb_out;
+    const std::size_t failed =
+        run_worker_points(engine, points, shard_indices(points.size(), 0, 1),
+                          rows_out, err, HeartbeatSink{&hb_out, 0, 1});
+    EXPECT_EQ(failed, 1u);
+    std::vector<Heartbeat> beats;
+    std::istringstream lines(hb_out.str());
+    for (std::string line; std::getline(lines, line);)
+        beats.push_back(*stream_line_from(line).hb);
+    ASSERT_EQ(beats.size(), points.size() + 1);
+    EXPECT_EQ(beats.back().done, points.size());
+}
+
 // ---------------------------------------------------------- executor seam
 
 TEST(ShardExecutor, EngineRunDispatchesThroughThePointExecutor) {

@@ -36,6 +36,9 @@
 
 #include "src/core/sweep.h"
 #include "src/noc/simulator.h"
+#include "src/obs/build_info.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scenario/registry.h"
 #include "src/scenario/shard.h"
 #include "src/util/json.h"
@@ -58,6 +61,8 @@ struct DriverOptions {
     std::string points_file;    ///< --points FILE (worker work order).
     std::string rows_out;       ///< --rows-out FILE (default: stdout).
     std::string shard_arg;      ///< --shard i/N (worker slice selector).
+    std::string trace_out;      ///< --trace-out FILE (Chrome trace JSON).
+    std::string metrics_out;    ///< --metrics-out FILE (metrics snapshot).
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& msg) {
@@ -67,6 +72,7 @@ struct DriverOptions {
                  "       [--set KEY=VALUE]... [--threads N] [--seed N] "
                  "[--json PATH] [--shards N]\n"
                  "       [--core reference|event-horizon|regional]\n"
+                 "       [--trace-out FILE] [--metrics-out FILE]\n"
                  "       %s --worker --points FILE [--rows-out FILE] "
                  "[--shard i/N] [--threads N]\n"
                  "override keys: %s\n",
@@ -136,6 +142,10 @@ DriverOptions parse(int argc, char** argv) {
             opt.rows_out = need_value(i++, "--rows-out");
         } else if (arg == "--shard") {
             opt.shard_arg = need_value(i++, "--shard");
+        } else if (arg == "--trace-out") {
+            opt.trace_out = need_value(i++, "--trace-out");
+        } else if (arg == "--metrics-out") {
+            opt.metrics_out = need_value(i++, "--metrics-out");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], "help");
         } else {
@@ -156,7 +166,8 @@ int run_worker(const DriverOptions& opt, const char* argv0) {
         !opt.sets.empty() || opt.shards > 0 || !opt.json_path.empty() ||
         opt.has_seed)
         usage(argv0,
-              "--worker only takes --points, --rows-out, --shard, --threads");
+              "--worker only takes --points, --rows-out, --shard, --threads, "
+              "--trace-out, --metrics-out");
     if (opt.points_file.empty()) usage(argv0, "--worker needs --points FILE");
     try {
         std::ifstream f(opt.points_file);
@@ -173,6 +184,10 @@ int run_worker(const DriverOptions& opt, const char* argv0) {
         const auto indices =
             scenario::shard_indices(points.size(), shard, n_shards);
 
+        obs::Tracer::global().set_process_label(
+            "worker shard " + std::to_string(shard) + "/" +
+            std::to_string(n_shards));
+
         const std::int32_t threads =
             scenario::clamp_worker_threads(opt.threads, indices.size(), std::cerr);
         core::SweepEngine engine(threads);
@@ -185,14 +200,27 @@ int run_worker(const DriverOptions& opt, const char* argv0) {
                 throw std::runtime_error("cannot write rows to " + opt.rows_out);
             rows = &rows_file;
         }
-        const std::size_t failed =
-            scenario::run_worker_points(engine, points, indices, *rows, std::cerr);
+        // Heartbeats ride the worker's stdout pipe back to the
+        // coordinator; when rows also go to stdout (manual/multi-host
+        // use), the shared stream stays valid because both are NDJSON
+        // envelopes and consumers dispatch via stream_line_from.
+        const scenario::HeartbeatSink hb{&std::cout, shard, n_shards};
+        std::size_t failed = 0;
+        {
+            const obs::Span span("worker_shard", "shard");
+            failed = scenario::run_worker_points(engine, points, indices, *rows,
+                                                 std::cerr, hb);
+        }
         rows->flush();
         if (!*rows)
             throw std::runtime_error(
                 "error writing rows to " +
                 (opt.rows_out.empty() ? std::string("stdout") : opt.rows_out) +
                 " — the row stream is truncated");
+        if (!obs::Tracer::global().write(opt.trace_out))
+            throw std::runtime_error("cannot write trace to " + opt.trace_out);
+        if (!obs::MetricsRegistry::global().write(opt.metrics_out))
+            throw std::runtime_error("cannot write metrics to " + opt.metrics_out);
         if (failed) {
             std::fprintf(stderr, "worker: %zu of %zu points failed (shard %d/%d)\n",
                          failed, indices.size(), shard, n_shards);
@@ -209,7 +237,12 @@ int run_worker(const DriverOptions& opt, const char* argv0) {
 
 int main(int argc, char** argv) {
     const DriverOptions opt = parse(argc, argv);
+    // Observability is opt-in per flag: tracing and metrics stay fully
+    // disabled (and zero-cost) unless an output path asks for them.
+    if (!opt.trace_out.empty()) obs::Tracer::global().enable();
+    if (!opt.metrics_out.empty()) obs::MetricsRegistry::global().enable();
     if (opt.worker) return run_worker(opt, argv[0]);
+    obs::Tracer::global().set_process_label("coordinator");
     if (!opt.points_file.empty() || !opt.rows_out.empty() ||
         !opt.shard_arg.empty())
         usage(argv[0], "--points/--rows-out/--shard require --worker");
@@ -290,6 +323,9 @@ int main(int argc, char** argv) {
         // SweepEngine treats any --threads <= 0 as "hardware"; workers
         // reject negatives, so normalize before forwarding.
         shard_opt.threads_per_worker = std::max<std::int32_t>(opt.threads, 0);
+        // Live per-shard progress and the straggler summary go to stderr,
+        // keeping stdout's report machinery clean.
+        shard_opt.progress = &std::cerr;
         scenario::install_shard_executor(engine, shard_opt);
     }
     scenario::RunContext ctx{engine, std::cout};
@@ -303,7 +339,17 @@ int main(int argc, char** argv) {
         const auto misses0 = engine.cache().misses();
         const auto t0 = std::chrono::steady_clock::now();
         try {
+            // intern() keeps the span name alive past this iteration; the
+            // ternary avoids interning when tracing is off.
+            const obs::Span span(obs::Tracer::global().enabled()
+                                     ? obs::Tracer::global().intern(s.name)
+                                     : "scenario",
+                                 "scenario");
             scenario::JsonReport report = s.report(s.spec, ctx);
+            report.set_run_info(
+                "seed", static_cast<std::int64_t>(
+                            scenario::effective_seed(s.spec)));
+            report.set_run_info("threads", engine.thread_count());
             report.add_metric(
                 "scenario_seconds",
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -328,6 +374,14 @@ int main(int argc, char** argv) {
 
     util::Json doc = util::Json::object();
     util::Json driver = util::Json::object();
+    util::Json run_info = obs::build_info_json();
+    run_info.set("sim_core",
+                 std::string(noc::sim_core_name(
+                     noc::resolved_sim_core(noc::SimConfig{}.core))));
+    run_info.set("threads", engine.thread_count());
+    run_info.set("shards", opt.shards);
+    run_info.set("seed", opt.has_seed ? util::Json(opt.seed) : util::Json());
+    driver.set("run_info", std::move(run_info));
     driver.set("threads", engine.thread_count());
     driver.set("shards", opt.shards);
     driver.set("sim_core",
@@ -349,16 +403,22 @@ int main(int argc, char** argv) {
               << selected.size() - static_cast<std::size_t>(failures) << "/"
               << selected.size() << " scenarios on " << engine.thread_count()
               << " thread(s); fabric cache " << engine.cache().hits()
-              << " hits / " << engine.cache().misses() << " misses\n";
+              << " hits / " << engine.cache().misses() << " misses\n"
+              << "build " << obs::build_type() << " (" << obs::compiler_id()
+              << "), git " << obs::git_sha() << ", sim core "
+              << noc::sim_core_name(noc::resolved_sim_core(noc::SimConfig{}.core))
+              << "\n";
 
     if (!opt.json_path.empty()) {
         std::ofstream f(opt.json_path);
+        if (f) f << util::json_serialize(doc);
         if (!f) {
             std::fprintf(stderr, "error: cannot write JSON report to %s\n",
                          opt.json_path.c_str());
             return 1;
         }
-        f << util::json_serialize(doc);
     }
+    if (!obs::Tracer::global().write(opt.trace_out)) return 1;
+    if (!obs::MetricsRegistry::global().write(opt.metrics_out)) return 1;
     return failures == 0 ? 0 : 1;
 }
