@@ -2,133 +2,16 @@
 /// more chiplets"): Floret vs SIAM mesh across system sizes running the
 /// same dynamic multi-tenant schedule, reporting workload makespan, NoI
 /// energy, mean route hops, and fabrication cost. Also sweeps the petal
-/// count at 100 chiplets to expose the lambda trade-off.
-
-#include <iostream>
+/// count at 100 chiplets to expose the lambda trade-off, and isolates the
+/// one-time weight-loading cost.
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("ablation_scaling"), shared verbatim with the
+/// floretsim_run driver.
 
 #include "bench/common.h"
-#include "src/cost/models.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Scaling: Floret vs SIAM mesh, 36..144 chiplets ===\n\n";
-
-    cost::CostParams cp;
-    const auto cfg = bench::default_eval_config();
-    bench::SweepEngine engine(opt.threads);
-
-    // The mix depends on the grid size (bigger systems run it more
-    // concurrently), so the points are built by hand rather than as a
-    // cartesian SweepSpec.
-    const std::array<std::int32_t, 4> sides{6, 8, 10, 12};
-    const std::array<bench::Arch, 2> archs{bench::Arch::kSiamMesh,
-                                           bench::Arch::kFloret};
-    std::vector<bench::SweepPoint> points;
-    for (const auto side : sides) {
-        util::Rng mix_rng(opt.seed_or(7));
-        const auto mix =
-            workload::random_mix(mix_rng, 3 + side, "S" + std::to_string(side));
-        for (const auto arch : archs) {
-            bench::SweepPoint p;
-            p.arch = arch;
-            p.width = side;
-            p.height = side;
-            p.mix = mix;
-            p.eval = cfg;
-            p.greedy_max_gap = 2;
-            points.push_back(std::move(p));
-        }
-    }
-    const auto sweep = engine.run(points);
-
-    util::TextTable t({"Chiplets", "NoI", "Mean hops", "Makespan (kcyc)",
-                       "NoI energy (uJ)", "NoI area (mm2)", "Cost vs ref"});
-    for (const auto& row : sweep.rows) {
-        const auto fabric = engine.cache().get(row.point.arch, row.point.width,
-                                               row.point.height, row.point.swap_seed);
-        t.add_row({std::to_string(row.point.width * row.point.height),
-                   bench::arch_name(row.point.arch),
-                   util::TextTable::fmt(fabric->routes.mean_hops()),
-                   util::TextTable::fmt(row.result.total_cycles / 1e3, 1),
-                   util::TextTable::fmt(row.result.total_energy_pj / 1e6, 2),
-                   util::TextTable::fmt(cost::noi_area_mm2(fabric->topology, cp), 0),
-                   util::TextTable::fmt(cost::fabrication_cost(fabric->topology, cp),
-                                        2)});
-    }
-    t.print(std::cout);
-    std::cout << "\nSweep: " << sweep.rows.size() << " points on "
-              << engine.thread_count() << " thread(s) in "
-              << util::TextTable::fmt(sweep.wall_seconds, 2) << " s (fabric cache: "
-              << sweep.fabric_cache_hits << " hits / " << sweep.fabric_cache_misses
-              << " misses)\n";
-
-    std::cout << "\n=== Petal-count sweep at 100 chiplets ===\n\n";
-    const std::array<std::int32_t, 5> lambdas{2, 4, 5, 10, 20};
-    struct PetalRow {
-        std::int32_t lambda = 0;
-        double d = 0.0;
-        std::int32_t links = 0;
-        std::uint64_t two_port = 0;
-        double mean_hops = 0.0;
-        double area = 0.0;
-    };
-    const auto petals = engine.map(lambdas.size(), [&](std::size_t i) {
-        const auto lambda = lambdas[i];
-        const auto set = core::generate_sfc_set(10, 10, lambda);
-        const auto topo = core::make_floret(set);
-        const auto routes = noc::RouteTable::build(topo, noc::RoutingPolicy::kUpDown);
-        return PetalRow{lambda, set.tail_head_distance(), topo.link_count(),
-                        topo.port_histogram().at(2), routes.mean_hops(),
-                        cost::noi_area_mm2(topo, cp)};
-    });
-    util::TextTable s({"lambda", "d (Eq.1)", "Links", "2-port routers",
-                       "Mean route hops", "NoI area (mm2)"});
-    for (const auto& p : petals) {
-        s.add_row({std::to_string(p.lambda), util::TextTable::fmt(p.d),
-                   std::to_string(p.links), std::to_string(p.two_port),
-                   util::TextTable::fmt(p.mean_hops),
-                   util::TextTable::fmt(p.area, 0)});
-    }
-    s.print(std::cout);
-    std::cout << "\nTrade-off: more petals shorten spillover routes (lower mean "
-                 "hops) but add express links and head/tail router ports.\n";
-
-    std::cout << "\n=== Weight-loading ablation (WL1 mapped once, 100 chiplets) ===\n\n";
-    // 4 independent evaluations (2 archs x {off, on}) through the engine.
-    const auto wl_cycles = engine.map(4, [&](std::size_t i) {
-        const auto arch = archs[i / 2];
-        const bool load = (i % 2) == 1;
-        auto b = bench::build_arch(engine.cache(), arch, 10, 10, 13, 2);
-        std::vector<std::unique_ptr<dnn::Network>> owner;
-        const auto queue = workload::expand_mix(workload::table2().front());
-        const auto tasks = core::make_tasks(queue, bench::kParamsPerChipletM, owner);
-        const auto mapped = b.mapper->map_queue(tasks, nullptr);
-        auto c = cfg;
-        c.include_weight_load = load;
-        return core::evaluate_noi(b.topology(), b.routes(), mapped, c).latency_cycles;
-    });
-    util::TextTable wload({"NoI", "Inference pass (kcyc)", "+ weight load (kcyc)",
-                           "Load overhead"});
-    for (std::size_t a = 0; a < archs.size(); ++a) {
-        const double off = wl_cycles[a * 2];
-        const double on = wl_cycles[a * 2 + 1];
-        wload.add_row({bench::arch_name(archs[a]), util::TextTable::fmt(off / 1e3, 1),
-                       util::TextTable::fmt(on / 1e3, 1),
-                       util::TextTable::fmt(on / off, 1) + "x"});
-    }
-    wload.print(std::cout);
-    std::cout << "\nWeight loading streams every parameter from the I/O corner once "
-                 "per mapping; it serializes on the I/O port for every NoI alike "
-                 "and amortizes over the thousands of inference passes served per "
-                 "mapping — which is why the paper evaluates steady-state "
-                 "inference traffic.\n";
-
-    bench::JsonReport report("ablation_scaling");
-    report.add_table("scaling", t);
-    report.add_table("petal_sweep", s);
-    report.add_table("weight_load", wload);
-    report.add_metric("sweep_wall_seconds", sweep.wall_seconds);
-    bench::add_point_timing(report, sweep);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("ablation_scaling", opt);
 }

@@ -3,67 +3,13 @@
 /// Paper shape: Kite is dominated by 4-port routers; SIAM by 3/4-port;
 /// SWAP by 2/3-port; Floret is almost entirely 2-port. Floret has the
 /// fewest/shortest links, Kite mainly two-hop links.
-
-#include <iostream>
-#include <memory>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("fig2"), shared verbatim with the floretsim_run driver.
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 2(a): router-port configuration, 100 chiplets ===\n\n";
-
-    // The four fabrics through the engine's shared cache (route tables are
-    // the expensive part and other benches in a pipeline reuse them).
-    bench::SweepEngine engine(opt.threads);
-    const auto fabrics =
-        engine.map(bench::kAllArchs.size(), [&](std::size_t i) {
-            return engine.cache().get(bench::kAllArchs[i], 10, 10);
-        });
-
-    std::size_t max_ports = 0;
-    for (const auto& f : fabrics)
-        max_ports = std::max(max_ports, f->topology.port_histogram().size());
-
-    std::vector<std::string> header{"Ports"};
-    for (const auto& f : fabrics) header.push_back(bench::arch_name(f->arch));
-    util::TextTable ports(header);
-    for (std::size_t p = 1; p < max_ports; ++p) {
-        std::vector<std::string> row{std::to_string(p)};
-        std::uint64_t total = 0;
-        for (const auto& f : fabrics) {
-            const auto c = f->topology.port_histogram().at(p);
-            total += c;
-            row.push_back(std::to_string(c));
-        }
-        if (total > 0) ports.add_row(std::move(row));
-    }
-    ports.print(std::cout);
-
-    std::cout << "\n=== Fig. 2(b): links, 100 chiplets ===\n\n";
-    util::TextTable links({"NoI", "Total links", "1-hop", "2-hop", ">=3-hop",
-                           "Mean length (mm)"});
-    for (const auto& f : fabrics) {
-        const auto spans = f->topology.link_span_histogram();
-        std::uint64_t ge3 = 0;
-        for (std::size_t s = 3; s < spans.size(); ++s) ge3 += spans.at(s);
-        double len = 0.0;
-        for (const auto& l : f->topology.links()) len += l.length_mm;
-        links.add_row({bench::arch_name(f->arch),
-                       std::to_string(f->topology.link_count()),
-                       std::to_string(spans.at(1)), std::to_string(spans.at(2)),
-                       std::to_string(ge3),
-                       util::TextTable::fmt(len / f->topology.link_count())});
-    }
-    links.print(std::cout);
-
-    std::cout << "\nPaper shape check: Kite mode=4 ports & 2-hop links; SIAM 3-4 "
-                 "ports, 1-hop; SWAP 2-3 ports, some long links; Floret ~all "
-                 "2-port, fewest links.\n";
-
-    bench::JsonReport report("fig2_ports_links");
-    report.add_table("ports", ports);
-    report.add_table("links", links);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig2", opt);
 }

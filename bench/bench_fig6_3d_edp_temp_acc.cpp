@@ -4,91 +4,13 @@
 /// temperature, and (c) inference accuracy under thermal noise.
 /// Paper shape: Floret ~9% better EDP on average, but ~13 K hotter peaks
 /// and up to 11% accuracy degradation; joint-opt stays accurate.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("fig6"), shared verbatim with the floretsim_run driver.
 
 #include "bench/common.h"
-#include "src/core/moo.h"
-#include "src/dnn/model_zoo.h"
-#include "src/topo/mesh.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 6: 100-PE 3D NoC, perf-only (Floret) vs joint "
-                 "perf-thermal mapping ===\n\n";
-
-    const auto topo3d = topo::make_mesh3d(5, 5, 4);
-    const auto routes = noc::RouteTable::build(topo3d, noc::RoutingPolicy::kShortestPath);
-    thermal::ThermalConfig tcfg;
-    pim::ReramConfig rcfg;
-    pim::ThermalAccuracyModel acc;
-    core::PerfParams perf;
-    core::MooConfig moo;
-    moo.iterations = 1500;
-    // The joint design targets the ReRAM-safe temperature (Section III):
-    // a strong thermal weight makes it trade EDP for accuracy headroom.
-    moo.w_thermal = 0.2;
-    moo.t_target_k = 331.0;
-
-    // Each DNN runs two simulated-annealing optimizations — by far the
-    // heaviest per-item work of any bench, and a perfect engine fan-out.
-    struct Pair {
-        core::PlacementEval perf_only;
-        core::PlacementEval joint;
-    };
-    bench::SweepEngine engine(opt.threads);
-    const auto& t1 = workload::table1();
-    const auto pairs = engine.map(5, [&](std::size_t i) {  // DNN1..DNN5 as in the paper
-        const auto& w = t1[i];
-        const auto net = dnn::build_model(w.model, w.dataset);
-        const auto plan =
-            pim::partition_by_params(net, w.paper_params_m, w.paper_params_m / 88.0);
-        thermal::PowerParams pcfg;
-        pcfg.inference_period_ns = pim::pipeline_period_ns(net, plan, rcfg);
-        Pair p;
-        p.perf_only = core::optimize_perf_only(net, plan, routes, tcfg, pcfg, rcfg,
-                                               acc, perf, moo)
-                          .eval;
-        p.joint =
-            core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg, acc, perf, moo)
-                .eval;
-        return p;
-    });
-
-    util::TextTable t({"DNN", "EDP gain of Floret", "Peak K (Floret)",
-                       "Peak K (joint)", "Delta K", "Acc drop (Floret)",
-                       "Acc drop (joint)"});
-    double edp_gain_sum = 0.0;
-    double delta_k_sum = 0.0;
-    double worst_acc = 0.0;
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-        const auto& w = t1[i];
-        const auto& p = pairs[i];
-        const double edp_gain = 100.0 * (p.joint.edp - p.perf_only.edp) / p.joint.edp;
-        const double dk = p.perf_only.peak_k - p.joint.peak_k;
-        edp_gain_sum += edp_gain;
-        delta_k_sum += dk;
-        worst_acc = std::max(worst_acc, p.perf_only.accuracy_drop);
-        t.add_row({w.id + " (" + w.model + ")",
-                   util::TextTable::fmt(edp_gain, 1) + "%",
-                   util::TextTable::fmt(p.perf_only.peak_k, 1),
-                   util::TextTable::fmt(p.joint.peak_k, 1),
-                   util::TextTable::fmt(dk, 1),
-                   util::TextTable::fmt(100.0 * p.perf_only.accuracy_drop, 1) + "%",
-                   util::TextTable::fmt(100.0 * p.joint.accuracy_drop, 1) + "%"});
-    }
-    t.print(std::cout);
-    std::cout << "\nMeans: Floret EDP advantage "
-              << util::TextTable::fmt(edp_gain_sum / 5.0, 1) << "% (paper ~9%), peak-T "
-              << "excess " << util::TextTable::fmt(delta_k_sum / 5.0, 1)
-              << " K (paper ~13 K), worst Floret accuracy drop "
-              << util::TextTable::fmt(100.0 * worst_acc, 1) << "% (paper up to 11%).\n";
-
-    bench::JsonReport report("fig6_3d_edp_temp_acc");
-    report.add_table("comparison", t);
-    report.add_metric("mean_edp_gain_pct", edp_gain_sum / 5.0);
-    report.add_metric("mean_peak_excess_k", delta_k_sum / 5.0);
-    report.add_metric("worst_accuracy_drop", worst_acc);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig6", opt);
 }

@@ -2,72 +2,13 @@
 /// the heat sink) for ResNet34 on the 100-PE 3D system, under (a) the
 /// Floret performance-only mapping and (b) the thermal-aware joint
 /// mapping. Paper: ~17 K higher peak and more hotspots for (a).
-
-#include <iostream>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("fig7"), shared verbatim with the floretsim_run driver.
 
 #include "bench/common.h"
-#include "src/core/moo.h"
-#include "src/dnn/model_zoo.h"
-#include "src/pim/partitioner.h"
-#include "src/thermal/power.h"
-#include "src/topo/mesh.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Fig. 7: bottom-tier thermal maps, ResNet34 on 100 PEs ===\n\n";
-
-    const auto topo3d = topo::make_mesh3d(5, 5, 4);
-    const auto routes = noc::RouteTable::build(topo3d, noc::RoutingPolicy::kShortestPath);
-    thermal::ThermalConfig tcfg;
-    thermal::PowerParams pcfg;
-    pim::ReramConfig rcfg;
-    pim::ThermalAccuracyModel acc;
-    core::PerfParams perf;
-    core::MooConfig moo;
-    moo.iterations = 1500;
-    // The joint design targets the ReRAM-safe temperature (Section III):
-    // a strong thermal weight makes it trade EDP for accuracy headroom.
-    moo.w_thermal = 0.2;
-    moo.t_target_k = 331.0;
-
-    const auto& w = workload::workload_by_id("DNN2");  // ResNet34 (paper's RN10 label)
-    const auto net = dnn::build_model(w.model, w.dataset);
-    const auto plan =
-        pim::partition_by_params(net, w.paper_params_m, w.paper_params_m / 88.0);
-    pcfg.inference_period_ns = pim::pipeline_period_ns(net, plan, rcfg);
-
-    // The two annealing runs are independent — fan them out.
-    bench::SweepEngine engine(opt.threads);
-    const auto results = engine.map(2, [&](std::size_t i) {
-        return i == 0 ? core::optimize_perf_only(net, plan, routes, tcfg, pcfg, rcfg,
-                                                 acc, perf, moo)
-                      : core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg, acc,
-                                             perf, moo);
-    });
-
-    auto render_for = [&](std::span<const topo::NodeId> order, const char* title) {
-        const auto assign = pim::assign_layers(net, plan, order);
-        const auto power = thermal::pe_power_map(net, assign, tcfg.cells(), pcfg);
-        const auto res = thermal::solve_steady_state(tcfg, power);
-        std::cout << title << "\n"
-                  << thermal::render_tier(res, 0) << "peak " << res.peak_k()
-                  << " K, bottom-tier hotspots >340K: " << res.hotspot_count(0, 340.0)
-                  << "\n\n";
-        return res;
-    };
-
-    const auto ra =
-        render_for(results[0].pe_order, "(a) Floret-based 3D NoC (perf-only)");
-    const auto rb = render_for(results[1].pe_order, "(b) Thermal-aware 3D NoC (joint)");
-
-    const double delta = ra.peak_k() - rb.peak_k();
-    std::cout << "Peak delta (a)-(b): " << delta
-              << " K   (paper: ~17 K for ResNet34)\n";
-
-    bench::JsonReport report("fig7_thermal_map");
-    report.add_metric("peak_k_perf_only", ra.peak_k());
-    report.add_metric("peak_k_joint", rb.peak_k());
-    report.add_metric("peak_delta_k", delta);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("fig7", opt);
 }

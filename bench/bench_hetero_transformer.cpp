@@ -5,77 +5,14 @@
 /// inference. Reports end-to-end latency, the write-stall share, and the
 /// macro footprint. The write wall is why "traditional NVM-based PIM
 /// architectures are unsuitable" for the dynamic kernels.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("hetero_transformer"), shared verbatim with the
+/// floretsim_run driver.
 
 #include "bench/common.h"
-#include "src/core/hetero.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Heterogeneous vs all-PIM Transformer acceleration ===\n\n";
-
-    const std::array<dnn::TransformerConfig, 2> models{dnn::bert_tiny(),
-                                                       dnn::bert_base()};
-
-    struct Cell {
-        bool fits = false;
-        std::int32_t reram_chiplets = 0;
-        double compute_ns = 0.0;
-        double write_ns = 0.0;
-        double latency_ns = 0.0;
-    };
-    // 2 models x {hetero, all-PIM}: four independent system evaluations.
-    bench::SweepEngine engine(opt.threads);
-    const auto cells = engine.map(models.size() * 2, [&](std::size_t i) {
-        auto model = models[i / 2];
-        model.batch = 1;
-        const bool all_pim = (i % 2) == 1;
-        core::HeteroConfig cfg;
-        cfg.macro_width = 10;
-        cfg.macro_height = 10;
-        cfg.lambda = 10;
-        const auto sys = core::build_hetero_system(cfg);
-        const auto mapping = core::map_transformer(sys, model, cfg, all_pim);
-        Cell c;
-        c.fits = mapping.fits;
-        if (!mapping.fits) return c;
-        const auto ev = core::evaluate_hetero(sys, mapping, model);
-        c.reram_chiplets = mapping.reram_chiplets_used;
-        c.compute_ns = ev.compute_ns;
-        c.write_ns = ev.write_ns;
-        c.latency_ns = ev.latency_ns;
-        return c;
-    });
-
-    util::TextTable t({"Model", "System", "ReRAM chiplets", "Compute (us)",
-                       "Write stalls (us)", "Latency (us)", "Slowdown"});
-    for (std::size_t m = 0; m < models.size(); ++m) {
-        const double hetero_latency = cells[m * 2].latency_ns;
-        for (const bool all_pim : {false, true}) {
-            const auto& c = cells[m * 2 + (all_pim ? 1 : 0)];
-            if (!c.fits) {
-                t.add_row({models[m].name, all_pim ? "all-PIM" : "heterogeneous",
-                           "overflow", "-", "-", "-", "-"});
-                continue;
-            }
-            t.add_row({models[m].name, all_pim ? "all-PIM" : "heterogeneous",
-                       std::to_string(c.reram_chiplets),
-                       util::TextTable::fmt(c.compute_ns / 1e3, 1),
-                       util::TextTable::fmt(c.write_ns / 1e3, 1),
-                       util::TextTable::fmt(c.latency_ns / 1e3, 1),
-                       util::TextTable::fmt(c.latency_ns /
-                                            std::max(1.0, hetero_latency)) +
-                           "x"});
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nThe all-PIM design pays ReRAM write latency on every score\n"
-                 "matrix (and would exhaust crossbar endurance in hours); the\n"
-                 "SFC macro + SRAM modules split avoids it (Section IV).\n";
-
-    bench::JsonReport report("hetero_transformer");
-    report.add_table("latency", t);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("hetero_transformer", opt);
 }

@@ -6,76 +6,14 @@
 /// vertical thermal conductance) vs M3D (MIVs: near-zero vertical wire,
 /// strong conductance) — and compare EDP and peak temperature for the
 /// Fig. 6 workloads under the same joint-optimized mapping flow.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("m3d_vs_tsv"), shared verbatim with the floretsim_run
+/// driver.
 
 #include "bench/common.h"
-#include "src/core/moo.h"
-#include "src/dnn/model_zoo.h"
-#include "src/topo/mesh.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== M3D vs TSV 3D integration (100 PEs, joint-optimized) ===\n\n";
-
-    struct Variant {
-        const char* name;
-        double tier_pitch_mm;   // vertical wire length
-        double g_vertical;      // inter-tier thermal conductance (W/K)
-    };
-    const std::array<Variant, 2> variants{{
-        {"TSV", 0.30, 0.25},  // micro-bump + bond layer
-        {"M3D", 0.02, 0.80},  // nano-MIV through thin ILD
-    }};
-
-    pim::ReramConfig rcfg;
-    pim::ThermalAccuracyModel acc;
-    core::PerfParams perf;
-    core::MooConfig moo;
-    moo.iterations = 1200;
-    moo.w_thermal = 0.2;
-    moo.t_target_k = 331.0;
-
-    // 3 DNNs x 2 integration variants, each a full joint optimization —
-    // six independent heavy points for the engine.
-    bench::SweepEngine engine(opt.threads);
-    const auto& t1 = workload::table1();
-    const auto evals =
-        engine.map(3 * variants.size(), [&](std::size_t i) {  // DNN1..DNN3 for brevity
-            const auto& w = t1[i / variants.size()];
-            const auto& v = variants[i % variants.size()];
-            const auto net = dnn::build_model(w.model, w.dataset);
-            const auto plan = pim::partition_by_params(net, w.paper_params_m,
-                                                       w.paper_params_m / 88.0);
-            const auto topo3d = topo::make_mesh3d(5, 5, 4, 1.0, v.tier_pitch_mm);
-            const auto routes = noc::RouteTable::build(topo3d, noc::RoutingPolicy::kXY);
-            thermal::ThermalConfig tcfg;
-            tcfg.g_vertical_w_per_k = v.g_vertical;
-            thermal::PowerParams pcfg;
-            pcfg.inference_period_ns = pim::pipeline_period_ns(net, plan, rcfg);
-            return core::optimize_joint(net, plan, routes, tcfg, pcfg, rcfg, acc, perf,
-                                        moo)
-                .eval;
-        });
-
-    util::TextTable t({"DNN", "Variant", "EDP (norm)", "Peak K", "Acc drop"});
-    for (std::size_t d = 0; d < 3; ++d) {
-        const auto& w = t1[d];
-        const double edp_tsv = evals[d * variants.size()].edp;  // TSV is first
-        for (std::size_t v = 0; v < variants.size(); ++v) {
-            const auto& res = evals[d * variants.size() + v];
-            t.add_row({w.id + " (" + w.model + ")", variants[v].name,
-                       util::TextTable::fmt(res.edp / edp_tsv),
-                       util::TextTable::fmt(res.peak_k, 1),
-                       util::TextTable::fmt(100.0 * res.accuracy_drop, 1) + "%"});
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nPaper (Section I): M3D's MIVs and thin ILD give better "
-                 "performance/energy and fewer thermal hotspots than TSV 3D.\n";
-
-    bench::JsonReport report("m3d_vs_tsv");
-    report.add_table("comparison", t);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("m3d_vs_tsv", opt);
 }

@@ -4,49 +4,14 @@
 /// rules out write-limited NVM crossbars for the dynamic kernels. We sweep
 /// the batch size and report where the paper's figures land, plus the
 /// static/dynamic kernel split the heterogeneous mapping relies on.
-
-#include <iostream>
+///
+/// Thin main over the scenario registry: the spec and report live in
+/// src/scenario/ ("transformer_storage"), shared verbatim with the
+/// floretsim_run driver.
 
 #include "bench/common.h"
-#include "src/dnn/transformer.h"
 
 int main(int argc, char** argv) {
-    using namespace floretsim;
-    const auto opt = bench::Options::parse(argc, argv);
-    std::cout << "=== Transformer intermediate-vs-weight storage (Section IV) ===\n\n";
-
-    util::TextTable t({"Model", "Batch", "Weights (M)", "Intermediates (M)",
-                       "Ratio"});
-    for (auto cfg : {dnn::bert_base(), dnn::bert_tiny()}) {
-        for (const std::int32_t batch : {1, 2, 4, 6, 8}) {
-            cfg.batch = batch;
-            const auto s = dnn::analyze_storage(cfg);
-            t.add_row({cfg.name, std::to_string(batch),
-                       util::TextTable::fmt(static_cast<double>(s.weight_params) / 1e6, 1),
-                       util::TextTable::fmt(static_cast<double>(s.intermediate_elems) / 1e6, 1),
-                       util::TextTable::fmt(s.intermediate_over_weights()) + "x"});
-        }
-    }
-    t.print(std::cout);
-    std::cout << "\nPaper: BERT-Base 8.98x (lands near batch 6 here), BERT-Tiny "
-                 "2.06x (near batch 2).\n\n";
-
-    std::cout << "Kernel classes per encoder (heterogeneous mapping input):\n";
-    util::TextTable k({"Kernel", "Class", "Weights", "GMACs (batch 1)"});
-    const auto walk = dnn::kernel_walk(dnn::bert_base());
-    for (std::size_t i = 0; i < 7; ++i) {
-        const auto& kn = walk[i];
-        const char* cls = kn.cls == dnn::KernelClass::kStaticWeight ? "static (PIM)"
-                          : kn.cls == dnn::KernelClass::kDynamicMatrix
-                              ? "dynamic (no NVM)"
-                              : "elementwise";
-        k.add_row({kn.name, cls, std::to_string(kn.weight_params),
-                   util::TextTable::fmt(static_cast<double>(kn.work_macs) / 1e9, 2)});
-    }
-    k.print(std::cout);
-
-    bench::JsonReport report("transformer_storage");
-    report.add_table("storage", t);
-    report.add_table("kernels", k);
-    return bench::finish(opt, report);
+    const auto opt = floretsim::bench::Options::parse(argc, argv);
+    return floretsim::bench::run_registered_scenario("transformer_storage", opt);
 }

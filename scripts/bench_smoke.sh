@@ -8,8 +8,9 @@
 # default, the reference cycle loop, and the per-region-clock regional
 # core — via FLORETSIM_SIM_CORE for the bench binaries and the --core
 # flag for the driver, so the flag path itself is smoke-tested). The
-# figure benches that live in the scenario registry (fig3/fig4/fig5/
-# table2/serving) are covered by ONE floretsim_run invocation per core:
+# figure benches that live in the scenario registry (all twelve: fig2-7,
+# table2, serving, m3d_vs_tsv, hetero_transformer, transformer_storage,
+# ablation_scaling) are covered by ONE floretsim_run invocation per core:
 # one process, one shared SweepEngine/fabric cache, so the registered
 # scenarios cost one sweep's worth of fabric builds instead of five
 # processes' — and the driver's own CLI (--set overrides, merged report)
@@ -40,7 +41,9 @@ fi
 # Figure benches covered by the driver (thin registry mains — running the
 # binary would repeat the identical scenario code the driver just ran).
 registered="bench_fig3_latency bench_fig4_utilization bench_fig5_energy \
-bench_table2_mixes bench_serving_sla"
+bench_table2_mixes bench_serving_sla bench_fig2_ports_links \
+bench_fig6_3d_edp_temp_acc bench_fig7_thermal_map bench_m3d_vs_tsv \
+bench_hetero_transformer bench_transformer_storage bench_ablation_scaling"
 
 smoke_one() {  # smoke_one <label> <log/json stem> <cmd...>
     local label=$1 stem=$2
@@ -71,7 +74,7 @@ for core in event-horizon reference regional; do
     # scenarios are already CI-sized). Sweep-only --set keys would error
     # here ("applies to none") if the serving scenario ever left the
     # registry, which is exactly the alarm we want.
-    smoke_one "floretsim_run ($core: fig3 fig4 fig5 table2 serving)" \
+    smoke_one "floretsim_run ($core: full 12-scenario registry)" \
         "floretsim_run.$core" \
         "$driver" --threads 2 --core "$core" \
         --set max_requests=24 --set replications=1

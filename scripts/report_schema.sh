@@ -28,11 +28,15 @@ assert set(doc) == {"driver", "scenarios"}, f"top-level keys: {set(doc)}"
 
 DRIVER_KEYS = {"run_info", "threads", "shards", "sim_core", "scenarios_run",
                "scenarios_failed", "wall_seconds", "fabric_cache_hits",
-               "fabric_cache_misses"}
+               "fabric_cache_misses", "result_cache_hits",
+               "result_cache_misses"}
 assert set(doc["driver"]) == DRIVER_KEYS, (
     f"driver keys: {sorted(set(doc['driver']) ^ DRIVER_KEYS)} changed")
 assert doc["driver"]["scenarios_run"] == 1
 assert doc["driver"]["scenarios_failed"] == 0
+# No --cache-dir given: the result-cache counters must exist and be zero.
+assert doc["driver"]["result_cache_hits"] == 0
+assert doc["driver"]["result_cache_misses"] == 0
 assert doc["driver"]["sim_core"] in {"reference", "event-horizon", "regional"}
 
 DRIVER_RUN_INFO_KEYS = {"build_type", "compiler", "git_sha", "sim_core",
@@ -94,4 +98,119 @@ for key, value in metrics["counters"].items():
 
 print("report schema ok: driver/scenario/run_info/table/metric key sets",
       f"pinned, {len(METRIC_KEYS)} metrics finite, metrics snapshot shape ok")
+EOF
+
+# Second document: the scenarios migrated into the registry from the
+# bespoke bench mains. Pin each one's bench name, metric key set, and
+# table columns so the declarative ports can't silently drop a table or
+# rename a metric relative to the original benches.
+"$driver" --only fig2,fig6,fig7,m3d_vs_tsv,hetero_transformer \
+    --only transformer_storage,ablation_scaling \
+    --set iterations=40 --set traffic_scale=1/128 \
+    --threads 2 --json "$out_dir/migrated.json" > "$out_dir/migrated.log"
+
+python3 - "$out_dir/migrated.json" <<'EOF'
+import json, math, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["driver"]["scenarios_failed"] == 0
+
+# Every scenario gets these from the driver wrapper, on top of what its
+# report emits.
+WRAPPER = {"scenario_seconds", "fabric_cache_hits", "fabric_cache_misses"}
+SWEEP_TIMING = {"sweep_wall_seconds", "point_seconds_min",
+                "point_seconds_mean", "point_seconds_max", "point_imbalance"}
+
+GOLDEN = {
+    "fig2": {
+        "bench": "fig2_ports_links",
+        "metrics": WRAPPER,
+        "tables": {
+            "ports": ["Ports", "Kite", "SIAM", "SWAP", "Floret"],
+            "links": ["NoI", "Total links", "1-hop", "2-hop", ">=3-hop",
+                      "Mean length (mm)"],
+        },
+    },
+    "fig6": {
+        "bench": "fig6_3d_edp_temp_acc",
+        "metrics": WRAPPER | {"mean_edp_gain_pct", "mean_peak_excess_k",
+                              "worst_accuracy_drop"},
+        "tables": {
+            "comparison": ["DNN", "EDP gain of Floret", "Peak K (Floret)",
+                           "Peak K (joint)", "Delta K", "Acc drop (Floret)",
+                           "Acc drop (joint)"],
+        },
+    },
+    "fig7": {
+        "bench": "fig7_thermal_map",
+        "metrics": WRAPPER | {"peak_k_perf_only", "peak_k_joint",
+                              "peak_delta_k"},
+        "tables": {},
+    },
+    "m3d_vs_tsv": {
+        "bench": "m3d_vs_tsv",
+        "metrics": WRAPPER,
+        "tables": {
+            "comparison": ["DNN", "Variant", "EDP (norm)", "Peak K",
+                           "Acc drop"],
+        },
+    },
+    "hetero_transformer": {
+        "bench": "hetero_transformer",
+        "metrics": WRAPPER,
+        "tables": {
+            "latency": ["Model", "System", "ReRAM chiplets", "Compute (us)",
+                        "Write stalls (us)", "Latency (us)", "Slowdown"],
+        },
+    },
+    "transformer_storage": {
+        "bench": "transformer_storage",
+        "metrics": WRAPPER,
+        "tables": {
+            "storage": ["Model", "Batch", "Weights (M)", "Intermediates (M)",
+                        "Ratio"],
+            "kernels": ["Kernel", "Class", "Weights", "GMACs (batch 1)"],
+        },
+    },
+    "ablation_scaling": {
+        "bench": "ablation_scaling",
+        "metrics": WRAPPER | SWEEP_TIMING,
+        "tables": {
+            "scaling": ["Chiplets", "NoI", "Mean hops", "Makespan (kcyc)",
+                        "NoI energy (uJ)", "NoI area (mm2)", "Cost vs ref"],
+            "petal_sweep": ["lambda", "d (Eq.1)", "Links", "2-port routers",
+                            "Mean route hops", "NoI area (mm2)"],
+            "weight_load": ["NoI", "Inference pass (kcyc)",
+                            "+ weight load (kcyc)", "Load overhead"],
+        },
+    },
+}
+
+assert set(doc["scenarios"]) == set(GOLDEN), (
+    f"scenario set: {sorted(set(doc['scenarios']) ^ set(GOLDEN))}")
+for name, want in GOLDEN.items():
+    got = doc["scenarios"][name]
+    assert got["bench"] == want["bench"], (
+        f"{name}: bench {got['bench']!r} != {want['bench']!r}")
+    assert set(got["metrics"]) == want["metrics"], (
+        f"{name} metric keys changed: "
+        f"{sorted(set(got['metrics']) ^ want['metrics'])}")
+    for key, value in got["metrics"].items():
+        assert isinstance(value, (int, float)) and math.isfinite(value), (
+            f"{name} metric {key} is not a finite number: {value!r}")
+    assert set(got["tables"]) == set(want["tables"]), (
+        f"{name} tables changed: "
+        f"{sorted(set(got['tables']) ^ set(want['tables']))}")
+    for tname, cols in want["tables"].items():
+        table = got["tables"][tname]
+        assert table["columns"] == cols, (
+            f"{name}.{tname} columns: {table['columns']}")
+        assert table["rows"], f"{name}.{tname} has no rows"
+        for row in table["rows"]:
+            assert len(row) == len(cols), f"{name}.{tname} ragged row: {row}"
+            assert all(isinstance(c, str) and c for c in row), (
+                f"{name}.{tname} bad cells: {row}")
+
+print(f"report schema ok: {len(GOLDEN)} migrated scenarios pinned "
+      "(bench names, metric keys, table columns)")
 EOF

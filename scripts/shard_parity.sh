@@ -10,10 +10,11 @@
 #   counters, thread/shard counts) may differ; everything else — every
 #   table cell, every derived metric — must match byte for byte.
 #
-# Sizes are CI-small (8x8 grid, 1/128 traffic, 16 serving requests) but
-# the full registry runs, so the coordinator path is exercised against
-# spec-driven sweeps (fig3/fig5/table2: distributed) AND map()-driven
-# scenarios (fig4/serving: coordinator-local) in the same document.
+# Sizes are CI-small (8x8 grid, 1/128 traffic, 16 serving requests,
+# 40 annealing iterations for the 3D MOO studies) but the full registry
+# runs, so the coordinator path is exercised against spec-driven sweeps
+# (fig3/fig5/table2/ablation_scaling: distributed) AND map()-driven
+# scenarios (fig4/serving/fig6: coordinator-local) in the same document.
 #
 #   usage: scripts/shard_parity.sh <floretsim_run> [extra driver args...]
 #
@@ -29,7 +30,7 @@ out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
 common="--set grid=8x8 --set traffic_scale=1/128 \
-        --set max_requests=16 --set replications=1"
+        --set max_requests=16 --set replications=1 --set iterations=40"
 
 # shellcheck disable=SC2086
 "$driver" $common --threads 2             "$@" --json "$out_dir/p1.json" \
@@ -75,13 +76,17 @@ for path, doc in docs.items():
             f"  base: {json.dumps(base[name])[:400]}\n"
             f"  got:  {json.dumps(got[name])[:400]}")
 
-# The sharded runs really did dispatch workers: the coordinator cache
-# never builds the sweep fabrics, so the distributed scenarios report 0
-# misses there, while the 1-process run must have built them locally.
-s2 = docs[sys.argv[2]]["scenarios"]
-assert s2["fig3"]["metrics"]["fabric_cache_misses"] == 0, (
-    "sharded fig3 built fabrics in the coordinator — executor not installed?")
-assert docs[base_path]["scenarios"]["fig3"]["metrics"]["fabric_cache_misses"] > 0
+# The sharded runs really did dispatch workers: during fig3's sweep the
+# coordinator never touches its fabric cache at all (rows arrive from the
+# worker processes), while the 1-process run resolves every point against
+# it. (fig2 runs first and warms the shared cache, so the 1-process
+# signal is hits, not misses.)
+s2 = docs[sys.argv[2]]["scenarios"]["fig3"]["metrics"]
+assert s2["fabric_cache_hits"] + s2["fabric_cache_misses"] == 0, (
+    "sharded fig3 touched the coordinator fabric cache — executor not "
+    "installed?")
+p1 = docs[base_path]["scenarios"]["fig3"]["metrics"]
+assert p1["fabric_cache_hits"] + p1["fabric_cache_misses"] > 0
 
 names = ", ".join(sorted(base))
 print(f"shard parity ok: {names} bit-identical across 1 process, "

@@ -34,6 +34,9 @@ struct HeteroConfig {
     /// matrices into crossbars (the all-PIM baseline): a 128-cell row
     /// programs in ~500 ns -> ~4 ns/element.
     double reram_write_ns_per_elem = 4.0;
+
+    /// Field-wise equality for the scenario layer's JSON round-trip contract.
+    [[nodiscard]] bool operator==(const HeteroConfig&) const = default;
 };
 
 /// The built heterogeneous system.

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -82,6 +84,56 @@ struct SweepRow {
 [[nodiscard]] SweepRow evaluate_point(experiment::ArchCache& cache,
                                       const SweepPoint& point);
 
+/// Ordered stream of sweep rows: next() yields rows in point order until
+/// exhausted. The streaming seam that bounds coordinator memory — a
+/// consumer that folds rows as they arrive never holds more than one row,
+/// no matter how many points the sweep has. Implementations may compute
+/// lazily (the sharded NDJSON merge reads one row per next()) or wrap an
+/// already-materialized vector (the local in-process path).
+class RowStream {
+public:
+    virtual ~RowStream() = default;
+    /// The next row in point order; nullopt when exhausted.
+    [[nodiscard]] virtual std::optional<SweepRow> next() = 0;
+    /// Total rows this stream will yield (known up front: one per point).
+    [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// RowStream over a materialized vector — the adapter between the
+/// collect-everything API (SweepResult::rows) and streaming consumers.
+class VectorRowStream final : public RowStream {
+public:
+    explicit VectorRowStream(std::vector<SweepRow> rows)
+        : rows_(std::move(rows)) {}
+    [[nodiscard]] std::optional<SweepRow> next() override {
+        if (pos_ >= rows_.size()) return std::nullopt;
+        return std::move(rows_[pos_++]);
+    }
+    [[nodiscard]] std::size_t size() const override { return rows_.size(); }
+
+private:
+    std::vector<SweepRow> rows_;
+    std::size_t pos_ = 0;
+};
+
+/// Content-addressed cache of finished sweep rows, keyed by the full
+/// SweepPoint (arch, grid, mix, eval config, seeds — everything that
+/// determines the result). The engine consults it before dispatching
+/// work: a probe() hit skips evaluation entirely and the row is served
+/// from lookup() at stream time; every computed row is store()d back.
+/// Implementations must validate on lookup (a corrupt or mismatched entry
+/// returns nullopt and the engine recomputes — the cache can degrade a
+/// run to uncached speed but never to wrong rows).
+class PointResultCache {
+public:
+    virtual ~PointResultCache() = default;
+    /// Cheap existence probe; true means lookup() is expected to succeed.
+    [[nodiscard]] virtual bool probe(const SweepPoint& point) = 0;
+    /// The cached row, or nullopt when absent/corrupt (recompute then).
+    [[nodiscard]] virtual std::optional<SweepRow> lookup(const SweepPoint& point) = 0;
+    virtual void store(const SweepPoint& point, const SweepRow& row) = 0;
+};
+
 struct SweepResult {
     /// Rows in SweepSpec::expand() order.
     std::vector<SweepRow> rows;
@@ -113,6 +165,15 @@ public:
     [[nodiscard]] SweepResult run(const SweepSpec& spec);
     [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& points);
 
+    /// Streaming execution: evaluates `points` (through the result cache
+    /// and the installed executor, exactly like run()) but returns the
+    /// rows as an ordered stream instead of a vector. With the sharded
+    /// stream executor installed, rows are read one at a time from the
+    /// per-shard NDJSON files — coordinator memory stays O(1) in the row
+    /// count. run(points) is collect(run_stream(points)).
+    [[nodiscard]] std::unique_ptr<RowStream> run_stream(
+        const std::vector<SweepPoint>& points);
+
     /// Pluggable transport for point lists: when set, run() hands the
     /// expanded points to the executor (which must return one row per
     /// point, in point order) instead of evaluating them on the local
@@ -124,7 +185,25 @@ public:
         std::function<std::vector<SweepRow>(const std::vector<SweepPoint>&)>;
     void set_point_executor(PointListExecutor executor) {
         executor_ = std::move(executor);
+        stream_executor_ = nullptr;
     }
+
+    /// Streaming variant of the executor seam: returns the rows as an
+    /// ordered stream rather than a vector, so a distributed backend
+    /// never needs to materialize every row in the coordinator. Takes
+    /// precedence over set_point_executor; the two are mutually exclusive
+    /// (installing either clears the other).
+    using StreamExecutor = std::function<std::unique_ptr<RowStream>(
+        const std::vector<SweepPoint>&)>;
+    void set_stream_executor(StreamExecutor executor) {
+        stream_executor_ = std::move(executor);
+        executor_ = nullptr;
+    }
+
+    /// Attaches a result cache (nullptr detaches; not owned). Points that
+    /// probe() as cached are never dispatched to the pool or the
+    /// executor; computed rows are stored back as they stream out.
+    void set_result_cache(PointResultCache* cache) { result_cache_ = cache; }
 
     /// Generic deterministic fan-out for benches whose per-point work is
     /// not run_mix_dynamic: evaluates fn(0..count-1) on the pool and
@@ -169,6 +248,8 @@ private:
     util::ThreadPool pool_;
     experiment::ArchCache cache_;
     PointListExecutor executor_;
+    StreamExecutor stream_executor_;
+    PointResultCache* result_cache_ = nullptr;
 };
 
 }  // namespace floretsim::core

@@ -4,6 +4,10 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "src/scenario/cache.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
 namespace floretsim::scenario {
 namespace {
 
@@ -73,19 +77,44 @@ std::vector<core::experiment::Arch> parse_archs(std::string_view key,
     return archs;
 }
 
+std::vector<std::int32_t> parse_positive_int32_list(std::string_view key,
+                                                    std::string_view value,
+                                                    const char* what) {
+    std::vector<std::int32_t> out;
+    for (const auto& item : split_csv(value)) {
+        const std::int64_t v = parse_int(key, item);
+        if (v <= 0 || v > INT32_MAX)
+            bad_value(key, value,
+                      std::string(what) + " must be a positive int32");
+        out.push_back(static_cast<std::int32_t>(v));
+    }
+    if (out.empty()) bad_value(key, value, std::string("empty ") + what + " list");
+    return out;
+}
+
 /// Applies an EvalConfig mutation everywhere the spec carries one. A
 /// sweep spec with an empty eval list means "the experiment default", so
 /// the default is materialized first — otherwise the override would be
-/// silently lost at expand() time.
+/// silently lost at expand() time. Returns false for kinds that carry no
+/// EvalConfig at all (the annealing and Transformer studies never run the
+/// flit simulator), so eval overrides don't pretend to land on them.
 template <typename Fn>
-void mutate_evals(SpecVariant& spec, Fn&& fn) {
+bool mutate_evals(SpecVariant& spec, Fn&& fn) {
     if (auto* sweep = std::get_if<core::SweepSpec>(&spec)) {
         if (sweep->evals.empty())
             sweep->evals = {core::experiment::default_eval_config()};
         for (auto& eval : sweep->evals) fn(eval);
-    } else {
-        fn(std::get<ServeGridSpec>(spec).base.config.eval);
+        return true;
     }
+    if (auto* grid = std::get_if<ServeGridSpec>(&spec)) {
+        fn(grid->base.config.eval);
+        return true;
+    }
+    if (auto* scaling = std::get_if<ScalingSpec>(&spec)) {
+        fn(scaling->eval);
+        return true;
+    }
+    return false;
 }
 
 }  // namespace
@@ -106,7 +135,14 @@ std::vector<std::string> split_csv(std::string_view value) {
 }
 
 const char* spec_kind_name(const SpecVariant& spec) {
-    return std::holds_alternative<core::SweepSpec>(spec) ? "sweep" : "serve_grid";
+    struct Namer {
+        const char* operator()(const core::SweepSpec&) const { return "sweep"; }
+        const char* operator()(const ServeGridSpec&) const { return "serve_grid"; }
+        const char* operator()(const Moo3dSpec&) const { return "moo3d"; }
+        const char* operator()(const TransformerSpec&) const { return "transformer"; }
+        const char* operator()(const ScalingSpec&) const { return "scaling"; }
+    };
+    return std::visit(Namer{}, spec);
 }
 
 util::Json to_json(const SpecVariant& spec) {
@@ -116,8 +152,55 @@ util::Json to_json(const SpecVariant& spec) {
 SpecVariant spec_from_json(const util::Json& j, const std::string& kind) {
     if (kind == "sweep") return sweep_spec_from_json(j);
     if (kind == "serve_grid") return serve_grid_spec_from_json(j);
-    throw std::invalid_argument("unknown spec kind \"" + kind +
-                                "\" (expected sweep|serve_grid)");
+    if (kind == "moo3d") return moo3d_spec_from_json(j);
+    if (kind == "transformer") return transformer_spec_from_json(j);
+    if (kind == "scaling") return scaling_spec_from_json(j);
+    throw std::invalid_argument(
+        "unknown spec kind \"" + kind +
+        "\" (expected sweep|serve_grid|moo3d|transformer|scaling)");
+}
+
+std::uint64_t spec_hash(const SpecVariant& spec) {
+    std::uint64_t h = util::fnv1a(kCacheFormatVersion);
+    h = util::fnv1a(":spec:", h);
+    h = util::fnv1a(spec_kind_name(spec), h);
+    h = util::fnv1a(":", h);
+    return util::fnv1a(util::json_serialize_compact(to_json(spec)), h);
+}
+
+std::vector<core::SweepPoint> scaling_points(const ScalingSpec& s) {
+    std::vector<core::SweepPoint> points;
+    points.reserve(s.sides.size() * s.archs.size());
+    for (const auto side : s.sides) {
+        // A fresh generator per side: each side's mix depends only on
+        // (mix_seed, side), never on the position in the sides list.
+        util::Rng mix_rng(s.mix_seed);
+        std::string label = "S";
+        label += std::to_string(side);
+        const auto mix = workload::random_mix(mix_rng, 3 + side, label);
+        for (const auto arch : s.archs) {
+            core::SweepPoint p;
+            p.arch = arch;
+            p.width = side;
+            p.height = side;
+            p.mix = mix;
+            p.eval = s.eval;
+            p.swap_seed = s.swap_seed;
+            p.greedy_max_gap = s.greedy_max_gap;
+            p.run_seed = s.run_seed;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+std::optional<std::vector<core::SweepPoint>> cacheable_points(
+    const SpecVariant& spec) {
+    if (const auto* sweep = std::get_if<core::SweepSpec>(&spec))
+        return sweep->expand();
+    if (const auto* scaling = std::get_if<ScalingSpec>(&spec))
+        return scaling_points(*scaling);
+    return std::nullopt;
 }
 
 void Registry::add(Scenario s) {
@@ -149,14 +232,24 @@ const Scenario& Registry::at(const std::string& name) const {
 void set_seed(SpecVariant& spec, std::uint64_t seed) {
     if (auto* sweep = std::get_if<core::SweepSpec>(&spec))
         sweep->run_seed = seed;
-    else
-        std::get<ServeGridSpec>(spec).base.base_seed = seed;
+    else if (auto* grid = std::get_if<ServeGridSpec>(&spec))
+        grid->base.base_seed = seed;
+    else if (auto* moo = std::get_if<Moo3dSpec>(&spec))
+        moo->seed = seed;
+    else if (auto* scaling = std::get_if<ScalingSpec>(&spec))
+        scaling->mix_seed = seed;
+    // TransformerSpec: fully deterministic, nothing to seed.
 }
 
 std::uint64_t effective_seed(const SpecVariant& spec) {
     if (const auto* sweep = std::get_if<core::SweepSpec>(&spec))
         return sweep->run_seed;
-    return std::get<ServeGridSpec>(spec).base.base_seed;
+    if (const auto* grid = std::get_if<ServeGridSpec>(&spec))
+        return grid->base.base_seed;
+    if (const auto* moo = std::get_if<Moo3dSpec>(&spec)) return moo->seed;
+    if (const auto* scaling = std::get_if<ScalingSpec>(&spec))
+        return scaling->mix_seed;
+    return 0;
 }
 
 bool is_eval_override_key(std::string_view key) {
@@ -167,13 +260,17 @@ bool is_eval_override_key(std::string_view key) {
 std::string override_keys_help() {
     return "grid, grids, archs, mixes, traffic_scale, max_cycles, "
            "injection_rate, sim_core, swap_seed, greedy_max_gap, seed, "
-           "max_requests, replications, loads";
+           "max_requests, replications, loads, iterations, workloads, "
+           "models, batches, sides, lambdas";
 }
 
 bool apply_override(SpecVariant& spec, std::string_view key,
                     std::string_view value) {
     auto* sweep = std::get_if<core::SweepSpec>(&spec);
     auto* grid = std::get_if<ServeGridSpec>(&spec);
+    auto* moo = std::get_if<Moo3dSpec>(&spec);
+    auto* transformer = std::get_if<TransformerSpec>(&spec);
+    auto* scaling = std::get_if<ScalingSpec>(&spec);
 
     if (key == "grid" || key == "grids") {
         std::vector<std::pair<std::int32_t, std::int32_t>> grids;
@@ -181,21 +278,43 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         if (grids.empty()) bad_value(key, value, "empty grid list");
         if (sweep) {
             sweep->grids = std::move(grids);
-        } else {
-            if (grids.size() != 1)
-                bad_value(key, value, "serving scenarios take exactly one grid");
+            return true;
+        }
+        if (grids.size() != 1)
+            bad_value(key, value, "this scenario kind takes exactly one grid");
+        if (grid) {
             grid->base.width = grids.front().first;
             grid->base.height = grids.front().second;
+            return true;
         }
-        return true;
+        if (moo) {
+            moo->width = grids.front().first;
+            moo->height = grids.front().second;
+            return true;
+        }
+        if (transformer) {
+            transformer->hetero.macro_width = grids.front().first;
+            transformer->hetero.macro_height = grids.front().second;
+            return true;
+        }
+        // Scaling systems are square by construction: sides defines them.
+        return false;
     }
     if (key == "archs") {
         auto archs = parse_archs(key, value);
-        if (sweep)
+        if (sweep) {
             sweep->archs = std::move(archs);
-        else
+            return true;
+        }
+        if (grid) {
             grid->archs = std::move(archs);
-        return true;
+            return true;
+        }
+        if (scaling) {
+            scaling->archs = std::move(archs);
+            return true;
+        }
+        return false;
     }
     if (key == "mixes") {
         if (!sweep) return false;
@@ -215,20 +334,20 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         const double scale = parse_ratio(key, value);
         if (scale <= 0.0 || scale > 1.0)
             bad_value(key, value, "traffic scale must be in (0, 1]");
-        mutate_evals(spec, [&](core::EvalConfig& e) { e.traffic_scale = scale; });
-        return true;
+        return mutate_evals(spec,
+                            [&](core::EvalConfig& e) { e.traffic_scale = scale; });
     }
     if (key == "max_cycles") {
         const std::int64_t cap = parse_int(key, value);
         if (cap <= 0) bad_value(key, value, "cycle cap must be positive");
-        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.max_cycles = cap; });
-        return true;
+        return mutate_evals(spec,
+                            [&](core::EvalConfig& e) { e.sim.max_cycles = cap; });
     }
     if (key == "injection_rate") {
         const double rate = parse_double(key, value);
         if (rate <= 0.0) bad_value(key, value, "injection rate must be positive");
-        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.injection_rate = rate; });
-        return true;
+        return mutate_evals(
+            spec, [&](core::EvalConfig& e) { e.sim.injection_rate = rate; });
     }
     if (key == "sim_core") {
         noc::SimCore core = noc::SimCore::kEventHorizon;
@@ -237,29 +356,98 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         } catch (const std::invalid_argument& e) {
             bad_value(key, value, e.what());
         }
-        mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.core = core; });
-        return true;
+        return mutate_evals(spec, [&](core::EvalConfig& e) { e.sim.core = core; });
     }
     if (key == "swap_seed") {
         const std::uint64_t seed = parse_uint(key, value);
-        if (sweep)
+        if (sweep) {
             sweep->swap_seed = seed;
-        else
+            return true;
+        }
+        if (grid) {
             grid->base.swap_seed = seed;
-        return true;
+            return true;
+        }
+        if (scaling) {
+            scaling->swap_seed = seed;
+            return true;
+        }
+        return false;
     }
     if (key == "greedy_max_gap") {
         const std::int64_t gap = parse_int(key, value);
         if (gap < INT32_MIN || gap > INT32_MAX)
             bad_value(key, value, "out of int32 range");
-        if (sweep)
+        if (sweep) {
             sweep->greedy_max_gap = static_cast<std::int32_t>(gap);
-        else
+            return true;
+        }
+        if (grid) {
             grid->base.greedy_max_gap = static_cast<std::int32_t>(gap);
-        return true;
+            return true;
+        }
+        if (scaling) {
+            scaling->greedy_max_gap = static_cast<std::int32_t>(gap);
+            return true;
+        }
+        return false;
     }
     if (key == "seed") {
+        if (transformer) return false;  // deterministic: see set_seed
         set_seed(spec, parse_uint(key, value));
+        return true;
+    }
+    if (key == "iterations") {
+        if (!moo) return false;
+        const std::int64_t n = parse_int(key, value);
+        if (n < 0 || n > INT32_MAX)
+            bad_value(key, value, "iteration count must be a non-negative int32");
+        moo->iterations = static_cast<std::int32_t>(n);
+        return true;
+    }
+    if (key == "workloads") {
+        if (!moo) return false;
+        std::vector<std::string> ids;
+        for (const auto& id : split_csv(value)) {
+            try {
+                (void)workload::workload_by_id(id);
+            } catch (const std::exception& e) {
+                bad_value(key, value, e.what());
+            }
+            ids.push_back(id);
+        }
+        if (ids.empty()) bad_value(key, value, "empty workload list");
+        moo->workloads = std::move(ids);
+        return true;
+    }
+    if (key == "models") {
+        if (!transformer) return false;
+        std::vector<std::string> models;
+        for (const auto& name : split_csv(value)) {
+            try {
+                (void)transformer_model_from_name(name);
+            } catch (const std::invalid_argument& e) {
+                bad_value(key, value, e.what());
+            }
+            models.push_back(ascii_lower(name));
+        }
+        if (models.empty()) bad_value(key, value, "empty model list");
+        transformer->models = std::move(models);
+        return true;
+    }
+    if (key == "batches") {
+        if (!transformer) return false;
+        transformer->batches = parse_positive_int32_list(key, value, "batch");
+        return true;
+    }
+    if (key == "sides") {
+        if (!scaling) return false;
+        scaling->sides = parse_positive_int32_list(key, value, "side");
+        return true;
+    }
+    if (key == "lambdas") {
+        if (!scaling) return false;
+        scaling->lambdas = parse_positive_int32_list(key, value, "lambda");
         return true;
     }
     if (key == "max_requests") {

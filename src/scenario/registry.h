@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -23,16 +25,42 @@ namespace floretsim::scenario {
 /// so consecutive scenarios reuse one fabric cache (fig3+fig5 build their
 /// identical sweeps once).
 
-/// What a scenario sweeps: a batch sweep grid or a serving grid.
-using SpecVariant = std::variant<core::SweepSpec, ServeGridSpec>;
+/// What a scenario runs: a batch sweep grid, a serving grid, a 3D
+/// placement-optimization study, a Transformer study, or the scaling
+/// ablation. Every alternative is pure serializable data.
+using SpecVariant = std::variant<core::SweepSpec, ServeGridSpec, Moo3dSpec,
+                                 TransformerSpec, ScalingSpec>;
 
-/// "sweep" or "serve_grid" — the `kind` discriminator in scenario files.
+/// "sweep" / "serve_grid" / "moo3d" / "transformer" / "scaling" — the
+/// `kind` discriminator in scenario files.
 [[nodiscard]] const char* spec_kind_name(const SpecVariant& spec);
 
 [[nodiscard]] util::Json to_json(const SpecVariant& spec);
-/// Parses a spec of the named kind ("sweep" / "serve_grid").
+/// Parses a spec of the named kind (see spec_kind_name).
 [[nodiscard]] SpecVariant spec_from_json(const util::Json& j,
                                          const std::string& kind);
+
+/// The spec's content hash: FNV-1a over the cache format version, the
+/// kind name, and the canonical compact JSON serialization — the identity
+/// --list prints and the result cache builds on. Invariant under JSON key
+/// order/whitespace of any user representation (hashing happens after
+/// parse -> canonical re-serialization); changes whenever any semantic
+/// field changes.
+[[nodiscard]] std::uint64_t spec_hash(const SpecVariant& spec);
+
+/// The deterministic point list of the scaling ablation: for each side, a
+/// random mix of 3 + side workloads drawn from a fresh Rng(mix_seed),
+/// fanned over the archs. The single expansion shared by the report
+/// function, the result cache, and --list.
+[[nodiscard]] std::vector<core::SweepPoint> scaling_points(const ScalingSpec& s);
+
+/// The evaluate_point work-list of a spec, when its kind has one: sweep
+/// specs expand their grid, scaling specs derive scaling_points(). The
+/// other kinds (serving replications, annealing studies, analytical
+/// Transformer models) do bespoke work the point cache cannot address —
+/// nullopt, and --list reports them as such.
+[[nodiscard]] std::optional<std::vector<core::SweepPoint>> cacheable_points(
+    const SpecVariant& spec);
 
 /// Everything a report function gets to work with: the engine it must run
 /// all parallel work on (shared across scenarios in a driver run — that
@@ -81,21 +109,24 @@ private:
 // ---- Spec mutation (CLI) ----------------------------------------------------
 
 /// Points every seed in the spec at `seed` (sweep run_seed / serve
-/// base_seed) — the bench `--seed` contract.
+/// base_seed / moo3d annealer seed / scaling mix_seed) — the bench
+/// `--seed` contract. A no-op on Transformer specs, which are fully
+/// deterministic and carry no seed.
 void set_seed(SpecVariant& spec, std::uint64_t seed);
 
-/// The seed a run of `spec` will actually use (the mirror of set_seed):
-/// sweep run_seed / serve base_seed. Reports record it as run_info
-/// provenance.
+/// The seed a run of `spec` will actually use (the mirror of set_seed).
+/// Reports record it as run_info provenance; 0 for seedless kinds.
 [[nodiscard]] std::uint64_t effective_seed(const SpecVariant& spec);
 
 /// Applies one `--set key=value` override in place. Returns false when
 /// the key is recognized but meaningless for this spec kind (e.g.
-/// max_requests on a batch sweep) so the caller can insist that every
-/// override lands somewhere; throws std::invalid_argument for unknown
-/// keys or malformed values. Supported keys: grid, grids, archs, mixes,
-/// traffic_scale (accepts "1/128"), max_cycles, injection_rate, sim_core,
-/// swap_seed, greedy_max_gap, seed, max_requests, replications, loads.
+/// max_requests on a batch sweep, seed on a Transformer study) so the
+/// caller can insist that every override lands somewhere; throws
+/// std::invalid_argument for unknown keys or malformed values. Supported
+/// keys: grid, grids, archs, mixes, traffic_scale (accepts "1/128"),
+/// max_cycles, injection_rate, sim_core, swap_seed, greedy_max_gap, seed,
+/// max_requests, replications, loads, iterations, workloads, models,
+/// batches, sides, lambdas.
 bool apply_override(SpecVariant& spec, std::string_view key,
                     std::string_view value);
 
@@ -117,7 +148,10 @@ bool apply_override(SpecVariant& spec, std::string_view key,
 ///   {"scenario": "fig3", "name"?, "spec"?}   — a registered scenario,
 ///     optionally relabeled and/or with a replacement spec of its kind;
 ///   {"kind": "sweep"|"serve_grid", "spec": {...}, "name"?} — a bare spec
-///     run through the generic report for its kind.
+///     run through the generic report for its kind. The other kinds
+///     (moo3d, transformer, scaling) have no generic report — reference
+///     them through their registered scenario ({"scenario": "fig6", ...})
+///     instead; a bare-kind file is rejected with that hint.
 /// Unknown top-level keys are rejected. Throws std::invalid_argument
 /// (parse/validation) or std::runtime_error (unreadable file).
 [[nodiscard]] Scenario load_scenario_file(const std::string& path,

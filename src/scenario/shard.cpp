@@ -365,21 +365,143 @@ std::string self_exe_path(const char* argv0) {
     return argv0 ? argv0 : "floretsim_run";
 }
 
-std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
-                                        const std::vector<core::SweepPoint>& points) {
+// ---- The streaming row merge ------------------------------------------------
+
+MergedRowFileStream::MergedRowFileStream(std::vector<std::string> row_paths,
+                                         std::size_t n_points,
+                                         std::function<void()> cleanup)
+    : row_paths_(std::move(row_paths)), cleanup_(std::move(cleanup)) {
+    locs_.assign(n_points, Loc{});
+    std::vector<char> seen(n_points, 0);
+    // One indexing pass per file: record where every point's row starts,
+    // so next() can seek straight to it. Rows land in completion order
+    // inside each file — the offsets are what turn that back into point
+    // order without holding any parsed row.
+    for (std::size_t s = 0; s < row_paths_.size(); ++s) {
+        auto f = std::make_unique<std::ifstream>(row_paths_[s]);
+        if (!*f)
+            throw std::runtime_error("shard " + std::to_string(s) + "/" +
+                                     std::to_string(row_paths_.size()) +
+                                     ": row file missing");
+        std::string line;
+        std::uint64_t offset = 0;
+        while (std::getline(*f, line)) {
+            const std::uint64_t line_start = offset;
+            offset += line.size() + 1;  // +1: the '\n' getline consumed
+            std::string_view text(line);
+            while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+            if (text.empty()) continue;
+            try {
+                // Index-only parse: pull out the point index, defer the
+                // (allocation-heavy) row conversion to next(). Heartbeat
+                // envelopes share the stream protocol and are skipped.
+                const util::Json j = util::json_parse(text);
+                if (j.kind() != util::Json::Kind::kObject)
+                    throw std::invalid_argument(
+                        "row line: expected an object, got " +
+                        std::string(j.kind_name()));
+                if (j.find("hb")) {
+                    (void)stream_line_from(text);  // strict heartbeat check
+                    continue;
+                }
+                for (const auto& [key, value] : j.as_object()) {
+                    (void)value;
+                    if (key != "index" && key != "row")
+                        throw std::invalid_argument("row line: unknown key \"" +
+                                                    key + "\"");
+                }
+                const util::Json* index = j.find("index");
+                if (!index || !j.find("row"))
+                    throw std::invalid_argument(
+                        "row line: need both \"index\" and \"row\"");
+                const std::size_t i = static_cast<std::size_t>(index->as_uint());
+                if (i >= n_points)
+                    throw std::invalid_argument(
+                        "row index " + std::to_string(i) + " out of range for " +
+                        std::to_string(n_points) + " points");
+                if (seen[i])
+                    throw std::invalid_argument("duplicate row for point " +
+                                                std::to_string(i));
+                seen[i] = 1;
+                locs_[i] = Loc{static_cast<std::uint32_t>(s), line_start};
+            } catch (const std::invalid_argument& e) {
+                throw std::runtime_error("shard " + std::to_string(s) + "/" +
+                                         std::to_string(row_paths_.size()) +
+                                         ": " + e.what());
+            }
+        }
+        f->clear();  // getline hit EOF; next() seeks on this same stream
+        files_.push_back(std::move(f));
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        if (!seen[i])
+            throw std::runtime_error(
+                "shard: no worker returned a row for point " + std::to_string(i));
+    // On any throw above, the already-constructed cleanup_ member is
+    // destroyed during unwinding — the scratch directory never outlives a
+    // failed merge.
+}
+
+MergedRowFileStream::~MergedRowFileStream() {
+    files_.clear();  // close the readers before releasing their directory
+    cleanup_ = nullptr;
+}
+
+std::optional<core::SweepRow> MergedRowFileStream::next() {
+    if (pos_ >= locs_.size()) return std::nullopt;
+    const Loc loc = locs_[pos_];
+    std::istream& f = *files_[loc.file];
+    f.clear();
+    f.seekg(static_cast<std::streamoff>(loc.offset));
+    std::string line;
+    if (!std::getline(f, line)) {
+        throw std::runtime_error(
+            "shard " + std::to_string(loc.file) + "/" +
+            std::to_string(row_paths_.size()) + ": row file shrank under point " +
+            std::to_string(pos_));
+    }
+    try {
+        // Exactly one parsed row resident at a time — the streaming-merge
+        // memory contract (see peak_resident_rows).
+        peak_resident_ = std::max<std::size_t>(peak_resident_, 1);
+        IndexedRow r = worker_row_from_line(line);
+        if (r.index != pos_)
+            throw std::invalid_argument("row index changed from " +
+                                        std::to_string(pos_) + " to " +
+                                        std::to_string(r.index) +
+                                        " between indexing and read");
+        ++pos_;
+        obs::MetricsRegistry::global().add("shard.rows_merged");
+        return std::move(r.row);
+    } catch (const std::invalid_argument& e) {
+        throw std::runtime_error("shard " + std::to_string(loc.file) + "/" +
+                                 std::to_string(row_paths_.size()) + ": " +
+                                 e.what());
+    }
+}
+
+std::unique_ptr<core::RowStream> run_sharded_stream(
+    const ShardOptions& opt, const std::vector<core::SweepPoint>& points) {
     const obs::Span sharded_span("run_sharded", "shard");
     if (opt.n_shards < 1)
         throw std::invalid_argument("--shards must be >= 1, got " +
                                     std::to_string(opt.n_shards));
     if (opt.worker_exe.empty())
         throw std::invalid_argument("shard: worker_exe is empty");
-    if (points.empty()) return {};
+    if (points.empty())
+        return std::make_unique<core::VectorRowStream>(
+            std::vector<core::SweepRow>{});
     const std::int32_t n_shards = static_cast<std::int32_t>(
         std::min<std::size_t>(static_cast<std::size_t>(opt.n_shards),
                               points.size()));
 
-    TempDir tmp;
-    const std::string points_path = tmp.path + "/points.json";
+    // The scratch directory must outlive this function — the returned
+    // stream reads row files from it lazily — so it is shared between the
+    // failure paths here (where the last reference dies with the throw,
+    // removing it: a dead worker leaves no temp files behind) and the
+    // stream's cleanup hook.
+    auto tmp = std::make_shared<TempDir>();
+    const std::string points_path = tmp->path + "/points.json";
     {
         std::ofstream f(points_path);
         f << util::json_serialize(to_json(points));
@@ -427,7 +549,7 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
     workers.reserve(static_cast<std::size_t>(n_shards));
     std::string first_error;
     for (std::int32_t s = 0; s < n_shards; ++s) {
-        row_paths.push_back(tmp.path + "/rows." + std::to_string(s) + ".ndjson");
+        row_paths.push_back(tmp->path + "/rows." + std::to_string(s) + ".ndjson");
         std::string cmd =
             shell_quote(opt.worker_exe) + " --worker --points " +
             shell_quote(points_path) + " --shard " + std::to_string(s) + "/" +
@@ -436,13 +558,13 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
             shell_quote(row_paths.back());
         if (trace_on) {
             trace_paths[static_cast<std::size_t>(s)] =
-                tmp.path + "/trace." + std::to_string(s) + ".json";
+                tmp->path + "/trace." + std::to_string(s) + ".json";
             cmd += " --trace-out " +
                    shell_quote(trace_paths[static_cast<std::size_t>(s)]);
         }
         if (metrics_on) {
             metrics_paths[static_cast<std::size_t>(s)] =
-                tmp.path + "/metrics." + std::to_string(s) + ".json";
+                tmp->path + "/metrics." + std::to_string(s) + ".json";
             cmd += " --metrics-out " +
                    shell_quote(metrics_paths[static_cast<std::size_t>(s)]);
         }
@@ -588,52 +710,25 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
         absorb_worker_obs(trace_paths[s], metrics_paths[s],
                           static_cast<std::int32_t>(s), opt.progress);
 
-    std::vector<core::SweepRow> rows(points.size());
-    std::vector<char> seen(points.size(), 0);
-    for (std::size_t s = 0; s < workers.size(); ++s) {
-        std::ifstream f(row_paths[s]);
-        if (!f)
-            throw std::runtime_error("shard " + std::to_string(s) + "/" +
-                                     std::to_string(n_shards) +
-                                     ": row file missing");
-        std::string line;
-        while (std::getline(f, line)) {
-            std::string_view text(line);
-            while (!text.empty() && text.back() == '\r') text.remove_suffix(1);
-            if (text.empty()) continue;
-            try {
-                StreamLine parsed = stream_line_from(text);
-                if (parsed.hb) continue;  // uniform stream protocol
-                IndexedRow r = std::move(*parsed.row);
-                if (r.index >= rows.size())
-                    throw std::invalid_argument(
-                        "row index " + std::to_string(r.index) +
-                        " out of range for " + std::to_string(rows.size()) +
-                        " points");
-                if (seen[r.index])
-                    throw std::invalid_argument("duplicate row for point " +
-                                                std::to_string(r.index));
-                rows[r.index] = std::move(r.row);
-                seen[r.index] = 1;
-                obs::MetricsRegistry::global().add("shard.rows_merged");
-            } catch (const std::invalid_argument& e) {
-                throw std::runtime_error("shard " + std::to_string(s) + "/" +
-                                         std::to_string(n_shards) + ": " +
-                                         e.what());
-            }
-        }
-    }
-    for (std::size_t i = 0; i < seen.size(); ++i)
-        if (!seen[i])
-            throw std::runtime_error("shard: no worker returned a row for point " +
-                                     std::to_string(i));
+    // Lazy merge from here on: the stream owns the scratch directory (via
+    // the cleanup hook) and hands rows out one at a time in point order.
+    return std::make_unique<MergedRowFileStream>(std::move(row_paths),
+                                                 points.size(), [tmp] {});
+}
+
+std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
+                                        const std::vector<core::SweepPoint>& points) {
+    auto stream = run_sharded_stream(opt, points);
+    std::vector<core::SweepRow> rows;
+    rows.reserve(stream->size());
+    while (auto row = stream->next()) rows.push_back(std::move(*row));
     return rows;
 }
 
 void install_shard_executor(core::SweepEngine& engine, ShardOptions opt) {
-    engine.set_point_executor(
+    engine.set_stream_executor(
         [opt = std::move(opt)](const std::vector<core::SweepPoint>& points) {
-            return run_sharded(opt, points);
+            return run_sharded_stream(opt, points);
         });
 }
 

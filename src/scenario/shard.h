@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -166,30 +168,88 @@ struct ShardOptions {
 /// else `argv0` as given.
 [[nodiscard]] std::string self_exe_path(const char* argv0);
 
+/// Streaming merge over per-shard NDJSON row files: one up-front indexing
+/// scan per file records each point's (file, byte offset) — validating
+/// that every point has exactly one row and skipping heartbeat envelopes
+/// — and next() then seeks and parses ONE line per call, yielding rows in
+/// point order. Coordinator memory is O(points) small fixed-size index
+/// entries plus a single resident row, never O(rows) of parsed results —
+/// the property that lets a million-point sweep merge in constant memory,
+/// pinned by peak_resident_rows() in the shard tests. The indexing scan
+/// throws std::runtime_error (with the owning shard in the message) on an
+/// unreadable file, an unparseable line, an out-of-range index, or a
+/// duplicate/missing point. `cleanup` is an opaque owner of whatever must
+/// stay alive while rows are being read (the coordinator's scratch
+/// directory): it is released — running its captured destructors — when
+/// the stream is destroyed or its construction fails, so the directory
+/// disappears even when the consumer abandons the stream mid-iteration.
+class MergedRowFileStream final : public core::RowStream {
+public:
+    MergedRowFileStream(std::vector<std::string> row_paths, std::size_t n_points,
+                        std::function<void()> cleanup = {});
+    ~MergedRowFileStream() override;
+    MergedRowFileStream(const MergedRowFileStream&) = delete;
+    MergedRowFileStream& operator=(const MergedRowFileStream&) = delete;
+
+    [[nodiscard]] std::optional<core::SweepRow> next() override;
+    [[nodiscard]] std::size_t size() const override { return locs_.size(); }
+
+    /// The most parsed rows this stream ever held at once — 1 by
+    /// construction; a regression back to materialize-then-merge would
+    /// make it the row count.
+    [[nodiscard]] std::size_t peak_resident_rows() const { return peak_resident_; }
+
+private:
+    struct Loc {
+        std::uint32_t file = 0;
+        std::uint64_t offset = 0;
+    };
+    std::vector<std::string> row_paths_;
+    std::vector<std::unique_ptr<std::istream>> files_;  ///< One open reader per file.
+    std::vector<Loc> locs_;  ///< Per point, in point order.
+    std::function<void()> cleanup_;
+    std::size_t pos_ = 0;
+    std::size_t peak_resident_ = 0;
+};
+
 /// Runs `points` across opt.n_shards worker subprocesses (popen for
 /// process control; one points file in, one --rows-out NDJSON file per
 /// shard back — files rather than pipes so a shard bigger than a pipe
-/// buffer never blocks its worker's compute) and returns the rows merged
-/// into point order. The popen pipes carry the workers' heartbeat
-/// streams: the coordinator polls them while the workers run, printing
-/// live per-shard progress and a final straggler/imbalance summary to
-/// opt.progress. When the process tracer/metrics registry is enabled,
-/// each worker additionally writes its own trace/metrics file into the
-/// scratch directory and the coordinator absorbs them — one merged
-/// Chrome trace, one merged metrics snapshot, across every shard. When
+/// buffer never blocks its worker's compute) and returns the rows as an
+/// ordered stream over those files: the workers run to completion inside
+/// this call (rows complete in arbitrary order, so point order only
+/// exists once every shard is done), but the merge is lazy — see
+/// MergedRowFileStream. The scratch directory holding the row files is
+/// owned by the returned stream and removed when it is destroyed; on any
+/// failure path (worker died, spawn failed, corrupt rows) it is removed
+/// before the exception leaves this function — a dead worker never leaks
+/// temp files. The popen pipes carry the workers' heartbeat streams: the
+/// coordinator polls them while the workers run, printing live per-shard
+/// progress and a final straggler/imbalance summary to opt.progress.
+/// When the process tracer/metrics registry is enabled, each worker
+/// additionally writes its own trace/metrics file into the scratch
+/// directory and the coordinator absorbs them — one merged Chrome trace,
+/// one merged metrics snapshot, across every shard. When
 /// threads_per_worker is 0 the hardware threads are split across the
 /// shards; an explicit value is passed through. Empty shards are avoided
 /// by capping the shard count at the point count. Throws
-/// std::runtime_error when a worker cannot be spawned, exits nonzero
-/// (the failing point's index is on the worker's inherited stderr),
-/// returns an unparseable row, or the merged set has missing/duplicate
-/// indices.
+/// std::runtime_error when a worker cannot be spawned or exits nonzero
+/// (the failing point's index is on the worker's inherited stderr), and
+/// the indexing scan throws on unparseable/missing/duplicate rows.
+[[nodiscard]] std::unique_ptr<core::RowStream> run_sharded_stream(
+    const ShardOptions& opt, const std::vector<core::SweepPoint>& points);
+
+/// run_sharded_stream collected into a vector — the convenience form for
+/// tests and callers that want every row materialized.
 [[nodiscard]] std::vector<core::SweepRow> run_sharded(
     const ShardOptions& opt, const std::vector<core::SweepPoint>& points);
 
-/// Installs run_sharded as `engine`'s point-list executor: every
-/// subsequent SweepEngine::run distributes across opt.n_shards worker
-/// processes without the report functions changing at all.
+/// Installs run_sharded_stream as `engine`'s stream executor: every
+/// subsequent SweepEngine::run / run_stream distributes across
+/// opt.n_shards worker processes without the report functions changing at
+/// all, and — because the engine partitions cache hits out of the
+/// dispatched point list first — a fully warm result cache forks zero
+/// workers.
 void install_shard_executor(core::SweepEngine& engine, ShardOptions opt);
 
 }  // namespace floretsim::scenario

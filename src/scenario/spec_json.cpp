@@ -672,4 +672,229 @@ ServeGridSpec serve_grid_spec_from_json(const Json& j) {
     return s;
 }
 
+// ---- 3D MOO specs (Figs. 6-7, M3D-vs-TSV) -----------------------------------
+
+Json to_json(noc::RoutingPolicy p) {
+    switch (p) {
+        case noc::RoutingPolicy::kShortestPath: return Json("shortest_path");
+        case noc::RoutingPolicy::kUpDown: return Json("updown");
+        case noc::RoutingPolicy::kXY: return Json("xy");
+    }
+    return Json("shortest_path");
+}
+
+noc::RoutingPolicy routing_policy_from_json(const Json& j) {
+    const std::string v = ascii_lower(j.as_string());
+    if (v == "shortest_path" || v == "shortest-path")
+        return noc::RoutingPolicy::kShortestPath;
+    if (v == "updown" || v == "up-down") return noc::RoutingPolicy::kUpDown;
+    if (v == "xy") return noc::RoutingPolicy::kXY;
+    throw std::invalid_argument("unknown routing policy \"" + j.as_string() +
+                                "\" (expected shortest_path|updown|xy)");
+}
+
+namespace {
+
+Json to_json(const Moo3dVariant& v) {
+    Json j = Json::object();
+    j.set("name", v.name);
+    j.set("tier_pitch_mm", v.tier_pitch_mm);
+    j.set("g_vertical_w_per_k", v.g_vertical_w_per_k);
+    return j;
+}
+
+Moo3dVariant moo3d_variant_from_json(const Json& j) {
+    Moo3dVariant v;
+    ObjectReader r(j, "variant");
+    r.read("name", v.name);
+    r.read("tier_pitch_mm", v.tier_pitch_mm);
+    r.read("g_vertical_w_per_k", v.g_vertical_w_per_k);
+    r.finish();
+    if (v.name.empty()) bad("variant", "variants need a \"name\"");
+    return v;
+}
+
+}  // namespace
+
+Json to_json(const Moo3dSpec& s) {
+    Json j = Json::object();
+    Json workloads = Json::array();
+    for (const auto& w : s.workloads) workloads.push_back(w);
+    j.set("workloads", std::move(workloads));
+    j.set("grid", grid_to_json({s.width, s.height}));
+    j.set("depth", s.depth);
+    j.set("routing", to_json(s.routing));
+    j.set("iterations", s.iterations);
+    j.set("w_perf", s.w_perf);
+    j.set("w_thermal", s.w_thermal);
+    j.set("t_target_k", s.t_target_k);
+    j.set("seed", s.seed);
+    Json variants = Json::array();
+    for (const auto& v : s.variants) variants.push_back(to_json(v));
+    j.set("variants", std::move(variants));
+    return j;
+}
+
+Moo3dSpec moo3d_spec_from_json(const Json& j) {
+    Moo3dSpec s;
+    ObjectReader r(j, "moo3d");
+    if (const Json* workloads = r.find("workloads")) {
+        for (const Json& w : workloads->as_array()) {
+            (void)workload::workload_by_id(w.as_string());  // throws on unknown id
+            s.workloads.push_back(w.as_string());
+        }
+    }
+    if (const Json* g = r.find("grid")) {
+        const auto [w, h] = grid_from_json(*g);
+        s.width = w;
+        s.height = h;
+    }
+    r.read("depth", s.depth);
+    r.read_with("routing", s.routing, routing_policy_from_json);
+    r.read("iterations", s.iterations);
+    r.read("w_perf", s.w_perf);
+    r.read("w_thermal", s.w_thermal);
+    r.read("t_target_k", s.t_target_k);
+    r.read("seed", s.seed);
+    if (const Json* variants = r.find("variants")) {
+        for (const Json& v : variants->as_array())
+            s.variants.push_back(moo3d_variant_from_json(v));
+    }
+    r.finish();
+    if (s.workloads.empty()) bad("moo3d", "specs need \"workloads\"");
+    if (s.depth <= 0) bad("moo3d", "depth must be positive");
+    if (s.iterations < 0) bad("moo3d", "iterations must be non-negative");
+    return s;
+}
+
+// ---- Transformer specs (Section IV) -----------------------------------------
+
+dnn::TransformerConfig transformer_model_from_name(const std::string& name) {
+    const std::string v = ascii_lower(name);
+    if (v == "bert_tiny" || v == "bert-tiny") return dnn::bert_tiny();
+    if (v == "bert_base" || v == "bert-base") return dnn::bert_base();
+    throw std::invalid_argument("unknown transformer model \"" + name +
+                                "\" (expected bert_tiny|bert_base)");
+}
+
+Json to_json(const core::HeteroConfig& c) {
+    Json j = Json::object();
+    j.set("macro_width", c.macro_width);
+    j.set("macro_height", c.macro_height);
+    j.set("lambda", c.lambda);
+    j.set("attention_modules", c.attention_modules);
+    j.set("params_per_chiplet_m", c.params_per_chiplet_m);
+    j.set("pitch_mm", c.pitch_mm);
+    j.set("sram_speedup", c.sram_speedup);
+    j.set("reram_write_ns_per_elem", c.reram_write_ns_per_elem);
+    return j;
+}
+
+core::HeteroConfig hetero_config_from_json(const Json& j) {
+    core::HeteroConfig c;
+    ObjectReader r(j, "hetero");
+    r.read("macro_width", c.macro_width);
+    r.read("macro_height", c.macro_height);
+    r.read("lambda", c.lambda);
+    r.read("attention_modules", c.attention_modules);
+    r.read("params_per_chiplet_m", c.params_per_chiplet_m);
+    r.read("pitch_mm", c.pitch_mm);
+    r.read("sram_speedup", c.sram_speedup);
+    r.read("reram_write_ns_per_elem", c.reram_write_ns_per_elem);
+    r.finish();
+    return c;
+}
+
+Json to_json(const TransformerSpec& s) {
+    Json j = Json::object();
+    Json models = Json::array();
+    for (const auto& m : s.models) models.push_back(m);
+    j.set("models", std::move(models));
+    Json batches = Json::array();
+    for (const auto b : s.batches) batches.push_back(b);
+    j.set("batches", std::move(batches));
+    j.set("hetero", to_json(s.hetero));
+    return j;
+}
+
+TransformerSpec transformer_spec_from_json(const Json& j) {
+    TransformerSpec s;
+    ObjectReader r(j, "transformer");
+    if (const Json* models = r.find("models")) {
+        s.models.clear();
+        for (const Json& m : models->as_array()) {
+            (void)transformer_model_from_name(m.as_string());  // validate
+            s.models.push_back(ascii_lower(m.as_string()));
+        }
+    }
+    if (const Json* batches = r.find("batches")) {
+        s.batches.clear();
+        for (const Json& b : batches->as_array()) {
+            const std::int32_t batch = to_int32(b.as_int(), "batch");
+            if (batch <= 0) bad("transformer.batches", "batches must be positive");
+            s.batches.push_back(batch);
+        }
+    }
+    r.read_with("hetero", s.hetero, hetero_config_from_json);
+    r.finish();
+    if (s.models.empty()) bad("transformer", "specs need \"models\"");
+    if (s.batches.empty()) bad("transformer", "specs need \"batches\"");
+    return s;
+}
+
+// ---- Scaling specs (the ablation study) -------------------------------------
+
+Json to_json(const ScalingSpec& s) {
+    Json j = Json::object();
+    Json sides = Json::array();
+    for (const auto side : s.sides) sides.push_back(side);
+    j.set("sides", std::move(sides));
+    Json archs = Json::array();
+    for (const auto a : s.archs) archs.push_back(to_json(a));
+    j.set("archs", std::move(archs));
+    Json lambdas = Json::array();
+    for (const auto l : s.lambdas) lambdas.push_back(l);
+    j.set("lambdas", std::move(lambdas));
+    j.set("eval", to_json(s.eval));
+    j.set("mix_seed", s.mix_seed);
+    j.set("swap_seed", s.swap_seed);
+    j.set("greedy_max_gap", s.greedy_max_gap);
+    j.set("run_seed", s.run_seed);
+    return j;
+}
+
+ScalingSpec scaling_spec_from_json(const Json& j) {
+    ScalingSpec s;
+    ObjectReader r(j, "scaling");
+    if (const Json* sides = r.find("sides")) {
+        s.sides.clear();
+        for (const Json& side : sides->as_array()) {
+            const std::int32_t v = to_int32(side.as_int(), "side");
+            if (v <= 0) bad("scaling.sides", "sides must be positive");
+            s.sides.push_back(v);
+        }
+    }
+    if (const Json* archs = r.find("archs")) {
+        s.archs.clear();
+        for (const Json& a : archs->as_array()) s.archs.push_back(arch_from_json(a));
+    }
+    if (const Json* lambdas = r.find("lambdas")) {
+        s.lambdas.clear();
+        for (const Json& l : lambdas->as_array()) {
+            const std::int32_t v = to_int32(l.as_int(), "lambda");
+            if (v <= 0) bad("scaling.lambdas", "lambdas must be positive");
+            s.lambdas.push_back(v);
+        }
+    }
+    r.read_with("eval", s.eval, eval_config_from_json);
+    r.read("mix_seed", s.mix_seed);
+    r.read("swap_seed", s.swap_seed);
+    r.read("greedy_max_gap", s.greedy_max_gap);
+    r.read("run_seed", s.run_seed);
+    r.finish();
+    if (s.sides.empty()) bad("scaling", "specs need \"sides\"");
+    if (s.archs.empty()) bad("scaling", "specs need \"archs\"");
+    return s;
+}
+
 }  // namespace floretsim::scenario

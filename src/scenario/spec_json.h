@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "src/core/evaluator.h"
+#include "src/core/hetero.h"
 #include "src/core/sweep.h"
 #include "src/cost/models.h"
+#include "src/noc/routing.h"
 #include "src/noc/simulator.h"
 #include "src/serve/sweep.h"
 #include "src/util/json.h"
@@ -139,5 +141,103 @@ struct ServeGridSpec {
 
 [[nodiscard]] util::Json to_json(const ServeGridSpec& s);
 [[nodiscard]] ServeGridSpec serve_grid_spec_from_json(const util::Json& j);
+
+// ---- 3D MOO specs (Figs. 6-7, M3D-vs-TSV) -----------------------------------
+
+/// Routing spellings: "shortest_path" / "updown" / "xy" (case-insensitive).
+[[nodiscard]] util::Json to_json(noc::RoutingPolicy p);
+[[nodiscard]] noc::RoutingPolicy routing_policy_from_json(const util::Json& j);
+
+/// One 3D-integration variant of the PE stack: the M3D-vs-TSV study runs
+/// the same joint optimization across variants that differ only in
+/// vertical wire length and inter-tier thermal conductance. The defaults
+/// are make_mesh3d's tier pitch and ThermalConfig's vertical conductance,
+/// so a spec with no variants runs the paper's baseline stack.
+struct Moo3dVariant {
+    std::string name = "default";
+    double tier_pitch_mm = 0.05;
+    double g_vertical_w_per_k = 0.5;
+
+    [[nodiscard]] bool operator==(const Moo3dVariant&) const = default;
+};
+
+/// The 3D placement-optimization scenarios (Figs. 6-7 and the M3D study):
+/// for each Table I workload and each integration variant, anneal the
+/// layer-to-PE placement on a width x height x depth stack and compare
+/// the performance-only (Floret SFC) mapping against the joint
+/// performance-thermal optimum. The MooConfig knobs are inlined; defaults
+/// are the Fig. 6 settings (the joint design targets the ReRAM-safe
+/// temperature, so w_thermal is strong and t_target_k is 331 K).
+struct Moo3dSpec {
+    std::vector<std::string> workloads;  ///< Table I ids ("DNN1"...).
+    std::int32_t width = 5;
+    std::int32_t height = 5;
+    std::int32_t depth = 4;
+    noc::RoutingPolicy routing = noc::RoutingPolicy::kShortestPath;
+    std::int32_t iterations = 1500;
+    double w_perf = 1.0;
+    double w_thermal = 0.2;
+    double t_target_k = 331.0;
+    std::uint64_t seed = 7;  ///< The annealer's move seed (MooConfig::seed).
+    /// Empty runs one default Moo3dVariant (the baseline stack).
+    std::vector<Moo3dVariant> variants;
+
+    [[nodiscard]] bool operator==(const Moo3dSpec&) const = default;
+};
+
+[[nodiscard]] util::Json to_json(const Moo3dSpec& s);
+[[nodiscard]] Moo3dSpec moo3d_spec_from_json(const util::Json& j);
+
+// ---- Transformer specs (Section IV) -----------------------------------------
+
+/// Model spellings accepted in TransformerSpec::models.
+[[nodiscard]] dnn::TransformerConfig transformer_model_from_name(
+    const std::string& name);
+
+[[nodiscard]] util::Json to_json(const core::HeteroConfig& c);
+[[nodiscard]] core::HeteroConfig hetero_config_from_json(const util::Json& j);
+
+/// The Section IV studies: encoder stacks ("bert_tiny" / "bert_base") at
+/// the given batch sizes, on the heterogeneous ReRAM-macro + SRAM
+/// attention-module system described by `hetero`. The storage analysis
+/// uses models x batches only; the hetero-vs-all-PIM comparison maps each
+/// model (at batches.front()) onto the system both ways.
+struct TransformerSpec {
+    std::vector<std::string> models{"bert_tiny", "bert_base"};
+    std::vector<std::int32_t> batches{1};
+    core::HeteroConfig hetero;
+
+    [[nodiscard]] bool operator==(const TransformerSpec&) const = default;
+};
+
+[[nodiscard]] util::Json to_json(const TransformerSpec& s);
+[[nodiscard]] TransformerSpec transformer_spec_from_json(const util::Json& j);
+
+// ---- Scaling specs (the ablation study) -------------------------------------
+
+/// The scaling ablation: Floret vs mesh across side x side systems each
+/// running a random mix sized to the system (3 + side workloads, drawn
+/// from Rng(mix_seed) — a fresh generator per side, so every side's mix
+/// is independent of list order), plus the petal-count (lambda) sweep at
+/// 100 chiplets and the weight-loading ablation. Unlike SweepSpec the
+/// point list is derived, not enumerated: scaling_points() in the
+/// registry layer is the single expansion both the report and the result
+/// cache use.
+struct ScalingSpec {
+    std::vector<std::int32_t> sides{6, 8, 10, 12};
+    std::vector<core::experiment::Arch> archs{
+        core::experiment::Arch::kSiamMesh, core::experiment::Arch::kFloret};
+    std::vector<std::int32_t> lambdas{2, 4, 5, 10, 20};
+    core::EvalConfig eval = core::experiment::default_eval_config();
+    std::uint64_t mix_seed = 7;
+    std::uint64_t swap_seed = 13;
+    std::int32_t greedy_max_gap = 2;
+    std::uint64_t run_seed = 1;
+
+    [[nodiscard]] bool operator==(const ScalingSpec&) const = default;
+};
+
+[[nodiscard]] util::Json to_json(const ScalingSpec& s);
+[[nodiscard]] ScalingSpec scaling_spec_from_json(const util::Json& j);
 
 }  // namespace floretsim::scenario

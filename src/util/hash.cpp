@@ -1,0 +1,15 @@
+#include "src/util/hash.h"
+
+namespace floretsim::util {
+
+std::string hash_hex(std::uint64_t h) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[h & 0xF];
+        h >>= 4;
+    }
+    return out;
+}
+
+}  // namespace floretsim::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace floretsim::util {
+
+/// Stable content hashing for the result cache and spec identity. FNV-1a
+/// over bytes: deterministic across platforms, processes, and builds (no
+/// pointer or layout dependence), which is the whole point — a cache
+/// entry written by one run must be findable by every later run. Not
+/// cryptographic; collision resistance comes from 64 bits plus the
+/// cache's read-back validation (a looked-up row's point must equal the
+/// requested point).
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte string, optionally continuing a previous hash (pass
+/// the prior result as `seed` to chain fragments).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes,
+                                            std::uint64_t seed = kFnvOffsetBasis) {
+    std::uint64_t h = seed;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Fixed-width lowercase hex (16 digits) — the cache's file-name and
+/// --list display form.
+[[nodiscard]] std::string hash_hex(std::uint64_t h);
+
+}  // namespace floretsim::util

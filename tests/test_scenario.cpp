@@ -19,12 +19,18 @@ using experiment::Arch;
 
 TEST(Registry, BuiltinScenariosAreRegistered) {
     const Registry& reg = Registry::builtin();
-    for (const char* name : {"fig3", "fig4", "fig5", "table2", "serving"}) {
+    // Every paper figure/table runs through the registry — no bespoke
+    // bench mains remain outside it.
+    for (const char* name :
+         {"fig2", "fig3", "fig4", "fig5", "table2", "serving", "fig6", "fig7",
+          "m3d_vs_tsv", "hetero_transformer", "transformer_storage",
+          "ablation_scaling"}) {
         const Scenario* s = reg.find(name);
         ASSERT_NE(s, nullptr) << name;
         EXPECT_TRUE(s->report) << name;
         EXPECT_FALSE(s->summary.empty()) << name;
     }
+    EXPECT_EQ(reg.scenarios().size(), 12u);
     EXPECT_EQ(reg.find("fig99"), nullptr);
     EXPECT_THROW((void)reg.at("fig99"), std::invalid_argument);
     // fig4 is mapping-only: eval-affecting --set keys must not count as

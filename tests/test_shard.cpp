@@ -11,9 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/core/sweep.h"
@@ -303,6 +308,145 @@ TEST(ShardExecutor, ShortRowListIsAnError) {
             return std::vector<core::SweepRow>{};
         });
     EXPECT_THROW((void)engine.run(tiny_spec()), std::runtime_error);
+}
+
+// ------------------------------------------------------- streaming merge
+
+/// Self-deleting scratch directory for row-file tests.
+struct TempDir {
+    std::string path;
+    TempDir() {
+        std::string templ =
+            (std::filesystem::temp_directory_path() / "floretsim-mergetest-XXXXXX")
+                .string();
+        if (!mkdtemp(templ.data())) throw std::runtime_error("mkdtemp failed");
+        path = templ;
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+};
+
+/// A synthetic row whose identity is readable back out of total_cycles.
+core::SweepRow tagged_row(std::size_t i) {
+    core::SweepRow row;
+    row.point = tiny_spec().expand().front();
+    row.result.total_cycles = 1000.0 + static_cast<double>(i);
+    return row;
+}
+
+/// Writes one shard's NDJSON row file: the given global indices in the
+/// given (arbitrary) order, a heartbeat line interleaved after each row —
+/// exactly what a worker's --rows-out file looks like.
+std::string write_row_file(const std::string& dir, std::size_t shard,
+                           const std::vector<std::size_t>& indices) {
+    const std::string path = dir + "/rows." + std::to_string(shard) + ".ndjson";
+    std::ofstream f(path);
+    Heartbeat hb;
+    hb.total = indices.size();
+    for (const auto i : indices) {
+        f << worker_row_line(i, tagged_row(i)) << '\n';
+        hb.done += 1;
+        f << heartbeat_line(hb) << '\n';
+    }
+    return path;
+}
+
+TEST(MergedStream, YieldsPointOrderHoldingOneRowAtATime) {
+    TempDir tmp;
+    // 6 points round-robined over 2 shards, each file in completion (not
+    // point) order, with heartbeat envelopes interleaved.
+    const auto f0 = write_row_file(tmp.path, 0, {4, 0, 2});
+    const auto f1 = write_row_file(tmp.path, 1, {5, 3, 1});
+    MergedRowFileStream stream({f0, f1}, 6);
+    EXPECT_EQ(stream.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        const auto row = stream.next();
+        ASSERT_TRUE(row.has_value()) << i;
+        EXPECT_EQ(row->result.total_cycles, 1000.0 + static_cast<double>(i));
+    }
+    EXPECT_FALSE(stream.next().has_value());
+    // The merge never materializes the row set: one parsed row resident,
+    // regardless of row count — the constant-memory coordinator contract.
+    EXPECT_EQ(stream.peak_resident_rows(), 1u);
+}
+
+TEST(MergedStream, ReleasesItsCleanupOwnerOnDestruction) {
+    TempDir tmp;
+    const auto f0 = write_row_file(tmp.path, 0, {0, 1});
+    bool released = false;
+    {
+        auto guard = std::shared_ptr<void>(
+            nullptr, [&released](void*) { released = true; });
+        MergedRowFileStream stream({f0}, 2, [guard] {});
+        guard.reset();
+        ASSERT_TRUE(stream.next().has_value());
+        // Abandoned mid-iteration: the owner must still be released.
+        EXPECT_FALSE(released);
+    }
+    EXPECT_TRUE(released);
+}
+
+TEST(MergedStream, ReleasesItsCleanupOwnerWhenConstructionFails) {
+    TempDir tmp;
+    bool released = false;
+    auto guard =
+        std::shared_ptr<void>(nullptr, [&released](void*) { released = true; });
+    EXPECT_THROW(MergedRowFileStream(
+                     {tmp.path + "/no-such-file.ndjson"}, 1,
+                     [guard = std::move(guard)] {}),
+                 std::runtime_error);
+    EXPECT_TRUE(released) << "a failed merge leaked its scratch owner";
+}
+
+TEST(MergedStream, IndexScanRejectsBadRowFiles) {
+    TempDir tmp;
+    // Missing file.
+    EXPECT_THROW(MergedRowFileStream({tmp.path + "/missing"}, 1),
+                 std::runtime_error);
+    // Duplicate point.
+    const auto dup = write_row_file(tmp.path, 0, {0, 0});
+    EXPECT_THROW(MergedRowFileStream({dup}, 2), std::runtime_error);
+    // Out-of-range index.
+    const auto range = write_row_file(tmp.path, 1, {7});
+    EXPECT_THROW(MergedRowFileStream({range}, 2), std::runtime_error);
+    // A point no worker covered.
+    const auto gap = write_row_file(tmp.path, 2, {0});
+    try {
+        MergedRowFileStream stream({gap}, 2);
+        FAIL() << "missing point accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("no worker returned a row"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Unparseable line.
+    const std::string garbled = tmp.path + "/garbled.ndjson";
+    std::ofstream(garbled) << "{\"index\": 0, \"row\": \n";
+    EXPECT_THROW(MergedRowFileStream({garbled}, 1), std::runtime_error);
+}
+
+std::size_t count_shard_scratch_dirs() {
+    std::size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(
+             std::filesystem::temp_directory_path())) {
+        if (e.path().filename().string().rfind("floretsim-shard-", 0) == 0) ++n;
+    }
+    return n;
+}
+
+TEST(ShardExecutor, DeadWorkerLeavesNoScratchDirectoryBehind) {
+    const auto before = count_shard_scratch_dirs();
+    ShardOptions opt;
+    opt.worker_exe = "/nonexistent/floretsim-worker-binary";
+    opt.n_shards = 2;
+    EXPECT_THROW((void)run_sharded(opt, tiny_spec().expand()),
+                 std::runtime_error);
+    EXPECT_EQ(count_shard_scratch_dirs(), before)
+        << "a dead worker leaked its coordinator scratch directory";
 }
 
 TEST(ShardExecutor, RunShardedValidatesItsOptions) {
