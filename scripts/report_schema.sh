@@ -26,10 +26,10 @@ doc = json.load(open(sys.argv[1]))
 
 assert set(doc) == {"driver", "scenarios"}, f"top-level keys: {set(doc)}"
 
-DRIVER_KEYS = {"run_info", "threads", "shards", "sim_core", "scenarios_run",
-               "scenarios_failed", "wall_seconds", "fabric_cache_hits",
-               "fabric_cache_misses", "result_cache_hits",
-               "result_cache_misses"}
+DRIVER_KEYS = {"run_info", "threads", "shards", "pool", "sim_core",
+               "scenarios_run", "scenarios_failed", "wall_seconds",
+               "fabric_cache_hits", "fabric_cache_misses",
+               "result_cache_hits", "result_cache_misses"}
 assert set(doc["driver"]) == DRIVER_KEYS, (
     f"driver keys: {sorted(set(doc['driver']) ^ DRIVER_KEYS)} changed")
 assert doc["driver"]["scenarios_run"] == 1
@@ -38,9 +38,12 @@ assert doc["driver"]["scenarios_failed"] == 0
 assert doc["driver"]["result_cache_hits"] == 0
 assert doc["driver"]["result_cache_misses"] == 0
 assert doc["driver"]["sim_core"] in {"reference", "event-horizon", "regional"}
+# No --pool given: fleet off, and the executor is the local thread pool.
+assert doc["driver"]["pool"] == 0
+assert "fleet" not in doc["driver"], "fleet block present without --pool"
 
 DRIVER_RUN_INFO_KEYS = {"build_type", "compiler", "git_sha", "sim_core",
-                        "threads", "shards", "seed"}
+                        "threads", "shards", "seed", "executor"}
 driver_info = doc["driver"]["run_info"]
 assert set(driver_info) == DRIVER_RUN_INFO_KEYS, (
     f"driver run_info keys: {sorted(set(driver_info) ^ DRIVER_RUN_INFO_KEYS)}")
@@ -48,6 +51,7 @@ for key in ("build_type", "compiler", "git_sha"):
     assert isinstance(driver_info[key], str) and driver_info[key], (
         f"run_info.{key} must be a non-empty string")
 assert driver_info["seed"] is None, "no --seed given: seed must be null"
+assert driver_info["executor"] == "in-process", driver_info["executor"]
 
 assert set(doc["scenarios"]) == {"fig3"}
 fig3 = doc["scenarios"]["fig3"]

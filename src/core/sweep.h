@@ -200,6 +200,12 @@ public:
         executor_ = nullptr;
     }
 
+    /// Human-readable name of the installed transport, surfaced in report
+    /// provenance ("in-process" locally; installers of the executor seams
+    /// set "shards"/"fleet"). Must point at a string literal.
+    void set_executor_label(const char* label) { executor_label_ = label; }
+    [[nodiscard]] const char* executor_label() const { return executor_label_; }
+
     /// Attaches a result cache (nullptr detaches; not owned). Points that
     /// probe() as cached are never dispatched to the pool or the
     /// executor; computed rows are stored back as they stream out.
@@ -250,6 +256,7 @@ private:
     PointListExecutor executor_;
     StreamExecutor stream_executor_;
     PointResultCache* result_cache_ = nullptr;
+    const char* executor_label_ = "in-process";
 };
 
 }  // namespace floretsim::core

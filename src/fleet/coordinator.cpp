@@ -1,0 +1,754 @@
+#include "src/fleet/coordinator.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <tuple>
+
+#include "src/fleet/protocol.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/scenario/shard.h"
+#include "src/scenario/spec_json.h"
+#include "src/util/json.h"
+
+namespace floretsim::fleet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The fabric identity of a point — exactly experiment::ArchCache's key.
+/// Points sharing a FabricKey share one expensive topology build, so
+/// leases are drawn fabric-group-at-a-time and each worker remembers
+/// which fabrics it has built (its affinity): the second scenario over
+/// the same arch grid re-lands every group on the worker that already
+/// holds it warm.
+using FabricKey = std::tuple<std::int32_t, std::int32_t, std::int32_t,
+                             std::uint64_t>;
+
+FabricKey key_of(const core::SweepPoint& p) {
+    return {static_cast<std::int32_t>(p.arch), p.width, p.height, p.swap_seed};
+}
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+struct Coordinator::WorkerState {
+    bool ready = false;
+    bool retired = false;
+    bool sweep_sent = false;
+    bool loaded = false;
+    std::int32_t restarts = 0;
+    std::int32_t leases_in_flight = 0;
+    std::set<std::size_t> outstanding;  ///< Leased, not yet acked.
+    std::set<FabricKey> affinity;       ///< Fabrics this worker has built.
+    std::string out_buf, err_buf;
+    std::deque<std::string> stderr_tail;
+    Clock::time_point last_activity = Clock::now();
+    /// ArchCache counters: cumulative within the current process
+    /// generation (from done frames), plus the folded totals of dead
+    /// generations.
+    std::int64_t gen_fabric_hits = 0, gen_fabric_misses = 0;
+    std::int64_t prev_fabric_hits = 0, prev_fabric_misses = 0;
+    scenario::Heartbeat last_hb;
+    bool saw_hb = false, printed = false;
+    Clock::time_point last_print = Clock::now();
+    std::string trace_path, metrics_path;
+};
+
+struct Coordinator::SweepRun {
+    std::int64_t id = 0;
+    const std::vector<core::SweepPoint>* points = nullptr;
+    std::string points_path, rows_path;
+    std::ofstream rows_out;
+    std::vector<bool> acked;
+    std::vector<std::int32_t> attempts;
+    std::size_t n_acked = 0;
+    std::map<FabricKey, std::deque<std::size_t>> groups;
+    std::size_t lease_size = 1;
+    Clock::time_point t0 = Clock::now();
+};
+
+Coordinator::Coordinator(FleetOptions opt) : opt_(std::move(opt)) {
+    if (opt_.n_workers < 1)
+        throw std::invalid_argument("fleet: n_workers must be >= 1");
+    if (opt_.worker_exe.empty())
+        throw std::invalid_argument("fleet: worker_exe is empty");
+    steal_after_s_ = opt_.steal_after_s;
+    if (const char* env = std::getenv("FLORETSIM_FLEET_STEAL_AFTER")) {
+        if (*env) {
+            steal_after_s_ = std::atof(env);
+            steal_after_forced_ = true;
+        }
+    }
+}
+
+Coordinator::~Coordinator() {
+    try {
+        shutdown();
+    } catch (...) {
+        // Destructor: teardown best-effort; the pool's own destructor
+        // still reaps the children.
+    }
+}
+
+pid_t Coordinator::worker_pid(std::size_t w) const {
+    return pool_ ? pool_->pid(w) : -1;
+}
+
+void Coordinator::ensure_started() {
+    if (pool_) return;
+    if (shut_down_)
+        throw std::logic_error("fleet: coordinator already shut down");
+    scenario::ensure_sigpipe_ignored();
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "floretsim-fleet-XXXXXX")
+            .string();
+    if (!mkdtemp(templ.data()))
+        throw std::runtime_error("fleet: mkdtemp failed for " + templ);
+    scratch_ = templ;
+
+    workers_.assign(static_cast<std::size_t>(opt_.n_workers), WorkerState{});
+    PoolOptions popt;
+    popt.exe = opt_.worker_exe;
+    popt.args = opt_.worker_args;
+    popt.n_workers = static_cast<std::size_t>(opt_.n_workers);
+    popt.shutdown_grace_s = opt_.shutdown_grace_s;
+    const bool trace_on = obs::Tracer::global().enabled();
+    const bool metrics_on = obs::MetricsRegistry::global().enabled();
+    if (trace_on || metrics_on) {
+        popt.per_worker_args.resize(popt.n_workers);
+        for (std::size_t w = 0; w < popt.n_workers; ++w) {
+            if (trace_on) {
+                workers_[w].trace_path =
+                    scratch_ + "/trace." + std::to_string(w) + ".json";
+                popt.per_worker_args[w].push_back("--trace-out");
+                popt.per_worker_args[w].push_back(workers_[w].trace_path);
+            }
+            if (metrics_on) {
+                workers_[w].metrics_path =
+                    scratch_ + "/metrics." + std::to_string(w) + ".json";
+                popt.per_worker_args[w].push_back("--metrics-out");
+                popt.per_worker_args[w].push_back(workers_[w].metrics_path);
+            }
+        }
+    }
+    pool_ = std::make_unique<WorkerPool>(std::move(popt));
+    for (std::size_t w = 0; w < pool_->size(); ++w) {
+        pool_->start(w);
+        send_init(w);
+    }
+    obs::MetricsRegistry::global().add(
+        "fleet.workers_spawned", static_cast<std::int64_t>(pool_->size()));
+}
+
+void Coordinator::send_init(std::size_t w) {
+    InitFrame init;
+    init.worker = static_cast<std::int32_t>(w);
+    init.n_workers = opt_.n_workers;
+    init.gen = pool_->gen(w);
+    // A failed send means the worker is already dead; the poll loop sees
+    // the EOF and handles it through the normal death path.
+    (void)pool_->send(w, init_line(init));
+}
+
+void Coordinator::drain_stderr(std::size_t w) {
+    WorkerState& ws = workers_[w];
+    const int fd = pool_->stderr_fd(w);
+    if (fd < 0) return;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            ws.err_buf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF or EAGAIN: everything currently available is read
+    }
+    std::size_t nl;
+    while ((nl = ws.err_buf.find('\n')) != std::string::npos) {
+        std::string line = ws.err_buf.substr(0, nl);
+        ws.err_buf.erase(0, nl + 1);
+        if (line.empty()) continue;
+        ws.stderr_tail.push_back(std::move(line));
+        while (ws.stderr_tail.size() > opt_.stderr_tail_lines)
+            ws.stderr_tail.pop_front();
+    }
+}
+
+void Coordinator::absorb_worker_files(std::size_t w) {
+    WorkerState& ws = workers_[w];
+    scenario::absorb_worker_obs(
+        std::filesystem::exists(ws.trace_path) ? ws.trace_path : "",
+        std::filesystem::exists(ws.metrics_path) ? ws.metrics_path : "",
+        static_cast<std::int32_t>(w), opt_.progress);
+    std::error_code ec;
+    if (!ws.trace_path.empty()) std::filesystem::remove(ws.trace_path, ec);
+    if (!ws.metrics_path.empty()) std::filesystem::remove(ws.metrics_path, ec);
+}
+
+void Coordinator::handle_death(std::size_t w, SweepRun* run) {
+    WorkerState& ws = workers_[w];
+    drain_stderr(w);
+    const int status = pool_->reap(w);
+    ++stats_.worker_deaths;
+    obs::MetricsRegistry::global().add("fleet.worker_deaths");
+    obs::Tracer::global().record_instant("fleet_worker_death", "fleet",
+                                         obs::Tracer::now_us());
+    if (opt_.progress) {
+        *opt_.progress << "[fleet] worker " << w << " "
+                       << scenario::describe_wait_status(status);
+        if (ws.stderr_tail.empty()) {
+            *opt_.progress << "; its stderr was empty\n";
+        } else {
+            *opt_.progress << "; last stderr lines:\n";
+            for (const auto& line : ws.stderr_tail)
+                *opt_.progress << "    " << line << "\n";
+        }
+        *opt_.progress << std::flush;
+    }
+    absorb_worker_files(w);
+    // The dead generation's ArchCache is gone; fold its counters so the
+    // fleet totals survive the restart (the fresh process restarts at 0).
+    ws.prev_fabric_hits += ws.gen_fabric_hits;
+    ws.prev_fabric_misses += ws.gen_fabric_misses;
+    ws.gen_fabric_hits = ws.gen_fabric_misses = 0;
+
+    if (run) {
+        // Requeue every un-acked point this worker held, unless a steal
+        // already placed it with another live worker. Bounded retry: a
+        // point that has been leased max_attempts times and still has no
+        // row fails the sweep — a poison point must not restart workers
+        // forever.
+        for (const std::size_t i : ws.outstanding) {
+            if (run->acked[i]) continue;
+            bool held_elsewhere = false;
+            for (std::size_t v = 0; v < workers_.size(); ++v) {
+                if (v == w || workers_[v].retired || !pool_->alive(v)) continue;
+                if (workers_[v].outstanding.count(i)) {
+                    held_elsewhere = true;
+                    break;
+                }
+            }
+            if (held_elsewhere) continue;
+            if (run->attempts[i] >= opt_.max_attempts_per_point)
+                throw std::runtime_error(
+                    "fleet: point " + std::to_string(i) + " lost " +
+                    std::to_string(run->attempts[i]) +
+                    " times to worker deaths; giving up");
+            run->groups[key_of((*run->points)[i])].push_front(i);
+            ++stats_.points_reassigned;
+            obs::MetricsRegistry::global().add("fleet.points_reassigned");
+        }
+    }
+    ws.outstanding.clear();
+    ws.leases_in_flight = 0;
+    ws.ready = ws.loaded = ws.sweep_sent = false;
+    ws.out_buf.clear();
+
+    if (ws.restarts < opt_.max_restarts_per_worker) {
+        pool_->start(w);
+        send_init(w);
+        ++ws.restarts;
+        ++stats_.worker_restarts;
+        ws.last_activity = Clock::now();
+        obs::MetricsRegistry::global().add("fleet.worker_restarts");
+        obs::Tracer::global().record_instant("fleet_worker_restart", "fleet",
+                                             obs::Tracer::now_us());
+        if (opt_.progress)
+            *opt_.progress << "[fleet] worker " << w << " restarted (gen "
+                           << pool_->gen(w) << ")\n"
+                           << std::flush;
+    } else {
+        ws.retired = true;
+        bool any_live = false;
+        for (std::size_t v = 0; v < workers_.size(); ++v)
+            if (!workers_[v].retired && pool_->alive(v)) any_live = true;
+        if (!any_live)
+            throw std::runtime_error(
+                "fleet: every worker exhausted its restart budget (" +
+                std::to_string(opt_.max_restarts_per_worker) +
+                " restarts each)");
+    }
+}
+
+void Coordinator::send_lease(std::size_t w, SweepRun& run,
+                             std::vector<std::size_t> idx, bool stolen) {
+    WorkerState& ws = workers_[w];
+    LeaseFrame lease;
+    lease.id = next_lease_id_++;
+    lease.sweep = run.id;
+    lease.indices = std::move(idx);
+    for (const std::size_t i : lease.indices) {
+        ++run.attempts[i];
+        ws.outstanding.insert(i);
+        if (stolen) ws.affinity.insert(key_of((*run.points)[i]));
+    }
+    ++ws.leases_in_flight;
+    ++stats_.leases_issued;
+    obs::MetricsRegistry::global().add("fleet.leases_issued");
+    if (stolen) {
+        ++stats_.leases_stolen;
+        obs::MetricsRegistry::global().add("fleet.leases_stolen");
+        obs::Tracer::global().record_instant("fleet_steal", "fleet",
+                                             obs::Tracer::now_us());
+    }
+    if (!pool_->send(w, lease_line(lease))) handle_death(w, &run);
+}
+
+bool Coordinator::try_steal_for(std::size_t w, SweepRun& run) {
+    if (steal_after_s_ <= 0.0) return false;
+    // Straggler threshold: silence longer than steal_after_s AND longer
+    // than ~3x the sweep's observed mean point time — a uniformly slow
+    // sweep has slow points everywhere, not stragglers.
+    std::size_t n_live = 0;
+    for (std::size_t v = 0; v < workers_.size(); ++v)
+        if (!workers_[v].retired && pool_->alive(v)) ++n_live;
+    double threshold = steal_after_s_;
+    if (!steal_after_forced_ && run.n_acked > 0) {
+        const double mean_point_s = seconds_since(run.t0) *
+                                    static_cast<double>(n_live) /
+                                    static_cast<double>(run.n_acked);
+        threshold = std::max(threshold, 3.0 * mean_point_s);
+    }
+    std::size_t victim = workers_.size();
+    std::size_t victim_outstanding = 0;
+    for (std::size_t v = 0; v < workers_.size(); ++v) {
+        if (v == w || workers_[v].retired || !pool_->alive(v)) continue;
+        if (workers_[v].outstanding.empty()) continue;
+        if (seconds_since(workers_[v].last_activity) <= threshold) continue;
+        if (workers_[v].outstanding.size() > victim_outstanding) {
+            victim = v;
+            victim_outstanding = workers_[v].outstanding.size();
+        }
+    }
+    if (victim == workers_.size()) return false;
+    // Take from the back of the victim's outstanding set: the victim
+    // works its lease front to back, so the highest indices are the ones
+    // it is least likely to be about to finish. The victim keeps its
+    // claim — whichever copy finishes first wins the ack, the other is
+    // counted a duplicate.
+    std::vector<std::size_t> idx;
+    const auto& out = workers_[victim].outstanding;
+    for (auto it = out.rbegin(); it != out.rend(); ++it) {
+        if (idx.size() >= run.lease_size) break;
+        if (run.acked[*it]) continue;
+        if (run.attempts[*it] >= opt_.max_attempts_per_point) continue;
+        if (workers_[w].outstanding.count(*it)) continue;
+        idx.push_back(*it);
+    }
+    if (idx.empty()) return false;
+    if (opt_.progress)
+        *opt_.progress << "[fleet] worker " << w << " stealing " << idx.size()
+                       << " points from straggler " << victim << "\n"
+                       << std::flush;
+    send_lease(w, run, std::move(idx), /*stolen=*/true);
+    return true;
+}
+
+void Coordinator::top_up(std::size_t w, SweepRun& run) {
+    WorkerState& ws = workers_[w];
+    while (!ws.retired && pool_->alive(w) && ws.loaded &&
+           ws.leases_in_flight < 2) {
+        // Pick a fabric group for this worker: affine first (the fabric
+        // is warm in its ArchCache), then an unclaimed group (adopt it),
+        // then any remaining work (shared fabric; someone must do it).
+        std::vector<std::size_t> idx;
+        const auto take = [&](std::deque<std::size_t>& dq) {
+            while (!dq.empty() && idx.size() < run.lease_size) {
+                idx.push_back(dq.front());
+                dq.pop_front();
+            }
+        };
+        bool hit = false, found = false;
+        for (auto& [key, dq] : run.groups) {
+            if (dq.empty() || !ws.affinity.count(key)) continue;
+            hit = found = true;
+            take(dq);
+            break;
+        }
+        if (!found) {
+            for (auto& [key, dq] : run.groups) {
+                if (dq.empty()) continue;
+                bool claimed = false;
+                for (std::size_t v = 0; v < workers_.size() && !claimed; ++v)
+                    if (v != w && !workers_[v].retired && pool_->alive(v) &&
+                        workers_[v].affinity.count(key))
+                        claimed = true;
+                if (claimed) continue;
+                ws.affinity.insert(key);
+                found = true;
+                take(dq);
+                break;
+            }
+        }
+        if (!found) {
+            for (auto& [key, dq] : run.groups) {
+                if (dq.empty()) continue;
+                ws.affinity.insert(key);
+                found = true;
+                take(dq);
+                break;
+            }
+        }
+        if (!found) {
+            // No unassigned work left. An idle worker may still help by
+            // stealing a straggler's outstanding lease.
+            if (ws.outstanding.empty() && ws.leases_in_flight == 0)
+                (void)try_steal_for(w, run);
+            return;
+        }
+        if (hit) {
+            ++stats_.affinity_hits;
+            obs::MetricsRegistry::global().add("fleet.affinity_hits");
+        } else {
+            ++stats_.affinity_misses;
+            obs::MetricsRegistry::global().add("fleet.affinity_misses");
+        }
+        send_lease(w, run, std::move(idx), /*stolen=*/false);
+    }
+}
+
+void Coordinator::handle_stdout_line(std::size_t w, std::string_view line,
+                                     SweepRun& run) {
+    while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) return;
+    WorkerState& ws = workers_[w];
+    ws.last_activity = Clock::now();
+    CoordinatorBound frame;
+    try {
+        frame = coordinator_bound_from_line(line);
+    } catch (const std::exception& e) {
+        // A persistent worker emitting garbage on the row channel is a
+        // protocol violation — unlike the one-shot shard path, tolerating
+        // it would desynchronize every later sweep. Kill and restart.
+        if (opt_.progress)
+            *opt_.progress << "[fleet] worker " << w
+                           << " protocol violation: " << e.what() << "\n"
+                           << std::flush;
+        handle_death(w, &run);
+        return;
+    }
+    if (frame.ready) {
+        if (frame.ready->worker != static_cast<std::int32_t>(w)) {
+            handle_death(w, &run);
+            return;
+        }
+        ws.ready = true;
+        if (!ws.sweep_sent && run.points) {
+            SweepFrame sf;
+            sf.id = run.id;
+            sf.points_file = run.points_path;
+            sf.n_points = run.points->size();
+            ws.sweep_sent = pool_->send(w, sweep_line(sf));
+        }
+        return;
+    }
+    if (frame.loaded) {
+        if (frame.loaded->sweep != run.id ||
+            frame.loaded->n_points != run.points->size())
+            return;  // ack for a superseded sweep; the current one follows
+        ws.loaded = true;
+        top_up(w, run);
+        return;
+    }
+    if (frame.row) {
+        if (frame.row->sweep != run.id) {
+            ++stats_.stale_rows;
+            obs::MetricsRegistry::global().add("fleet.stale_rows");
+            return;
+        }
+        const std::size_t i = frame.row->index;
+        if (i >= run.acked.size()) {
+            handle_death(w, &run);
+            return;
+        }
+        if (run.acked[i]) {
+            ++stats_.duplicate_rows;
+            obs::MetricsRegistry::global().add("fleet.duplicate_rows");
+            ws.outstanding.erase(i);
+            return;
+        }
+        run.acked[i] = true;
+        ++run.n_acked;
+        ++stats_.rows;
+        obs::MetricsRegistry::global().add("fleet.rows");
+        // Re-serialize as the canonical shard row line: the merge layer
+        // (MergedRowFileStream) then treats fleet output exactly like a
+        // shard worker file — one row per point, any order.
+        run.rows_out << scenario::worker_row_line(i, frame.row->row) << "\n";
+        for (auto& other : workers_) other.outstanding.erase(i);
+        return;
+    }
+    if (frame.hb) {
+        ws.last_hb = *frame.hb;
+        const bool first = !ws.saw_hb;
+        ws.saw_hb = true;
+        if (opt_.progress) {
+            const bool final_hb = run.n_acked + 1 >= run.acked.size();
+            const double since =
+                std::chrono::duration<double>(Clock::now() - ws.last_print)
+                    .count();
+            if (!ws.printed || first || final_hb ||
+                since >= opt_.progress_interval_s) {
+                char sec_buf[32];
+                std::snprintf(sec_buf, sizeof sec_buf, "%.1f",
+                              ws.last_hb.seconds);
+                *opt_.progress << "[fleet " << w << "/" << opt_.n_workers
+                               << "] " << ws.last_hb.done << "/"
+                               << ws.last_hb.total << " leased points "
+                               << sec_buf << "s\n"
+                               << std::flush;
+                ws.printed = true;
+                ws.last_print = Clock::now();
+            }
+        }
+        return;
+    }
+    if (frame.done) {
+        if (ws.leases_in_flight > 0) --ws.leases_in_flight;
+        ws.gen_fabric_hits = frame.done->fabric_hits;
+        ws.gen_fabric_misses = frame.done->fabric_misses;
+        std::int64_t hits = 0, misses = 0;
+        for (const auto& v : workers_) {
+            hits += v.prev_fabric_hits + v.gen_fabric_hits;
+            misses += v.prev_fabric_misses + v.gen_fabric_misses;
+        }
+        stats_.fleet_fabric_hits = hits;
+        stats_.fleet_fabric_misses = misses;
+        top_up(w, run);
+        return;
+    }
+    if (frame.perr)
+        throw std::runtime_error("fleet: point " +
+                                 std::to_string(frame.perr->index) +
+                                 " failed: " + frame.perr->what);
+}
+
+std::unique_ptr<core::RowStream> Coordinator::run_sweep(
+    const std::vector<core::SweepPoint>& points) {
+    if (points.empty())
+        return std::make_unique<core::VectorRowStream>(
+            std::vector<core::SweepRow>{});
+    ensure_started();
+    const obs::Span sweep_span("fleet_sweep", "fleet");
+    obs::MetricsRegistry::global().add("fleet.sweeps");
+
+    SweepRun run;
+    run.id = ++sweep_counter_;
+    run.points = &points;
+    run.points_path =
+        scratch_ + "/points." + std::to_string(run.id) + ".json";
+    run.rows_path = scratch_ + "/rows." + std::to_string(run.id) + ".ndjson";
+    {
+        std::ofstream f(run.points_path);
+        f << util::json_serialize(scenario::to_json(points));
+        if (!f)
+            throw std::runtime_error("fleet: cannot write points file " +
+                                     run.points_path);
+    }
+    run.rows_out.open(run.rows_path);
+    if (!run.rows_out)
+        throw std::runtime_error("fleet: cannot open rows file " +
+                                 run.rows_path);
+    run.acked.assign(points.size(), false);
+    run.attempts.assign(points.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        run.groups[key_of(points[i])].push_back(i);
+
+    std::size_t n_live = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        WorkerState& ws = workers_[w];
+        ws.outstanding.clear();
+        ws.leases_in_flight = 0;
+        ws.loaded = ws.sweep_sent = false;
+        ws.saw_hb = ws.printed = false;
+        if (!ws.retired && pool_->alive(w)) ++n_live;
+    }
+    if (n_live == 0)
+        throw std::runtime_error("fleet: no live workers left");
+    const std::size_t denom = std::max<std::size_t>(
+        1, n_live * std::max<std::size_t>(1, opt_.leases_per_worker_hint));
+    run.lease_size =
+        std::clamp<std::size_t>((points.size() + denom - 1) / denom, 1,
+                                std::max<std::size_t>(1, opt_.max_lease_points));
+
+    // Announce the sweep to every worker that is already ready; workers
+    // mid-(re)spawn get it when their ready frame arrives.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        WorkerState& ws = workers_[w];
+        if (ws.retired || !pool_->alive(w) || !ws.ready) continue;
+        SweepFrame sf;
+        sf.id = run.id;
+        sf.points_file = run.points_path;
+        sf.n_points = points.size();
+        ws.sweep_sent = pool_->send(w, sweep_line(sf));
+    }
+
+    // The coordinator's whole job from here is this drain loop: keep
+    // every worker topped up with leases, fold rows into the rows file,
+    // and react to heartbeat lag (steal) and EOF (restart + reassign).
+    while (run.n_acked < points.size()) {
+        bool any_live = false;
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            if (workers_[w].retired || !pool_->alive(w)) continue;
+            any_live = true;
+            if (workers_[w].loaded) top_up(w, run);
+        }
+        if (run.n_acked >= points.size()) break;  // top_up drained via steals
+        if (!any_live) throw std::runtime_error("fleet: no live workers left");
+
+        std::vector<pollfd> fds;
+        std::vector<std::pair<std::size_t, bool>> owner;  // (worker, stderr?)
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            if (workers_[w].retired || !pool_->alive(w)) continue;
+            fds.push_back(pollfd{pool_->stdout_fd(w), POLLIN, 0});
+            owner.emplace_back(w, false);
+            fds.push_back(pollfd{pool_->stderr_fd(w), POLLIN, 0});
+            owner.emplace_back(w, true);
+        }
+        const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error("fleet: poll failed");
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            const std::size_t w = owner[k].first;
+            if (workers_[w].retired || !pool_->alive(w)) continue;
+            if (owner[k].second) {
+                drain_stderr(w);
+                continue;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(pool_->stdout_fd(w), chunk, sizeof chunk);
+            if (n > 0) {
+                WorkerState& ws = workers_[w];
+                ws.out_buf.append(chunk, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while (pool_->alive(w) && !workers_[w].retired &&
+                       (nl = workers_[w].out_buf.find('\n')) !=
+                           std::string::npos) {
+                    std::string line = workers_[w].out_buf.substr(0, nl);
+                    workers_[w].out_buf.erase(0, nl + 1);
+                    handle_stdout_line(w, line, run);
+                }
+            } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+                handle_death(w, &run);
+            }
+        }
+    }
+
+    run.rows_out.flush();
+    if (!run.rows_out)
+        throw std::runtime_error("fleet: cannot write rows file " +
+                                 run.rows_path);
+    run.rows_out.close();
+
+    ++stats_.sweeps;
+    stats_.points += static_cast<std::int64_t>(points.size());
+    if (obs::MetricsRegistry::global().enabled())
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            const WorkerState& ws = workers_[w];
+            obs::MetricsRegistry::global().set_gauge(
+                "fleet.worker" + std::to_string(w) + ".fabric_hits",
+                static_cast<double>(ws.prev_fabric_hits + ws.gen_fabric_hits));
+            obs::MetricsRegistry::global().set_gauge(
+                "fleet.worker" + std::to_string(w) + ".fabric_misses",
+                static_cast<double>(ws.prev_fabric_misses +
+                                    ws.gen_fabric_misses));
+        }
+
+    const std::string rows_path = run.rows_path;
+    const std::string points_path = run.points_path;
+    return std::make_unique<scenario::MergedRowFileStream>(
+        std::vector<std::string>{rows_path}, points.size(),
+        [rows_path, points_path] {
+            (void)std::remove(rows_path.c_str());
+            (void)std::remove(points_path.c_str());
+        });
+}
+
+util::Json Coordinator::stats_json() const {
+    util::Json j = util::Json::object();
+    j.set("workers", static_cast<std::int64_t>(opt_.n_workers));
+    j.set("sweeps", stats_.sweeps);
+    j.set("points", stats_.points);
+    j.set("rows", stats_.rows);
+    j.set("duplicate_rows", stats_.duplicate_rows);
+    j.set("stale_rows", stats_.stale_rows);
+    j.set("leases_issued", stats_.leases_issued);
+    j.set("leases_stolen", stats_.leases_stolen);
+    j.set("points_reassigned", stats_.points_reassigned);
+    j.set("worker_deaths", stats_.worker_deaths);
+    j.set("worker_restarts", stats_.worker_restarts);
+    j.set("affinity_hits", stats_.affinity_hits);
+    j.set("affinity_misses", stats_.affinity_misses);
+    j.set("fabric_hits", stats_.fleet_fabric_hits);
+    j.set("fabric_misses", stats_.fleet_fabric_misses);
+    return j;
+}
+
+void Coordinator::print_summary(std::ostream& out) const {
+    out << "[fleet] " << opt_.n_workers << " workers, " << stats_.sweeps
+        << " sweeps, " << stats_.rows << " rows; leases " << stats_.leases_issued
+        << " issued / " << stats_.leases_stolen << " stolen, "
+        << stats_.points_reassigned << " points reassigned; deaths "
+        << stats_.worker_deaths << ", restarts " << stats_.worker_restarts
+        << "; fabric hits/misses " << stats_.fleet_fabric_hits << "/"
+        << stats_.fleet_fabric_misses << "; affinity hits/misses "
+        << stats_.affinity_hits << "/" << stats_.affinity_misses << "\n"
+        << std::flush;
+}
+
+void Coordinator::shutdown() {
+    if (shut_down_) return;
+    shut_down_ = true;
+    if (pool_) {
+        for (std::size_t w = 0; w < pool_->size(); ++w)
+            if (pool_->alive(w)) (void)pool_->send(w, quit_line());
+        // terminate_all closes stdins and waits: a serving worker exits
+        // on quit/EOF, writing its --trace-out/--metrics-out files on the
+        // way out — absorb them into the process-global sinks after.
+        pool_->terminate_all();
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            drain_stderr(w);
+            absorb_worker_files(w);
+        }
+        pool_.reset();
+    }
+    if (!scratch_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_, ec);
+        scratch_.clear();
+    }
+}
+
+void install_fleet_executor(core::SweepEngine& engine,
+                            std::shared_ptr<Coordinator> coordinator) {
+    engine.set_executor_label("fleet");
+    engine.set_stream_executor(
+        [coordinator](const std::vector<core::SweepPoint>& points) {
+            return coordinator->run_sweep(points);
+        });
+}
+
+}  // namespace floretsim::fleet

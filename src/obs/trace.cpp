@@ -87,6 +87,13 @@ void Tracer::record(const char* name, const char* cat, std::int64_t ts_us,
     ++log.total;
 }
 
+void Tracer::record_instant(const char* name, const char* cat,
+                            std::int64_t ts_us) {
+    // Instant events ride the same ring as spans, tagged with the
+    // impossible duration -1; the export turns that into ph:"i".
+    record(name, cat, ts_us, -1);
+}
+
 const char* Tracer::intern(std::string_view s) {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = intern_index_.find(s);
@@ -153,9 +160,14 @@ util::Json Tracer::chrome_trace() const {
         util::Json e = util::Json::object();
         e.set("name", std::string(t.event.name));
         e.set("cat", std::string(t.event.cat));
-        e.set("ph", "X");
+        if (t.event.dur_us < 0) {
+            e.set("ph", "i");
+            e.set("s", "p");  // process-scoped instant marker
+        } else {
+            e.set("ph", "X");
+            e.set("dur", t.event.dur_us);
+        }
         e.set("ts", t.event.ts_us);
-        e.set("dur", t.event.dur_us);
         e.set("pid", pid);
         e.set("tid", std::int64_t{t.tid});
         events.push_back(std::move(e));

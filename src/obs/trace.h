@@ -56,6 +56,11 @@ public:
     void record(const char* name, const char* cat, std::int64_t ts_us,
                 std::int64_t dur_us);
 
+    /// Records a durationless instant event (Chrome "i" phase) — a marker
+    /// for point-in-time facts like a worker death or a stolen lease.
+    /// Same lifetime rules as record(). No-op while disabled.
+    void record_instant(const char* name, const char* cat, std::int64_t ts_us);
+
     /// Stable storage for a dynamic span name (deduplicated).
     [[nodiscard]] const char* intern(std::string_view s);
 

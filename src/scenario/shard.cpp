@@ -1,6 +1,8 @@
 #include "src/scenario/shard.h"
 
 #include <poll.h>
+#include <signal.h>
+#include <string.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,6 +15,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -70,12 +73,57 @@ std::int32_t parse_int32(std::string_view text, const char* what) {
     return v;
 }
 
-/// Absorbs one worker's trace or metrics file into the process-global
-/// sinks. Lenient by design: observability must never fail a sweep that
-/// produced correct rows, so a missing/corrupt file is a warning, not an
-/// error.
+/// Last `n` lines of a (possibly large) text blob — the slice of a dead
+/// worker's stderr worth putting in an exception message.
+std::string tail_lines(std::string_view text, std::size_t n) {
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+        text.remove_suffix(1);
+    if (text.empty()) return {};
+    std::size_t pos = text.size();
+    for (std::size_t lines = 0; pos > 0; --pos) {
+        if (text[pos - 1] == '\n' && ++lines == n) break;
+    }
+    return std::string(text.substr(pos));
+}
+
+std::string read_file_or_empty(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) return {};
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+void ensure_sigpipe_ignored() {
+    static const bool installed = [] {
+        struct sigaction sa {};
+        if (sigaction(SIGPIPE, nullptr, &sa) == 0 && sa.sa_handler == SIG_DFL) {
+            sa.sa_handler = SIG_IGN;
+            sigemptyset(&sa.sa_mask);
+            sa.sa_flags = 0;
+            (void)sigaction(SIGPIPE, &sa, nullptr);
+        }
+        return true;
+    }();
+    (void)installed;
+}
+
+std::string describe_wait_status(int status) {
+    if (WIFEXITED(status))
+        return "exited with status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char* name = strsignal(sig);
+        return "died on signal " + std::to_string(sig) + " (" +
+               (name ? name : "unknown") + ")";
+    }
+    return "stopped with wait status " + std::to_string(status);
+}
+
 void absorb_worker_obs(const std::string& trace_path,
-                       const std::string& metrics_path, std::int32_t shard,
+                       const std::string& metrics_path, std::int32_t worker,
                        std::ostream* warn) {
     const auto read_all = [](const std::string& path,
                              std::string& out) -> bool {
@@ -88,7 +136,7 @@ void absorb_worker_obs(const std::string& trace_path,
     };
     const auto complain = [&](const char* what, const std::string& detail) {
         if (warn)
-            *warn << "shard " << shard << ": cannot absorb worker " << what
+            *warn << "worker " << worker << ": cannot absorb worker " << what
                   << " (" << detail << "); sweep results are unaffected\n";
     };
     if (!trace_path.empty()) {
@@ -116,8 +164,6 @@ void absorb_worker_obs(const std::string& trace_path,
         }
     }
 }
-
-}  // namespace
 
 // ---- Shard planning ---------------------------------------------------------
 
@@ -483,6 +529,9 @@ std::optional<core::SweepRow> MergedRowFileStream::next() {
 std::unique_ptr<core::RowStream> run_sharded_stream(
     const ShardOptions& opt, const std::vector<core::SweepPoint>& points) {
     const obs::Span sharded_span("run_sharded", "shard");
+    // A worker dying mid-write must not take the coordinator down with a
+    // SIGPIPE; the write error surfaces through the wait status instead.
+    ensure_sigpipe_ignored();
     if (opt.n_shards < 1)
         throw std::invalid_argument("--shards must be >= 1, got " +
                                     std::to_string(opt.n_shards));
@@ -544,12 +593,15 @@ std::unique_ptr<core::RowStream> run_sharded_stream(
     };
     std::vector<Worker> workers;
     std::vector<std::string> row_paths;
+    std::vector<std::string> stderr_paths;
     std::vector<std::string> trace_paths(static_cast<std::size_t>(n_shards));
     std::vector<std::string> metrics_paths(static_cast<std::size_t>(n_shards));
     workers.reserve(static_cast<std::size_t>(n_shards));
     std::string first_error;
     for (std::int32_t s = 0; s < n_shards; ++s) {
         row_paths.push_back(tmp->path + "/rows." + std::to_string(s) + ".ndjson");
+        stderr_paths.push_back(tmp->path + "/stderr." + std::to_string(s) +
+                               ".log");
         std::string cmd =
             shell_quote(opt.worker_exe) + " --worker --points " +
             shell_quote(points_path) + " --shard " + std::to_string(s) + "/" +
@@ -568,6 +620,9 @@ std::unique_ptr<core::RowStream> run_sharded_stream(
             cmd += " --metrics-out " +
                    shell_quote(metrics_paths[static_cast<std::size_t>(s)]);
         }
+        // Capture stderr to a file so a dead worker's last words make it
+        // into the coordinator's exception instead of scrolling away.
+        cmd += " 2> " + shell_quote(stderr_paths.back());
         FILE* pipe = popen(cmd.c_str(), "r");
         if (!pipe) {
             if (first_error.empty())
@@ -666,14 +721,18 @@ std::unique_ptr<core::RowStream> run_sharded_stream(
 
     for (std::size_t s = 0; s < workers.size(); ++s) {
         const int status = pclose(workers[s].pipe);
+        const std::string worker_stderr = read_file_or_empty(stderr_paths[s]);
         if (first_error.empty() && status != 0) {
-            const std::string detail =
-                WIFEXITED(status)
-                    ? "exited with status " + std::to_string(WEXITSTATUS(status))
-                    : "died on signal";
             first_error = "shard " + std::to_string(s) + "/" +
-                          std::to_string(n_shards) + " " + detail +
-                          " (the failing point's index is on its stderr)";
+                          std::to_string(n_shards) + " " +
+                          describe_wait_status(status);
+            const std::string tail = tail_lines(worker_stderr, 20);
+            first_error += tail.empty() ? "; its stderr was empty"
+                                        : "; last stderr lines:\n" + tail;
+        } else if (status == 0 && !worker_stderr.empty()) {
+            // A healthy worker's warnings still belong on the coordinator's
+            // diagnostic stream, exactly as if stderr had been inherited.
+            (opt.progress ? *opt.progress : std::cerr) << worker_stderr;
         }
     }
     if (!first_error.empty()) throw std::runtime_error(first_error);
@@ -726,6 +785,7 @@ std::vector<core::SweepRow> run_sharded(const ShardOptions& opt,
 }
 
 void install_shard_executor(core::SweepEngine& engine, ShardOptions opt) {
+    engine.set_executor_label("shards");
     engine.set_stream_executor(
         [opt = std::move(opt)](const std::vector<core::SweepPoint>& points) {
             return run_sharded_stream(opt, points);

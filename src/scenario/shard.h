@@ -146,6 +146,31 @@ struct HeartbeatSink {
     const std::vector<std::size_t>& indices, std::ostream& rows_out,
     std::ostream& err, const HeartbeatSink& hb = {});
 
+// ---- Process-coordination helpers ------------------------------------------
+// Shared by the one-shot shard coordinator below and the persistent
+// fleet coordinator (src/fleet/): anything that spawns workers and reads
+// their exit status needs all three.
+
+/// Ignores SIGPIPE process-wide (idempotent; leaves a non-default
+/// disposition installed by the host application alone). A coordinator
+/// writing a frame to a worker that just died must see EPIPE from
+/// write(), not a fatal signal — one dead worker can never take the
+/// whole sweep down with it.
+void ensure_sigpipe_ignored();
+
+/// Human-readable description of a waitpid()/pclose() status:
+/// "exited with status 3" or "died on signal 9 (Killed)".
+[[nodiscard]] std::string describe_wait_status(int status);
+
+/// Absorbs one worker's --trace-out / --metrics-out file into the
+/// process-global obs sinks. Lenient by design: observability must never
+/// fail a sweep that produced correct rows, so a missing or corrupt file
+/// is a warning on `warn` (null = silent), not an error. Empty paths are
+/// skipped.
+void absorb_worker_obs(const std::string& trace_path,
+                       const std::string& metrics_path, std::int32_t worker,
+                       std::ostream* warn);
+
 // ---- The local coordinator --------------------------------------------------
 
 struct ShardOptions {

@@ -449,6 +449,43 @@ TEST(ShardExecutor, DeadWorkerLeavesNoScratchDirectoryBehind) {
         << "a dead worker leaked its coordinator scratch directory";
 }
 
+/// Writes an executable stand-in worker script that ignores its argv.
+std::string write_worker_script(const TempDir& tmp, const std::string& body) {
+    const std::string path = tmp.path + "/worker.sh";
+    std::ofstream(path) << "#!/bin/sh\n" << body;
+    std::filesystem::permissions(path, std::filesystem::perms::owner_all);
+    return path;
+}
+
+TEST(ShardExecutor, DeadWorkerStderrIsSurfacedInTheError) {
+    TempDir tmp;
+    ShardOptions opt;
+    opt.worker_exe =
+        write_worker_script(tmp, "echo boom-stderr >&2\nexit 3\n");
+    opt.n_shards = 2;
+    try {
+        (void)run_sharded(opt, tiny_spec().expand());
+        FAIL() << "failing worker accepted";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("exited with status 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("boom-stderr"), std::string::npos)
+            << "worker stderr not surfaced: " << what;
+    }
+}
+
+TEST(ShardExecutor, DescribeWaitStatusNamesExitsAndSignals) {
+    // Wait statuses as waitpid/pclose encode them on Linux: exit code in
+    // the high byte, terminating signal in the low 7 bits. The
+    // signal-death path end to end (a worker really SIGKILLed, its death
+    // surfaced with the signal name) is pinned by the fleet suite.
+    EXPECT_EQ(describe_wait_status(0), "exited with status 0");
+    EXPECT_EQ(describe_wait_status(3 << 8), "exited with status 3");
+    EXPECT_EQ(describe_wait_status(127 << 8), "exited with status 127");
+    EXPECT_EQ(describe_wait_status(9), "died on signal 9 (Killed)");
+    EXPECT_EQ(describe_wait_status(15), "died on signal 15 (Terminated)");
+}
+
 TEST(ShardExecutor, RunShardedValidatesItsOptions) {
     ShardOptions opt;
     opt.worker_exe = "";

@@ -21,6 +21,15 @@
 ///   floretsim_run --worker --points pts.json --shard 1/4   # one worker:
 ///       evaluates its slice of the point list, streams NDJSON rows to
 ///       stdout (or --rows-out FILE) as they finish
+///
+/// Fleet mode (see src/fleet/ for the protocol):
+///
+///   floretsim_run --only fig3,fig5 --pool 4   # persistent coordinator:
+///       spawns 4 long-lived --worker --serve processes ONCE, streams
+///       leases to them per sweep, steals from stragglers, restarts dead
+///       workers — workers keep their ArchCache warm across scenarios
+///   floretsim_run --worker --serve             # one persistent worker:
+///       speaks the framed NDJSON fleet protocol on stdin/stdout
 
 #include <algorithm>
 #include <charconv>
@@ -33,9 +42,12 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/core/sweep.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/protocol.h"
 #include "src/noc/simulator.h"
 #include "src/obs/build_info.h"
 #include "src/obs/metrics.h"
@@ -60,7 +72,9 @@ struct DriverOptions {
     bool has_seed = false;
     std::string json_path;
     std::int32_t shards = 0;    ///< --shards N (coordinator); 0 = in-process.
+    std::int32_t pool = 0;      ///< --pool N (persistent fleet); 0 = off.
     bool worker = false;        ///< --worker (row-streaming worker mode).
+    bool serve = false;         ///< --serve (persistent fleet worker mode).
     std::string points_file;    ///< --points FILE (worker work order).
     std::string rows_out;       ///< --rows-out FILE (default: stdout).
     std::string shard_arg;      ///< --shard i/N (worker slice selector).
@@ -74,14 +88,15 @@ struct DriverOptions {
                  "%s: %s\n"
                  "usage: %s [--list] [--only A,B,...] [--spec FILE]... \n"
                  "       [--set KEY=VALUE]... [--threads N] [--seed N] "
-                 "[--json PATH] [--shards N]\n"
+                 "[--json PATH] [--shards N | --pool N]\n"
                  "       [--core reference|event-horizon|regional]\n"
                  "       [--trace-out FILE] [--metrics-out FILE] "
                  "[--cache-dir DIR]\n"
                  "       %s --worker --points FILE [--rows-out FILE] "
                  "[--shard i/N] [--threads N]\n"
+                 "       %s --worker --serve [--threads N]\n"
                  "override keys: %s\n",
-                 argv0, msg.c_str(), argv0, argv0,
+                 argv0, msg.c_str(), argv0, argv0, argv0,
                  scenario::override_keys_help().c_str());
     std::exit(2);
 }
@@ -139,8 +154,17 @@ DriverOptions parse(int argc, char** argv) {
             if (ec != std::errc() || p != value.data() + value.size() ||
                 opt.shards < 1)
                 usage(argv[0], "--shards expects an integer >= 1");
+        } else if (arg == "--pool") {
+            const std::string_view value = need_value(i++, "--pool");
+            const auto [p, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), opt.pool);
+            if (ec != std::errc() || p != value.data() + value.size() ||
+                opt.pool < 1)
+                usage(argv[0], "--pool expects an integer >= 1");
         } else if (arg == "--worker") {
             opt.worker = true;
+        } else if (arg == "--serve") {
+            opt.serve = true;
         } else if (arg == "--points") {
             opt.points_file = need_value(i++, "--points");
         } else if (arg == "--rows-out") {
@@ -159,7 +183,40 @@ DriverOptions parse(int argc, char** argv) {
             usage(argv[0], "unknown argument " + std::string(arg));
         }
     }
+    if (opt.shards > 0 && opt.pool > 0)
+        usage(argv[0], "--shards and --pool are mutually exclusive");
+    if (opt.serve && !opt.worker) usage(argv[0], "--serve requires --worker");
+    if (opt.pool > 0 && opt.worker)
+        usage(argv[0], "--pool is a coordinator flag; workers use --serve");
     return opt;
+}
+
+/// Persistent fleet worker: speaks the framed protocol on stdin/stdout
+/// until the coordinator sends quit (or closes the pipe). One SweepEngine
+/// lives for the whole process — its ArchCache is the warm state that
+/// outlasting individual sweeps is all about.
+int run_serve(const DriverOptions& opt, const char* argv0) {
+    if (opt.list || !opt.only.empty() || !opt.spec_files.empty() ||
+        !opt.sets.empty() || opt.shards > 0 || !opt.json_path.empty() ||
+        opt.has_seed || !opt.cache_dir.empty() || !opt.points_file.empty() ||
+        !opt.rows_out.empty() || !opt.shard_arg.empty())
+        usage(argv0,
+              "--worker --serve only takes --threads, --trace-out, "
+              "--metrics-out (sweeps and points arrive over stdin)");
+    try {
+        const std::int32_t threads = scenario::clamp_worker_threads(
+            opt.threads, scenario::kMaxWorkerThreads, std::cerr);
+        core::SweepEngine engine(threads);
+        const int rc = fleet::serve_worker(std::cin, std::cout, std::cerr, engine);
+        if (!obs::Tracer::global().write(opt.trace_out))
+            return rc != 0 ? rc : 1;
+        if (!obs::MetricsRegistry::global().write(opt.metrics_out))
+            return rc != 0 ? rc : 1;
+        return rc;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+        return 2;
+    }
 }
 
 /// Worker mode: consume a serialized SweepPoint list (optionally one
@@ -249,7 +306,8 @@ int main(int argc, char** argv) {
     // disabled (and zero-cost) unless an output path asks for them.
     if (!opt.trace_out.empty()) obs::Tracer::global().enable();
     if (!opt.metrics_out.empty()) obs::MetricsRegistry::global().enable();
-    if (opt.worker) return run_worker(opt, argv[0]);
+    if (opt.worker)
+        return opt.serve ? run_serve(opt, argv[0]) : run_worker(opt, argv[0]);
     obs::Tracer::global().set_process_label("coordinator");
     if (!opt.points_file.empty() || !opt.rows_out.empty() ||
         !opt.shard_arg.empty())
@@ -386,15 +444,40 @@ int main(int argc, char** argv) {
         shard_opt.progress = &std::cerr;
         scenario::install_shard_executor(engine, shard_opt);
     }
+    std::shared_ptr<fleet::Coordinator> coordinator;
+    if (opt.pool > 0) {
+        // Fleet mode: N persistent --worker --serve processes are spawned
+        // once (lazily, at the first sweep) and reused by every scenario —
+        // their ArchCaches stay warm across sweeps, so fig5 after fig3
+        // builds zero fabrics anywhere in the fleet. The coordinator
+        // leases points incrementally, steals from stragglers, and
+        // restarts dead workers with bounded retry; rows stay
+        // bit-identical (pinned by the fleet_parity ctest).
+        fleet::FleetOptions fleet_opt;
+        fleet_opt.worker_exe = scenario::self_exe_path(argv[0]);
+        const auto hw =
+            static_cast<std::int32_t>(std::thread::hardware_concurrency());
+        const std::int32_t worker_threads =
+            opt.threads > 0 ? opt.threads : std::max(1, hw / opt.pool);
+        fleet_opt.worker_args = {"--worker", "--serve", "--threads",
+                                 std::to_string(worker_threads)};
+        fleet_opt.n_workers = opt.pool;
+        fleet_opt.progress = &std::cerr;
+        coordinator = std::make_shared<fleet::Coordinator>(fleet_opt);
+        fleet::install_fleet_executor(engine, coordinator);
+    }
     scenario::RunContext ctx{engine, std::cout};
 
     util::Json scenario_reports = util::Json::object();
+    util::Json fleet_per_scenario = util::Json::object();
     const auto wall0 = std::chrono::steady_clock::now();
     int failures = 0;
     for (const auto& s : selected) {
         std::cout << "\n########## scenario: " << s.name << " ##########\n\n";
         const auto hits0 = engine.cache().hits();
         const auto misses0 = engine.cache().misses();
+        const fleet::FleetStats fleet0 =
+            coordinator ? coordinator->stats() : fleet::FleetStats{};
         const auto t0 = std::chrono::steady_clock::now();
         try {
             // intern() keeps the span name alive past this iteration; the
@@ -420,6 +503,22 @@ int main(int argc, char** argv) {
                 "fabric_cache_misses",
                 static_cast<double>(engine.cache().misses() - misses0));
             scenario_reports.set(s.name, report.to_value());
+            if (coordinator) {
+                // Per-scenario fleet deltas live in the driver block (not
+                // the scenario reports, which must stay bit-identical to
+                // non-fleet runs): fabric_misses == 0 here means every
+                // fabric this scenario needed was already warm in some
+                // worker's ArchCache.
+                const fleet::FleetStats& fs = coordinator->stats();
+                util::Json delta = util::Json::object();
+                delta.set("rows", fs.rows - fleet0.rows);
+                delta.set("leases", fs.leases_issued - fleet0.leases_issued);
+                delta.set("fabric_hits",
+                          fs.fleet_fabric_hits - fleet0.fleet_fabric_hits);
+                delta.set("fabric_misses", fs.fleet_fabric_misses -
+                                               fleet0.fleet_fabric_misses);
+                fleet_per_scenario.set(s.name, std::move(delta));
+            }
         } catch (const std::exception& e) {
             std::fprintf(stderr, "scenario %s failed: %s\n", s.name.c_str(),
                          e.what());
@@ -430,6 +529,15 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Shut the fleet down BEFORE the trace/metrics writes below: the
+    // workers write their --trace-out/--metrics-out files as they exit
+    // and the shutdown absorbs them into this process's sinks, so the
+    // exported trace covers the whole fleet.
+    if (coordinator) {
+        coordinator->shutdown();
+        coordinator->print_summary(std::cerr);
+    }
+
     util::Json doc = util::Json::object();
     util::Json driver = util::Json::object();
     util::Json run_info = obs::build_info_json();
@@ -438,10 +546,17 @@ int main(int argc, char** argv) {
                      noc::resolved_sim_core(noc::SimConfig{}.core))));
     run_info.set("threads", engine.thread_count());
     run_info.set("shards", opt.shards);
+    run_info.set("executor", std::string(engine.executor_label()));
     run_info.set("seed", opt.has_seed ? util::Json(opt.seed) : util::Json());
     driver.set("run_info", std::move(run_info));
     driver.set("threads", engine.thread_count());
     driver.set("shards", opt.shards);
+    driver.set("pool", opt.pool);
+    if (coordinator) {
+        util::Json fleet_json = coordinator->stats_json();
+        fleet_json.set("per_scenario", std::move(fleet_per_scenario));
+        driver.set("fleet", std::move(fleet_json));
+    }
     driver.set("sim_core",
                std::string(noc::sim_core_name(
                    noc::resolved_sim_core(noc::SimConfig{}.core))));
