@@ -1,13 +1,17 @@
-/// SLA study over the four compared NoI architectures: each serves the
-/// identical open-loop multi-tenant request stream (Poisson arrivals, the
-/// default interactive/batch tenants) at rising offered load, reporting
-/// latency percentiles, throughput, utilization, queue depth, the
-/// SLA-violation rate, and each architecture's SLA knee.
+/// Serving capacity plan: the SLA knee as a function of cluster size and
+/// batch cap. Every K x batch_cap cell serves the identical open-loop
+/// multi-tenant stream (EDF-with-eviction admission, interactive/batch
+/// tenants) at rising offered load, reporting latency percentiles, the
+/// SLA-violation rate, throughput per fabric, and the knee load — the
+/// first offered load whose violation rate crosses 5%. Batching and
+/// scale-out both move the knee right; eviction keeps the interactive
+/// tenant inside its deadline at the overload points (visible as nonzero
+/// serve.preemptions).
 ///
-/// Thin main over the scenario registry ("serving" in src/scenario/);
-/// positionals override the serve-grid spec:
+/// Thin main over the scenario registry ("cluster" in src/scenario/);
+/// positionals override the cluster spec:
 ///
-///   positional: [max_requests per run] [replications]   (default 80, 2)
+///   positional: [max_requests per run] [replications]   (default 60, 2)
 
 #include <charconv>
 #include <cstdio>
@@ -44,11 +48,12 @@ int main(int argc, char** argv) {
         replications = positional_int(argv[0], opt.positional[1], "replications");
 
     return bench::run_registered_scenario(
-        "serving", opt, [&](scenario::SpecVariant& spec) {
-            auto& grid = std::get<scenario::ServeGridSpec>(spec);
+        "cluster", opt, [&](scenario::SpecVariant& spec) {
+            auto& cluster = std::get<scenario::ClusterSpec>(spec);
             if (max_requests > 0)
-                grid.base.config.arrivals.max_requests = max_requests;
+                cluster.base.config.arrivals.max_requests = max_requests;
             if (replications > 0)
-                grid.base.replications = static_cast<std::int32_t>(replications);
+                cluster.base.replications =
+                    static_cast<std::int32_t>(replications);
         });
 }

@@ -8,9 +8,10 @@
 # default, the reference cycle loop, and the per-region-clock regional
 # core — via FLORETSIM_SIM_CORE for the bench binaries and the --core
 # flag for the driver, so the flag path itself is smoke-tested). The
-# figure benches that live in the scenario registry (all twelve: fig2-7,
-# table2, serving, m3d_vs_tsv, hetero_transformer, transformer_storage,
-# ablation_scaling) are covered by ONE floretsim_run invocation per core:
+# figure benches that live in the scenario registry (all thirteen:
+# fig2-7, table2, serving, cluster, m3d_vs_tsv, hetero_transformer,
+# transformer_storage, ablation_scaling) are covered by ONE floretsim_run
+# invocation per core:
 # one process, one shared SweepEngine/fabric cache, so the registered
 # scenarios cost one sweep's worth of fabric builds instead of five
 # processes' — and the driver's own CLI (--set overrides, merged report)
@@ -70,11 +71,11 @@ for core in event-horizon reference regional; do
     # Registered scenarios: one driver run, selecting the core with the
     # --core flag (redundant with the export, which keeps the smoke of the
     # flag-parsing path honest: both spell the same core). Tiny sizes: the
-    # serving grid drops to 24 requests x 1 replication (the sweep
-    # scenarios are already CI-sized). Sweep-only --set keys would error
+    # serving grid and cluster capacity plan drop to 24 requests x 1
+    # replication (the sweep scenarios are already CI-sized). Sweep-only --set keys would error
     # here ("applies to none") if the serving scenario ever left the
     # registry, which is exactly the alarm we want.
-    smoke_one "floretsim_run ($core: full 12-scenario registry)" \
+    smoke_one "floretsim_run ($core: full 13-scenario registry)" \
         "floretsim_run.$core" \
         "$driver" --threads 2 --core "$core" \
         --set max_requests=24 --set replications=1

@@ -218,3 +218,56 @@ for name, want in GOLDEN.items():
 print(f"report schema ok: {len(GOLDEN)} migrated scenarios pinned "
       "(bench names, metric keys, table columns)")
 EOF
+
+# Third document: the serving-cluster capacity plan. Its metric keys are
+# derived from the spec's K x batch x load grid, so the pin reconstructs
+# the expected set from the registered lists and requires the serving
+# totals (preemptions, evictions, batching, affinity) on top.
+"$driver" --only cluster --set max_requests=24 --set replications=1 \
+    --threads 2 --json "$out_dir/cluster.json" > "$out_dir/cluster.log"
+
+python3 - "$out_dir/cluster.json" <<'EOF'
+import json, math, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["driver"]["scenarios_failed"] == 0
+cluster = doc["scenarios"]["cluster"]
+assert cluster["bench"] == "cluster_capacity", cluster["bench"]
+
+assert set(cluster["tables"]) == {"capacity"}
+table = cluster["tables"]["capacity"]
+COLS = ["K", "Batch", "Load (req/Mcyc)", "Delivered", "p99 (kcyc)",
+        "Util", "SLA viol", "Batched", "Preempt", "Evict"]
+assert table["columns"] == COLS, f"capacity columns: {table['columns']}"
+
+SIZES, CAPS, LOADS = [1, 2], [1, 4], [500, 4000]  # the registered grid
+assert len(table["rows"]) == len(SIZES) * len(CAPS) * len(LOADS), (
+    f"capacity rows: {len(table['rows'])}")
+for row in table["rows"]:
+    assert len(row) == len(COLS), f"ragged row: {row}"
+    assert all(isinstance(c, str) and c for c in row), f"bad cells: {row}"
+
+want = {"scenario_seconds", "fabric_cache_hits", "fabric_cache_misses",
+        "point_seconds_min", "point_seconds_mean", "point_seconds_max",
+        "point_imbalance", "noi_rounds", "noi_cache_hits",
+        "serve_preemptions", "serve_evictions", "serve_batched_requests",
+        "serve_affinity_hits"}
+for k in SIZES:
+    for b in CAPS:
+        want.add(f"k{k}_b{b}_knee_load")
+        for load in LOADS:
+            for suffix in ("p99_kcyc", "sla_violation_rate",
+                           "throughput_per_mcyc", "batched", "preemptions"):
+                want.add(f"k{k}_b{b}_load{load}_{suffix}")
+assert set(cluster["metrics"]) == want, (
+    f"cluster metric keys changed: {sorted(set(cluster['metrics']) ^ want)}")
+for key, value in cluster["metrics"].items():
+    assert isinstance(value, (int, float)) and math.isfinite(value), (
+        f"cluster metric {key} is not a finite number: {value!r}")
+# The capacity plan only means something if the serving features ran.
+assert cluster["metrics"]["serve_preemptions"] > 0, cluster["metrics"]
+assert cluster["metrics"]["serve_batched_requests"] > 0, cluster["metrics"]
+
+print("report schema ok: cluster capacity plan pinned "
+      f"({len(want)} metric keys, {len(COLS)} capacity columns)")
+EOF

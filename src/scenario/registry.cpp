@@ -110,6 +110,10 @@ bool mutate_evals(SpecVariant& spec, Fn&& fn) {
         fn(grid->base.config.eval);
         return true;
     }
+    if (auto* cluster = std::get_if<ClusterSpec>(&spec)) {
+        fn(cluster->base.config.eval);
+        return true;
+    }
     if (auto* scaling = std::get_if<ScalingSpec>(&spec)) {
         fn(scaling->eval);
         return true;
@@ -138,6 +142,7 @@ const char* spec_kind_name(const SpecVariant& spec) {
     struct Namer {
         const char* operator()(const core::SweepSpec&) const { return "sweep"; }
         const char* operator()(const ServeGridSpec&) const { return "serve_grid"; }
+        const char* operator()(const ClusterSpec&) const { return "cluster"; }
         const char* operator()(const Moo3dSpec&) const { return "moo3d"; }
         const char* operator()(const TransformerSpec&) const { return "transformer"; }
         const char* operator()(const ScalingSpec&) const { return "scaling"; }
@@ -152,12 +157,13 @@ util::Json to_json(const SpecVariant& spec) {
 SpecVariant spec_from_json(const util::Json& j, const std::string& kind) {
     if (kind == "sweep") return sweep_spec_from_json(j);
     if (kind == "serve_grid") return serve_grid_spec_from_json(j);
+    if (kind == "cluster") return cluster_spec_from_json(j);
     if (kind == "moo3d") return moo3d_spec_from_json(j);
     if (kind == "transformer") return transformer_spec_from_json(j);
     if (kind == "scaling") return scaling_spec_from_json(j);
     throw std::invalid_argument(
         "unknown spec kind \"" + kind +
-        "\" (expected sweep|serve_grid|moo3d|transformer|scaling)");
+        "\" (expected sweep|serve_grid|cluster|moo3d|transformer|scaling)");
 }
 
 std::uint64_t spec_hash(const SpecVariant& spec) {
@@ -234,6 +240,8 @@ void set_seed(SpecVariant& spec, std::uint64_t seed) {
         sweep->run_seed = seed;
     else if (auto* grid = std::get_if<ServeGridSpec>(&spec))
         grid->base.base_seed = seed;
+    else if (auto* cluster = std::get_if<ClusterSpec>(&spec))
+        cluster->base.base_seed = seed;
     else if (auto* moo = std::get_if<Moo3dSpec>(&spec))
         moo->seed = seed;
     else if (auto* scaling = std::get_if<ScalingSpec>(&spec))
@@ -246,6 +254,8 @@ std::uint64_t effective_seed(const SpecVariant& spec) {
         return sweep->run_seed;
     if (const auto* grid = std::get_if<ServeGridSpec>(&spec))
         return grid->base.base_seed;
+    if (const auto* cluster = std::get_if<ClusterSpec>(&spec))
+        return cluster->base.base_seed;
     if (const auto* moo = std::get_if<Moo3dSpec>(&spec)) return moo->seed;
     if (const auto* scaling = std::get_if<ScalingSpec>(&spec))
         return scaling->mix_seed;
@@ -260,17 +270,22 @@ bool is_eval_override_key(std::string_view key) {
 std::string override_keys_help() {
     return "grid, grids, archs, mixes, traffic_scale, max_cycles, "
            "injection_rate, sim_core, swap_seed, greedy_max_gap, seed, "
-           "max_requests, replications, loads, iterations, workloads, "
-           "models, batches, sides, lambdas";
+           "max_requests, replications, loads, fabrics, max_batch, balance, "
+           "iterations, workloads, models, batches, sides, lambdas";
 }
 
 bool apply_override(SpecVariant& spec, std::string_view key,
                     std::string_view value) {
     auto* sweep = std::get_if<core::SweepSpec>(&spec);
     auto* grid = std::get_if<ServeGridSpec>(&spec);
+    auto* cluster = std::get_if<ClusterSpec>(&spec);
     auto* moo = std::get_if<Moo3dSpec>(&spec);
     auto* transformer = std::get_if<TransformerSpec>(&spec);
     auto* scaling = std::get_if<ScalingSpec>(&spec);
+    // The serving kinds share a base ServeSpec; overrides that land on it
+    // apply identically to both.
+    serve::ServeSpec* serve_base =
+        grid ? &grid->base : (cluster ? &cluster->base : nullptr);
 
     if (key == "grid" || key == "grids") {
         std::vector<std::pair<std::int32_t, std::int32_t>> grids;
@@ -282,9 +297,9 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         }
         if (grids.size() != 1)
             bad_value(key, value, "this scenario kind takes exactly one grid");
-        if (grid) {
-            grid->base.width = grids.front().first;
-            grid->base.height = grids.front().second;
+        if (serve_base) {
+            serve_base->width = grids.front().first;
+            serve_base->height = grids.front().second;
             return true;
         }
         if (moo) {
@@ -308,6 +323,13 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         }
         if (grid) {
             grid->archs = std::move(archs);
+            return true;
+        }
+        if (cluster) {
+            if (archs.size() != 1)
+                bad_value(key, value,
+                          "the cluster scenario replicates one architecture");
+            cluster->base.arch = archs.front();
             return true;
         }
         if (scaling) {
@@ -364,8 +386,8 @@ bool apply_override(SpecVariant& spec, std::string_view key,
             sweep->swap_seed = seed;
             return true;
         }
-        if (grid) {
-            grid->base.swap_seed = seed;
+        if (serve_base) {
+            serve_base->swap_seed = seed;
             return true;
         }
         if (scaling) {
@@ -382,8 +404,8 @@ bool apply_override(SpecVariant& spec, std::string_view key,
             sweep->greedy_max_gap = static_cast<std::int32_t>(gap);
             return true;
         }
-        if (grid) {
-            grid->base.greedy_max_gap = static_cast<std::int32_t>(gap);
+        if (serve_base) {
+            serve_base->greedy_max_gap = static_cast<std::int32_t>(gap);
             return true;
         }
         if (scaling) {
@@ -451,26 +473,52 @@ bool apply_override(SpecVariant& spec, std::string_view key,
         return true;
     }
     if (key == "max_requests") {
-        if (!grid) return false;
+        if (!serve_base) return false;
         const std::int64_t n = parse_int(key, value);
         if (n <= 0) bad_value(key, value, "request count must be positive");
-        grid->base.config.arrivals.max_requests = n;
+        serve_base->config.arrivals.max_requests = n;
         return true;
     }
     if (key == "replications") {
-        if (!grid) return false;
+        if (!serve_base) return false;
         const std::int64_t n = parse_int(key, value);
         if (n <= 0 || n > INT32_MAX)
             bad_value(key, value, "replication count must be a positive int32");
-        grid->base.replications = static_cast<std::int32_t>(n);
+        serve_base->replications = static_cast<std::int32_t>(n);
         return true;
     }
     if (key == "loads") {
-        if (!grid) return false;
+        if (!grid && !cluster) return false;
         std::vector<double> loads;
         for (const auto& l : split_csv(value)) loads.push_back(parse_double(key, l));
         if (loads.empty()) bad_value(key, value, "empty load list");
-        grid->loads_per_mcycle = std::move(loads);
+        for (const double l : loads)
+            if (l <= 0.0) bad_value(key, value, "offered loads must be positive");
+        if (grid)
+            grid->loads_per_mcycle = std::move(loads);
+        else
+            cluster->loads_per_mcycle = std::move(loads);
+        return true;
+    }
+    if (key == "fabrics") {
+        if (!cluster) return false;
+        cluster->cluster_sizes =
+            parse_positive_int32_list(key, value, "cluster size");
+        return true;
+    }
+    if (key == "max_batch") {
+        if (!cluster) return false;
+        cluster->batch_caps = parse_positive_int32_list(key, value, "batch cap");
+        return true;
+    }
+    if (key == "balance") {
+        if (!cluster) return false;
+        try {
+            cluster->balance =
+                balance_policy_from_json(util::Json(std::string(value)));
+        } catch (const std::invalid_argument& e) {
+            bad_value(key, value, e.what());
+        }
         return true;
     }
     throw std::invalid_argument("--set: unknown key \"" + std::string(key) +

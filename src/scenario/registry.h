@@ -25,14 +25,15 @@ namespace floretsim::scenario {
 /// so consecutive scenarios reuse one fabric cache (fig3+fig5 build their
 /// identical sweeps once).
 
-/// What a scenario runs: a batch sweep grid, a serving grid, a 3D
-/// placement-optimization study, a Transformer study, or the scaling
-/// ablation. Every alternative is pure serializable data.
-using SpecVariant = std::variant<core::SweepSpec, ServeGridSpec, Moo3dSpec,
-                                 TransformerSpec, ScalingSpec>;
+/// What a scenario runs: a batch sweep grid, a serving grid, a serving
+/// cluster capacity grid, a 3D placement-optimization study, a
+/// Transformer study, or the scaling ablation. Every alternative is pure
+/// serializable data.
+using SpecVariant = std::variant<core::SweepSpec, ServeGridSpec, ClusterSpec,
+                                 Moo3dSpec, TransformerSpec, ScalingSpec>;
 
-/// "sweep" / "serve_grid" / "moo3d" / "transformer" / "scaling" — the
-/// `kind` discriminator in scenario files.
+/// "sweep" / "serve_grid" / "cluster" / "moo3d" / "transformer" /
+/// "scaling" — the `kind` discriminator in scenario files.
 [[nodiscard]] const char* spec_kind_name(const SpecVariant& spec);
 
 [[nodiscard]] util::Json to_json(const SpecVariant& spec);
@@ -125,8 +126,8 @@ void set_seed(SpecVariant& spec, std::uint64_t seed);
 /// std::invalid_argument for unknown keys or malformed values. Supported
 /// keys: grid, grids, archs, mixes, traffic_scale (accepts "1/128"),
 /// max_cycles, injection_rate, sim_core, swap_seed, greedy_max_gap, seed,
-/// max_requests, replications, loads, iterations, workloads, models,
-/// batches, sides, lambdas.
+/// max_requests, replications, loads, fabrics, max_batch, balance,
+/// iterations, workloads, models, batches, sides, lambdas.
 bool apply_override(SpecVariant& spec, std::string_view key,
                     std::string_view value);
 
@@ -147,11 +148,12 @@ bool apply_override(SpecVariant& spec, std::string_view key,
 /// Loads a scenario from a JSON file. Two shapes:
 ///   {"scenario": "fig3", "name"?, "spec"?}   — a registered scenario,
 ///     optionally relabeled and/or with a replacement spec of its kind;
-///   {"kind": "sweep"|"serve_grid", "spec": {...}, "name"?} — a bare spec
-///     run through the generic report for its kind. The other kinds
-///     (moo3d, transformer, scaling) have no generic report — reference
-///     them through their registered scenario ({"scenario": "fig6", ...})
-///     instead; a bare-kind file is rejected with that hint.
+///   {"kind": "sweep"|"serve_grid"|"cluster", "spec": {...}, "name"?} — a
+///     bare spec run through the generic report for its kind. The other
+///     kinds (moo3d, transformer, scaling) have no generic report —
+///     reference them through their registered scenario
+///     ({"scenario": "fig6", ...}) instead; a bare-kind file is rejected
+///     with that hint.
 /// Unknown top-level keys are rejected. Throws std::invalid_argument
 /// (parse/validation) or std::runtime_error (unreadable file).
 [[nodiscard]] Scenario load_scenario_file(const std::string& path,
@@ -160,5 +162,6 @@ bool apply_override(SpecVariant& spec, std::string_view key,
 /// The generic report functions backing bare-spec scenario files.
 [[nodiscard]] ReportFn generic_sweep_report();
 [[nodiscard]] ReportFn serving_grid_report();
+[[nodiscard]] ReportFn cluster_capacity_report();
 
 }  // namespace floretsim::scenario

@@ -13,6 +13,7 @@
 #include "src/dnn/transformer.h"
 #include "src/pim/partitioner.h"
 #include "src/scenario/registry.h"
+#include "src/serve/cluster.h"
 #include "src/serve/simulator.h"
 #include "src/serve/sweep.h"
 #include "src/thermal/power.h"
@@ -47,6 +48,10 @@ const core::SweepSpec& as_sweep(const SpecVariant& spec, const char* scenario) {
 
 const ServeGridSpec& as_serve_grid(const SpecVariant& spec, const char* scenario) {
     return as_kind<ServeGridSpec>(spec, scenario, "serve_grid");
+}
+
+const ClusterSpec& as_cluster(const SpecVariant& spec, const char* scenario) {
+    return as_kind<ClusterSpec>(spec, scenario, "cluster");
 }
 
 const Moo3dSpec& as_moo3d(const SpecVariant& spec, const char* scenario) {
@@ -534,6 +539,178 @@ JsonReport serving_report(const SpecVariant& sv, RunContext& ctx) {
                "queueing delay overwhelms the SLO budget.\n";
 
     report.add_table("sla_sweep", t);
+    return report;
+}
+
+// ---- cluster: the capacity-planning grid ------------------------------------
+
+/// Disambiguates repeated formatted labels with a "#idx" suffix, as the
+/// serving report does for loads — metric keys must stay unique or the
+/// strict JSON contract breaks.
+std::vector<std::string> unique_labels(std::vector<std::string> labels) {
+    for (std::size_t l = 0; l < labels.size(); ++l)
+        for (std::size_t k = 0; k < l; ++k)
+            if (labels[k] == labels[l]) {
+                labels[l] += "#" + std::to_string(l);
+                break;
+            }
+    return labels;
+}
+
+JsonReport cluster_report(const SpecVariant& sv, RunContext& ctx) {
+    const auto& spec = as_cluster(sv, "cluster");
+    const auto& base = spec.base;
+
+    ctx.out << "=== Serving capacity plan: cluster size x batch cap x load ("
+            << experiment::arch_name(base.arch) << " " << base.width << "x"
+            << base.height << " fabrics, " << base.config.arrivals.max_requests
+            << " requests x " << base.replications << " replications, "
+            << serve::balance_policy_name(spec.balance) << " routing, "
+            << serve::admission_policy_name(base.config.admission)
+            << " admission) ===\nknee threshold: violation rate > "
+            << 100.0 * kKneeViolationRate << "%\n\n";
+
+    // Flatten K x batch x load x replication into one engine fan-out so the
+    // saturated (overload) points overlap with everything else. The K
+    // fabrics of a cell are replicas of the base arch built over the shared
+    // fabric cache: only the first build per process pays.
+    struct Cell {
+        std::size_t k_idx, b_idx, load_idx;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t k = 0; k < spec.cluster_sizes.size(); ++k)
+        for (std::size_t b = 0; b < spec.batch_caps.size(); ++b)
+            for (std::size_t l = 0; l < spec.loads_per_mcycle.size(); ++l)
+                cells.push_back({k, b, l});
+
+    auto& engine = ctx.engine;
+    const auto n_reps = static_cast<std::size_t>(std::max(base.replications, 1));
+    std::vector<double> point_seconds;
+    const auto runs = engine.timed_map(
+        cells.size() * n_reps,
+        [&](std::size_t i) {
+            const Cell& cell = cells[i / n_reps];
+            const auto fabric_count =
+                static_cast<std::size_t>(spec.cluster_sizes[cell.k_idx]);
+            std::vector<experiment::BuiltArch> fabrics;
+            fabrics.reserve(fabric_count);
+            for (std::size_t f = 0; f < fabric_count; ++f)
+                fabrics.push_back(experiment::build_arch(
+                    engine.cache(), base.arch, base.width, base.height,
+                    base.swap_seed, base.greedy_max_gap));
+            serve::ServeConfig cfg = base.config;
+            cfg.max_batch = spec.batch_caps[cell.b_idx];
+            cfg.arrivals.rate_per_mcycle = spec.loads_per_mcycle[cell.load_idx];
+            cfg.seed = base.base_seed + i % n_reps;
+            return serve::serve_cluster(fabrics, cfg, spec.balance);
+        },
+        point_seconds);
+
+    std::vector<std::string> k_labels, b_labels, load_labels;
+    for (const auto k : spec.cluster_sizes)
+        k_labels.push_back(std::to_string(k));
+    for (const auto b : spec.batch_caps) b_labels.push_back(std::to_string(b));
+    for (const double l : spec.loads_per_mcycle)
+        load_labels.push_back(util::TextTable::fmt(l, 0));
+    k_labels = unique_labels(std::move(k_labels));
+    b_labels = unique_labels(std::move(b_labels));
+    load_labels = unique_labels(std::move(load_labels));
+
+    util::TextTable t({"K", "Batch", "Load (req/Mcyc)", "Delivered",
+                       "p99 (kcyc)", "Util", "SLA viol", "Batched", "Preempt",
+                       "Evict"});
+    JsonReport report("cluster_capacity");
+    // SLA knee per (K, batch) curve: the lowest violating load.
+    std::vector<double> knee(spec.cluster_sizes.size() * spec.batch_caps.size(),
+                             -1.0);
+    std::int64_t total_batched = 0, total_preempt = 0, total_evict = 0;
+    std::int64_t affinity_hits = 0;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const auto& cell = cells[c];
+        std::vector<serve::ServeStats> reps;
+        reps.reserve(n_reps);
+        for (std::size_t r = 0; r < n_reps; ++r) {
+            reps.push_back(runs[c * n_reps + r].serve);
+            affinity_hits += runs[c * n_reps + r].affinity_hits;
+        }
+        const auto agg = serve::aggregate(reps);
+        total_batched += agg.batched_requests;
+        total_preempt += agg.preemptions;
+        total_evict += agg.evictions;
+        t.add_row({k_labels[cell.k_idx], b_labels[cell.b_idx],
+                   load_labels[cell.load_idx],
+                   util::TextTable::fmt(agg.mean_throughput_per_mcycle, 1),
+                   util::TextTable::fmt(agg.p99_latency_cycles / 1e3, 1),
+                   util::TextTable::fmt(100.0 * agg.mean_utilization, 1) + "%",
+                   util::TextTable::fmt(100.0 * agg.sla_violation_rate(), 1) +
+                       "%",
+                   std::to_string(agg.batched_requests),
+                   std::to_string(agg.preemptions),
+                   std::to_string(agg.evictions)});
+        const std::string key = "k" + k_labels[cell.k_idx] + "_b" +
+                                b_labels[cell.b_idx] + "_load" +
+                                load_labels[cell.load_idx];
+        report.add_metric(key + "_p99_kcyc", agg.p99_latency_cycles / 1e3);
+        report.add_metric(key + "_sla_violation_rate", agg.sla_violation_rate());
+        report.add_metric(key + "_throughput_per_mcyc",
+                          agg.mean_throughput_per_mcycle);
+        report.add_metric(key + "_batched",
+                          static_cast<double>(agg.batched_requests));
+        report.add_metric(key + "_preemptions",
+                          static_cast<double>(agg.preemptions));
+        if (agg.sla_violation_rate() > kKneeViolationRate) {
+            const double l = spec.loads_per_mcycle[cell.load_idx];
+            double& cur = knee[cell.k_idx * spec.batch_caps.size() + cell.b_idx];
+            if (cur < 0.0 || l < cur) cur = l;
+        }
+    }
+    t.print(ctx.out);
+
+    // The capacity curve: where each (K, batch) configuration's SLA knee
+    // sits. A knee that moves right with K or batch cap is capacity bought
+    // by scale-out or coalescing.
+    const double max_load = *std::max_element(spec.loads_per_mcycle.begin(),
+                                              spec.loads_per_mcycle.end());
+    ctx.out << "\nSLA knee per configuration (lowest load with violation rate > "
+            << 100.0 * kKneeViolationRate << "%):\n";
+    for (std::size_t k = 0; k < spec.cluster_sizes.size(); ++k)
+        for (std::size_t b = 0; b < spec.batch_caps.size(); ++b) {
+            const double v = knee[k * spec.batch_caps.size() + b];
+            ctx.out << "  K=" << k_labels[k] << " batch=" << b_labels[b] << ": "
+                    << (v < 0.0 ? "beyond " + util::TextTable::fmt(max_load, 0)
+                                : util::TextTable::fmt(v, 0))
+                    << " req/Mcyc\n";
+            report.add_metric("k" + k_labels[k] + "_b" + b_labels[b] +
+                                  "_knee_load",
+                              v);
+        }
+
+    std::int64_t rounds = 0, hits = 0;
+    for (const auto& r : runs) {
+        rounds += r.serve.noi_rounds;
+        hits += r.serve.noi_cache_hits;
+    }
+    ctx.out << "\nFrontend: " << affinity_hits
+            << " arrivals routed onto a warm residency; " << total_batched
+            << " requests rode a batch, " << total_preempt
+            << " preempted across " << total_evict << " evictions; " << rounds
+            << " NoI rounds, " << hits << " served from the resident-set cache\n";
+    report.add_metric("serve_batched_requests",
+                      static_cast<double>(total_batched));
+    report.add_metric("serve_preemptions", static_cast<double>(total_preempt));
+    report.add_metric("serve_evictions", static_cast<double>(total_evict));
+    report.add_metric("serve_affinity_hits",
+                      static_cast<double>(affinity_hits));
+    report.add_metric("noi_rounds", static_cast<double>(rounds));
+    report.add_metric("noi_cache_hits", static_cast<double>(hits));
+    add_point_timing(report, point_seconds);
+
+    ctx.out << "\nShape: batching amortizes one fabric evaluation across "
+               "coalesced requests and scale-out moves the knee right; "
+               "eviction rescues deadline-critical tenants once the fabric "
+               "saturates.\n";
+
+    report.add_table("capacity", t);
     return report;
 }
 
@@ -1105,6 +1282,30 @@ Moo3dSpec fig6_moo_spec() {
     return spec;
 }
 
+ClusterSpec cluster_capacity_spec() {
+    ClusterSpec spec;  // base carries default_serve_config()
+    spec.base.greedy_max_gap = 2;
+    spec.base.replications = 2;
+    spec.base.base_seed = 33;
+    auto& cfg = spec.base.config;
+    // EDF-with-eviction so the overload points exercise preemption: the
+    // tight-SLO interactive tenant evicts long-running batch residencies
+    // once the fabric saturates.
+    cfg.admission = serve::AdmissionPolicy::kEdfEvict;
+    cfg.arrivals.max_requests = 60;
+    cfg.classes = {
+        {"interactive", {"DNN11", "DNN13"}, 0.5, 30'000.0},
+        // The batch SLO is the binding one at overload (interactive is
+        // rescued by eviction): 200 kcyc puts the unbatched single-fabric
+        // knee at the high load while batching pushes it off the chart.
+        {"batch", {"DNN1", "DNN8"}, 0.5, 200'000.0},
+    };
+    spec.cluster_sizes = {1, 2};
+    spec.batch_caps = {1, 4};
+    spec.loads_per_mcycle = {500.0, 4000.0};
+    return spec;
+}
+
 Registry make_builtin() {
     Registry reg;
     reg.add({"fig2", "router-port configuration and link structure per NoI",
@@ -1181,6 +1382,9 @@ Registry make_builtin() {
     reg.add({"ablation_scaling",
              "system-size scaling, petal-count sweep, weight-load ablation",
              ScalingSpec{}, ablation_report});
+    reg.add({"cluster",
+             "serving capacity plan: SLA knee vs cluster size x batch cap",
+             cluster_capacity_spec(), cluster_report});
     return reg;
 }
 
@@ -1193,6 +1397,7 @@ const Registry& Registry::builtin() {
 
 ReportFn generic_sweep_report() { return generic_sweep; }
 ReportFn serving_grid_report() { return serving_report; }
+ReportFn cluster_capacity_report() { return cluster_report; }
 
 // ---- Scenario files ---------------------------------------------------------
 
@@ -1238,6 +1443,8 @@ Scenario load_scenario_file(const std::string& path, const Registry& registry) {
         out.summary = "user scenario from " + path;
         if (kind == "serve_grid") {
             out.report = serving_grid_report();
+        } else if (kind == "cluster") {
+            out.report = cluster_capacity_report();
         } else if (kind == "sweep") {
             out.report = generic_sweep_report();
         } else if (kind == "moo3d" || kind == "transformer" ||

@@ -134,6 +134,7 @@ Json to_json(serve::AdmissionPolicy p) {
         case serve::AdmissionPolicy::kFifo: return Json("fifo");
         case serve::AdmissionPolicy::kEarliestDeadline: return Json("edf");
         case serve::AdmissionPolicy::kRejectOnFull: return Json("reject-on-full");
+        case serve::AdmissionPolicy::kEdfEvict: return Json("edf-evict");
     }
     return Json("fifo");
 }
@@ -144,8 +145,22 @@ serve::AdmissionPolicy admission_policy_from_json(const Json& j) {
     if (v == "edf" || v == "earliest-deadline")
         return serve::AdmissionPolicy::kEarliestDeadline;
     if (v == "reject-on-full") return serve::AdmissionPolicy::kRejectOnFull;
+    if (v == "edf-evict") return serve::AdmissionPolicy::kEdfEvict;
     throw std::invalid_argument("unknown admission policy \"" + j.as_string() +
-                                "\" (expected fifo|edf|reject-on-full)");
+                                "\" (expected fifo|edf|reject-on-full|edf-evict)");
+}
+
+Json to_json(serve::BalancePolicy p) {
+    return Json(serve::balance_policy_name(p));
+}
+
+serve::BalancePolicy balance_policy_from_json(const Json& j) {
+    const std::string v = ascii_lower(j.as_string());
+    if (v == "least-loaded") return serve::BalancePolicy::kLeastLoaded;
+    if (v == "model-affinity" || v == "affinity")
+        return serve::BalancePolicy::kModelAffinity;
+    throw std::invalid_argument("unknown balance policy \"" + j.as_string() +
+                                "\" (expected least-loaded|model-affinity)");
 }
 
 Json to_json(serve::ArrivalProcess p) {
@@ -580,6 +595,8 @@ Json to_json(const serve::ServeConfig& c) {
     j.set("classes", std::move(classes));
     j.set("admission", to_json(c.admission));
     j.set("max_queue", static_cast<std::uint64_t>(c.max_queue));
+    j.set("max_batch", c.max_batch);
+    j.set("batch_traffic_alpha", c.batch_traffic_alpha);
     j.set("eval", to_json(c.eval));
     j.set("params_per_chiplet_m", c.params_per_chiplet_m);
     j.set("seed", c.seed);
@@ -599,10 +616,23 @@ serve::ServeConfig serve_config_from_json(const Json& j) {
     }
     r.read_with("admission", c.admission, admission_policy_from_json);
     r.read("max_queue", c.max_queue);
+    r.read("max_batch", c.max_batch);
+    r.read("batch_traffic_alpha", c.batch_traffic_alpha);
     r.read_with("eval", c.eval, eval_config_from_json);
     r.read("params_per_chiplet_m", c.params_per_chiplet_m);
     r.read("seed", c.seed);
     r.finish();
+    if (c.max_batch < 1)
+        bad("serve", "\"max_batch\" must be >= 1");
+    if (c.batch_traffic_alpha < 0.0)
+        bad("serve", "\"batch_traffic_alpha\" must be >= 0");
+    // Tenant class names key the per-class report rows; duplicates would
+    // silently merge two tenants' SLO accounting.
+    for (std::size_t a = 0; a < c.classes.size(); ++a)
+        for (std::size_t b = a + 1; b < c.classes.size(); ++b)
+            if (c.classes[a].name == c.classes[b].name)
+                bad("serve", "duplicate class name \"" + c.classes[a].name +
+                                 "\"");
     return c;
 }
 
@@ -669,6 +699,58 @@ ServeGridSpec serve_grid_spec_from_json(const Json& j) {
             s.loads_per_mcycle.push_back(l.as_double());
     }
     r.finish();
+    return s;
+}
+
+Json to_json(const ClusterSpec& s) {
+    Json j = Json::object();
+    j.set("base", to_json(s.base));
+    Json sizes = Json::array();
+    for (const auto k : s.cluster_sizes) sizes.push_back(k);
+    j.set("cluster_sizes", std::move(sizes));
+    Json caps = Json::array();
+    for (const auto b : s.batch_caps) caps.push_back(b);
+    j.set("batch_caps", std::move(caps));
+    Json loads = Json::array();
+    for (const double l : s.loads_per_mcycle) loads.push_back(l);
+    j.set("loads_per_mcycle", std::move(loads));
+    j.set("balance", to_json(s.balance));
+    return j;
+}
+
+ClusterSpec cluster_spec_from_json(const Json& j) {
+    ClusterSpec s;
+    ObjectReader r(j, "cluster");
+    r.read_with("base", s.base, serve_spec_from_json);
+    if (const Json* sizes = r.find("cluster_sizes")) {
+        s.cluster_sizes.clear();
+        for (const Json& k : sizes->as_array())
+            s.cluster_sizes.push_back(static_cast<std::int32_t>(k.as_int()));
+    }
+    if (const Json* caps = r.find("batch_caps")) {
+        s.batch_caps.clear();
+        for (const Json& b : caps->as_array())
+            s.batch_caps.push_back(static_cast<std::int32_t>(b.as_int()));
+    }
+    if (const Json* loads = r.find("loads_per_mcycle")) {
+        s.loads_per_mcycle.clear();
+        for (const Json& l : loads->as_array())
+            s.loads_per_mcycle.push_back(l.as_double());
+    }
+    r.read_with("balance", s.balance, balance_policy_from_json);
+    r.finish();
+    if (s.cluster_sizes.empty())
+        bad("cluster", "\"cluster_sizes\" must not be empty");
+    for (const auto k : s.cluster_sizes)
+        if (k < 1) bad("cluster", "cluster sizes must be >= 1 fabrics");
+    if (s.batch_caps.empty())
+        bad("cluster", "\"batch_caps\" must not be empty");
+    for (const auto b : s.batch_caps)
+        if (b < 1) bad("cluster", "batch caps must be >= 1");
+    if (s.loads_per_mcycle.empty())
+        bad("cluster", "\"loads_per_mcycle\" must not be empty");
+    for (const double l : s.loads_per_mcycle)
+        if (!(l > 0.0)) bad("cluster", "offered loads must be > 0");
     return s;
 }
 

@@ -9,6 +9,7 @@
 #include "src/cost/models.h"
 #include "src/noc/routing.h"
 #include "src/noc/simulator.h"
+#include "src/serve/cluster.h"
 #include "src/serve/sweep.h"
 #include "src/util/json.h"
 #include "src/workload/tables.h"
@@ -49,6 +50,9 @@ namespace floretsim::scenario {
 
 [[nodiscard]] util::Json to_json(serve::AdmissionPolicy p);
 [[nodiscard]] serve::AdmissionPolicy admission_policy_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json to_json(serve::BalancePolicy p);
+[[nodiscard]] serve::BalancePolicy balance_policy_from_json(const util::Json& j);
 
 [[nodiscard]] util::Json to_json(serve::ArrivalProcess p);
 [[nodiscard]] serve::ArrivalProcess arrival_process_from_json(const util::Json& j);
@@ -141,6 +145,24 @@ struct ServeGridSpec {
 
 [[nodiscard]] util::Json to_json(const ServeGridSpec& s);
 [[nodiscard]] ServeGridSpec serve_grid_spec_from_json(const util::Json& j);
+
+/// The capacity-planning grid the `cluster` scenario sweeps: one base
+/// ServeSpec fanned out over cluster sizes (fabric count K behind the
+/// load-balancing frontend), batch caps, and offered loads —
+/// K x batch x load x replication cells, each a serve::serve_cluster run.
+/// Every fabric in a cell is a replica of the base spec's arch/grid.
+struct ClusterSpec {
+    serve::ServeSpec base = ServeGridSpec::default_base();
+    std::vector<std::int32_t> cluster_sizes{1, 2};
+    std::vector<std::int32_t> batch_caps{1, 4};
+    std::vector<double> loads_per_mcycle{500.0, 2000.0, 8000.0};
+    serve::BalancePolicy balance = serve::BalancePolicy::kModelAffinity;
+
+    [[nodiscard]] bool operator==(const ClusterSpec&) const = default;
+};
+
+[[nodiscard]] util::Json to_json(const ClusterSpec& s);
+[[nodiscard]] ClusterSpec cluster_spec_from_json(const util::Json& j);
 
 // ---- 3D MOO specs (Figs. 6-7, M3D-vs-TSV) -----------------------------------
 

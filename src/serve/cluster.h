@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/serve/simulator.h"
+
+namespace floretsim::serve {
+
+/// Multi-fabric serving cluster: K independent fabrics behind a
+/// load-balancing frontend. Each arrival is routed once, at arrival time,
+/// to a fabric; from there the per-fabric scheduler (queue + residency +
+/// batching + eviction, see simulator.h) owns it. The whole cluster runs
+/// as ONE discrete-event simulation over a shared virtual clock, so the
+/// aggregate statistics are accumulated in global event order and a
+/// cluster of one fabric is bit-identical to serve_requests() by
+/// construction.
+
+enum class BalancePolicy {
+    kLeastLoaded,    ///< Fewest queued + resident members; ties lowest index.
+    kModelAffinity,  ///< Prefer fabrics already holding (or queueing) the
+                     ///< model — keeps residencies warm — then least-loaded.
+};
+
+[[nodiscard]] const char* balance_policy_name(BalancePolicy p);
+
+/// Cluster-level outcome: the cluster-wide ServeStats plus frontend
+/// routing accounting.
+struct ClusterStats {
+    ServeStats serve;  ///< Accumulated across fabrics in event order.
+    /// Requests routed to each fabric (size == fabric count).
+    std::vector<std::int64_t> fabric_arrivals;
+    std::vector<std::int64_t> fabric_completed;
+    /// Arrivals the frontend routed onto a fabric that already had the
+    /// request's model resident or queued (always 0 under kLeastLoaded
+    /// unless the least-loaded fabric happened to hold it — counted either
+    /// way, it measures residency warmth, not policy).
+    std::int64_t affinity_hits = 0;
+};
+
+/// Runs the cluster simulation to completion. `fabrics` must be non-empty;
+/// each BuiltArch is reset and owned exclusively for the duration of the
+/// call (same re-entrancy contract as serve_requests).
+[[nodiscard]] ClusterStats serve_cluster(
+    std::span<core::experiment::BuiltArch> fabrics, const ServeConfig& cfg,
+    BalancePolicy balance);
+
+}  // namespace floretsim::serve

@@ -1,45 +1,17 @@
 #include "src/serve/simulator.h"
 
-#include <algorithm>
-#include <limits>
-#include <map>
-#include <memory>
 #include <span>
-#include <stdexcept>
-#include <utility>
 
-#include "src/core/mapper.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/pim/reram.h"
-#include "src/util/stats.h"
+#include "src/serve/cluster.h"
 
 namespace floretsim::serve {
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-struct Resident {
-    Request req;
-    core::MappedTask task;
-    double admitted_cycle = 0.0;
-    double compute_ns = 0.0;
-    std::int32_t rounds_left = 0;
-    double round_done = 0.0;  ///< Cycle at which the current round ends.
-};
-
-/// Exact (collision-free) memo key for a resident set: the placements in
-/// resident order — the order matters because it is the order the demand
-/// list reaches the wormhole simulator.
-using ResidentKey = std::vector<std::pair<std::string, std::vector<topo::NodeId>>>;
-
-}  // namespace
 
 const char* admission_policy_name(AdmissionPolicy p) {
     switch (p) {
         case AdmissionPolicy::kFifo: return "FIFO";
         case AdmissionPolicy::kEarliestDeadline: return "EDF";
         case AdmissionPolicy::kRejectOnFull: return "Reject-on-full";
+        case AdmissionPolicy::kEdfEvict: return "EDF-evict";
     }
     return "?";
 }
@@ -55,266 +27,12 @@ ServeConfig default_serve_config() {
 
 ServeStats serve_requests(core::experiment::BuiltArch& arch,
                           const ServeConfig& cfg) {
-    const auto classes =
-        cfg.classes.empty() ? default_request_classes() : cfg.classes;
-    const auto requests = generate_requests(cfg.arrivals, classes, cfg.seed);
-
-    // One TaskSpec prototype (network + partition plan) per distinct
-    // workload id, in first-appearance order.
-    std::vector<std::string> distinct;
-    for (const auto& r : requests)
-        if (std::find(distinct.begin(), distinct.end(), r.workload_id) ==
-            distinct.end())
-            distinct.push_back(r.workload_id);
-    std::vector<std::unique_ptr<dnn::Network>> owner;
-    const auto prototypes =
-        core::make_tasks(distinct, cfg.params_per_chiplet_m, owner);
-    const auto prototype_of = [&](const std::string& id) -> const core::TaskSpec& {
-        for (std::size_t i = 0; i < distinct.size(); ++i)
-            if (distinct[i] == id) return prototypes[i];
-        throw std::logic_error("serve_requests: unknown workload " + id);
-    };
-    const pim::ReramConfig reram;
-
-    arch.mapper->reset();
-    const auto node_count = static_cast<double>(arch.topology().node_count());
-
-    ServeStats out;
-    out.per_class.resize(classes.size());
-    for (std::size_t c = 0; c < classes.size(); ++c)
-        out.per_class[c].name = classes[c].name;
-
-    std::vector<Resident> residents;
-    std::vector<Request> queue;  ///< Waiting line, policy-ordered.
-    std::size_t next_arrival = 0;
-    double now = 0.0;
-    double busy_nodes = 0.0;
-    double util_accum = 0.0;   ///< Integral of busy_nodes over time.
-    double queue_accum = 0.0;  ///< Integral of queue depth over time.
-    double wait_accum = 0.0;
-    util::RunningStats latency;
-    util::P2Quantile p50(0.50), p95(0.95), p99(0.99);
-    std::map<ResidentKey, double> noi_cache;  ///< Resident set -> drain cycles.
-    // The memo is bounded so a long trace replay with high residency churn
-    // (mostly-distinct sets) cannot grow memory linearly with rounds; the
-    // dominant repeat case — successive rounds under unchanged residency —
-    // is served by the epoch short-circuit below without touching the map.
-    constexpr std::size_t kNoiCacheCap = 4096;
-    double epoch_drain = 0.0;  ///< Drain of the current residency epoch.
-    bool epoch_valid = false;  ///< Cleared on every admit/release.
-
-    const auto reject = [&](const Request& r) {
-        ++out.rejected;
-        ++out.sla_violations;
-        ++out.per_class[static_cast<std::size_t>(r.class_idx)].violations;
-    };
-
-    // Round duration = drain latency of the whole resident set (memoized)
-    // plus this request's own PIM compute, both at the same sampling scale.
-    const auto schedule_round = [&](Resident& r) {
-        const obs::Span span("serve_round", "serve");
-        ++out.noi_rounds;
-        if (!epoch_valid) {
-            ResidentKey key;
-            key.reserve(residents.size());
-            for (const auto& res : residents)
-                key.emplace_back(res.req.workload_id, res.task.nodes);
-            if (const auto it = noi_cache.find(key); it != noi_cache.end()) {
-                ++out.noi_cache_hits;
-                epoch_drain = it->second;
-            } else {
-                std::vector<core::MappedTask> snapshot;
-                snapshot.reserve(residents.size());
-                for (const auto& res : residents) snapshot.push_back(res.task);
-                const auto eval = core::evaluate_noi(arch.topology(), arch.routes(),
-                                                     snapshot, cfg.eval);
-                epoch_drain = eval.latency_cycles;
-                out.sim_cycles_stepped += eval.sim_cycles_stepped;
-                out.sim_cycles_skipped += eval.sim_cycles_skipped;
-                out.sim_horizon_jumps += eval.sim_horizon_jumps;
-                out.sim_region_cycles_stepped += eval.sim_region_cycles_stepped;
-                out.sim_region_cycles_skipped += eval.sim_region_cycles_skipped;
-                out.sim_region_horizon_jumps += eval.sim_region_horizon_jumps;
-                out.sim_region_stepped_max += eval.sim_region_stepped_max;
-                out.sim_region_stepped_min += eval.sim_region_stepped_min;
-                if (noi_cache.size() < kNoiCacheCap)
-                    noi_cache.emplace(std::move(key), epoch_drain);
-            }
-            epoch_valid = true;
-        } else {
-            ++out.noi_cache_hits;
-        }
-        const double round_cycles =
-            epoch_drain + r.compute_ns * cfg.eval.traffic_scale;
-        obs::MetricsRegistry::global().observe("serve.round_cycles",
-                                               round_cycles);
-        r.round_done = now + round_cycles;
-    };
-
-    // Round scheduling is deferred until the admission burst drains: an
-    // arrival wave of k mappable requests invalidates the residency epoch k
-    // times, so scheduling inside the loop would re-run evaluate_noi per
-    // admission and hand the earlier admits round durations computed
-    // against stale intermediate resident sets. Admit first, then schedule
-    // every new resident against the final set — one NoI evaluation per
-    // burst.
-    const auto try_admit = [&] {
-        const std::size_t first_new = residents.size();
-        while (!queue.empty()) {
-            const Request head = queue.front();
-            core::TaskSpec spec = prototype_of(head.workload_id);
-            const std::span<const core::TaskSpec> one(&spec, 1);
-            auto mapped = arch.mapper->map_queue(one, nullptr);
-            core::MappedTask task = std::move(mapped.front());
-            if (!task.mapped) {
-                if (!residents.empty()) break;  // wait for departures
-                task = arch.mapper->map_one_relaxed(spec);
-                if (!task.mapped) {
-                    // No placement even on an idle system: bounce it so the
-                    // line keeps moving.
-                    reject(head);
-                    queue.erase(queue.begin());
-                    continue;
-                }
-            }
-            queue.erase(queue.begin());
-            ++out.admitted;
-            wait_accum += now - head.arrival_cycle;
-            Resident r;
-            r.req = head;
-            r.task = std::move(task);
-            r.admitted_cycle = now;
-            r.rounds_left = head.rounds;
-            r.compute_ns = core::experiment::task_compute_ns(r.task, reram);
-            busy_nodes += static_cast<double>(r.task.nodes.size());
-            residents.push_back(std::move(r));
-            epoch_valid = false;  // residency changed
-        }
-        for (std::size_t i = first_new; i < residents.size(); ++i)
-            schedule_round(residents[i]);
-    };
-
-    const auto advance_to = [&](double t) {
-        util_accum += busy_nodes * (t - now);
-        queue_accum += static_cast<double>(queue.size()) * (t - now);
-        now = t;
-    };
-
-    // Event-count guard: every request contributes one arrival plus at most
-    // max_rounds round completions; anything past that is a logic bug.
-    const std::int64_t max_events =
-        16 + static_cast<std::int64_t>(requests.size()) *
-                 (static_cast<std::int64_t>(cfg.arrivals.max_rounds) + 4);
-    std::int64_t events = 0;
-
-    while (next_arrival < requests.size() || !residents.empty() ||
-           !queue.empty()) {
-        if (++events > max_events) {
-            out.drained = false;
-            break;
-        }
-
-        // Earliest round completion (ties: lowest resident index).
-        std::size_t round_idx = residents.size();
-        double round_at = kInf;
-        for (std::size_t i = 0; i < residents.size(); ++i)
-            if (residents[i].round_done < round_at) {
-                round_at = residents[i].round_done;
-                round_idx = i;
-            }
-        const double arrival_at = next_arrival < requests.size()
-                                      ? requests[next_arrival].arrival_cycle
-                                      : kInf;
-
-        if (round_at == kInf && arrival_at == kInf) {
-            // Arrivals exhausted, nothing resident, queue non-empty: the
-            // idle-system admission path below always shrinks the queue.
-            try_admit();
-            continue;
-        }
-
-        // Completions before arrivals at the same instant, so an arriving
-        // request sees the capacity freed "now".
-        if (round_at <= arrival_at) {
-            advance_to(round_at);
-            Resident& r = residents[round_idx];
-            if (--r.rounds_left > 0) {
-                schedule_round(r);  // same resident set: a cache hit
-                continue;
-            }
-            const Request req = r.req;
-            const double sojourn = now - req.arrival_cycle;
-            latency.add(sojourn);
-            p50.add(sojourn);
-            p95.add(sojourn);
-            p99.add(sojourn);
-            ++out.completed;
-            auto& cls = out.per_class[static_cast<std::size_t>(req.class_idx)];
-            ++cls.completed;
-            if (now > req.deadline_cycle) {
-                ++out.sla_violations;
-                ++cls.violations;
-            }
-            arch.mapper->release(r.task);
-            busy_nodes -= static_cast<double>(r.task.nodes.size());
-            residents.erase(residents.begin() +
-                            static_cast<std::ptrdiff_t>(round_idx));
-            epoch_valid = false;  // residency changed
-            out.makespan_cycles = now;
-            try_admit();
-        } else {
-            advance_to(arrival_at);
-            const Request& req = requests[next_arrival++];
-            ++out.arrived;
-            ++out.per_class[static_cast<std::size_t>(req.class_idx)].arrived;
-            if (cfg.admission == AdmissionPolicy::kRejectOnFull &&
-                queue.size() >= cfg.max_queue) {
-                reject(req);
-            } else if (cfg.admission == AdmissionPolicy::kEarliestDeadline) {
-                const auto at = std::upper_bound(
-                    queue.begin(), queue.end(), req,
-                    [](const Request& a, const Request& b) {
-                        return std::pair(a.deadline_cycle, a.id) <
-                               std::pair(b.deadline_cycle, b.id);
-                    });
-                queue.insert(at, req);
-            } else {
-                queue.push_back(req);
-            }
-            out.peak_queue_depth = std::max(
-                out.peak_queue_depth, static_cast<std::int64_t>(queue.size()));
-            try_admit();
-        }
-    }
-
-    out.makespan_cycles = std::max(out.makespan_cycles, now);
-    if (now > 0.0) {
-        out.mean_utilization = util_accum / (now * node_count);
-        out.mean_queue_depth = queue_accum / now;
-    }
-    if (out.makespan_cycles > 0.0)
-        out.throughput_per_mcycle =
-            static_cast<double>(out.completed) / out.makespan_cycles * 1e6;
-    if (out.admitted > 0)
-        out.mean_wait_cycles = wait_accum / static_cast<double>(out.admitted);
-    out.mean_latency_cycles = latency.mean();
-    out.p50_latency_cycles = p50.value();
-    out.p95_latency_cycles = p95.value();
-    out.p99_latency_cycles = p99.value();
-    auto& metrics = obs::MetricsRegistry::global();
-    if (metrics.enabled()) {
-        metrics.add("serve.arrived", out.arrived);
-        metrics.add("serve.admitted", out.admitted);
-        metrics.add("serve.rejected", out.rejected);
-        metrics.add("serve.completed", out.completed);
-        metrics.add("serve.sla_violations", out.sla_violations);
-        // Reserved at 0 until the ROADMAP's preemption/residency-eviction
-        // policy lands: dashboards can key on it today and light up then.
-        metrics.add("serve.preemptions", 0);
-        metrics.add("serve.noi_rounds", out.noi_rounds);
-        metrics.add("serve.noi_cache_hits", out.noi_cache_hits);
-    }
-    return out;
+    // A single fabric behind a trivial frontend: the cluster event loop
+    // accumulates in exactly the legacy single-fabric order, so this is
+    // bit-identical to the pre-cluster scheduler (pinned by the
+    // differential goldens in tests/test_serve.cpp).
+    return serve_cluster(std::span(&arch, 1), cfg, BalancePolicy::kLeastLoaded)
+        .serve;
 }
 
 }  // namespace floretsim::serve

@@ -24,6 +24,13 @@ enum class AdmissionPolicy {
     kFifo,              ///< Strict arrival order; the head blocks the line.
     kEarliestDeadline,  ///< Queue ordered by SLA deadline (ties by id).
     kRejectOnFull,      ///< FIFO, but arrivals beyond max_queue bounce.
+    /// EDF queue order, plus eviction: when the head cannot be placed, the
+    /// resident whose earliest member deadline is *latest* is preempted
+    /// (in-flight round discarded, members re-queued with their remaining
+    /// rounds) — but only if its deadline is strictly later than the
+    /// head's, so eviction chains strictly decrease deadline and cannot
+    /// cycle.
+    kEdfEvict,
 };
 
 [[nodiscard]] const char* admission_policy_name(AdmissionPolicy p);
@@ -34,6 +41,17 @@ struct ServeConfig {
     std::vector<RequestClass> classes;
     AdmissionPolicy admission = AdmissionPolicy::kFifo;
     std::size_t max_queue = 64;  ///< Only enforced by kRejectOnFull.
+    /// Batch coalescing cap: when the queue head is admitted, up to
+    /// max_batch-1 further queued requests for the *same* workload join the
+    /// residency and share its rounds (one fabric evaluation prices the
+    /// whole batch). 1 disables batching and is bit-identical to the
+    /// pre-batching scheduler.
+    std::int32_t max_batch = 1;
+    /// Batch traffic model: a round serving m live members costs
+    /// epoch_drain + compute_ns * traffic_scale * (1 + alpha*(m-1)) —
+    /// the NoI drain is shared, the PIM compute grows sub-linearly when
+    /// alpha < 1. Exactly the legacy formula at m == 1.
+    double batch_traffic_alpha = 0.25;
     core::EvalConfig eval;       ///< NoI evaluation settings.
     double params_per_chiplet_m = core::experiment::kParamsPerChipletM;
     std::uint64_t seed = 1;      ///< Drives arrivals and service demands.
@@ -82,6 +100,16 @@ struct ServeStats {
     /// admit sees the final resident set).
     std::int64_t noi_rounds = 0;
     std::int64_t noi_cache_hits = 0;
+    /// Batching/preemption accounting. batched_requests counts members that
+    /// joined an existing admission (i.e. rode along beyond the batch
+    /// leader); evictions counts residencies torn down by kEdfEvict;
+    /// preemptions counts the members those evictions re-queued. Each
+    /// admission increments `admitted`, so over a drained run
+    /// admitted == completed + preemptions and arrived == completed +
+    /// rejected.
+    std::int64_t batched_requests = 0;
+    std::int64_t preemptions = 0;
+    std::int64_t evictions = 0;
     /// Simulator-engine work statistics summed over the evaluate_noi calls
     /// (see noc::SimResult): cycles executed vs. proven no-op and skipped.
     std::int64_t sim_cycles_stepped = 0;

@@ -33,6 +33,9 @@ ServeAggregate aggregate(std::span<const ServeStats> runs) {
         agg.p50_latency_cycles += s.p50_latency_cycles;
         agg.p95_latency_cycles += s.p95_latency_cycles;
         agg.p99_latency_cycles += s.p99_latency_cycles;
+        agg.batched_requests += s.batched_requests;
+        agg.preemptions += s.preemptions;
+        agg.evictions += s.evictions;
         agg.noi_rounds += s.noi_rounds;
         agg.noi_cache_hits += s.noi_cache_hits;
         agg.sim_cycles_stepped += s.sim_cycles_stepped;

@@ -48,6 +48,10 @@ struct ServeAggregate {
     double p50_latency_cycles = 0.0;  ///< Mean of per-replication p50s.
     double p95_latency_cycles = 0.0;
     double p99_latency_cycles = 0.0;
+    /// Batching/preemption accounting, summed over replications.
+    std::int64_t batched_requests = 0;
+    std::int64_t preemptions = 0;
+    std::int64_t evictions = 0;
     /// NoI / simulator-engine economy, summed over replications.
     std::int64_t noi_rounds = 0;
     std::int64_t noi_cache_hits = 0;

@@ -24,13 +24,13 @@ TEST(Registry, BuiltinScenariosAreRegistered) {
     for (const char* name :
          {"fig2", "fig3", "fig4", "fig5", "table2", "serving", "fig6", "fig7",
           "m3d_vs_tsv", "hetero_transformer", "transformer_storage",
-          "ablation_scaling"}) {
+          "ablation_scaling", "cluster"}) {
         const Scenario* s = reg.find(name);
         ASSERT_NE(s, nullptr) << name;
         EXPECT_TRUE(s->report) << name;
         EXPECT_FALSE(s->summary.empty()) << name;
     }
-    EXPECT_EQ(reg.scenarios().size(), 12u);
+    EXPECT_EQ(reg.scenarios().size(), 13u);
     EXPECT_EQ(reg.find("fig99"), nullptr);
     EXPECT_THROW((void)reg.at("fig99"), std::invalid_argument);
     // fig4 is mapping-only: eval-affecting --set keys must not count as
@@ -139,6 +139,45 @@ TEST(Overrides, ApplyToServeGridSpecs) {
     EXPECT_EQ(g.base.base_seed, 5u);
     // Sweep-only key on a serving spec: recognized but inapplicable.
     EXPECT_FALSE(apply_override(spec, "mixes", "WL1"));
+}
+
+TEST(Overrides, ApplyToClusterSpecs) {
+    SpecVariant spec = std::get<ClusterSpec>(
+        Registry::builtin().at("cluster").spec);
+    EXPECT_TRUE(apply_override(spec, "grid", "8x8"));
+    EXPECT_TRUE(apply_override(spec, "archs", "kite"));
+    EXPECT_TRUE(apply_override(spec, "fabrics", "1,3"));
+    EXPECT_TRUE(apply_override(spec, "max_batch", "2,8"));
+    EXPECT_TRUE(apply_override(spec, "balance", "least-loaded"));
+    EXPECT_TRUE(apply_override(spec, "loads", "250,2500"));
+    EXPECT_TRUE(apply_override(spec, "max_requests", "40"));
+    EXPECT_TRUE(apply_override(spec, "replications", "1"));
+    EXPECT_TRUE(apply_override(spec, "seed", "9"));
+    const auto& c = std::get<ClusterSpec>(spec);
+    EXPECT_EQ(c.base.width, 8);
+    EXPECT_EQ(c.base.height, 8);
+    EXPECT_EQ(c.base.arch, Arch::kKite);
+    EXPECT_EQ(c.cluster_sizes, (std::vector<std::int32_t>{1, 3}));
+    EXPECT_EQ(c.batch_caps, (std::vector<std::int32_t>{2, 8}));
+    EXPECT_EQ(c.balance, serve::BalancePolicy::kLeastLoaded);
+    EXPECT_EQ(c.loads_per_mcycle, (std::vector<double>{250.0, 2500.0}));
+    EXPECT_EQ(c.base.config.arrivals.max_requests, 40);
+    EXPECT_EQ(c.base.replications, 1);
+    EXPECT_EQ(c.base.base_seed, 9u);
+    // Sweep-only keys stay inapplicable; malformed values still throw.
+    EXPECT_FALSE(apply_override(spec, "mixes", "WL1"));
+    EXPECT_FALSE(apply_override(spec, "iterations", "5"));
+    EXPECT_THROW((void)apply_override(spec, "fabrics", "0"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)apply_override(spec, "max_batch", "-1"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)apply_override(spec, "balance", "roundrobin"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)apply_override(spec, "loads", "0"),
+                 std::invalid_argument);
+    // The cluster replicates one architecture across its fabrics.
+    EXPECT_THROW((void)apply_override(spec, "archs", "kite,floret"),
+                 std::invalid_argument);
 }
 
 TEST(Scenario, Fig4RunsThroughTheRegistry) {

@@ -264,6 +264,111 @@ TEST(ScenarioJson, ServeGridSpecRoundTrip) {
               ServeGridSpec{});
 }
 
+TEST(ScenarioJson, ClusterSpecRoundTrip) {
+    ClusterSpec s;
+    s.base.arch = experiment::Arch::kKite;
+    s.base.config.admission = serve::AdmissionPolicy::kEdfEvict;
+    s.base.config.max_batch = 8;
+    s.base.config.batch_traffic_alpha = 0.5;
+    s.base.replications = 3;
+    s.base.base_seed = 77;
+    s.cluster_sizes = {1, 2, 4};
+    s.batch_caps = {1, 8};
+    s.loads_per_mcycle = {100.0, 1000.0};
+    s.balance = serve::BalancePolicy::kLeastLoaded;
+    EXPECT_EQ(round_trip(s, cluster_spec_from_json), s);
+    EXPECT_EQ(round_trip(ClusterSpec{}, cluster_spec_from_json),
+              ClusterSpec{});
+}
+
+TEST(ScenarioJson, BalanceAndAdmissionSpellings) {
+    EXPECT_EQ(balance_policy_from_json(Json("least-loaded")),
+              serve::BalancePolicy::kLeastLoaded);
+    EXPECT_EQ(balance_policy_from_json(Json("model-affinity")),
+              serve::BalancePolicy::kModelAffinity);
+    // Shorthand accepted on input; output always uses the full name.
+    EXPECT_EQ(balance_policy_from_json(Json("affinity")),
+              serve::BalancePolicy::kModelAffinity);
+    EXPECT_THROW((void)balance_policy_from_json(Json("round-robin")),
+                 std::invalid_argument);
+    EXPECT_EQ(admission_policy_from_json(Json("edf-evict")),
+              serve::AdmissionPolicy::kEdfEvict);
+    EXPECT_EQ(round_trip(serve::BalancePolicy::kModelAffinity,
+                         balance_policy_from_json),
+              serve::BalancePolicy::kModelAffinity);
+    EXPECT_EQ(round_trip(serve::AdmissionPolicy::kEdfEvict,
+                         admission_policy_from_json),
+              serve::AdmissionPolicy::kEdfEvict);
+}
+
+TEST(ScenarioJson, ClusterSpecAdversarialCorpus) {
+    // Unknown keys at both levels.
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"fabric_count": 2})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"base": {"widht": 6}})")),
+                 std::invalid_argument);
+    // Zero fabrics: the empty list and the K=0 entry are both rejected.
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"cluster_sizes": []})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"cluster_sizes": [1, 0]})")),
+                 std::invalid_argument);
+    // Negative / zero batch caps.
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"batch_caps": [-4]})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"batch_caps": []})")),
+                 std::invalid_argument);
+    // Loads must be positive.
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"loads_per_mcycle": [500, 0]})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"loads_per_mcycle": []})")),
+                 std::invalid_argument);
+    // Bad balance spelling and type mismatch.
+    EXPECT_THROW((void)cluster_spec_from_json(
+                     json_parse(R"({"balance": "roundrobin"})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)cluster_spec_from_json(json_parse(R"(["k1"])")),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioJson, ServeConfigAdversarialCorpus) {
+    // A serving batch cap below 1 can never admit anything.
+    EXPECT_THROW((void)serve_config_from_json(
+                     json_parse(R"({"max_batch": 0})")),
+                 std::invalid_argument);
+    EXPECT_THROW((void)serve_config_from_json(
+                     json_parse(R"({"max_batch": -3})")),
+                 std::invalid_argument);
+    // Negative batching cost would make bigger batches finish sooner.
+    EXPECT_THROW((void)serve_config_from_json(
+                     json_parse(R"({"batch_traffic_alpha": -0.25})")),
+                 std::invalid_argument);
+    // Duplicate tenant class names would make per-class accounting
+    // ambiguous; the message names the offender.
+    try {
+        (void)serve_config_from_json(json_parse(R"({"classes": [
+            {"name": "interactive", "workload_ids": ["DNN11"]},
+            {"name": "interactive", "workload_ids": ["DNN1"]}
+        ]})"));
+        FAIL() << "expected duplicate class-name rejection";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("interactive"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The new fields still reject unknown-key typos.
+    EXPECT_THROW((void)serve_config_from_json(
+                     json_parse(R"({"max_bach": 4})")),
+                 std::invalid_argument);
+}
+
 TEST(ScenarioJson, UnknownKeysAreRejectedAtEveryLevel) {
     EXPECT_THROW((void)sim_config_from_json(json_parse(R"({"flitbytes": 8})")),
                  std::invalid_argument);
